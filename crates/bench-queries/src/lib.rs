@@ -1,0 +1,23 @@
+//! # hex-bench-queries — the paper's twelve benchmark queries
+//!
+//! Section 5.2 of the Hexastore paper describes seven Barton queries
+//! (BQ1–BQ7) and five LUBM queries (LQ1–LQ5), each with a *distinct
+//! physical plan per store*: the same logical query is executed the way
+//! each architecture allows — COVP1 scanning property tables where it has
+//! no index, COVP2 exploiting its `pos` copy, the Hexastore using whichever
+//! of its six indices fits. This crate implements exactly those plans.
+//!
+//! Every query comes in three variants (`*_hexastore`, `*_covp1`,
+//! `*_covp2`) returning identical id-level results; the equivalence is
+//! enforced by tests. Queries that iterate "all properties" accept an
+//! optional property restriction, reproducing the 28-property assumption
+//! (`*_28` configurations) of the Abadi et al. study.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod barton;
+pub mod lubm;
+mod suite;
+
+pub use suite::Suite;

@@ -1,0 +1,120 @@
+//! Criterion benches for the seven Barton queries (paper Figures 3–9) at a
+//! fixed scale, including the 28-property variants of BQ2/BQ3/BQ4/BQ6.
+//!
+//! The `figures` binary sweeps dataset prefixes like the paper; these
+//! benches give statistically careful single-scale timings per store.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hex_bench::barton_dataset;
+use hex_bench_queries::barton::{self, BartonIds};
+use hex_bench_queries::Suite;
+use std::hint::black_box;
+use std::time::Duration;
+
+const SCALE: usize = 60_000;
+
+fn configured<'c>(
+    c: &'c mut Criterion,
+    name: &str,
+) -> criterion::BenchmarkGroup<'c, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group(name);
+    g.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(600));
+    g
+}
+
+fn bench_barton(c: &mut Criterion) {
+    let data = barton_dataset(SCALE);
+    let suite = Suite::build(&data);
+    let ids = BartonIds::resolve(&suite.dict).expect("dataset resolves all query terms");
+
+    {
+        let mut g = configured(c, "barton_q1");
+        g.bench_function("hexastore", |b| {
+            b.iter(|| black_box(barton::bq1_hexastore(&suite.hexastore, &ids)))
+        });
+        g.bench_function("covp1", |b| b.iter(|| black_box(barton::bq1_covp1(&suite.covp1, &ids))));
+        g.bench_function("covp2", |b| b.iter(|| black_box(barton::bq1_covp2(&suite.covp2, &ids))));
+        g.finish();
+    }
+    {
+        let mut g = configured(c, "barton_q2");
+        for (label, props) in [("full", None), ("28", Some(ids.interesting.as_slice()))] {
+            g.bench_function(format!("hexastore_{label}"), |b| {
+                b.iter(|| black_box(barton::bq2_hexastore(&suite.hexastore, &ids, props)))
+            });
+            g.bench_function(format!("covp1_{label}"), |b| {
+                b.iter(|| black_box(barton::bq2_covp1(&suite.covp1, &ids, props)))
+            });
+            g.bench_function(format!("covp2_{label}"), |b| {
+                b.iter(|| black_box(barton::bq2_covp2(&suite.covp2, &ids, props)))
+            });
+        }
+        g.finish();
+    }
+    {
+        let mut g = configured(c, "barton_q3");
+        for (label, props) in [("full", None), ("28", Some(ids.interesting.as_slice()))] {
+            g.bench_function(format!("hexastore_{label}"), |b| {
+                b.iter(|| black_box(barton::bq3_hexastore(&suite.hexastore, &ids, props)))
+            });
+            g.bench_function(format!("covp1_{label}"), |b| {
+                b.iter(|| black_box(barton::bq3_covp1(&suite.covp1, &ids, props)))
+            });
+            g.bench_function(format!("covp2_{label}"), |b| {
+                b.iter(|| black_box(barton::bq3_covp2(&suite.covp2, &ids, props)))
+            });
+        }
+        g.finish();
+    }
+    {
+        let mut g = configured(c, "barton_q4");
+        for (label, props) in [("full", None), ("28", Some(ids.interesting.as_slice()))] {
+            g.bench_function(format!("hexastore_{label}"), |b| {
+                b.iter(|| black_box(barton::bq4_hexastore(&suite.hexastore, &ids, props)))
+            });
+            g.bench_function(format!("covp1_{label}"), |b| {
+                b.iter(|| black_box(barton::bq4_covp1(&suite.covp1, &ids, props)))
+            });
+            g.bench_function(format!("covp2_{label}"), |b| {
+                b.iter(|| black_box(barton::bq4_covp2(&suite.covp2, &ids, props)))
+            });
+        }
+        g.finish();
+    }
+    {
+        let mut g = configured(c, "barton_q5");
+        g.bench_function("hexastore", |b| {
+            b.iter(|| black_box(barton::bq5_hexastore(&suite.hexastore, &ids)))
+        });
+        g.bench_function("covp1", |b| b.iter(|| black_box(barton::bq5_covp1(&suite.covp1, &ids))));
+        g.bench_function("covp2", |b| b.iter(|| black_box(barton::bq5_covp2(&suite.covp2, &ids))));
+        g.finish();
+    }
+    {
+        let mut g = configured(c, "barton_q6");
+        for (label, props) in [("full", None), ("28", Some(ids.interesting.as_slice()))] {
+            g.bench_function(format!("hexastore_{label}"), |b| {
+                b.iter(|| black_box(barton::bq6_hexastore(&suite.hexastore, &ids, props)))
+            });
+            g.bench_function(format!("covp1_{label}"), |b| {
+                b.iter(|| black_box(barton::bq6_covp1(&suite.covp1, &ids, props)))
+            });
+            g.bench_function(format!("covp2_{label}"), |b| {
+                b.iter(|| black_box(barton::bq6_covp2(&suite.covp2, &ids, props)))
+            });
+        }
+        g.finish();
+    }
+    {
+        let mut g = configured(c, "barton_q7");
+        g.bench_function("hexastore", |b| {
+            b.iter(|| black_box(barton::bq7_hexastore(&suite.hexastore, &ids)))
+        });
+        g.bench_function("covp1", |b| b.iter(|| black_box(barton::bq7_covp1(&suite.covp1, &ids))));
+        g.bench_function("covp2", |b| b.iter(|| black_box(barton::bq7_covp2(&suite.covp2, &ids))));
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_barton);
+criterion_main!(benches);

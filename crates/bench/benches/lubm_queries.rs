@@ -1,0 +1,95 @@
+//! Criterion benches for the five LUBM queries (paper Figures 10–14) at a
+//! fixed scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hex_bench::lubm_dataset;
+use hex_bench_queries::lubm::{self, LubmIds};
+use hex_bench_queries::Suite;
+use std::hint::black_box;
+use std::time::Duration;
+
+const SCALE: usize = 60_000;
+
+fn bench_lubm(c: &mut Criterion) {
+    let data = lubm_dataset(SCALE);
+    let suite = Suite::build(&data);
+    let ids = LubmIds::resolve(&suite.dict).expect("dataset resolves all query terms");
+
+    type QueryFn = fn(&Suite, &LubmIds);
+    let queries: [(&str, QueryFn, QueryFn, QueryFn); 5] = [
+        (
+            "lubm_q1",
+            |s, i| {
+                black_box(lubm::lq1_hexastore(&s.hexastore, i));
+            },
+            |s, i| {
+                black_box(lubm::lq1_covp1(&s.covp1, i));
+            },
+            |s, i| {
+                black_box(lubm::lq1_covp2(&s.covp2, i));
+            },
+        ),
+        (
+            "lubm_q2",
+            |s, i| {
+                black_box(lubm::lq2_hexastore(&s.hexastore, i));
+            },
+            |s, i| {
+                black_box(lubm::lq2_covp1(&s.covp1, i));
+            },
+            |s, i| {
+                black_box(lubm::lq2_covp2(&s.covp2, i));
+            },
+        ),
+        (
+            "lubm_q3",
+            |s, i| {
+                black_box(lubm::lq3_hexastore(&s.hexastore, i));
+            },
+            |s, i| {
+                black_box(lubm::lq3_covp1(&s.covp1, i));
+            },
+            |s, i| {
+                black_box(lubm::lq3_covp2(&s.covp2, i));
+            },
+        ),
+        (
+            "lubm_q4",
+            |s, i| {
+                black_box(lubm::lq4_hexastore(&s.hexastore, i));
+            },
+            |s, i| {
+                black_box(lubm::lq4_covp1(&s.covp1, i));
+            },
+            |s, i| {
+                black_box(lubm::lq4_covp2(&s.covp2, i));
+            },
+        ),
+        (
+            "lubm_q5",
+            |s, i| {
+                black_box(lubm::lq5_hexastore(&s.hexastore, i));
+            },
+            |s, i| {
+                black_box(lubm::lq5_covp1(&s.covp1, i));
+            },
+            |s, i| {
+                black_box(lubm::lq5_covp2(&s.covp2, i));
+            },
+        ),
+    ];
+
+    for (name, hex, covp1, covp2) in queries {
+        let mut g = c.benchmark_group(name);
+        g.sample_size(10)
+            .warm_up_time(Duration::from_millis(200))
+            .measurement_time(Duration::from_millis(600));
+        g.bench_function("hexastore", |b| b.iter(|| hex(&suite, &ids)));
+        g.bench_function("covp1", |b| b.iter(|| covp1(&suite, &ids)));
+        g.bench_function("covp2", |b| b.iter(|| covp2(&suite, &ids)));
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_lubm);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Figure 15 + §4.1 space experiment: memory footprints are *measured* and
+//! printed once; the benchmark itself times the `heap_bytes` accounting
+//! walk (cheap) and, more importantly, asserts the paper's ordering —
+//! Hexastore > COVP2 > COVP1 — and the ≤5× blowup bound at bench scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hex_bench::{barton_dataset, lubm_dataset};
+use hex_bench_queries::Suite;
+use hexastore::TripleStore;
+use std::hint::black_box;
+use std::time::Duration;
+
+const SCALE: usize = 60_000;
+
+fn bench_memory(c: &mut Criterion) {
+    for (dataset, data) in
+        [("barton", barton_dataset(SCALE)), ("lubm", lubm_dataset(SCALE))]
+    {
+        let suite = Suite::build(&data);
+        let hex = suite.hexastore.heap_bytes();
+        let c1 = suite.covp1.heap_bytes();
+        let c2 = suite.covp2.heap_bytes();
+        let tt = suite.table.heap_bytes();
+        let stats = suite.hexastore.space_stats();
+        println!(
+            "# memory[{dataset}] triples={} hexastore={:.1}MB covp2={:.1}MB covp1={:.1}MB table={:.1}MB hex/covp1={:.2} blowup={:.2}",
+            suite.len(),
+            hex as f64 / 1048576.0,
+            c2 as f64 / 1048576.0,
+            c1 as f64 / 1048576.0,
+            tt as f64 / 1048576.0,
+            hex as f64 / c1 as f64,
+            stats.blowup(),
+        );
+        assert!(hex > c2 && c2 > c1, "paper ordering must hold");
+        assert!(stats.blowup() <= 5.0, "§4.1 bound");
+
+        let mut g = c.benchmark_group(format!("memory_accounting_{dataset}"));
+        g.sample_size(10)
+            .warm_up_time(Duration::from_millis(200))
+            .measurement_time(Duration::from_millis(600));
+        g.bench_function("hexastore_heap_bytes", |b| {
+            b.iter(|| black_box(suite.hexastore.heap_bytes()))
+        });
+        g.bench_function("space_stats", |b| b.iter(|| black_box(suite.hexastore.space_stats())));
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_memory);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! §4.3 path-expression benches: the Hexastore pos+pso plan (first join a
+//! pure merge join) against the property-table gather-and-sort plan.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hex_bench::lubm_dataset;
+use hex_bench_queries::Suite;
+use hex_datagen::lubm::Vocab;
+use hex_query::path;
+use std::hint::black_box;
+use std::time::Duration;
+
+const SCALE: usize = 60_000;
+
+fn bench_paths(c: &mut Criterion) {
+    let data = lubm_dataset(SCALE);
+    let suite = Suite::build(&data);
+    let id = |name: &str| suite.dict.id_of(&Vocab::predicate(name)).expect("predicate exists");
+    let advisor = id("advisor");
+    let works_for = id("worksFor");
+    let sub_org = id("subOrganizationOf");
+
+    let paths = [
+        ("len2_advisor_worksFor", vec![advisor, works_for]),
+        ("len3_advisor_worksFor_subOrg", vec![advisor, works_for, sub_org]),
+    ];
+
+    for (name, props) in &paths {
+        // Both plans must agree before we time them.
+        let fast = path::follow_path(&suite.hexastore, props);
+        let slow = path::follow_path_generic(&suite.covp1, props);
+        assert_eq!(fast.ends, slow.ends);
+        println!(
+            "# path[{name}] hexastore: {} merge + {} sort-merge joins; covp1-style: {} sorts",
+            fast.stats.merge_joins, fast.stats.sort_merge_joins, slow.stats.sorts
+        );
+
+        let mut g = c.benchmark_group(format!("path_{name}"));
+        g.sample_size(10)
+            .warm_up_time(Duration::from_millis(200))
+            .measurement_time(Duration::from_millis(600));
+        g.bench_function("hexastore", |b| {
+            b.iter(|| black_box(path::follow_path(&suite.hexastore, props)))
+        });
+        g.bench_function("covp1_style", |b| {
+            b.iter(|| black_box(path::follow_path_generic(&suite.covp1, props)))
+        });
+        g.finish();
+    }
+
+    // Transitive closure over advisor chains (bounded by data shape).
+    let prof = suite
+        .dict
+        .id_of(&Vocab::associate_professor(0, 0, 10))
+        .expect("professor exists");
+    let mut g = c.benchmark_group("transitive_closure");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    g.bench_function("advisor_from_prof", |b| {
+        b.iter(|| black_box(path::transitive_closure(&suite.hexastore, prof, advisor)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_paths);
+criterion_main!(benches);

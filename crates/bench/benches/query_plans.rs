@@ -1,0 +1,93 @@
+//! Planner ablation: the selectivity-ordered BGP executor against fixed
+//! good and bad join orders, plus the generic engine against the
+//! hand-written physical plan for the same logical query.
+//!
+//! This quantifies two DESIGN.md call-outs: (a) how much the greedy
+//! fewest-matches-first ordering buys over a naive left-to-right
+//! evaluation, and (b) what the declarative engine costs over the paper's
+//! hand-tuned plans.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hex_bench::lubm_dataset;
+use hex_bench_queries::lubm::{self, LubmIds};
+use hex_bench_queries::Suite;
+use hex_datagen::lubm::Vocab;
+use hex_query::{execute_bgp, execute_bgp_with_order, Bgp, Pattern, PatternTerm, VarId};
+use std::hint::black_box;
+use std::time::Duration;
+
+const SCALE: usize = 60_000;
+
+fn bench_plans(c: &mut Criterion) {
+    let data = lubm_dataset(SCALE);
+    let suite = Suite::build(&data);
+    let ids = LubmIds::resolve(&suite.dict).expect("dataset resolves all query terms");
+    let id = |name: &str| suite.dict.id_of(&Vocab::predicate(name)).expect("predicate exists");
+    let advisor = id("advisor");
+    let works_for = id("worksFor");
+
+    // "Students advised by someone working in AssociateProfessor10's
+    // department": ?student advisor ?prof . ?prof worksFor ?dept .
+    // AssociateProfessor10 worksFor ?dept .
+    let c_ = PatternTerm::Const;
+    let v = |i| PatternTerm::Var(VarId(i));
+    let bgp = Bgp::new(vec![
+        Pattern::new(v(0), c_(advisor), v(1)),
+        Pattern::new(v(1), c_(works_for), v(2)),
+        Pattern::new(c_(ids.assoc_prof10), c_(works_for), v(2)),
+    ]);
+
+    // Sanity: all orders agree.
+    let reference = {
+        let mut r = execute_bgp(&suite.hexastore, &bgp);
+        r.sort();
+        r
+    };
+    for order in [[2, 1, 0], [0, 1, 2]] {
+        let mut rows = execute_bgp_with_order(&suite.hexastore, &bgp, &order);
+        rows.sort();
+        assert_eq!(rows, reference);
+    }
+    println!("# planner ablation: {} result rows", reference.len());
+
+    let mut g = c.benchmark_group("bgp_join_order");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    g.bench_function("planned", |b| {
+        b.iter(|| black_box(execute_bgp(&suite.hexastore, &bgp)))
+    });
+    g.bench_function("best_fixed_order", |b| {
+        b.iter(|| black_box(execute_bgp_with_order(&suite.hexastore, &bgp, &[2, 1, 0])))
+    });
+    g.bench_function("worst_fixed_order", |b| {
+        b.iter(|| black_box(execute_bgp_with_order(&suite.hexastore, &bgp, &[0, 1, 2])))
+    });
+    g.finish();
+
+    // Declarative engine vs hand-written plan for LQ1.
+    let course_term = suite.dict.decode(ids.course10).unwrap().clone();
+    let lq1_text = format!("SELECT ?who ?how WHERE {{ ?who ?how {course_term} . }}");
+    let parsed = hex_query::parse_query(&lq1_text).unwrap();
+    let compiled = hex_query::compile(&parsed, &suite.dict).unwrap();
+
+    let mut g = c.benchmark_group("engine_vs_hand_plan");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    g.bench_function("lq1_engine_compiled", |b| {
+        b.iter(|| {
+            black_box(hex_query::execute_compiled(&suite.hexastore, &suite.dict, &compiled))
+        })
+    });
+    g.bench_function("lq1_engine_parse_and_run", |b| {
+        b.iter(|| black_box(hex_query::execute_on(&suite.hexastore, &suite.dict, &lq1_text)))
+    });
+    g.bench_function("lq1_hand_plan", |b| {
+        b.iter(|| black_box(lubm::lq1_hexastore(&suite.hexastore, &ids)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_plans);
+criterion_main!(benches);

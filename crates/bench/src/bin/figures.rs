@@ -1,0 +1,116 @@
+//! Regenerates the paper's figures as CSV tables on stdout.
+//!
+//! ```text
+//! figures [--figure <3..15|space|path|all>] [--triples N] [--points K] [--reps R]
+//! ```
+//!
+//! Examples:
+//!
+//! ```text
+//! cargo run --release -p hex-bench --bin figures -- --figure 10
+//! cargo run --release -p hex-bench --bin figures -- --figure all --triples 1000000
+//! ```
+//!
+//! Defaults are sized for a laptop-scale run (200k triples, 5 prefix
+//! points); raise `--triples` towards the paper's 6M-triple axis when time
+//! permits.
+
+use hex_bench::{memory_figure, memory_to_csv, path_report, run_figure, space_report, FIGURES};
+
+struct Args {
+    figure: String,
+    triples: usize,
+    points: usize,
+    reps: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { figure: "all".into(), triples: 200_000, points: 5, reps: 3 };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--figure" | "-f" => args.figure = value("--figure")?,
+            "--triples" | "-n" => {
+                args.triples = value("--triples")?
+                    .parse()
+                    .map_err(|e| format!("--triples: {e}"))?
+            }
+            "--points" | "-p" => {
+                args.points =
+                    value("--points")?.parse().map_err(|e| format!("--points: {e}"))?
+            }
+            "--reps" | "-r" => {
+                args.reps = value("--reps")?.parse().map_err(|e| format!("--reps: {e}"))?
+            }
+            "--help" | "-h" => {
+                print_help();
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.points == 0 || args.triples < 1000 {
+        return Err("need --points >= 1 and --triples >= 1000".into());
+    }
+    Ok(args)
+}
+
+fn print_help() {
+    println!("figures — regenerate the Hexastore paper's evaluation figures\n");
+    println!("usage: figures [--figure F] [--triples N] [--points K] [--reps R]\n");
+    println!("figures:");
+    for (id, title) in FIGURES {
+        println!("  {id:>6}  {title}");
+    }
+    println!("  {:>6}  everything above", "all");
+}
+
+fn emit(figure: &str, triples: usize, points: usize, reps: usize) {
+    match figure {
+        "15" => {
+            for dataset in ["barton", "lubm"] {
+                let rows = memory_figure(dataset, triples, points);
+                print!("{}", memory_to_csv(dataset, &rows));
+                println!();
+            }
+        }
+        "space" => {
+            print!("{}", space_report(triples));
+            println!();
+        }
+        "path" => {
+            print!("{}", path_report(triples));
+            println!();
+        }
+        timing => {
+            let fig = run_figure(timing, triples, points, reps);
+            print!("{}", fig.to_csv());
+            println!();
+        }
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            print_help();
+            std::process::exit(2);
+        }
+    };
+    eprintln!(
+        "# figures: figure={} triples={} points={} reps={}",
+        args.figure, args.triples, args.points, args.reps
+    );
+    if args.figure == "all" {
+        for (id, _) in FIGURES {
+            emit(id, args.triples, args.points, args.reps);
+        }
+    } else {
+        emit(&args.figure, args.triples, args.points, args.reps);
+    }
+}

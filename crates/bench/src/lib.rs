@@ -1,0 +1,642 @@
+//! # hex-bench — the figure-regeneration harness
+//!
+//! The paper's evaluation is thirteen figures: response time vs. number of
+//! triples for seven Barton queries (Figs. 3–9) and five LUBM queries
+//! (Figs. 10–14), plus memory consumption for both datasets (Fig. 15).
+//! Every experiment sweeps *progressively larger prefixes* of a dataset
+//! and plots each store's query response time on a log axis.
+//!
+//! This crate provides:
+//!
+//! - dataset builders ([`barton_dataset`], [`lubm_dataset`]) sized in
+//!   triples;
+//! - a prefix sweep + wall-clock measurement harness ([`run_figure`]);
+//! - the `figures` binary, which prints one CSV table per figure;
+//! - Criterion benches (`benches/`) for statistically careful per-query
+//!   timings at a fixed scale.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use hex_bench_queries::barton::{self, BartonIds};
+use hex_bench_queries::lubm::{self, LubmIds};
+use hex_bench_queries::Suite;
+use hex_datagen::{barton::BartonConfig, lubm::LubmConfig};
+use hexastore::TripleStore;
+use rdf_model::Triple;
+use std::time::{Duration, Instant};
+
+/// Generates a Barton-like dataset of roughly `n_triples` statements
+/// (truncated exactly to `n_triples` if the generator overshoots).
+pub fn barton_dataset(n_triples: usize) -> Vec<Triple> {
+    // The generator averages ~7.1 triples per record; /6 guarantees the
+    // requested count is reached before truncation.
+    let cfg = BartonConfig { records: n_triples / 6 + 1, ..BartonConfig::default() };
+    let mut triples = hex_datagen::barton::generate(&cfg);
+    triples.truncate(n_triples);
+    triples
+}
+
+/// Generates a LUBM-like dataset of roughly `n_triples` statements.
+pub fn lubm_dataset(n_triples: usize) -> Vec<Triple> {
+    // ~30k triples per university with default shape parameters.
+    let per_univ = 30_000;
+    let universities = (n_triples / per_univ + 1).max(1);
+    let cfg = LubmConfig { universities, ..LubmConfig::default() };
+    let mut triples = hex_datagen::lubm::generate(&cfg);
+    triples.truncate(n_triples);
+    triples
+}
+
+/// Evenly spaced prefix sizes from `total / points` up to `total`.
+pub fn prefix_points(total: usize, points: usize) -> Vec<usize> {
+    assert!(points > 0);
+    (1..=points).map(|i| total * i / points).collect()
+}
+
+/// Times `f`, returning the minimum per-call duration over `reps`
+/// measurement windows (after one warmup). Sub-microsecond queries (the
+/// Hexastore's single-probe plans reach 1e-7 s, as in the paper's
+/// log-scale plots) are batched until the window is long enough for the
+/// clock to resolve.
+pub fn time_query<R>(reps: usize, mut f: impl FnMut() -> R) -> Duration {
+    std::hint::black_box(f());
+    let mut best = Duration::MAX;
+    for _ in 0..reps.max(1) {
+        let mut batch: u32 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(2) || batch >= 1 << 20 {
+                best = best.min(elapsed / batch);
+                break;
+            }
+            batch = batch.saturating_mul(4);
+        }
+    }
+    best
+}
+
+/// One measured point: a store label and its response time.
+#[derive(Clone, Debug)]
+pub struct SeriesPoint {
+    /// Store / configuration label (e.g. "Hexastore", "COVP1 28").
+    pub label: String,
+    /// Measured response time.
+    pub time: Duration,
+}
+
+/// One row of a figure: the prefix size and all series measurements.
+#[derive(Clone, Debug)]
+pub struct FigureRow {
+    /// Number of triples in this prefix.
+    pub triples: usize,
+    /// Measurements, one per store configuration.
+    pub points: Vec<SeriesPoint>,
+}
+
+/// A regenerated figure: title plus measured rows.
+#[derive(Clone, Debug)]
+pub struct Figure {
+    /// Paper figure id, e.g. "Figure 10".
+    pub id: String,
+    /// Human-readable title, e.g. "LUBM Query 1".
+    pub title: String,
+    /// The measured rows, ascending in triples.
+    pub rows: Vec<FigureRow>,
+}
+
+impl Figure {
+    /// Renders the figure as a CSV table with a `#` comment header,
+    /// mirroring the paper's "response time vs number of triples" axes.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("# {} — {}\n", self.id, self.title));
+        if let Some(first) = self.rows.first() {
+            out.push_str("triples");
+            for p in &first.points {
+                out.push(',');
+                out.push_str(&p.label);
+            }
+            out.push('\n');
+        }
+        for row in &self.rows {
+            out.push_str(&row.triples.to_string());
+            for p in &row.points {
+                out.push_str(&format!(",{:.3e}", p.time.as_secs_f64()));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Which figures exist and what they measure.
+pub const FIGURES: [(&str, &str); 15] = [
+    ("3", "Barton Query 1"),
+    ("4", "Barton Query 2 (full + 28-property)"),
+    ("5", "Barton Query 3 (full + 28-property)"),
+    ("6", "Barton Query 4 (full + 28-property)"),
+    ("7", "Barton Query 5"),
+    ("8", "Barton Query 6 (full + 28-property)"),
+    ("9", "Barton Query 7"),
+    ("10", "LUBM Query 1"),
+    ("11", "LUBM Query 2"),
+    ("12", "LUBM Query 3"),
+    ("13", "LUBM Query 4"),
+    ("14", "LUBM Query 5"),
+    ("15", "Memory consumption (both datasets)"),
+    ("space", "§4.1 worst-case five-fold space bound"),
+    ("path", "§4.3 path expressions: merge vs sort-merge joins"),
+];
+
+type BartonQueryFns = Vec<(&'static str, Box<dyn Fn(&Suite, &BartonIds)>)>;
+type LubmQueryFns = Vec<(&'static str, Box<dyn Fn(&Suite, &LubmIds)>)>;
+
+fn barton_query_fns(figure: &str, restrict_28: bool) -> BartonQueryFns {
+    // Each closure runs one store's plan; results are black_boxed away.
+    macro_rules! q {
+        ($label:expr, |$s:ident, $ids:ident| $body:block) => {
+            (
+                $label,
+                Box::new(|$s: &Suite, $ids: &BartonIds| $body)
+                    as Box<dyn Fn(&Suite, &BartonIds)>,
+            )
+        };
+    }
+    let mut fns: BartonQueryFns = match figure {
+        "3" => vec![
+            q!("Hexastore", |s, ids| {
+                std::hint::black_box(barton::bq1_hexastore(&s.hexastore, ids));
+            }),
+            q!("COVP1", |s, ids| {
+                std::hint::black_box(barton::bq1_covp1(&s.covp1, ids));
+            }),
+            q!("COVP2", |s, ids| {
+                std::hint::black_box(barton::bq1_covp2(&s.covp2, ids));
+            }),
+        ],
+        "4" => vec![
+            q!("Hexastore", |s, ids| {
+                std::hint::black_box(barton::bq2_hexastore(&s.hexastore, ids, None));
+            }),
+            q!("COVP1", |s, ids| {
+                std::hint::black_box(barton::bq2_covp1(&s.covp1, ids, None));
+            }),
+            q!("COVP2", |s, ids| {
+                std::hint::black_box(barton::bq2_covp2(&s.covp2, ids, None));
+            }),
+        ],
+        "5" => vec![
+            q!("Hexastore", |s, ids| {
+                std::hint::black_box(barton::bq3_hexastore(&s.hexastore, ids, None));
+            }),
+            q!("COVP1", |s, ids| {
+                std::hint::black_box(barton::bq3_covp1(&s.covp1, ids, None));
+            }),
+            q!("COVP2", |s, ids| {
+                std::hint::black_box(barton::bq3_covp2(&s.covp2, ids, None));
+            }),
+        ],
+        "6" => vec![
+            q!("Hexastore", |s, ids| {
+                std::hint::black_box(barton::bq4_hexastore(&s.hexastore, ids, None));
+            }),
+            q!("COVP1", |s, ids| {
+                std::hint::black_box(barton::bq4_covp1(&s.covp1, ids, None));
+            }),
+            q!("COVP2", |s, ids| {
+                std::hint::black_box(barton::bq4_covp2(&s.covp2, ids, None));
+            }),
+        ],
+        "7" => vec![
+            q!("Hexastore", |s, ids| {
+                std::hint::black_box(barton::bq5_hexastore(&s.hexastore, ids));
+            }),
+            q!("COVP1", |s, ids| {
+                std::hint::black_box(barton::bq5_covp1(&s.covp1, ids));
+            }),
+            q!("COVP2", |s, ids| {
+                std::hint::black_box(barton::bq5_covp2(&s.covp2, ids));
+            }),
+        ],
+        "8" => vec![
+            q!("Hexastore", |s, ids| {
+                std::hint::black_box(barton::bq6_hexastore(&s.hexastore, ids, None));
+            }),
+            q!("COVP1", |s, ids| {
+                std::hint::black_box(barton::bq6_covp1(&s.covp1, ids, None));
+            }),
+            q!("COVP2", |s, ids| {
+                std::hint::black_box(barton::bq6_covp2(&s.covp2, ids, None));
+            }),
+        ],
+        "9" => vec![
+            q!("Hexastore", |s, ids| {
+                std::hint::black_box(barton::bq7_hexastore(&s.hexastore, ids));
+            }),
+            q!("COVP1", |s, ids| {
+                std::hint::black_box(barton::bq7_covp1(&s.covp1, ids));
+            }),
+            q!("COVP2", |s, ids| {
+                std::hint::black_box(barton::bq7_covp2(&s.covp2, ids));
+            }),
+        ],
+        _ => panic!("not a Barton timing figure: {figure}"),
+    };
+    if restrict_28 && matches!(figure, "4" | "5" | "6" | "8") {
+        let mut extra: BartonQueryFns = match figure {
+            "4" => vec![
+                q!("Hexastore 28", |s, ids| {
+                    std::hint::black_box(barton::bq2_hexastore(
+                        &s.hexastore,
+                        ids,
+                        Some(&ids.interesting),
+                    ));
+                }),
+                q!("COVP1 28", |s, ids| {
+                    std::hint::black_box(barton::bq2_covp1(&s.covp1, ids, Some(&ids.interesting)));
+                }),
+                q!("COVP2 28", |s, ids| {
+                    std::hint::black_box(barton::bq2_covp2(&s.covp2, ids, Some(&ids.interesting)));
+                }),
+            ],
+            "5" => vec![
+                q!("Hexastore 28", |s, ids| {
+                    std::hint::black_box(barton::bq3_hexastore(
+                        &s.hexastore,
+                        ids,
+                        Some(&ids.interesting),
+                    ));
+                }),
+                q!("COVP1 28", |s, ids| {
+                    std::hint::black_box(barton::bq3_covp1(&s.covp1, ids, Some(&ids.interesting)));
+                }),
+                q!("COVP2 28", |s, ids| {
+                    std::hint::black_box(barton::bq3_covp2(&s.covp2, ids, Some(&ids.interesting)));
+                }),
+            ],
+            "6" => vec![
+                q!("Hexastore 28", |s, ids| {
+                    std::hint::black_box(barton::bq4_hexastore(
+                        &s.hexastore,
+                        ids,
+                        Some(&ids.interesting),
+                    ));
+                }),
+                q!("COVP1 28", |s, ids| {
+                    std::hint::black_box(barton::bq4_covp1(&s.covp1, ids, Some(&ids.interesting)));
+                }),
+                q!("COVP2 28", |s, ids| {
+                    std::hint::black_box(barton::bq4_covp2(&s.covp2, ids, Some(&ids.interesting)));
+                }),
+            ],
+            "8" => vec![
+                q!("Hexastore 28", |s, ids| {
+                    std::hint::black_box(barton::bq6_hexastore(
+                        &s.hexastore,
+                        ids,
+                        Some(&ids.interesting),
+                    ));
+                }),
+                q!("COVP1 28", |s, ids| {
+                    std::hint::black_box(barton::bq6_covp1(&s.covp1, ids, Some(&ids.interesting)));
+                }),
+                q!("COVP2 28", |s, ids| {
+                    std::hint::black_box(barton::bq6_covp2(&s.covp2, ids, Some(&ids.interesting)));
+                }),
+            ],
+            _ => unreachable!(),
+        };
+        fns.append(&mut extra);
+    }
+    fns
+}
+
+fn lubm_query_fns(figure: &str) -> LubmQueryFns {
+    macro_rules! q {
+        ($label:expr, |$s:ident, $ids:ident| $body:block) => {
+            (
+                $label,
+                Box::new(|$s: &Suite, $ids: &LubmIds| $body) as Box<dyn Fn(&Suite, &LubmIds)>,
+            )
+        };
+    }
+    match figure {
+        "10" => vec![
+            q!("Hexastore", |s, ids| {
+                std::hint::black_box(lubm::lq1_hexastore(&s.hexastore, ids));
+            }),
+            q!("COVP1", |s, ids| {
+                std::hint::black_box(lubm::lq1_covp1(&s.covp1, ids));
+            }),
+            q!("COVP2", |s, ids| {
+                std::hint::black_box(lubm::lq1_covp2(&s.covp2, ids));
+            }),
+        ],
+        "11" => vec![
+            q!("Hexastore", |s, ids| {
+                std::hint::black_box(lubm::lq2_hexastore(&s.hexastore, ids));
+            }),
+            q!("COVP1", |s, ids| {
+                std::hint::black_box(lubm::lq2_covp1(&s.covp1, ids));
+            }),
+            q!("COVP2", |s, ids| {
+                std::hint::black_box(lubm::lq2_covp2(&s.covp2, ids));
+            }),
+        ],
+        "12" => vec![
+            q!("Hexastore", |s, ids| {
+                std::hint::black_box(lubm::lq3_hexastore(&s.hexastore, ids));
+            }),
+            q!("COVP1", |s, ids| {
+                std::hint::black_box(lubm::lq3_covp1(&s.covp1, ids));
+            }),
+            q!("COVP2", |s, ids| {
+                std::hint::black_box(lubm::lq3_covp2(&s.covp2, ids));
+            }),
+        ],
+        "13" => vec![
+            q!("Hexastore", |s, ids| {
+                std::hint::black_box(lubm::lq4_hexastore(&s.hexastore, ids));
+            }),
+            q!("COVP1", |s, ids| {
+                std::hint::black_box(lubm::lq4_covp1(&s.covp1, ids));
+            }),
+            q!("COVP2", |s, ids| {
+                std::hint::black_box(lubm::lq4_covp2(&s.covp2, ids));
+            }),
+        ],
+        "14" => vec![
+            q!("Hexastore", |s, ids| {
+                std::hint::black_box(lubm::lq5_hexastore(&s.hexastore, ids));
+            }),
+            q!("COVP1", |s, ids| {
+                std::hint::black_box(lubm::lq5_covp1(&s.covp1, ids));
+            }),
+            q!("COVP2", |s, ids| {
+                std::hint::black_box(lubm::lq5_covp2(&s.covp2, ids));
+            }),
+        ],
+        _ => panic!("not a LUBM timing figure: {figure}"),
+    }
+}
+
+/// Regenerates one paper figure: sweeps prefixes of the right dataset and
+/// measures each store's plan. `scale` is the full dataset size in
+/// triples, `points` the number of prefix sizes, `reps` the repetitions
+/// per measurement.
+pub fn run_figure(figure: &str, scale: usize, points: usize, reps: usize) -> Figure {
+    match figure {
+        "3" | "4" | "5" | "6" | "7" | "8" | "9" => {
+            let data = barton_dataset(scale);
+            let fns = barton_query_fns(figure, true);
+            let mut rows = Vec::new();
+            for prefix in prefix_points(data.len(), points) {
+                let suite = Suite::build(&data[..prefix]);
+                let Some(ids) = BartonIds::resolve(&suite.dict) else { continue };
+                let points_row = fns
+                    .iter()
+                    .map(|(label, f)| SeriesPoint {
+                        label: label.to_string(),
+                        time: time_query(reps, || f(&suite, &ids)),
+                    })
+                    .collect();
+                rows.push(FigureRow { triples: prefix, points: points_row });
+            }
+            let title = FIGURES.iter().find(|(id, _)| *id == figure).unwrap().1;
+            Figure { id: format!("Figure {figure}"), title: title.to_string(), rows }
+        }
+        "10" | "11" | "12" | "13" | "14" => {
+            let data = lubm_dataset(scale);
+            let fns = lubm_query_fns(figure);
+            let mut rows = Vec::new();
+            for prefix in prefix_points(data.len(), points) {
+                let suite = Suite::build(&data[..prefix]);
+                let Some(ids) = LubmIds::resolve(&suite.dict) else { continue };
+                let points_row = fns
+                    .iter()
+                    .map(|(label, f)| SeriesPoint {
+                        label: label.to_string(),
+                        time: time_query(reps, || f(&suite, &ids)),
+                    })
+                    .collect();
+                rows.push(FigureRow { triples: prefix, points: points_row });
+            }
+            let title = FIGURES.iter().find(|(id, _)| *id == figure).unwrap().1;
+            Figure { id: format!("Figure {figure}"), title: title.to_string(), rows }
+        }
+        other => panic!("run_figure does not handle '{other}'; see memory_figure/space_report/path_report"),
+    }
+}
+
+/// One memory row: prefix size and per-store heap bytes.
+#[derive(Clone, Debug)]
+pub struct MemoryRow {
+    /// Number of triples in this prefix.
+    pub triples: usize,
+    /// `(store label, heap bytes)` per store.
+    pub bytes: Vec<(String, usize)>,
+}
+
+/// Regenerates Figure 15 for one dataset: deep heap bytes per store per
+/// prefix.
+pub fn memory_figure(dataset: &str, scale: usize, points: usize) -> Vec<MemoryRow> {
+    let data = match dataset {
+        "barton" => barton_dataset(scale),
+        "lubm" => lubm_dataset(scale),
+        other => panic!("unknown dataset {other}"),
+    };
+    prefix_points(data.len(), points)
+        .into_iter()
+        .map(|prefix| {
+            let suite = Suite::build(&data[..prefix]);
+            MemoryRow {
+                triples: prefix,
+                bytes: vec![
+                    ("Hexastore".into(), suite.hexastore.heap_bytes()),
+                    ("COVP1".into(), suite.covp1.heap_bytes()),
+                    ("COVP2".into(), suite.covp2.heap_bytes()),
+                    ("TriplesTable".into(), suite.table.heap_bytes()),
+                ],
+            }
+        })
+        .collect()
+}
+
+/// Renders memory rows as CSV (megabytes, like the paper's y-axis).
+pub fn memory_to_csv(dataset: &str, rows: &[MemoryRow]) -> String {
+    let mut out = format!("# Figure 15 — Memory consumption, {dataset} dataset (MB)\n");
+    if let Some(first) = rows.first() {
+        out.push_str("triples");
+        for (label, _) in &first.bytes {
+            out.push(',');
+            out.push_str(label);
+        }
+        out.push('\n');
+    }
+    for row in rows {
+        out.push_str(&row.triples.to_string());
+        for (_, bytes) in &row.bytes {
+            out.push_str(&format!(",{:.2}", *bytes as f64 / (1024.0 * 1024.0)));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// The §4.1 space-bound experiment: blowup of Hexastore key entries vs a
+/// triples table, on both datasets plus the adversarial all-distinct case.
+pub fn space_report(scale: usize) -> String {
+    let mut out = String::from("# §4.1 — index space vs triples table (key entries)\n");
+    out.push_str("dataset,triples,header,vector,list,total,triples_table,blowup\n");
+    let mut line = |name: &str, stats: hexastore::SpaceStats| {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{:.3}\n",
+            name,
+            stats.triples,
+            stats.header_entries,
+            stats.vector_entries,
+            stats.list_entries,
+            stats.total_entries(),
+            stats.triples_table_entries(),
+            stats.blowup()
+        ));
+    };
+    for (name, data) in [
+        ("barton", barton_dataset(scale)),
+        ("lubm", lubm_dataset(scale)),
+    ] {
+        let suite = Suite::build(&data);
+        line(name, suite.hexastore.space_stats());
+    }
+    // Worst case: every resource occurs exactly once → blowup = 5.0.
+    let n = scale as u32 / 3;
+    let worst: Vec<hex_dict::IdTriple> =
+        (0..n).map(|i| hex_dict::IdTriple::from((i, n + i, 2 * n + i))).collect();
+    let h = hexastore::Hexastore::from_triples(worst);
+    line("all-distinct(worst case)", h.space_stats());
+    out
+}
+
+/// The §4.3 path-expression experiment: end-to-end time and join counts
+/// for length-n property paths on the Hexastore plan (pos+pso) vs the
+/// property-table plan (COVP1-style gather-and-sort).
+pub fn path_report(scale: usize) -> String {
+    use hex_query::path;
+    let data = lubm_dataset(scale);
+    let suite = Suite::build(&data);
+    let Some(_ids) = LubmIds::resolve(&suite.dict) else {
+        return String::from("# path report: dataset too small to resolve query terms\n");
+    };
+    // Paths over the LUBM schema: advisor → worksFor → subOrganizationOf
+    // walks from students to universities.
+    let advisor = ids_of(&suite, "advisor");
+    let works_for = ids_of(&suite, "worksFor");
+    let sub_org = ids_of(&suite, "subOrganizationOf");
+    let paths: Vec<(&str, Vec<hex_dict::Id>)> = vec![
+        ("advisor/worksFor", vec![advisor, works_for]),
+        ("advisor/worksFor/subOrganizationOf", vec![advisor, works_for, sub_org]),
+    ];
+    let mut out = String::from(
+        "# §4.3 — path expressions: Hexastore (pos+pso) vs property-table plan\n",
+    );
+    out.push_str("path,plan,seconds,merge_joins,sort_merge_joins,sorts,ends\n");
+    for (name, props) in &paths {
+        let t_hex = time_query(3, || path::follow_path(&suite.hexastore, props));
+        let r_hex = path::follow_path(&suite.hexastore, props);
+        out.push_str(&format!(
+            "{},hexastore,{:.6},{},{},{},{}\n",
+            name,
+            t_hex.as_secs_f64(),
+            r_hex.stats.merge_joins,
+            r_hex.stats.sort_merge_joins,
+            r_hex.stats.sorts,
+            r_hex.ends.len()
+        ));
+        let t_covp = time_query(3, || path::follow_path_generic(&suite.covp1, props));
+        let r_covp = path::follow_path_generic(&suite.covp1, props);
+        out.push_str(&format!(
+            "{},covp1,{:.6},{},{},{},{}\n",
+            name,
+            t_covp.as_secs_f64(),
+            r_covp.stats.merge_joins,
+            r_covp.stats.sort_merge_joins,
+            r_covp.stats.sorts,
+            r_covp.ends.len()
+        ));
+        assert_eq!(r_hex.ends, r_covp.ends, "plans disagree on {name}");
+    }
+    out
+}
+
+fn ids_of(suite: &Suite, predicate: &str) -> hex_dict::Id {
+    suite
+        .dict
+        .id_of(&hex_datagen::lubm::Vocab::predicate(predicate))
+        .expect("predicate must exist in generated data")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_points_are_monotone_and_end_at_total() {
+        let p = prefix_points(100, 4);
+        assert_eq!(p, vec![25, 50, 75, 100]);
+        assert_eq!(prefix_points(7, 1), vec![7]);
+    }
+
+    #[test]
+    fn dataset_builders_hit_requested_size() {
+        let b = barton_dataset(5_000);
+        assert_eq!(b.len(), 5_000);
+        let l = lubm_dataset(5_000);
+        assert_eq!(l.len(), 5_000);
+    }
+
+    #[test]
+    fn run_figure_smoke_barton() {
+        let fig = run_figure("3", 8_000, 2, 1);
+        assert_eq!(fig.rows.len(), 2);
+        assert!(fig.rows[0].points.iter().any(|p| p.label == "Hexastore"));
+        let csv = fig.to_csv();
+        assert!(csv.contains("Figure 3"));
+        assert!(csv.contains("triples,Hexastore,COVP1,COVP2"));
+    }
+
+    #[test]
+    fn run_figure_smoke_lubm() {
+        let fig = run_figure("10", 8_000, 2, 1);
+        assert!(!fig.rows.is_empty());
+        assert_eq!(fig.rows.last().unwrap().triples, 8_000);
+    }
+
+    #[test]
+    fn figure4_includes_28_variants() {
+        let fig = run_figure("4", 8_000, 1, 1);
+        let labels: Vec<&str> =
+            fig.rows[0].points.iter().map(|p| p.label.as_str()).collect();
+        assert!(labels.contains(&"Hexastore 28"));
+        assert!(labels.contains(&"COVP1 28"));
+        assert_eq!(labels.len(), 6);
+    }
+
+    #[test]
+    fn memory_figure_shows_hexastore_largest() {
+        let rows = memory_figure("barton", 10_000, 1);
+        let bytes = &rows[0].bytes;
+        let get = |label: &str| {
+            bytes.iter().find(|(l, _)| l == label).map(|&(_, b)| b).unwrap()
+        };
+        assert!(get("Hexastore") > get("COVP2"));
+        assert!(get("COVP2") > get("COVP1"));
+        assert!(get("COVP1") >= get("TriplesTable") / 2);
+        let csv = memory_to_csv("barton", &rows);
+        assert!(csv.contains("Figure 15"));
+    }
+}

@@ -1,0 +1,373 @@
+//! Workload-based index selection (the paper's §6 future-work item).
+//!
+//! "Some indices may not contribute to query efficiency based on a given
+//! workload. For example, the ops index has been seldom used in our
+//! experiments. A subject for future research concerns the selection of
+//! the most suitable indices for a given RDF data set based on the query
+//! workload at hand."
+//!
+//! This module implements that selection: [`IndexKind`] names the six
+//! orderings, [`serving_indices`] maps each access shape to the indices
+//! able to serve it, and [`recommend`] takes a workload of patterns and
+//! returns the minimal index set that serves every pattern with a single
+//! probe, preferring indices that are already needed. [`estimate_savings`]
+//! translates a dropped-index set into bytes, using the store's own space
+//! accounting.
+
+use crate::pattern::{IdPattern, Shape};
+use crate::store::Hexastore;
+use crate::traits::TripleStore;
+
+/// One of the six index orderings of a Hexastore.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum IndexKind {
+    /// subject → property → objects.
+    Spo,
+    /// subject → object → properties.
+    Sop,
+    /// property → subject → objects.
+    Pso,
+    /// property → object → subjects.
+    Pos,
+    /// object → subject → properties.
+    Osp,
+    /// object → property → subjects.
+    Ops,
+}
+
+impl IndexKind {
+    /// All six orderings.
+    pub const ALL: [IndexKind; 6] = [
+        IndexKind::Spo,
+        IndexKind::Sop,
+        IndexKind::Pso,
+        IndexKind::Pos,
+        IndexKind::Osp,
+        IndexKind::Ops,
+    ];
+
+    /// The ordering's conventional lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            IndexKind::Spo => "spo",
+            IndexKind::Sop => "sop",
+            IndexKind::Pso => "pso",
+            IndexKind::Pos => "pos",
+            IndexKind::Osp => "osp",
+            IndexKind::Ops => "ops",
+        }
+    }
+
+    /// The ordering that shares this ordering's terminal lists (§4.1).
+    pub fn paired(self) -> IndexKind {
+        match self {
+            IndexKind::Spo => IndexKind::Pso,
+            IndexKind::Pso => IndexKind::Spo,
+            IndexKind::Sop => IndexKind::Osp,
+            IndexKind::Osp => IndexKind::Sop,
+            IndexKind::Pos => IndexKind::Ops,
+            IndexKind::Ops => IndexKind::Pos,
+        }
+    }
+}
+
+/// A set of index orderings, as a tiny bitset.
+#[derive(Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct IndexSet(u8);
+
+impl IndexSet {
+    /// The empty set.
+    pub const EMPTY: IndexSet = IndexSet(0);
+
+    /// The full sextuple set.
+    pub fn all() -> IndexSet {
+        IndexKind::ALL.iter().fold(IndexSet::EMPTY, |s, &k| s.with(k))
+    }
+
+    /// This set plus one ordering.
+    pub fn with(self, kind: IndexKind) -> IndexSet {
+        IndexSet(self.0 | (1 << kind as u8))
+    }
+
+    /// Membership test.
+    pub fn contains(self, kind: IndexKind) -> bool {
+        self.0 & (1 << kind as u8) != 0
+    }
+
+    /// Number of orderings in the set.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// True if no ordering is selected.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterator over the member orderings.
+    pub fn iter(self) -> impl Iterator<Item = IndexKind> {
+        IndexKind::ALL.into_iter().filter(move |&k| self.contains(k))
+    }
+}
+
+impl std::fmt::Debug for IndexSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter().map(IndexKind::name)).finish()
+    }
+}
+
+/// The indices able to answer an access shape with one probe.
+///
+/// Two-bound shapes are served by exactly one index pair's *primary*
+/// ordering; one-bound shapes by either ordering headed by the bound
+/// element; the full scan by any index.
+pub fn serving_indices(shape: Shape) -> IndexSet {
+    match shape {
+        // Fully bound: any index can check membership; spo is canonical.
+        Shape::Spo => IndexSet::all(),
+        Shape::Sp => IndexSet::EMPTY.with(IndexKind::Spo),
+        Shape::So => IndexSet::EMPTY.with(IndexKind::Sop),
+        Shape::Po => IndexSet::EMPTY.with(IndexKind::Pos),
+        Shape::S => IndexSet::EMPTY.with(IndexKind::Spo).with(IndexKind::Sop),
+        Shape::P => IndexSet::EMPTY.with(IndexKind::Pso).with(IndexKind::Pos),
+        Shape::O => IndexSet::EMPTY.with(IndexKind::Osp).with(IndexKind::Ops),
+        Shape::None_ => IndexSet::all(),
+    }
+}
+
+/// A workload summary: how often each access shape occurs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WorkloadProfile {
+    counts: [(Shape, usize); 8],
+}
+
+impl WorkloadProfile {
+    /// Profiles a pattern workload.
+    pub fn from_patterns<'a>(patterns: impl IntoIterator<Item = &'a IdPattern>) -> Self {
+        let mut counts = [
+            (Shape::Spo, 0),
+            (Shape::Sp, 0),
+            (Shape::So, 0),
+            (Shape::Po, 0),
+            (Shape::S, 0),
+            (Shape::P, 0),
+            (Shape::O, 0),
+            (Shape::None_, 0),
+        ];
+        for pat in patterns {
+            let shape = pat.shape();
+            for entry in &mut counts {
+                if entry.0 == shape {
+                    entry.1 += 1;
+                }
+            }
+        }
+        WorkloadProfile { counts }
+    }
+
+    /// Occurrences of one shape.
+    pub fn count(&self, shape: Shape) -> usize {
+        self.counts.iter().find(|(s, _)| *s == shape).map(|&(_, n)| n).unwrap_or(0)
+    }
+
+    /// Shapes that occur at least once.
+    pub fn used_shapes(&self) -> Vec<Shape> {
+        self.counts.iter().filter(|&&(_, n)| n > 0).map(|&(s, _)| s).collect()
+    }
+}
+
+/// Recommends the minimal index set covering a workload.
+///
+/// Every shape with a unique server must get that index; shapes with two
+/// candidate servers prefer one already chosen (greedy set cover over at
+/// most two options, which is optimal here because option sets never
+/// exceed size two and overlap only through already-forced picks).
+pub fn recommend(profile: &WorkloadProfile) -> IndexSet {
+    let mut chosen = IndexSet::EMPTY;
+    // First pass: shapes with a single server force their index.
+    for shape in profile.used_shapes() {
+        let servers = serving_indices(shape);
+        if servers.len() == 1 {
+            chosen = chosen.with(servers.iter().next().unwrap());
+        }
+    }
+    // Second pass: flexible shapes reuse a chosen index when possible.
+    for shape in profile.used_shapes() {
+        let servers = serving_indices(shape);
+        if servers.len() == 1 || servers == IndexSet::all() {
+            continue;
+        }
+        if !servers.iter().any(|k| chosen.contains(k)) {
+            chosen = chosen.with(servers.iter().next().unwrap());
+        }
+    }
+    // Membership checks and full scans need *some* index.
+    if chosen.is_empty()
+        && (profile.count(Shape::Spo) > 0 || profile.count(Shape::None_) > 0)
+    {
+        chosen = chosen.with(IndexKind::Spo);
+    }
+    chosen
+}
+
+/// Estimated heap bytes a store would save by dropping the orderings not
+/// in `keep`.
+///
+/// Terminal lists are shared within pairs, so a list is saved only when
+/// *both* orderings of its pair are dropped. Header/vector bytes are
+/// attributed per index by measuring the store.
+pub fn estimate_savings(store: &Hexastore, keep: IndexSet) -> usize {
+    let stats = store.space_stats();
+    let total = store.heap_bytes();
+    if stats.total_entries() == 0 {
+        return 0;
+    }
+    // Approximate: headers+vectors split evenly across the six indices;
+    // lists split evenly across the three pairs.
+    let hv_entries = stats.header_entries + stats.vector_entries;
+    let hv_bytes = total as f64 * hv_entries as f64 / stats.total_entries() as f64;
+    let list_bytes = total as f64 - hv_bytes;
+    let per_index = hv_bytes / 6.0;
+    let per_pair = list_bytes / 3.0;
+
+    let mut saved = 0.0;
+    for kind in IndexKind::ALL {
+        if !keep.contains(kind) {
+            saved += per_index;
+        }
+    }
+    for (a, b) in [
+        (IndexKind::Spo, IndexKind::Pso),
+        (IndexKind::Sop, IndexKind::Osp),
+        (IndexKind::Pos, IndexKind::Ops),
+    ] {
+        if !keep.contains(a) && !keep.contains(b) {
+            saved += per_pair;
+        }
+    }
+    saved as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hex_dict::{Id, IdTriple};
+
+    #[test]
+    fn index_set_basics() {
+        let s = IndexSet::EMPTY.with(IndexKind::Pos).with(IndexKind::Spo);
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(IndexKind::Pos));
+        assert!(!s.contains(IndexKind::Ops));
+        assert!(!s.is_empty());
+        assert_eq!(IndexSet::all().len(), 6);
+        let names: Vec<&str> = s.iter().map(IndexKind::name).collect();
+        assert_eq!(names, vec!["spo", "pos"]);
+    }
+
+    #[test]
+    fn pairing_matches_paper() {
+        assert_eq!(IndexKind::Spo.paired(), IndexKind::Pso);
+        assert_eq!(IndexKind::Sop.paired(), IndexKind::Osp);
+        assert_eq!(IndexKind::Pos.paired(), IndexKind::Ops);
+        for k in IndexKind::ALL {
+            assert_eq!(k.paired().paired(), k);
+        }
+    }
+
+    #[test]
+    fn two_bound_shapes_have_unique_servers() {
+        assert_eq!(serving_indices(Shape::Sp).len(), 1);
+        assert_eq!(serving_indices(Shape::So).len(), 1);
+        assert_eq!(serving_indices(Shape::Po).len(), 1);
+        assert!(serving_indices(Shape::Po).contains(IndexKind::Pos));
+    }
+
+    #[test]
+    fn property_bound_workload_needs_only_pso_or_pos() {
+        // A purely COVP-shaped workload: (?, p, ?) and (s, p, ?).
+        let patterns = vec![IdPattern::p(Id(1)), IdPattern::sp(Id(0), Id(1))];
+        let profile = WorkloadProfile::from_patterns(&patterns);
+        let rec = recommend(&profile);
+        assert!(rec.contains(IndexKind::Spo), "sp shape needs spo");
+        // The flexible P shape reuses nothing → picks pso (first option).
+        assert!(rec.contains(IndexKind::Pso) || rec.contains(IndexKind::Pos));
+        assert!(rec.len() <= 2);
+    }
+
+    #[test]
+    fn object_bound_workload_selects_object_headed_index() {
+        let patterns = vec![IdPattern::o(Id(9)), IdPattern::po(Id(1), Id(9))];
+        let profile = WorkloadProfile::from_patterns(&patterns);
+        let rec = recommend(&profile);
+        assert!(rec.contains(IndexKind::Pos), "po shape forces pos");
+        // The O shape can be served by osp or ops; neither is pre-chosen,
+        // so one of them joins the set.
+        assert!(rec.contains(IndexKind::Osp) || rec.contains(IndexKind::Ops));
+        assert_eq!(rec.len(), 2);
+    }
+
+    #[test]
+    fn paper_observation_ops_rarely_needed() {
+        // The twelve paper queries use pos, spo, sop, osp, pso — §6 notes
+        // "the ops index has been seldom used". A workload of their shapes
+        // should not force ops.
+        let patterns = vec![
+            IdPattern::po(Id(1), Id(2)), // pos (BQ selections)
+            IdPattern::sp(Id(3), Id(1)), // spo (BQ2 merge step)
+            IdPattern::s(Id(3)),         // spo/sop (LQ3 subject side)
+            IdPattern::o(Id(2)),         // osp/ops (LQ1)
+            IdPattern::p(Id(1)),         // pso/pos
+        ];
+        let profile = WorkloadProfile::from_patterns(&patterns);
+        let rec = recommend(&profile);
+        assert!(rec.contains(IndexKind::Pos));
+        assert!(!rec.contains(IndexKind::Ops), "ops should not be forced: {rec:?}");
+        assert!(rec.len() <= 4);
+    }
+
+    #[test]
+    fn empty_workload_recommends_nothing() {
+        let profile = WorkloadProfile::from_patterns(std::iter::empty::<&IdPattern>());
+        assert!(recommend(&profile).is_empty());
+    }
+
+    #[test]
+    fn membership_only_workload_keeps_one_index() {
+        let patterns = vec![IdPattern::spo(IdTriple::from((1, 2, 3)))];
+        let profile = WorkloadProfile::from_patterns(&patterns);
+        let rec = recommend(&profile);
+        assert_eq!(rec.len(), 1);
+    }
+
+    #[test]
+    fn savings_grow_as_indices_are_dropped() {
+        let mut h = Hexastore::new();
+        for i in 0..500u32 {
+            h.insert(IdTriple::from((i % 40, i % 7, i)));
+        }
+        let full = estimate_savings(&h, IndexSet::all());
+        assert_eq!(full, 0);
+        let keep_three = IndexSet::EMPTY
+            .with(IndexKind::Spo)
+            .with(IndexKind::Pos)
+            .with(IndexKind::Osp);
+        let some = estimate_savings(&h, keep_three);
+        let keep_one = IndexSet::EMPTY.with(IndexKind::Spo);
+        let most = estimate_savings(&h, keep_one);
+        assert!(some > 0);
+        assert!(most > some);
+        assert!(most < h.heap_bytes());
+    }
+
+    #[test]
+    fn profile_counts_shapes() {
+        let patterns =
+            vec![IdPattern::p(Id(1)), IdPattern::p(Id(2)), IdPattern::o(Id(3))];
+        let profile = WorkloadProfile::from_patterns(&patterns);
+        assert_eq!(profile.count(Shape::P), 2);
+        assert_eq!(profile.count(Shape::O), 1);
+        assert_eq!(profile.count(Shape::Sp), 0);
+        assert_eq!(profile.used_shapes().len(), 2);
+    }
+}

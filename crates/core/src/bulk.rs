@@ -1,0 +1,174 @@
+//! Sort-based bulk loader.
+//!
+//! Random-order [`TripleStore::insert`](crate::TripleStore::insert) pays
+//! `O(n)` vector shifts when keys arrive out of order. Loading a batch is
+//! the common case (the paper loads dataset *prefixes* for every
+//! experiment), so this loader sorts the batch three ways and builds each
+//! index pair by pure appends: every header, vector entry and terminal
+//! list is emitted in final sorted order.
+
+use crate::arena::{ListArena, ListId};
+use crate::store::Hexastore;
+use crate::vecmap::VecMap;
+use hex_dict::{Id, IdTriple};
+
+type TwoLevel = VecMap<Id, VecMap<Id, ListId>>;
+
+/// Builds a Hexastore from an arbitrary (unsorted, possibly duplicated)
+/// triple batch.
+pub fn build(mut triples: Vec<IdTriple>) -> Hexastore {
+    triples.sort_unstable();
+    triples.dedup();
+    let n = triples.len();
+    let mut store = Hexastore::new();
+    {
+        let ([spo, sop, pso, pos, osp, ops], o_lists, p_lists, s_lists, len) = store.parts();
+        *len = n;
+
+        // spo order is the natural sort order of IdTriple.
+        build_pair(&triples, |t| (t.s, t.p, t.o), spo, pso, o_lists);
+
+        let mut by_sop = triples.clone();
+        by_sop.sort_unstable_by_key(|t| (t.s, t.o, t.p));
+        build_pair(&by_sop, |t| (t.s, t.o, t.p), sop, osp, p_lists);
+
+        let mut by_pos = triples;
+        by_pos.sort_unstable_by_key(|t| (t.p, t.o, t.s));
+        build_pair(&by_pos, |t| (t.p, t.o, t.s), pos, ops, s_lists);
+    }
+    store
+}
+
+/// Builds one index pair plus its shared arena from triples sorted by
+/// `(k1, k2, item)`, where `key` projects a triple into that order.
+fn build_pair(
+    sorted_triples: &[IdTriple],
+    key: impl Fn(&IdTriple) -> (Id, Id, Id),
+    primary: &mut TwoLevel,
+    mirror: &mut TwoLevel,
+    arena: &mut ListArena,
+) {
+    // (k2, k1, list) entries for the mirror index, filled while walking the
+    // primary order and then sorted once.
+    let mut mirror_entries: Vec<(Id, Id, ListId)> = Vec::new();
+
+    let mut i = 0;
+    let n = sorted_triples.len();
+    let mut current_header: Option<Id> = None;
+    let mut inner: VecMap<Id, ListId> = VecMap::new();
+
+    while i < n {
+        let (k1, k2, _) = key(&sorted_triples[i]);
+        // Collect the contiguous (k1, k2) group's items (already sorted).
+        let mut items = Vec::new();
+        while i < n {
+            let (a, b, item) = key(&sorted_triples[i]);
+            if a != k1 || b != k2 {
+                break;
+            }
+            items.push(item);
+            i += 1;
+        }
+        let lid = arena.alloc_sorted(items);
+
+        if current_header != Some(k1) {
+            if let Some(h) = current_header.take() {
+                inner.shrink_to_fit();
+                primary.push_sorted(h, std::mem::take(&mut inner));
+            }
+            current_header = Some(k1);
+        }
+        inner.push_sorted(k2, lid);
+        mirror_entries.push((k2, k1, lid));
+    }
+    if let Some(h) = current_header {
+        inner.shrink_to_fit();
+        primary.push_sorted(h, inner);
+    }
+
+    // Mirror: group by k2, push (k1 -> list) in sorted order.
+    mirror_entries.sort_unstable_by_key(|e| (e.0, e.1));
+    let mut current_header: Option<Id> = None;
+    let mut inner: VecMap<Id, ListId> = VecMap::new();
+    for (k2, k1, lid) in mirror_entries {
+        if current_header != Some(k2) {
+            if let Some(h) = current_header.take() {
+                inner.shrink_to_fit();
+                mirror.push_sorted(h, std::mem::take(&mut inner));
+            }
+            current_header = Some(k2);
+        }
+        inner.push_sorted(k1, lid);
+    }
+    if let Some(h) = current_header {
+        inner.shrink_to_fit();
+        mirror.push_sorted(h, inner);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::IdPattern;
+    use crate::traits::TripleStore;
+
+    fn t(s: u32, p: u32, o: u32) -> IdTriple {
+        IdTriple::from((s, p, o))
+    }
+
+    #[test]
+    fn bulk_equals_incremental() {
+        let triples = vec![
+            t(3, 1, 9),
+            t(0, 2, 4),
+            t(3, 1, 2),
+            t(0, 1, 4),
+            t(7, 7, 7),
+            t(3, 2, 9),
+            t(0, 2, 4), // duplicate
+        ];
+        let bulk = build(triples.clone());
+        let mut inc = Hexastore::new();
+        for tr in &triples {
+            inc.insert(*tr);
+        }
+        assert_eq!(bulk.len(), inc.len());
+        assert_eq!(bulk.matching(IdPattern::ALL), inc.matching(IdPattern::ALL));
+        assert_eq!(bulk.space_stats(), inc.space_stats());
+        for &tr in &triples {
+            assert!(bulk.contains(tr));
+            assert_eq!(
+                bulk.matching(IdPattern::o(tr.o)),
+                inc.matching(IdPattern::o(tr.o))
+            );
+            assert_eq!(
+                bulk.matching(IdPattern::so(tr.s, tr.o)),
+                inc.matching(IdPattern::so(tr.s, tr.o))
+            );
+        }
+    }
+
+    #[test]
+    fn bulk_empty() {
+        let h = build(Vec::new());
+        assert!(h.is_empty());
+        assert_eq!(h.matching(IdPattern::ALL), Vec::new());
+    }
+
+    #[test]
+    fn bulk_store_supports_updates_afterwards() {
+        let mut h = build(vec![t(1, 2, 3), t(4, 5, 6)]);
+        assert!(h.insert(t(0, 0, 0)));
+        assert!(h.remove(t(4, 5, 6)));
+        assert_eq!(h.len(), 2);
+        assert!(h.contains(t(0, 0, 0)));
+        assert!(!h.contains(t(4, 5, 6)));
+    }
+
+    #[test]
+    fn from_triples_constructor_uses_bulk() {
+        let h = Hexastore::from_triples([t(9, 1, 1), t(2, 1, 1)]);
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.subject_vector_of_property(Id(1)), vec![Id(2), Id(9)]);
+    }
+}

@@ -1,0 +1,292 @@
+//! String-level convenience facade: a [`Hexastore`] bundled with its
+//! [`Dictionary`].
+//!
+//! The paper's architecture is "six indices using identifiers (i.e., keys)
+//! … plus a mapping table that maps these keys to their corresponding
+//! strings" (§4.1). [`GraphStore`] is exactly that bundle, so applications
+//! can work with [`Triple`]s and [`TriplePattern`]s directly.
+
+use crate::pattern::IdPattern;
+use crate::store::Hexastore;
+use crate::traits::TripleStore;
+use hex_dict::Dictionary;
+use rdf_model::{NtParseError, Term, TermPattern, Triple, TriplePattern};
+
+/// A Hexastore together with its dictionary — the full paper architecture.
+///
+/// ```
+/// use hexastore::GraphStore;
+/// use rdf_model::{Term, Triple, TriplePattern, TermPattern};
+///
+/// let mut g = GraphStore::new();
+/// g.insert(&Triple::new(
+///     Term::iri("http://ex/ID2"),
+///     Term::iri("http://ex/worksFor"),
+///     Term::literal("MIT"),
+/// ));
+///
+/// // "What relationship does ID2 have to MIT?" — an (s, ?, o) probe,
+/// // the query Figure 1(b) of the paper poses.
+/// let hits = g.matching(&TriplePattern::new(
+///     Term::iri("http://ex/ID2"),
+///     TermPattern::var("rel"),
+///     Term::literal("MIT"),
+/// ));
+/// assert_eq!(hits.len(), 1);
+/// ```
+#[derive(Default, Debug, Clone)]
+pub struct GraphStore {
+    dict: Dictionary,
+    store: Hexastore,
+}
+
+impl GraphStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        GraphStore::default()
+    }
+
+    /// Reassembles a graph store from a dictionary and an id-level store.
+    /// Every id in the store must already be interned in the dictionary.
+    pub fn from_parts(dict: Dictionary, store: Hexastore) -> Self {
+        GraphStore { dict, store }
+    }
+
+    /// Number of triples stored.
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// True if no triples are stored.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// The dictionary (term ⇄ id mapping table).
+    pub fn dict(&self) -> &Dictionary {
+        &self.dict
+    }
+
+    /// Mutable access to the dictionary, for pre-interning terms.
+    pub fn dict_mut(&mut self) -> &mut Dictionary {
+        &mut self.dict
+    }
+
+    /// The underlying id-level Hexastore.
+    pub fn store(&self) -> &Hexastore {
+        &self.store
+    }
+
+    /// Inserts a triple, interning its terms. Returns `true` if new.
+    pub fn insert(&mut self, t: &Triple) -> bool {
+        let enc = self.dict.encode_triple(t);
+        self.store.insert(enc)
+    }
+
+    /// Removes a triple. Returns `true` if it was present.
+    pub fn remove(&mut self, t: &Triple) -> bool {
+        match self.dict.triple_ids(t) {
+            Some(enc) => self.store.remove(enc),
+            None => false,
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, t: &Triple) -> bool {
+        self.dict.triple_ids(t).is_some_and(|enc| self.store.contains(enc))
+    }
+
+    /// Converts a string-level pattern to an id-level one. `None` means a
+    /// bound term was never interned, so nothing can match.
+    pub fn encode_pattern(&self, pat: &TriplePattern) -> Option<IdPattern> {
+        fn pos(dict: &Dictionary, tp: &TermPattern) -> Option<Option<hex_dict::Id>> {
+            match tp {
+                TermPattern::Bound(t) => dict.id_of(t).map(Some),
+                TermPattern::Var(_) => Some(None),
+            }
+        }
+        Some(IdPattern::new(
+            pos(&self.dict, &pat.subject)?,
+            pos(&self.dict, &pat.predicate)?,
+            pos(&self.dict, &pat.object)?,
+        ))
+    }
+
+    /// All triples matching a string-level pattern.
+    pub fn matching(&self, pat: &TriplePattern) -> Vec<Triple> {
+        let Some(id_pat) = self.encode_pattern(pat) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        self.store.for_each_matching(id_pat, &mut |t| {
+            out.push(self.dict.decode_triple(t).expect("store id missing from dictionary"));
+        });
+        out
+    }
+
+    /// Count of triples matching a string-level pattern.
+    pub fn count_matching(&self, pat: &TriplePattern) -> usize {
+        match self.encode_pattern(pat) {
+            Some(id_pat) => self.store.count_matching(id_pat),
+            None => 0,
+        }
+    }
+
+    /// Loads an N-Triples document, returning how many *new* triples were
+    /// added (duplicates in the document are deduplicated, as in the
+    /// paper's data cleaning).
+    pub fn load_ntriples(&mut self, doc: &str) -> Result<usize, NtParseError> {
+        let triples = rdf_model::parse_document(doc)?;
+        let mut added = 0;
+        for t in &triples {
+            if self.insert(t) {
+                added += 1;
+            }
+        }
+        Ok(added)
+    }
+
+    /// Loads a Turtle document (see [`rdf_model::parse_turtle`] for the
+    /// supported subset), returning how many new triples were added.
+    pub fn load_turtle(&mut self, doc: &str) -> Result<usize, rdf_model::TurtleParseError> {
+        let triples = rdf_model::parse_turtle(doc)?;
+        let mut added = 0;
+        for t in &triples {
+            if self.insert(t) {
+                added += 1;
+            }
+        }
+        Ok(added)
+    }
+
+    /// Serializes the whole store as an N-Triples document in spo id order.
+    pub fn to_ntriples(&self) -> String {
+        let mut out = String::new();
+        self.store.for_each_matching(IdPattern::ALL, &mut |t| {
+            let decoded = self.dict.decode_triple(t).expect("store id missing from dictionary");
+            out.push_str(&decoded.to_string());
+            out.push('\n');
+        });
+        out
+    }
+
+    /// All triples in the store, decoded.
+    pub fn triples(&self) -> Vec<Triple> {
+        self.matching(&TriplePattern::new(
+            TermPattern::var("s"),
+            TermPattern::var("p"),
+            TermPattern::var("o"),
+        ))
+    }
+
+    /// Looks up a term's id, if interned.
+    pub fn id_of(&self, term: &Term) -> Option<hex_dict::Id> {
+        self.dict.id_of(term)
+    }
+
+    /// Deep heap usage: indices plus dictionary.
+    pub fn heap_bytes(&self) -> usize {
+        self.store.heap_bytes() + self.dict.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iri(s: &str) -> Term {
+        Term::iri(format!("http://x/{s}"))
+    }
+
+    fn triple(s: &str, p: &str, o: &str) -> Triple {
+        Triple::new(iri(s), iri(p), iri(o))
+    }
+
+    #[test]
+    fn insert_contains_remove_roundtrip() {
+        let mut g = GraphStore::new();
+        let t = triple("ID1", "advisor", "ID2");
+        assert!(g.insert(&t));
+        assert!(!g.insert(&t));
+        assert!(g.contains(&t));
+        assert_eq!(g.len(), 1);
+        assert!(g.remove(&t));
+        assert!(!g.contains(&t));
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn remove_of_unknown_terms_is_false() {
+        let mut g = GraphStore::new();
+        assert!(!g.remove(&triple("a", "b", "c")));
+    }
+
+    #[test]
+    fn matching_with_unknown_bound_term_is_empty() {
+        let mut g = GraphStore::new();
+        g.insert(&triple("s", "p", "o"));
+        let pat = TriplePattern::new(iri("nope"), TermPattern::var("p"), TermPattern::var("o"));
+        assert!(g.matching(&pat).is_empty());
+        assert_eq!(g.count_matching(&pat), 0);
+    }
+
+    #[test]
+    fn figure1_query_what_relation_to_mit() {
+        // Figure 1(b) upper query: SELECT A.property WHERE subj=ID2, obj=MIT
+        let mut g = GraphStore::new();
+        g.insert(&Triple::new(iri("ID1"), iri("bachelorFrom"), Term::literal("MIT")));
+        g.insert(&Triple::new(iri("ID2"), iri("worksFor"), Term::literal("MIT")));
+        g.insert(&Triple::new(iri("ID2"), iri("teacherOf"), Term::literal("DataBases")));
+        let hits = g.matching(&TriplePattern::new(
+            iri("ID2"),
+            TermPattern::var("property"),
+            Term::literal("MIT"),
+        ));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].predicate, iri("worksFor"));
+    }
+
+    #[test]
+    fn ntriples_load_and_dump_roundtrip() {
+        let doc = "\
+<http://x/ID3> <http://x/advisor> <http://x/ID2> .
+<http://x/ID1> <http://x/teacherOf> \"AI\" .
+<http://x/ID3> <http://x/advisor> <http://x/ID2> .
+";
+        let mut g = GraphStore::new();
+        let added = g.load_ntriples(doc).unwrap();
+        assert_eq!(added, 2, "duplicate line deduplicated");
+        let dumped = g.to_ntriples();
+        let mut g2 = GraphStore::new();
+        g2.load_ntriples(&dumped).unwrap();
+        assert_eq!(g2.len(), 2);
+        let mut a = g.triples();
+        let mut b = g2.triples();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn load_turtle_shares_the_store() {
+        let mut g = GraphStore::new();
+        let added = g
+            .load_turtle(
+                "@prefix ex: <http://x/> .\nex:ID3 ex:advisor ex:ID2 .\nex:ID2 ex:worksFor \"MIT\" .",
+            )
+            .unwrap();
+        assert_eq!(added, 2);
+        assert!(g.contains(&Triple::new(iri("ID3"), iri("advisor"), iri("ID2"))));
+        assert!(g.load_turtle("nonsense").is_err());
+    }
+
+    #[test]
+    fn heap_bytes_counts_dictionary_and_indices() {
+        let mut g = GraphStore::new();
+        for i in 0..200 {
+            g.insert(&triple(&format!("s{i}"), "p", &format!("o{i}")));
+        }
+        assert!(g.heap_bytes() > g.store().heap_bytes());
+        assert!(g.heap_bytes() > g.dict().heap_bytes());
+    }
+}

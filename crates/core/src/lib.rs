@@ -1,0 +1,83 @@
+//! # hexastore — sextuple indexing for Semantic Web data management
+//!
+//! A faithful, production-quality Rust implementation of
+//! **Weiss, Karras, Bernstein: "Hexastore: Sextuple Indexing for Semantic
+//! Web Data Management" (VLDB 2008)**.
+//!
+//! A Hexastore materializes all `3! = 6` orderings of the RDF triple
+//! elements — `spo, sop, pso, pos, osp, ops` — as two-level sorted indices
+//! over dictionary-encoded ids. Paired orderings share their terminal
+//! lists, so worst-case space is five key entries per resource occurrence
+//! (two headers + two vectors + one list) instead of six. In exchange:
+//!
+//! - every triple pattern, *including non-property-bound ones*, is a single
+//!   index probe;
+//! - every vector and list is sorted, so all first-step pairwise joins are
+//!   linear merge joins.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use hexastore::GraphStore;
+//! use rdf_model::{Term, TermPattern, Triple, TriplePattern};
+//!
+//! let mut g = GraphStore::new();
+//! g.load_ntriples(r#"
+//! <http://ex/ID2> <http://ex/worksFor> "MIT" .
+//! <http://ex/ID1> <http://ex/bachelorFrom> "MIT" .
+//! <http://ex/ID2> <http://ex/phdFrom> "Stanford" .
+//! "#).unwrap();
+//!
+//! // Which people are related to MIT, by any property? One osp/ops probe.
+//! let pat = TriplePattern::new(
+//!     TermPattern::var("who"),
+//!     TermPattern::var("how"),
+//!     Term::literal("MIT"),
+//! );
+//! assert_eq!(g.matching(&pat).len(), 2);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | module | contents |
+//! |--------|----------|
+//! | [`sorted`] | linear-time merge-join primitives on sorted id sets |
+//! | [`vecmap`] | the sorted-vector association map backing every index level |
+//! | [`arena`] | shared terminal-list storage (the paper's single-copy lists) |
+//! | [`store`] | [`Hexastore`]: the six indices over [`hex_dict::IdTriple`]s |
+//! | [`bulk`] | sort-based bulk loader |
+//! | [`graph`] | [`GraphStore`]: Hexastore + dictionary, string-level API |
+//! | [`pattern`] | [`IdPattern`]: the eight access shapes |
+//! | [`traits`] | [`TripleStore`]: the interface shared with the baselines |
+//! | `snapshot` | serde snapshots (feature `serde`) |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod advisor;
+pub mod arena;
+pub mod bulk;
+pub mod graph;
+pub mod partial;
+pub mod pattern;
+pub mod sorted;
+pub mod stats;
+pub mod store;
+pub mod traits;
+pub mod vecmap;
+
+#[cfg(feature = "serde")]
+pub mod snapshot;
+
+pub use advisor::{recommend, serving_indices, IndexKind, IndexSet, WorkloadProfile};
+pub use arena::{ListArena, ListId};
+pub use graph::GraphStore;
+pub use partial::PartialHexastore;
+pub use pattern::{IdPattern, Shape};
+pub use stats::DatasetStats;
+pub use store::{Hexastore, SpaceStats};
+pub use traits::{extend_store, TripleStore};
+pub use vecmap::VecMap;
+
+#[cfg(feature = "serde")]
+pub use snapshot::Snapshot;

@@ -1,0 +1,396 @@
+//! A Hexastore restricted to a chosen subset of the six orderings —
+//! the physical counterpart of the §6 index-selection discussion.
+//!
+//! [`crate::advisor::recommend`] decides *which* orderings a workload
+//! needs; [`PartialHexastore`] actually maintains only those, trading the
+//! any-pattern-one-probe guarantee for proportionally less memory. Every
+//! pattern still gets answered: shapes without a serving index fall back
+//! to filtering a scan of the best available ordering (exactly the
+//! degradation the paper predicts for reduced-index stores).
+//!
+//! Unlike the full [`crate::Hexastore`], kept orderings own their terminal
+//! lists — sharing only pays when both orderings of a pair are present, so
+//! a partial store with e.g. `{spo, pos, osp}` keeps three unshared
+//! indices.
+
+use crate::advisor::{IndexKind, IndexSet};
+use crate::pattern::{IdPattern, Shape};
+use crate::sorted;
+use crate::traits::TripleStore;
+use crate::vecmap::VecMap;
+use hex_dict::{Id, IdTriple};
+
+/// One ordering materialized as an owned three-level structure.
+#[derive(Clone, Default, Debug)]
+struct OwnedIndex {
+    map: VecMap<Id, VecMap<Id, Vec<Id>>>,
+}
+
+impl OwnedIndex {
+    fn insert(&mut self, k1: Id, k2: Id, item: Id) -> bool {
+        let list = self
+            .map
+            .get_or_insert_with(k1, VecMap::new)
+            .get_or_insert_with(k2, Vec::new);
+        sorted::insert(list, item)
+    }
+
+    fn remove(&mut self, k1: Id, k2: Id, item: Id) -> bool {
+        let Some(inner) = self.map.get_mut(&k1) else { return false };
+        let Some(list) = inner.get_mut(&k2) else { return false };
+        if !sorted::remove(list, &item) {
+            return false;
+        }
+        if list.is_empty() {
+            inner.remove(&k2);
+            if inner.is_empty() {
+                self.map.remove(&k1);
+            }
+        }
+        true
+    }
+
+    fn items(&self, k1: Id, k2: Id) -> &[Id] {
+        self.map.get(&k1).and_then(|m| m.get(&k2)).map_or(&[], Vec::as_slice)
+    }
+
+    fn division(&self, k1: Id) -> impl Iterator<Item = (Id, &[Id])> + '_ {
+        self.map
+            .get(&k1)
+            .into_iter()
+            .flat_map(|m| m.iter().map(|(k2, list)| (k2, list.as_slice())))
+    }
+
+    fn scan(&self) -> impl Iterator<Item = (Id, Id, Id)> + '_ {
+        self.map.iter().flat_map(|(k1, inner)| {
+            inner
+                .iter()
+                .flat_map(move |(k2, list)| list.iter().map(move |&item| (k1, k2, item)))
+        })
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.map.heap_bytes_shallow()
+            + self
+                .map
+                .values()
+                .map(|m| {
+                    m.heap_bytes_shallow()
+                        + m.values()
+                            .map(|l| l.capacity() * std::mem::size_of::<Id>())
+                            .sum::<usize>()
+                })
+                .sum::<usize>()
+    }
+}
+
+/// Projects a triple into an ordering's `(k1, k2, item)` key order.
+fn project(kind: IndexKind, t: IdTriple) -> (Id, Id, Id) {
+    match kind {
+        IndexKind::Spo => (t.s, t.p, t.o),
+        IndexKind::Sop => (t.s, t.o, t.p),
+        IndexKind::Pso => (t.p, t.s, t.o),
+        IndexKind::Pos => (t.p, t.o, t.s),
+        IndexKind::Osp => (t.o, t.s, t.p),
+        IndexKind::Ops => (t.o, t.p, t.s),
+    }
+}
+
+/// Reassembles a triple from an ordering's `(k1, k2, item)`.
+fn unproject(kind: IndexKind, k1: Id, k2: Id, item: Id) -> IdTriple {
+    match kind {
+        IndexKind::Spo => IdTriple::new(k1, k2, item),
+        IndexKind::Sop => IdTriple::new(k1, item, k2),
+        IndexKind::Pso => IdTriple::new(k2, k1, item),
+        IndexKind::Pos => IdTriple::new(item, k1, k2),
+        IndexKind::Osp => IdTriple::new(k2, item, k1),
+        IndexKind::Ops => IdTriple::new(item, k2, k1),
+    }
+}
+
+/// A triple store maintaining only a chosen subset of the six orderings.
+///
+/// ```
+/// use hexastore::advisor::{recommend, WorkloadProfile};
+/// use hexastore::partial::PartialHexastore;
+/// use hexastore::{IdPattern, TripleStore};
+/// use hex_dict::{Id, IdTriple};
+///
+/// // A workload that only ever binds the object:
+/// let workload = [IdPattern::o(Id(2))];
+/// let keep = recommend(&WorkloadProfile::from_patterns(&workload));
+/// let mut store = PartialHexastore::new(keep);
+/// store.insert(IdTriple::from((0, 1, 2)));
+/// assert_eq!(store.count_matching(IdPattern::o(Id(2))), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct PartialHexastore {
+    keep: IndexSet,
+    indices: Vec<(IndexKind, OwnedIndex)>,
+    len: usize,
+}
+
+impl PartialHexastore {
+    /// Creates a store maintaining the given orderings. An empty set is
+    /// promoted to `{spo}` (a store must hold its triples somewhere).
+    pub fn new(keep: IndexSet) -> Self {
+        let keep = if keep.is_empty() { IndexSet::EMPTY.with(IndexKind::Spo) } else { keep };
+        let indices = keep.iter().map(|k| (k, OwnedIndex::default())).collect();
+        PartialHexastore { keep, indices, len: 0 }
+    }
+
+    /// The orderings this store maintains.
+    pub fn kept(&self) -> IndexSet {
+        self.keep
+    }
+
+    /// Whether the shape is answered by a direct probe (vs a fallback
+    /// scan-and-filter).
+    pub fn serves_directly(&self, shape: Shape) -> bool {
+        crate::advisor::serving_indices(shape).iter().any(|k| self.keep.contains(k))
+    }
+
+    fn index(&self, kind: IndexKind) -> Option<&OwnedIndex> {
+        self.indices.iter().find(|(k, _)| *k == kind).map(|(_, ix)| ix)
+    }
+
+    /// The first kept index able to serve `shape` directly.
+    fn server_for(&self, shape: Shape) -> Option<(IndexKind, &OwnedIndex)> {
+        crate::advisor::serving_indices(shape)
+            .iter()
+            .find(|k| self.keep.contains(*k))
+            .and_then(|k| self.index(k).map(|ix| (k, ix)))
+    }
+
+    fn any_index(&self) -> (IndexKind, &OwnedIndex) {
+        let (k, ix) = &self.indices[0];
+        (*k, ix)
+    }
+}
+
+impl TripleStore for PartialHexastore {
+    fn name(&self) -> &'static str {
+        "PartialHexastore"
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn insert(&mut self, t: IdTriple) -> bool {
+        let mut added = false;
+        for (kind, ix) in &mut self.indices {
+            let (k1, k2, item) = project(*kind, t);
+            added = ix.insert(k1, k2, item);
+        }
+        if added {
+            self.len += 1;
+        }
+        added
+    }
+
+    fn remove(&mut self, t: IdTriple) -> bool {
+        let mut removed = false;
+        for (kind, ix) in &mut self.indices {
+            let (k1, k2, item) = project(*kind, t);
+            removed = ix.remove(k1, k2, item);
+        }
+        if removed {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    fn contains(&self, t: IdTriple) -> bool {
+        let (kind, ix) = self.any_index();
+        let (k1, k2, item) = project(kind, t);
+        sorted::contains(ix.items(k1, k2), &item)
+    }
+
+    fn for_each_matching(&self, pat: IdPattern, f: &mut dyn FnMut(IdTriple)) {
+        let shape = pat.shape();
+        match shape {
+            Shape::Spo => {
+                let t = IdTriple::new(pat.s.unwrap(), pat.p.unwrap(), pat.o.unwrap());
+                if self.contains(t) {
+                    f(t);
+                }
+            }
+            Shape::None_ => {
+                let (kind, ix) = self.any_index();
+                for (k1, k2, item) in ix.scan() {
+                    f(unproject(kind, k1, k2, item));
+                }
+            }
+            _ => match self.server_for(shape) {
+                Some((kind, ix)) => match shape {
+                    // Two bound positions: a terminal-list probe.
+                    Shape::Sp | Shape::So | Shape::Po => {
+                        let probe = IdTriple::new(
+                            pat.s.unwrap_or(Id(0)),
+                            pat.p.unwrap_or(Id(0)),
+                            pat.o.unwrap_or(Id(0)),
+                        );
+                        let (k1, k2, _) = project(kind, probe);
+                        for &item in ix.items(k1, k2) {
+                            f(unproject(kind, k1, k2, item));
+                        }
+                    }
+                    // One bound position: a division walk.
+                    Shape::S | Shape::P | Shape::O => {
+                        let probe = IdTriple::new(
+                            pat.s.unwrap_or(Id(0)),
+                            pat.p.unwrap_or(Id(0)),
+                            pat.o.unwrap_or(Id(0)),
+                        );
+                        let (k1, _, _) = project(kind, probe);
+                        for (k2, list) in ix.division(k1) {
+                            for &item in list {
+                                f(unproject(kind, k1, k2, item));
+                            }
+                        }
+                    }
+                    Shape::Spo | Shape::None_ => unreachable!("handled above"),
+                },
+                None => {
+                    // Degraded path: filter a full scan — the cost of a
+                    // dropped index, made explicit.
+                    let (kind, ix) = self.any_index();
+                    for (k1, k2, item) in ix.scan() {
+                        let t = unproject(kind, k1, k2, item);
+                        if pat.matches(t) {
+                            f(t);
+                        }
+                    }
+                }
+            },
+        }
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.indices.iter().map(|(_, ix)| ix.heap_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::Hexastore;
+
+    fn t(s: u32, p: u32, o: u32) -> IdTriple {
+        IdTriple::from((s, p, o))
+    }
+
+    fn sample() -> Vec<IdTriple> {
+        vec![t(1, 2, 3), t(1, 2, 4), t(1, 5, 3), t(2, 2, 3), t(2, 5, 9), t(9, 9, 9)]
+    }
+
+    fn all_patterns() -> Vec<IdPattern> {
+        vec![
+            IdPattern::ALL,
+            IdPattern::s(Id(1)),
+            IdPattern::p(Id(2)),
+            IdPattern::o(Id(3)),
+            IdPattern::sp(Id(1), Id(2)),
+            IdPattern::so(Id(1), Id(3)),
+            IdPattern::po(Id(2), Id(3)),
+            IdPattern::spo(t(1, 2, 3)),
+            IdPattern::o(Id(42)),
+        ]
+    }
+
+    /// Every subset of orderings answers every pattern identically to the
+    /// full Hexastore — only the work differs.
+    #[test]
+    fn every_subset_is_logically_equivalent() {
+        let full = Hexastore::from_triples(sample());
+        for bits in 1u8..64 {
+            let mut keep = IndexSet::EMPTY;
+            for (i, kind) in IndexKind::ALL.into_iter().enumerate() {
+                if bits & (1 << i) != 0 {
+                    keep = keep.with(kind);
+                }
+            }
+            let mut partial = PartialHexastore::new(keep);
+            for &tr in &sample() {
+                partial.insert(tr);
+            }
+            assert_eq!(partial.len(), full.len(), "{keep:?}");
+            for pat in all_patterns() {
+                let mut expected = full.matching(pat);
+                expected.sort();
+                let mut got = partial.matching(pat);
+                got.sort();
+                assert_eq!(got, expected, "{keep:?} pattern {pat:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn insert_remove_parity_with_full_store() {
+        let mut partial =
+            PartialHexastore::new(IndexSet::EMPTY.with(IndexKind::Pos).with(IndexKind::Spo));
+        let mut full = Hexastore::new();
+        for &tr in &sample() {
+            assert_eq!(partial.insert(tr), full.insert(tr));
+        }
+        assert!(!partial.insert(t(1, 2, 3)), "duplicate");
+        assert_eq!(partial.remove(t(1, 2, 3)), full.remove(t(1, 2, 3)));
+        assert_eq!(partial.remove(t(7, 7, 7)), full.remove(t(7, 7, 7)));
+        assert_eq!(partial.len(), full.len());
+        assert_eq!(partial.contains(t(1, 2, 4)), full.contains(t(1, 2, 4)));
+    }
+
+    #[test]
+    fn empty_set_is_promoted_to_spo() {
+        let store = PartialHexastore::new(IndexSet::EMPTY);
+        assert!(store.kept().contains(IndexKind::Spo));
+        assert_eq!(store.kept().len(), 1);
+    }
+
+    #[test]
+    fn serves_directly_reflects_kept_indices() {
+        let store =
+            PartialHexastore::new(IndexSet::EMPTY.with(IndexKind::Spo).with(IndexKind::Pos));
+        assert!(store.serves_directly(Shape::Sp));
+        assert!(store.serves_directly(Shape::Po));
+        assert!(store.serves_directly(Shape::S)); // spo serves S
+        assert!(store.serves_directly(Shape::P)); // pos serves P
+        assert!(!store.serves_directly(Shape::So));
+        assert!(!store.serves_directly(Shape::O));
+    }
+
+    #[test]
+    fn partial_store_uses_less_memory_than_full() {
+        let triples: Vec<IdTriple> = (0..2000).map(|i| t(i % 97, i % 13, i)).collect();
+        let full = Hexastore::from_triples(triples.iter().copied());
+        let mut three =
+            PartialHexastore::new(IndexSet::EMPTY.with(IndexKind::Spo).with(IndexKind::Pos));
+        for &tr in &triples {
+            three.insert(tr);
+        }
+        assert!(three.heap_bytes() < full.heap_bytes());
+    }
+
+    #[test]
+    fn advisor_to_partial_pipeline() {
+        // End-to-end §6 flow: profile a workload, build a reduced store,
+        // and verify the direct shapes stay direct.
+        let workload =
+            [IdPattern::o(Id(3)), IdPattern::po(Id(2), Id(3)), IdPattern::sp(Id(1), Id(2))];
+        let profile = crate::advisor::WorkloadProfile::from_patterns(&workload);
+        let keep = crate::advisor::recommend(&profile);
+        let mut store = PartialHexastore::new(keep);
+        for &tr in &sample() {
+            store.insert(tr);
+        }
+        for pat in workload {
+            assert!(store.serves_directly(pat.shape()), "{pat:?}");
+            let mut expected = Hexastore::from_triples(sample()).matching(pat);
+            expected.sort();
+            let mut got = store.matching(pat);
+            got.sort();
+            assert_eq!(got, expected);
+        }
+    }
+}

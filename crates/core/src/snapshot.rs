@@ -1,0 +1,75 @@
+//! Serializable snapshots (requires the `serde` feature).
+//!
+//! The paper's prototype is an in-memory store; its Section 7 names a
+//! "fully operational disk-based Hexastore" as future work. This module is
+//! the pragmatic middle ground: a compact, serializable snapshot of a
+//! [`GraphStore`] (dictionary terms + encoded triples) that can be written
+//! to disk with any serde format and rebuilt with the bulk loader on read.
+//! Storing triples once rather than the six indices keeps snapshots near
+//! triples-table size; the sextuple redundancy is reconstructed on load.
+
+#![cfg(feature = "serde")]
+
+use crate::graph::GraphStore;
+use crate::pattern::IdPattern;
+use crate::traits::TripleStore;
+use hex_dict::IdTriple;
+use rdf_model::Term;
+use serde::{Deserialize, Serialize};
+
+/// A serializable image of a [`GraphStore`].
+#[derive(Serialize, Deserialize, Debug, Clone)]
+pub struct Snapshot {
+    /// Dictionary terms in id order: index `i` is the term of id `i`.
+    pub terms: Vec<Term>,
+    /// All stored triples, dictionary-encoded.
+    pub triples: Vec<IdTriple>,
+}
+
+impl Snapshot {
+    /// Captures a snapshot of a graph store.
+    pub fn capture(graph: &GraphStore) -> Self {
+        let terms: Vec<Term> = graph.dict().iter().map(|(_, t)| t.clone()).collect();
+        let triples = graph.store().matching(IdPattern::ALL);
+        Snapshot { terms, triples }
+    }
+
+    /// Rebuilds the graph store (bulk-loading the six indices).
+    ///
+    /// The dictionary ids are exactly the snapshot's term indices, so the
+    /// bulk-built store pairs with the repopulated dictionary.
+    pub fn restore(&self) -> GraphStore {
+        let mut dict = hex_dict::Dictionary::with_capacity(self.terms.len());
+        for term in &self.terms {
+            dict.encode(term);
+        }
+        let store = crate::bulk::build(self.triples.clone());
+        GraphStore::from_parts(dict, store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdf_model::Triple;
+
+    #[test]
+    fn capture_restore_roundtrip() {
+        let mut g = GraphStore::new();
+        for i in 0..50 {
+            g.insert(&Triple::new(
+                Term::iri(format!("http://x/s{}", i % 7)),
+                Term::iri(format!("http://x/p{}", i % 3)),
+                Term::literal(format!("o{i}")),
+            ));
+        }
+        let snap = Snapshot::capture(&g);
+        let restored = snap.restore();
+        assert_eq!(restored.len(), g.len());
+        let mut a = g.triples();
+        let mut b = restored.triples();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+}

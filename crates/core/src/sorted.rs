@@ -1,0 +1,246 @@
+//! Sorted-slice primitives: the merge-join machinery of the Hexastore.
+//!
+//! Every vector and terminal list in a Hexastore is sorted (§4.2: "The keys
+//! of resources in all vectors and lists used in a Hexastore are sorted"),
+//! which is what makes "every pairwise join that needs to be performed
+//! during the first step of query processing … a fast, linear-time
+//! merge-join". This module implements those linear-time set operations on
+//! sorted, duplicate-free slices, plus the insertion/removal primitives that
+//! keep lists sorted under updates.
+//!
+//! All functions are generic over `T: Ord + Copy`; in practice `T` is
+//! [`hex_dict::Id`].
+
+/// True if the slice is strictly increasing (sorted and duplicate-free).
+pub fn is_sorted_set<T: Ord>(xs: &[T]) -> bool {
+    xs.windows(2).all(|w| w[0] < w[1])
+}
+
+/// Binary-search membership test.
+#[inline]
+pub fn contains<T: Ord>(xs: &[T], x: &T) -> bool {
+    xs.binary_search(x).is_ok()
+}
+
+/// Inserts `x` into a sorted, duplicate-free vector, keeping it sorted.
+/// Returns `false` if `x` was already present.
+pub fn insert<T: Ord>(xs: &mut Vec<T>, x: T) -> bool {
+    match xs.binary_search(&x) {
+        Ok(_) => false,
+        Err(pos) => {
+            xs.insert(pos, x);
+            true
+        }
+    }
+}
+
+/// Removes `x` from a sorted vector. Returns `false` if absent.
+pub fn remove<T: Ord>(xs: &mut Vec<T>, x: &T) -> bool {
+    match xs.binary_search(x) {
+        Ok(pos) => {
+            xs.remove(pos);
+            true
+        }
+        Err(_) => false,
+    }
+}
+
+/// Linear-time merge-join (set intersection) of two sorted sets.
+///
+/// This is the paper's first-step pairwise join: e.g. intersecting the
+/// subject lists of two (property, object) pairs.
+pub fn intersect<T: Ord + Copy>(a: &[T], b: &[T]) -> Vec<T> {
+    // Galloping would help for very skewed sizes; the linear merge is what
+    // the paper describes and is optimal for comparable sizes.
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Linear-time set union of two sorted sets.
+pub fn union<T: Ord + Copy>(a: &[T], b: &[T]) -> Vec<T> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Linear-time set difference `a \ b` of two sorted sets.
+pub fn difference<T: Ord + Copy>(a: &[T], b: &[T]) -> Vec<T> {
+    let mut out = Vec::with_capacity(a.len());
+    let mut j = 0;
+    for &x in a {
+        while j < b.len() && b[j] < x {
+            j += 1;
+        }
+        if j >= b.len() || b[j] != x {
+            out.push(x);
+        }
+    }
+    out
+}
+
+/// K-way set union of sorted sets, used when a plan must combine many
+/// per-property result lists (the unions the paper says property-oriented
+/// schemes need; Hexastore also needs them in final aggregation steps).
+pub fn union_many<T: Ord + Copy>(mut lists: Vec<&[T]>) -> Vec<T> {
+    // Pairwise balanced merging: O(total · log k) without a heap.
+    lists.retain(|l| !l.is_empty());
+    match lists.len() {
+        0 => return Vec::new(),
+        1 => return lists[0].to_vec(),
+        _ => {}
+    }
+    let mut owned: Vec<Vec<T>> = lists.iter().map(|l| l.to_vec()).collect();
+    while owned.len() > 1 {
+        let mut next = Vec::with_capacity(owned.len().div_ceil(2));
+        let mut iter = owned.chunks(2);
+        for chunk in &mut iter {
+            match chunk {
+                [a, b] => next.push(union(a, b)),
+                [a] => next.push(a.clone()),
+                _ => unreachable!(),
+            }
+        }
+        owned = next;
+    }
+    owned.pop().unwrap_or_default()
+}
+
+/// Intersection of many sorted sets, smallest-first for early exit.
+pub fn intersect_many<T: Ord + Copy>(mut lists: Vec<&[T]>) -> Vec<T> {
+    if lists.is_empty() {
+        return Vec::new();
+    }
+    lists.sort_by_key(|l| l.len());
+    let mut acc = lists[0].to_vec();
+    for l in &lists[1..] {
+        if acc.is_empty() {
+            break;
+        }
+        acc = intersect(&acc, l);
+    }
+    acc
+}
+
+/// Sorts and deduplicates a vector in place, turning it into a sorted set.
+pub fn sort_dedup<T: Ord>(xs: &mut Vec<T>) {
+    xs.sort_unstable();
+    xs.dedup();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_sorted_set_checks_strictness() {
+        assert!(is_sorted_set::<u32>(&[]));
+        assert!(is_sorted_set(&[1]));
+        assert!(is_sorted_set(&[1, 2, 5]));
+        assert!(!is_sorted_set(&[1, 1]));
+        assert!(!is_sorted_set(&[2, 1]));
+    }
+
+    #[test]
+    fn insert_keeps_sorted_and_rejects_dupes() {
+        let mut v = vec![2u32, 4, 6];
+        assert!(insert(&mut v, 5));
+        assert!(insert(&mut v, 1));
+        assert!(insert(&mut v, 7));
+        assert!(!insert(&mut v, 4));
+        assert_eq!(v, vec![1, 2, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn remove_only_removes_present() {
+        let mut v = vec![1u32, 3, 5];
+        assert!(remove(&mut v, &3));
+        assert!(!remove(&mut v, &3));
+        assert_eq!(v, vec![1, 5]);
+    }
+
+    #[test]
+    fn contains_uses_binary_search() {
+        let v = vec![10u32, 20, 30];
+        assert!(contains(&v, &20));
+        assert!(!contains(&v, &25));
+    }
+
+    #[test]
+    fn intersect_basic() {
+        assert_eq!(intersect(&[1u32, 3, 5, 7], &[2, 3, 4, 7, 9]), vec![3, 7]);
+        assert_eq!(intersect::<u32>(&[], &[1, 2]), Vec::<u32>::new());
+        assert_eq!(intersect(&[1u32, 2], &[1, 2]), vec![1, 2]);
+    }
+
+    #[test]
+    fn union_basic() {
+        assert_eq!(union(&[1u32, 3], &[2, 3, 4]), vec![1, 2, 3, 4]);
+        assert_eq!(union::<u32>(&[], &[]), Vec::<u32>::new());
+        assert_eq!(union(&[5u32], &[]), vec![5]);
+    }
+
+    #[test]
+    fn difference_basic() {
+        assert_eq!(difference(&[1u32, 2, 3, 4], &[2, 4]), vec![1, 3]);
+        assert_eq!(difference(&[1u32, 2], &[]), vec![1, 2]);
+        assert_eq!(difference::<u32>(&[], &[1]), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn union_many_merges_all() {
+        let a = [1u32, 5];
+        let b = [2u32, 5, 9];
+        let c = [0u32];
+        let d: [u32; 0] = [];
+        assert_eq!(union_many(vec![&a, &b, &c, &d]), vec![0, 1, 2, 5, 9]);
+        assert_eq!(union_many::<u32>(vec![]), Vec::<u32>::new());
+        assert_eq!(union_many(vec![&a[..]]), vec![1, 5]);
+    }
+
+    #[test]
+    fn intersect_many_starts_smallest() {
+        let a = [1u32, 2, 3, 4, 5, 6];
+        let b = [2u32, 4, 6];
+        let c = [4u32];
+        assert_eq!(intersect_many(vec![&a, &b, &c]), vec![4]);
+        assert_eq!(intersect_many::<u32>(vec![]), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn sort_dedup_normalizes() {
+        let mut v = vec![5u32, 1, 5, 2, 2];
+        sort_dedup(&mut v);
+        assert_eq!(v, vec![1, 2, 5]);
+    }
+}

@@ -1,0 +1,170 @@
+//! Dataset statistics over a Hexastore.
+//!
+//! Two consumers: the query planner's selectivity estimates (already
+//! served by [`crate::TripleStore::count_matching`]) and the dataset
+//! *shape* analysis the paper leans on — "The vast majority of properties
+//! appear infrequently" (§5.1.1 on Barton), degree skew, and the
+//! multi-valued resources that §4.2 argues the Hexastore handles
+//! concisely. Everything here reads the six indices; nothing scans raw
+//! triples twice.
+
+use crate::store::Hexastore;
+use crate::traits::TripleStore;
+use hex_dict::Id;
+
+/// Summary statistics of a stored dataset.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DatasetStats {
+    /// Total triples.
+    pub triples: usize,
+    /// Distinct subjects / properties / objects.
+    pub distinct: (usize, usize, usize),
+    /// Per-property triple counts, sorted descending.
+    pub property_cardinalities: Vec<(Id, usize)>,
+    /// Mean triples per subject (out-degree).
+    pub mean_out_degree: f64,
+    /// Mean triples per object (in-degree).
+    pub mean_in_degree: f64,
+    /// Fraction of (s, p) pairs with more than one object — the
+    /// multi-valued resources of §4.2.
+    pub multi_valued_sp_fraction: f64,
+}
+
+impl DatasetStats {
+    /// Computes statistics from a store.
+    pub fn compute(store: &Hexastore) -> DatasetStats {
+        let triples = store.len();
+        let distinct =
+            (store.subject_count(), store.property_count(), store.object_count());
+
+        let mut property_cardinalities: Vec<(Id, usize)> = store
+            .properties()
+            .map(|p| (p, store.property_cardinality(p)))
+            .collect();
+        property_cardinalities.sort_by_key(|&(p, n)| (std::cmp::Reverse(n), p));
+
+        let mut sp_pairs = 0usize;
+        let mut multi_valued = 0usize;
+        for s in store.subjects().collect::<Vec<_>>() {
+            for (_, objs) in store.spo_vector(s) {
+                sp_pairs += 1;
+                if objs.len() > 1 {
+                    multi_valued += 1;
+                }
+            }
+        }
+
+        DatasetStats {
+            triples,
+            distinct,
+            mean_out_degree: if distinct.0 == 0 { 0.0 } else { triples as f64 / distinct.0 as f64 },
+            mean_in_degree: if distinct.2 == 0 { 0.0 } else { triples as f64 / distinct.2 as f64 },
+            multi_valued_sp_fraction: if sp_pairs == 0 {
+                0.0
+            } else {
+                multi_valued as f64 / sp_pairs as f64
+            },
+            property_cardinalities,
+        }
+    }
+
+    /// The `k` most frequent properties — the head the Abadi et al. study
+    /// restricted itself to (the "28 interesting properties").
+    pub fn top_properties(&self, k: usize) -> Vec<Id> {
+        self.property_cardinalities.iter().take(k).map(|&(p, _)| p).collect()
+    }
+
+    /// Gini-style skew measure over property cardinalities in `[0, 1)`:
+    /// 0 = perfectly uniform, →1 = all triples under one property.
+    pub fn property_skew(&self) -> f64 {
+        let n = self.property_cardinalities.len();
+        if n < 2 || self.triples == 0 {
+            return 0.0;
+        }
+        // Gini coefficient: 1 − 2 · (area under the Lorenz curve), with
+        // cardinalities taken in ascending order.
+        let total = self.triples as f64;
+        let steps = n as f64;
+        let mut cum = 0.0;
+        let mut area = 0.0;
+        for &(_, c) in self.property_cardinalities.iter().rev() {
+            let share = c as f64 / total;
+            area += (cum + share / 2.0) / steps;
+            cum += share;
+        }
+        1.0 - 2.0 * area
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hex_dict::IdTriple;
+
+    fn t(s: u32, p: u32, o: u32) -> IdTriple {
+        IdTriple::from((s, p, o))
+    }
+
+    #[test]
+    fn counts_and_degrees() {
+        let h = Hexastore::from_triples([
+            t(1, 10, 100),
+            t(1, 10, 101), // multi-valued (1, 10)
+            t(1, 11, 100),
+            t(2, 10, 100),
+        ]);
+        let stats = DatasetStats::compute(&h);
+        assert_eq!(stats.triples, 4);
+        assert_eq!(stats.distinct, (2, 2, 2));
+        assert!((stats.mean_out_degree - 2.0).abs() < 1e-9);
+        assert!((stats.mean_in_degree - 2.0).abs() < 1e-9);
+        // (1,10) has two objects; (1,11) and (2,10) have one → 1/3.
+        assert!((stats.multi_valued_sp_fraction - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn property_cardinalities_sorted_descending() {
+        let h = Hexastore::from_triples([
+            t(1, 10, 1),
+            t(2, 10, 2),
+            t(3, 10, 3),
+            t(1, 11, 1),
+        ]);
+        let stats = DatasetStats::compute(&h);
+        assert_eq!(stats.property_cardinalities[0], (Id(10), 3));
+        assert_eq!(stats.property_cardinalities[1], (Id(11), 1));
+        assert_eq!(stats.top_properties(1), vec![Id(10)]);
+        assert_eq!(stats.top_properties(5).len(), 2);
+    }
+
+    #[test]
+    fn empty_store_stats() {
+        let stats = DatasetStats::compute(&Hexastore::new());
+        assert_eq!(stats.triples, 0);
+        assert_eq!(stats.mean_out_degree, 0.0);
+        assert_eq!(stats.multi_valued_sp_fraction, 0.0);
+        assert_eq!(stats.property_skew(), 0.0);
+    }
+
+    #[test]
+    fn skew_distinguishes_uniform_from_skewed() {
+        // Uniform: 4 properties × 5 triples each.
+        let mut uniform = Hexastore::new();
+        for p in 0..4u32 {
+            for i in 0..5u32 {
+                uniform.insert(t(100 + i, p, 200 + i + p));
+            }
+        }
+        // Skewed: one property with 17 triples, three with 1 each.
+        let mut skewed = Hexastore::new();
+        for i in 0..17u32 {
+            skewed.insert(t(100 + i, 0, 300 + i));
+        }
+        for p in 1..4u32 {
+            skewed.insert(t(50 + p, p, 400 + p));
+        }
+        let u = DatasetStats::compute(&uniform).property_skew();
+        let s = DatasetStats::compute(&skewed).property_skew();
+        assert!(s > u, "skewed {s} should exceed uniform {u}");
+    }
+}

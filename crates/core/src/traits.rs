@@ -1,0 +1,132 @@
+//! The common interface every triple store in the workspace implements.
+//!
+//! The paper compares four physical designs — a triples table, COVP1,
+//! COVP2 and the Hexastore — on identical workloads. [`TripleStore`] is the
+//! shared contract that lets the query engine, the benchmark queries and
+//! the equivalence tests run against any of them.
+
+use crate::pattern::IdPattern;
+use hex_dict::IdTriple;
+
+/// A dictionary-encoded RDF triple store.
+///
+/// Implementations must behave as *sets* of triples: duplicate inserts are
+/// no-ops, and `for_each_matching` visits each matching triple exactly once
+/// in (s, p, o)-sorted order of whatever index serves the pattern.
+pub trait TripleStore {
+    /// A short human-readable name ("Hexastore", "COVP1", …).
+    fn name(&self) -> &'static str;
+
+    /// Number of distinct triples stored.
+    fn len(&self) -> usize;
+
+    /// True if the store holds no triples.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Inserts a triple. Returns `true` if it was not already present.
+    fn insert(&mut self, t: IdTriple) -> bool;
+
+    /// Removes a triple. Returns `true` if it was present.
+    fn remove(&mut self, t: IdTriple) -> bool;
+
+    /// Membership test.
+    fn contains(&self, t: IdTriple) -> bool;
+
+    /// Visits every triple matching the pattern.
+    fn for_each_matching(&self, pat: IdPattern, f: &mut dyn FnMut(IdTriple));
+
+    /// Number of triples matching the pattern.
+    ///
+    /// The default implementation counts by visiting; stores override it
+    /// where an index answers the count without enumeration.
+    fn count_matching(&self, pat: IdPattern) -> usize {
+        let mut n = 0;
+        self.for_each_matching(pat, &mut |_| n += 1);
+        n
+    }
+
+    /// Collects the matching triples into a vector.
+    fn matching(&self, pat: IdPattern) -> Vec<IdTriple> {
+        let mut out = Vec::new();
+        self.for_each_matching(pat, &mut |t| out.push(t));
+        out
+    }
+
+    /// Approximate heap usage in bytes (deep, excluding the dictionary,
+    /// which all stores share). Powers the Figure 15 reproduction.
+    fn heap_bytes(&self) -> usize;
+}
+
+/// Extends a store from an iterator of triples, returning how many were new.
+pub fn extend_store<S: TripleStore + ?Sized>(
+    store: &mut S,
+    triples: impl IntoIterator<Item = IdTriple>,
+) -> usize {
+    let mut added = 0;
+    for t in triples {
+        if store.insert(t) {
+            added += 1;
+        }
+    }
+    added
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hex_dict::Id;
+
+    /// Minimal reference implementation used to exercise the default
+    /// methods of the trait.
+    struct SetStore(std::collections::BTreeSet<IdTriple>);
+
+    impl TripleStore for SetStore {
+        fn name(&self) -> &'static str {
+            "SetStore"
+        }
+        fn len(&self) -> usize {
+            self.0.len()
+        }
+        fn insert(&mut self, t: IdTriple) -> bool {
+            self.0.insert(t)
+        }
+        fn remove(&mut self, t: IdTriple) -> bool {
+            self.0.remove(&t)
+        }
+        fn contains(&self, t: IdTriple) -> bool {
+            self.0.contains(&t)
+        }
+        fn for_each_matching(&self, pat: IdPattern, f: &mut dyn FnMut(IdTriple)) {
+            for &t in &self.0 {
+                if pat.matches(t) {
+                    f(t);
+                }
+            }
+        }
+        fn heap_bytes(&self) -> usize {
+            self.0.len() * std::mem::size_of::<IdTriple>()
+        }
+    }
+
+    #[test]
+    fn default_methods_work() {
+        let mut s = SetStore(Default::default());
+        assert!(s.is_empty());
+        let added = extend_store(
+            &mut s,
+            [
+                IdTriple::from((1, 2, 3)),
+                IdTriple::from((1, 2, 4)),
+                IdTriple::from((1, 2, 3)), // duplicate
+            ],
+        );
+        assert_eq!(added, 2);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        assert_eq!(s.count_matching(IdPattern::sp(Id(1), Id(2))), 2);
+        assert_eq!(s.matching(IdPattern::ALL).len(), 2);
+        assert_eq!(s.count_matching(IdPattern::o(Id(9))), 0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Property-based tests of the Hexastore invariants.
+//!
+//! The reference model is a `BTreeSet<IdTriple>`: after any interleaving of
+//! inserts and removes, the Hexastore must report exactly the model's
+//! triples through *every* access path, and its space accounting must
+//! respect the paper's worst-case five-fold bound.
+
+use std::collections::BTreeSet;
+
+use hex_dict::{Id, IdTriple};
+use hexastore::{bulk, sorted, Hexastore, IdPattern, TripleStore};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(IdTriple),
+    Remove(IdTriple),
+}
+
+/// Small id universe so inserts/removes collide often.
+fn arb_triple() -> impl Strategy<Value = IdTriple> {
+    (0u32..12, 0u32..6, 0u32..12).prop_map(IdTriple::from)
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            3 => arb_triple().prop_map(Op::Insert),
+            1 => arb_triple().prop_map(Op::Remove),
+        ],
+        0..120,
+    )
+}
+
+fn apply(ops: &[Op]) -> (Hexastore, BTreeSet<IdTriple>) {
+    let mut h = Hexastore::new();
+    let mut model = BTreeSet::new();
+    for op in ops {
+        match *op {
+            Op::Insert(t) => {
+                assert_eq!(h.insert(t), model.insert(t), "insert disagreement on {t:?}");
+            }
+            Op::Remove(t) => {
+                assert_eq!(h.remove(t), model.remove(&t), "remove disagreement on {t:?}");
+            }
+        }
+    }
+    (h, model)
+}
+
+proptest! {
+    #[test]
+    fn store_matches_model_after_updates(ops in arb_ops()) {
+        let (h, model) = apply(&ops);
+        prop_assert_eq!(h.len(), model.len());
+        let mut all = h.matching(IdPattern::ALL);
+        all.sort();
+        let expected: Vec<IdTriple> = model.iter().copied().collect();
+        prop_assert_eq!(all, expected);
+    }
+
+    #[test]
+    fn every_access_path_agrees_with_model(ops in arb_ops()) {
+        let (h, model) = apply(&ops);
+        for s in 0..12u32 {
+            for p in 0..6u32 {
+                for o in 0..12u32 {
+                    let t = IdTriple::from((s, p, o));
+                    prop_assert_eq!(h.contains(t), model.contains(&t));
+                }
+            }
+        }
+        // Spot-check the six vector accessors against the model.
+        for s in 0..12u32 {
+            let expected: Vec<IdTriple> =
+                model.iter().copied().filter(|t| t.s == Id(s)).collect();
+            let mut got = h.matching(IdPattern::s(Id(s)));
+            got.sort();
+            prop_assert_eq!(got, expected);
+        }
+        for o in 0..12u32 {
+            let mut expected: Vec<IdTriple> =
+                model.iter().copied().filter(|t| t.o == Id(o)).collect();
+            expected.sort();
+            let mut got = h.matching(IdPattern::o(Id(o)));
+            got.sort();
+            prop_assert_eq!(got, expected);
+        }
+    }
+
+    #[test]
+    fn counts_agree_with_enumeration(ops in arb_ops()) {
+        let (h, _) = apply(&ops);
+        for pat in [
+            IdPattern::ALL,
+            IdPattern::s(Id(3)),
+            IdPattern::p(Id(2)),
+            IdPattern::o(Id(5)),
+            IdPattern::sp(Id(1), Id(1)),
+            IdPattern::so(Id(2), Id(2)),
+            IdPattern::po(Id(0), Id(7)),
+        ] {
+            prop_assert_eq!(h.count_matching(pat), h.matching(pat).len());
+        }
+    }
+
+    #[test]
+    fn space_bound_is_at_most_five_fold(triples in proptest::collection::vec(arb_triple(), 1..200)) {
+        let mut h = Hexastore::new();
+        for &t in &triples {
+            h.insert(t);
+        }
+        let stats = h.space_stats();
+        prop_assert!(stats.total_entries() <= 5 * stats.triples_table_entries(),
+            "blowup {} exceeds paper bound", stats.blowup());
+    }
+
+    #[test]
+    fn bulk_load_equals_incremental(triples in proptest::collection::vec(arb_triple(), 0..200)) {
+        let bulk_store = bulk::build(triples.clone());
+        let mut inc = Hexastore::new();
+        for &t in &triples {
+            inc.insert(t);
+        }
+        prop_assert_eq!(bulk_store.len(), inc.len());
+        prop_assert_eq!(bulk_store.matching(IdPattern::ALL), inc.matching(IdPattern::ALL));
+        prop_assert_eq!(bulk_store.space_stats(), inc.space_stats());
+    }
+
+    #[test]
+    fn terminal_lists_stay_sorted_sets(ops in arb_ops()) {
+        let (h, _) = apply(&ops);
+        for s in h.subjects().collect::<Vec<_>>() {
+            for (_, list) in h.spo_vector(s) {
+                prop_assert!(sorted::is_sorted_set(list));
+            }
+            for (_, list) in h.sop_vector(s) {
+                prop_assert!(sorted::is_sorted_set(list));
+            }
+        }
+        for p in h.properties().collect::<Vec<_>>() {
+            for (_, list) in h.pos_vector(p) {
+                prop_assert!(sorted::is_sorted_set(list));
+            }
+        }
+        for o in h.objects().collect::<Vec<_>>() {
+            for (_, list) in h.ops_vector(o) {
+                prop_assert!(sorted::is_sorted_set(list));
+            }
+        }
+    }
+
+    #[test]
+    fn merge_primitives_match_std_sets(
+        a in proptest::collection::btree_set(0u32..64, 0..40),
+        b in proptest::collection::btree_set(0u32..64, 0..40),
+    ) {
+        let av: Vec<u32> = a.iter().copied().collect();
+        let bv: Vec<u32> = b.iter().copied().collect();
+        let inter: Vec<u32> = a.intersection(&b).copied().collect();
+        let uni: Vec<u32> = a.union(&b).copied().collect();
+        let diff: Vec<u32> = a.difference(&b).copied().collect();
+        prop_assert_eq!(sorted::intersect(&av, &bv), inter);
+        prop_assert_eq!(sorted::union(&av, &bv), uni);
+        prop_assert_eq!(sorted::difference(&av, &bv), diff);
+        prop_assert_eq!(sorted::union_many(vec![&av, &bv]), sorted::union(&av, &bv));
+        prop_assert_eq!(sorted::intersect_many(vec![&av, &bv]), sorted::intersect(&av, &bv));
+    }
+}

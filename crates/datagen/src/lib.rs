@@ -1,0 +1,28 @@
+//! # hex-datagen — deterministic synthetic RDF workloads
+//!
+//! The paper evaluates on two datasets: the real MIT Barton library catalog
+//! and the synthetic LUBM academic benchmark (§5.1). Neither artifact is
+//! available offline, so this crate generates faithful stand-ins (the
+//! substitutions are documented in DESIGN.md §5):
+//!
+//! - [`lubm`] — academic data with exactly 18 predicates and the entity
+//!   hierarchy the five LUBM queries traverse;
+//! - [`barton`] — an irregular library catalog with 285 Zipf-skewed
+//!   properties and the record populations the seven Barton queries touch;
+//! - [`zipf`] — the skew sampler.
+//!
+//! All generators are pure functions of their configuration (seed
+//! included) and emit triples in a stable order, so a *prefix* of the
+//! stream is itself a meaningful smaller dataset — the paper's scaling
+//! experiments sweep exactly such prefixes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod barton;
+pub mod lubm;
+pub mod zipf;
+
+pub use barton::{BartonConfig, PROPERTY_COUNT};
+pub use lubm::{LubmConfig, PREDICATES};
+pub use zipf::Zipf;

@@ -1,0 +1,409 @@
+//! LUBM-like synthetic academic data (paper §5.1.2).
+//!
+//! The paper's second dataset is the Lehigh University Benchmark: "ten
+//! universities with 18 different predicates resulting in a total of
+//! 6,865,225 triples". The original generator (UBA) is a Java tool; this
+//! module reproduces the schema slice the paper's five LUBM queries touch,
+//! with **exactly 18 predicates**, the same entity hierarchy
+//! (university → department → faculty/students/courses) and comparable
+//! cardinalities, deterministically from a seed.
+//!
+//! The entities the queries name (`AssociateProfessor10`, `Course10`,
+//! `University0`) exist for every generated scale, via the [`Vocab`]
+//! helpers.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rdf_model::{Term, Triple};
+
+/// Namespace prefix of all generated LUBM resources.
+pub const NS: &str = "http://lubm.example.org/";
+
+/// The 18 predicates, mirroring the LUBM vocabulary subset the paper used.
+pub const PREDICATES: [&str; 18] = [
+    "type",
+    "subOrganizationOf",
+    "worksFor",
+    "memberOf",
+    "headOf",
+    "teacherOf",
+    "takesCourse",
+    "teachingAssistantOf",
+    "advisor",
+    "undergraduateDegreeFrom",
+    "mastersDegreeFrom",
+    "doctoralDegreeFrom",
+    "publicationAuthor",
+    "researchInterest",
+    "name",
+    "emailAddress",
+    "telephone",
+    "officeNumber",
+];
+
+/// IRI constructors for the generated universe.
+pub struct Vocab;
+
+impl Vocab {
+    /// A predicate IRI, e.g. `advisor`.
+    pub fn predicate(name: &str) -> Term {
+        debug_assert!(PREDICATES.contains(&name), "unknown predicate {name}");
+        Term::iri(format!("{NS}{name}"))
+    }
+
+    /// A class IRI, e.g. `FullProfessor`.
+    pub fn class(name: &str) -> Term {
+        Term::iri(format!("{NS}{name}"))
+    }
+
+    /// `University{u}`.
+    pub fn university(u: usize) -> Term {
+        Term::iri(format!("{NS}University{u}"))
+    }
+
+    /// `Department{d}.University{u}`.
+    pub fn department(u: usize, d: usize) -> Term {
+        Term::iri(format!("{NS}Department{d}.University{u}"))
+    }
+
+    /// `FullProfessor{i}` of a department.
+    pub fn full_professor(u: usize, d: usize, i: usize) -> Term {
+        Term::iri(format!("{NS}Department{d}.University{u}/FullProfessor{i}"))
+    }
+
+    /// `AssociateProfessor{i}` of a department (LQ3–LQ5 bind i = 10 in
+    /// Department0.University0).
+    pub fn associate_professor(u: usize, d: usize, i: usize) -> Term {
+        Term::iri(format!("{NS}Department{d}.University{u}/AssociateProfessor{i}"))
+    }
+
+    /// `Lecturer{i}` of a department.
+    pub fn lecturer(u: usize, d: usize, i: usize) -> Term {
+        Term::iri(format!("{NS}Department{d}.University{u}/Lecturer{i}"))
+    }
+
+    /// `GraduateStudent{i}` of a department.
+    pub fn grad_student(u: usize, d: usize, i: usize) -> Term {
+        Term::iri(format!("{NS}Department{d}.University{u}/GraduateStudent{i}"))
+    }
+
+    /// `UndergraduateStudent{i}` of a department.
+    pub fn undergrad_student(u: usize, d: usize, i: usize) -> Term {
+        Term::iri(format!("{NS}Department{d}.University{u}/UndergraduateStudent{i}"))
+    }
+
+    /// `Course{i}` of a department (LQ1 binds i = 10 in
+    /// Department0.University0).
+    pub fn course(u: usize, d: usize, i: usize) -> Term {
+        Term::iri(format!("{NS}Department{d}.University{u}/Course{i}"))
+    }
+
+    /// `Publication{i}` of an author within a department.
+    pub fn publication(u: usize, d: usize, author: &str, i: usize) -> Term {
+        Term::iri(format!("{NS}Department{d}.University{u}/{author}/Publication{i}"))
+    }
+}
+
+/// Generation parameters. Defaults approximate the shape of LUBM(n) with a
+/// configurable size knob.
+#[derive(Clone, Debug)]
+pub struct LubmConfig {
+    /// Number of universities (the paper used 10).
+    pub universities: usize,
+    /// RNG seed; equal configs generate identical data.
+    pub seed: u64,
+    /// Departments per university.
+    pub departments: usize,
+    /// Full / associate / assistant-equivalent professors per department.
+    pub full_professors: usize,
+    /// Associate professors per department (≥ 11 so AssociateProfessor10
+    /// exists).
+    pub associate_professors: usize,
+    /// Lecturers per department.
+    pub lecturers: usize,
+    /// Courses per department (≥ 11 so Course10 exists).
+    pub courses: usize,
+    /// Graduate students per department.
+    pub grad_students: usize,
+    /// Undergraduate students per department.
+    pub undergrad_students: usize,
+}
+
+impl Default for LubmConfig {
+    fn default() -> Self {
+        LubmConfig {
+            universities: 1,
+            seed: 0x5eed,
+            departments: 15,
+            full_professors: 8,
+            associate_professors: 12,
+            lecturers: 6,
+            courses: 24,
+            grad_students: 60,
+            undergrad_students: 240,
+        }
+    }
+}
+
+impl LubmConfig {
+    /// A configuration sized so that `universities` controls the triple
+    /// count roughly linearly (~90k triples per university with defaults).
+    pub fn with_universities(universities: usize) -> Self {
+        LubmConfig { universities, ..Default::default() }
+    }
+
+    /// A small configuration for unit tests (~a few thousand triples).
+    pub fn tiny() -> Self {
+        LubmConfig {
+            universities: 1,
+            seed: 7,
+            departments: 2,
+            full_professors: 3,
+            associate_professors: 11,
+            lecturers: 2,
+            courses: 12,
+            grad_students: 8,
+            undergrad_students: 20,
+        }
+    }
+}
+
+/// Generates the dataset as a vector of string-level triples.
+pub fn generate(config: &LubmConfig) -> Vec<Triple> {
+    let mut out = Vec::new();
+    generate_into(config, &mut |t| out.push(t));
+    out
+}
+
+/// Streaming generation; `emit` is called once per triple in a stable,
+/// seed-deterministic order (prefixes of the stream are meaningful
+/// workloads, as in the paper's progressively-larger-prefix experiments).
+pub fn generate_into(config: &LubmConfig, emit: &mut dyn FnMut(Triple)) {
+    assert!(config.associate_professors >= 11, "AssociateProfessor10 must exist");
+    assert!(config.courses >= 11, "Course10 must exist");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let p = |name: &str| Vocab::predicate(name);
+    let type_p = p("type");
+
+    for u in 0..config.universities {
+        let univ = Vocab::university(u);
+        emit(Triple::new(univ.clone(), type_p.clone(), Vocab::class("University")));
+        emit(Triple::new(
+            univ.clone(),
+            p("name"),
+            Term::literal(format!("University {u}")),
+        ));
+
+        for d in 0..config.departments {
+            let dept = Vocab::department(u, d);
+            emit(Triple::new(dept.clone(), type_p.clone(), Vocab::class("Department")));
+            emit(Triple::new(dept.clone(), p("subOrganizationOf"), univ.clone()));
+
+            let mut faculty: Vec<Term> = Vec::new();
+            let emit_person =
+                |person: &Term,
+                 class: &str,
+                 rng: &mut StdRng,
+                 emit: &mut dyn FnMut(Triple)| {
+                    emit(Triple::new(person.clone(), type_p.clone(), Vocab::class(class)));
+                    emit(Triple::new(person.clone(), p("worksFor"), dept.clone()));
+                    emit(Triple::new(person.clone(), p("memberOf"), dept.clone()));
+                    emit(Triple::new(
+                        person.clone(),
+                        p("name"),
+                        Term::literal(format!("{class} person")),
+                    ));
+                    emit(Triple::new(
+                        person.clone(),
+                        p("emailAddress"),
+                        Term::literal(format!("{}@univ{u}.edu", class.to_lowercase())),
+                    ));
+                    emit(Triple::new(
+                        person.clone(),
+                        p("telephone"),
+                        Term::literal(format!("+1-555-{:04}", rng.gen_range(0..10_000))),
+                    ));
+                    // Degrees: every faculty member has all three, from
+                    // uniformly random universities (so LQ5's
+                    // degree-holder sets are non-trivial).
+                    for degree in
+                        ["undergraduateDegreeFrom", "mastersDegreeFrom", "doctoralDegreeFrom"]
+                    {
+                        let from = Vocab::university(rng.gen_range(0..config.universities.max(1)));
+                        emit(Triple::new(person.clone(), p(degree), from));
+                    }
+                };
+
+            for i in 0..config.full_professors {
+                let prof = Vocab::full_professor(u, d, i);
+                emit_person(&prof, "FullProfessor", &mut rng, emit);
+                faculty.push(prof.clone());
+                if i == 0 {
+                    emit(Triple::new(prof, p("headOf"), dept.clone()));
+                }
+            }
+            for i in 0..config.associate_professors {
+                let prof = Vocab::associate_professor(u, d, i);
+                emit_person(&prof, "AssociateProfessor", &mut rng, emit);
+                faculty.push(prof);
+            }
+            for i in 0..config.lecturers {
+                let lect = Vocab::lecturer(u, d, i);
+                emit_person(&lect, "Lecturer", &mut rng, emit);
+                faculty.push(lect);
+            }
+
+            // Courses: each taught by a deterministic-but-spread faculty
+            // member; the i-th course goes to faculty (i * 7 + d) mod |F|.
+            let mut courses: Vec<Term> = Vec::new();
+            for i in 0..config.courses {
+                let course = Vocab::course(u, d, i);
+                emit(Triple::new(course.clone(), type_p.clone(), Vocab::class("Course")));
+                emit(Triple::new(course.clone(), p("name"), Term::literal(format!("Course {i}"))));
+                let teacher = &faculty[(i * 7 + d) % faculty.len()];
+                emit(Triple::new(teacher.clone(), p("teacherOf"), course.clone()));
+                courses.push(course);
+            }
+
+            for i in 0..config.grad_students {
+                let s = Vocab::grad_student(u, d, i);
+                emit(Triple::new(s.clone(), type_p.clone(), Vocab::class("GraduateStudent")));
+                emit(Triple::new(s.clone(), p("memberOf"), dept.clone()));
+                emit(Triple::new(
+                    s.clone(),
+                    p("undergraduateDegreeFrom"),
+                    Vocab::university(rng.gen_range(0..config.universities.max(1))),
+                ));
+                let adv = &faculty[rng.gen_range(0..faculty.len())];
+                emit(Triple::new(s.clone(), p("advisor"), adv.clone()));
+                for _ in 0..rng.gen_range(1..=3) {
+                    let c = &courses[rng.gen_range(0..courses.len())];
+                    emit(Triple::new(s.clone(), p("takesCourse"), c.clone()));
+                }
+                if rng.gen_bool(0.25) {
+                    let c = &courses[rng.gen_range(0..courses.len())];
+                    emit(Triple::new(s.clone(), p("teachingAssistantOf"), c.clone()));
+                }
+                if rng.gen_bool(0.4) {
+                    let pub_ = Vocab::publication(u, d, &format!("GraduateStudent{i}"), 0);
+                    emit(Triple::new(pub_.clone(), type_p.clone(), Vocab::class("Publication")));
+                    emit(Triple::new(pub_, p("publicationAuthor"), s.clone()));
+                }
+                if rng.gen_bool(0.3) {
+                    emit(Triple::new(
+                        s.clone(),
+                        p("researchInterest"),
+                        Term::literal(format!("Research{}", rng.gen_range(0..30))),
+                    ));
+                }
+            }
+
+            for i in 0..config.undergrad_students {
+                let s = Vocab::undergrad_student(u, d, i);
+                emit(Triple::new(s.clone(), type_p.clone(), Vocab::class("UndergraduateStudent")));
+                emit(Triple::new(s.clone(), p("memberOf"), dept.clone()));
+                for _ in 0..rng.gen_range(2..=4) {
+                    let c = &courses[rng.gen_range(0..courses.len())];
+                    emit(Triple::new(s.clone(), p("takesCourse"), c.clone()));
+                }
+                if rng.gen_bool(0.1) {
+                    let adv = &faculty[rng.gen_range(0..faculty.len())];
+                    emit(Triple::new(s.clone(), p("advisor"), adv.clone()));
+                }
+            }
+
+            // Faculty publications and office metadata.
+            for (fi, member) in faculty.iter().enumerate() {
+                for j in 0..rng.gen_range(0..=2) {
+                    let pub_ = Vocab::publication(u, d, &format!("Faculty{fi}"), j);
+                    emit(Triple::new(pub_.clone(), type_p.clone(), Vocab::class("Publication")));
+                    emit(Triple::new(pub_, p("publicationAuthor"), member.clone()));
+                }
+                emit(Triple::new(
+                    member.clone(),
+                    p("officeNumber"),
+                    Term::literal(format!("{}", 100 + fi)),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let cfg = LubmConfig::tiny();
+        assert_eq!(generate(&cfg), generate(&cfg));
+        let mut other = cfg.clone();
+        other.seed += 1;
+        assert_ne!(generate(&cfg), generate(&other));
+    }
+
+    #[test]
+    fn has_exactly_18_predicates() {
+        let triples = generate(&LubmConfig::tiny());
+        let preds: BTreeSet<String> =
+            triples.iter().map(|t| t.predicate.to_string()).collect();
+        assert_eq!(preds.len(), 18, "paper: 18 different predicates; got {preds:?}");
+    }
+
+    #[test]
+    fn named_query_entities_exist() {
+        let triples = generate(&LubmConfig::tiny());
+        let course10 = Vocab::course(0, 0, 10);
+        let assoc10 = Vocab::associate_professor(0, 0, 10);
+        let univ0 = Vocab::university(0);
+        assert!(triples.iter().any(|t| t.object == course10 || t.subject == course10));
+        assert!(triples.iter().any(|t| t.subject == assoc10));
+        assert!(triples.iter().any(|t| t.object == univ0));
+    }
+
+    #[test]
+    fn associate_professor_10_has_degrees_and_courses() {
+        let triples = generate(&LubmConfig::tiny());
+        let assoc10 = Vocab::associate_professor(0, 0, 10);
+        let degree_preds = [
+            Vocab::predicate("undergraduateDegreeFrom"),
+            Vocab::predicate("mastersDegreeFrom"),
+            Vocab::predicate("doctoralDegreeFrom"),
+        ];
+        for dp in &degree_preds {
+            assert!(
+                triples.iter().any(|t| t.subject == assoc10 && &t.predicate == dp),
+                "missing degree {dp}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_courses_are_taught_and_taken() {
+        let cfg = LubmConfig::tiny();
+        let triples = generate(&cfg);
+        let teacher_of = Vocab::predicate("teacherOf");
+        let taught: BTreeSet<&Term> = triples
+            .iter()
+            .filter(|t| t.predicate == teacher_of)
+            .map(|t| &t.object)
+            .collect();
+        assert_eq!(taught.len(), cfg.departments * cfg.courses);
+    }
+
+    #[test]
+    fn scale_is_roughly_linear_in_universities() {
+        let one = generate(&LubmConfig { universities: 1, ..LubmConfig::tiny() }).len();
+        let two = generate(&LubmConfig { universities: 2, ..LubmConfig::tiny() }).len();
+        let ratio = two as f64 / one as f64;
+        assert!((1.7..2.3).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn every_triple_is_valid_rdf() {
+        let triples = generate(&LubmConfig::tiny());
+        assert!(triples.iter().all(Triple::is_valid_rdf));
+        assert!(triples.len() > 700, "got {}", triples.len());
+    }
+}

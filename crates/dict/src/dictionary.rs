@@ -1,0 +1,233 @@
+//! The bidirectional term ⇄ id mapping table.
+
+use crate::id::{Id, IdTriple};
+use rdf_model::{Term, Triple};
+use std::collections::HashMap;
+
+/// Dictionary encoding of RDF terms.
+///
+/// Maps each distinct [`Term`] to a dense [`Id`] (allocated in first-seen
+/// order starting from 0) and back. All stores in the workspace share one
+/// dictionary per dataset, exactly as the paper's single "mapping table"
+/// (§4.1) serves all six indices.
+#[derive(Default, Clone)]
+pub struct Dictionary {
+    terms: Vec<Term>,
+    ids: HashMap<Term, Id>,
+}
+
+impl Dictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Dictionary::default()
+    }
+
+    /// Creates an empty dictionary with capacity for `n` distinct terms.
+    pub fn with_capacity(n: usize) -> Self {
+        Dictionary { terms: Vec::with_capacity(n), ids: HashMap::with_capacity(n) }
+    }
+
+    /// Number of distinct terms interned.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True if no terms have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Interns a term, returning its id. Idempotent: the same term always
+    /// yields the same id.
+    pub fn encode(&mut self, term: &Term) -> Id {
+        if let Some(&id) = self.ids.get(term) {
+            return id;
+        }
+        let id = Id(u32::try_from(self.terms.len()).expect("dictionary overflow: more than 2^32 terms"));
+        self.terms.push(term.clone());
+        self.ids.insert(term.clone(), id);
+        id
+    }
+
+    /// Looks up the id of a term without interning it.
+    pub fn id_of(&self, term: &Term) -> Option<Id> {
+        self.ids.get(term).copied()
+    }
+
+    /// Decodes an id back to its term.
+    pub fn decode(&self, id: Id) -> Option<&Term> {
+        self.terms.get(id.index())
+    }
+
+    /// Encodes a triple, interning all three terms.
+    pub fn encode_triple(&mut self, t: &Triple) -> IdTriple {
+        IdTriple {
+            s: self.encode(&t.subject),
+            p: self.encode(&t.predicate),
+            o: self.encode(&t.object),
+        }
+    }
+
+    /// Looks up an already-interned triple. Returns `None` if any component
+    /// has never been seen (in which case no store can contain the triple).
+    pub fn triple_ids(&self, t: &Triple) -> Option<IdTriple> {
+        Some(IdTriple {
+            s: self.id_of(&t.subject)?,
+            p: self.id_of(&t.predicate)?,
+            o: self.id_of(&t.object)?,
+        })
+    }
+
+    /// Decodes an encoded triple back to terms.
+    pub fn decode_triple(&self, t: IdTriple) -> Option<Triple> {
+        Some(Triple::new(
+            self.decode(t.s)?.clone(),
+            self.decode(t.p)?.clone(),
+            self.decode(t.o)?.clone(),
+        ))
+    }
+
+    /// Iterates `(id, term)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (Id, &Term)> {
+        self.terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (Id(i as u32), t))
+    }
+
+    /// Approximate heap footprint of the dictionary in bytes: the id-to-term
+    /// vector, the hash table, and each term's string payload (counted once —
+    /// the two directions share `Arc<str>` buffers).
+    pub fn heap_bytes(&self) -> usize {
+        let strings: usize = self
+            .terms
+            .iter()
+            .map(|t| match t {
+                Term::Iri(i) => i.as_str().len(),
+                Term::Blank(b) => b.as_str().len(),
+                Term::Literal(l) => {
+                    l.lexical().len() + l.language().map_or(0, str::len)
+                }
+            })
+            .sum();
+        let vec = self.terms.capacity() * std::mem::size_of::<Term>();
+        // HashMap stores (Term, Id) entries plus ~1/8 control byte overhead.
+        let map = self.ids.capacity()
+            * (std::mem::size_of::<(Term, Id)>() + 1);
+        strings + vec + map
+    }
+}
+
+impl std::fmt::Debug for Dictionary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Dictionary").field("terms", &self.terms.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iri(s: &str) -> Term {
+        Term::iri(format!("http://x/{s}"))
+    }
+
+    #[test]
+    fn encode_is_idempotent_and_dense() {
+        let mut d = Dictionary::new();
+        let a = d.encode(&iri("a"));
+        let b = d.encode(&iri("b"));
+        let a2 = d.encode(&iri("a"));
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(a, Id(0));
+        assert_eq!(b, Id(1));
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn decode_inverts_encode() {
+        let mut d = Dictionary::new();
+        let terms = [iri("a"), Term::literal("lit"), Term::blank("b0"), Term::lang_literal("x", "en")];
+        let ids: Vec<Id> = terms.iter().map(|t| d.encode(t)).collect();
+        for (id, term) in ids.iter().zip(&terms) {
+            assert_eq!(d.decode(*id), Some(term));
+        }
+    }
+
+    #[test]
+    fn distinct_literal_forms_get_distinct_ids() {
+        let mut d = Dictionary::new();
+        // Same lexical form, different term kinds/tags must not collide.
+        let plain = d.encode(&Term::literal("MIT"));
+        let lang = d.encode(&Term::lang_literal("MIT", "en"));
+        let iri = d.encode(&Term::iri("MIT"));
+        assert_ne!(plain, lang);
+        assert_ne!(plain, iri);
+        assert_ne!(lang, iri);
+    }
+
+    #[test]
+    fn id_of_does_not_intern() {
+        let mut d = Dictionary::new();
+        assert_eq!(d.id_of(&iri("a")), None);
+        assert_eq!(d.len(), 0);
+        d.encode(&iri("a"));
+        assert_eq!(d.id_of(&iri("a")), Some(Id(0)));
+    }
+
+    #[test]
+    fn triple_roundtrip() {
+        let mut d = Dictionary::new();
+        let t = Triple::new(iri("ID1"), iri("advisor"), iri("ID2"));
+        let enc = d.encode_triple(&t);
+        assert_eq!(d.decode_triple(enc), Some(t.clone()));
+        assert_eq!(d.triple_ids(&t), Some(enc));
+    }
+
+    #[test]
+    fn triple_ids_of_unknown_term_is_none() {
+        let mut d = Dictionary::new();
+        d.encode_triple(&Triple::new(iri("a"), iri("p"), iri("b")));
+        let unknown = Triple::new(iri("a"), iri("p"), iri("zzz"));
+        assert_eq!(d.triple_ids(&unknown), None);
+    }
+
+    #[test]
+    fn decode_out_of_range_is_none() {
+        let d = Dictionary::new();
+        assert_eq!(d.decode(Id(0)), None);
+        assert_eq!(d.decode_triple(IdTriple::from((0, 1, 2))), None);
+    }
+
+    #[test]
+    fn iter_yields_id_order() {
+        let mut d = Dictionary::new();
+        d.encode(&iri("a"));
+        d.encode(&iri("b"));
+        let pairs: Vec<(Id, String)> = d.iter().map(|(i, t)| (i, t.to_string())).collect();
+        assert_eq!(pairs[0].0, Id(0));
+        assert_eq!(pairs[1].0, Id(1));
+        assert!(pairs[0].1.contains("/a"));
+    }
+
+    #[test]
+    fn heap_bytes_grows_with_content() {
+        let mut d = Dictionary::new();
+        let empty = d.heap_bytes();
+        for i in 0..100 {
+            d.encode(&iri(&format!("term{i}")));
+        }
+        assert!(d.heap_bytes() > empty);
+    }
+
+    #[test]
+    fn shared_subject_and_object_namespace() {
+        // Paper §4.1: one mapping table for all roles — an id can occur as
+        // subject in one triple and object in another (e.g. ID2 in Fig. 1).
+        let mut d = Dictionary::new();
+        let t1 = d.encode_triple(&Triple::new(iri("ID3"), iri("advisor"), iri("ID2")));
+        let t2 = d.encode_triple(&Triple::new(iri("ID2"), iri("worksFor"), Term::literal("MIT")));
+        assert_eq!(t1.o, t2.s);
+    }
+}

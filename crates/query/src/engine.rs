@@ -1,0 +1,476 @@
+//! String-level query execution: parse → compile against a dictionary →
+//! execute on any [`TripleStore`] → decode.
+
+use crate::algebra::{Bgp, Pattern, PatternTerm, VarId};
+use crate::exec;
+use crate::parser::{parse_query, FilterOp, FilterOperand, ParseError, ParsedQuery};
+use hex_dict::Dictionary;
+use hexastore::{GraphStore, TripleStore};
+use rdf_model::{Term, TermPattern};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A query result: projected variable names and rows of terms.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResultSet {
+    /// Projected variable names.
+    pub vars: Vec<String>,
+    /// Result rows, one term per projected variable.
+    pub rows: Vec<Vec<Term>>,
+}
+
+impl ResultSet {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// A simple tab-separated rendering with a header line.
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.vars.join("\t"));
+        out.push('\n');
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(Term::to_string).collect();
+            out.push_str(&cells.join("\t"));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Errors from parsing or executing a query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueryError {
+    /// The query text failed to parse.
+    Parse(ParseError),
+    /// A projected variable does not occur in any pattern.
+    UnknownVariable(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Parse(e) => e.fmt(f),
+            QueryError::UnknownVariable(v) => {
+                write!(f, "projected variable ?{v} does not occur in the pattern")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<ParseError> for QueryError {
+    fn from(e: ParseError) -> Self {
+        QueryError::Parse(e)
+    }
+}
+
+/// A compiled query: id-level BGP plus the projection slots.
+#[derive(Clone, Debug)]
+pub struct CompiledQuery {
+    /// The id-level BGP. `None` when a constant term was never interned —
+    /// the result is statically empty.
+    pub bgp: Option<Bgp>,
+    /// Projected variable names.
+    pub vars: Vec<String>,
+    /// Slot of each projected variable.
+    pub slots: Vec<VarId>,
+    /// Whether to deduplicate rows.
+    pub distinct: bool,
+    /// Compiled FILTER constraints.
+    pub filters: Vec<CompiledFilter>,
+    /// True for ASK queries (existence check).
+    pub ask: bool,
+    /// LIMIT solution modifier.
+    pub limit: Option<usize>,
+    /// OFFSET solution modifier.
+    pub offset: usize,
+}
+
+/// One side of a compiled FILTER comparison.
+#[derive(Clone, Copy, Debug)]
+pub enum FilterSide {
+    /// A binding-row slot.
+    Slot(VarId),
+    /// A dictionary-resolved constant.
+    Known(hex_dict::Id),
+    /// A constant that is not in the dictionary: it equals nothing stored.
+    Unknown,
+}
+
+/// An id-level FILTER constraint.
+#[derive(Clone, Copy, Debug)]
+pub struct CompiledFilter {
+    /// Left side.
+    pub left: FilterSide,
+    /// Operator.
+    pub op: FilterOp,
+    /// Right side.
+    pub right: FilterSide,
+}
+
+impl CompiledFilter {
+    /// Evaluates against a binding row. Rows with an unbound filtered
+    /// variable are rejected (SPARQL: an error, treated as false).
+    fn accepts(&self, row: &[Option<hex_dict::Id>]) -> bool {
+        let resolve = |side: FilterSide| -> Option<Option<hex_dict::Id>> {
+            match side {
+                // Unbound slot → SPARQL error semantics → reject the row.
+                FilterSide::Slot(v) => row[v.index()].map(Some),
+                FilterSide::Known(id) => Some(Some(id)),
+                FilterSide::Unknown => Some(None),
+            }
+        };
+        let (Some(l), Some(r)) = (resolve(self.left), resolve(self.right)) else {
+            return false;
+        };
+        // `None` = a term outside the dictionary: unequal to everything
+        // stored (and to other unknown terms we conservatively answer
+        // "not equal", which matches set semantics over stored ids).
+        let equal = matches!((l, r), (Some(a), Some(b)) if a == b);
+        match self.op {
+            FilterOp::Eq => equal,
+            FilterOp::Ne => !equal,
+        }
+    }
+}
+
+/// Compiles a parsed query against a dictionary (read-only: unknown
+/// constants make the query statically empty rather than interning).
+pub fn compile(parsed: &ParsedQuery, dict: &Dictionary) -> Result<CompiledQuery, QueryError> {
+    let mut slot_of: HashMap<String, VarId> = HashMap::new();
+    let mut next: u16 = 0;
+    let mut slot = |name: &str, slot_of: &mut HashMap<String, VarId>| -> VarId {
+        *slot_of.entry(name.to_string()).or_insert_with(|| {
+            let v = VarId(next);
+            next += 1;
+            v
+        })
+    };
+
+    let mut patterns = Vec::with_capacity(parsed.patterns.len());
+    let mut unknown_constant = false;
+    for pat in &parsed.patterns {
+        let mut pos = |tp: &TermPattern, slot_of: &mut HashMap<String, VarId>| match tp {
+            TermPattern::Var(name) => PatternTerm::Var(slot(name, slot_of)),
+            TermPattern::Bound(term) => match dict.id_of(term) {
+                Some(id) => PatternTerm::Const(id),
+                None => {
+                    unknown_constant = true;
+                    PatternTerm::Const(hex_dict::Id(u32::MAX))
+                }
+            },
+        };
+        let s = pos(&pat.subject, &mut slot_of);
+        let p = pos(&pat.predicate, &mut slot_of);
+        let o = pos(&pat.object, &mut slot_of);
+        patterns.push(Pattern::new(s, p, o));
+    }
+
+    let mut filters = Vec::with_capacity(parsed.filters.len());
+    for fexpr in &parsed.filters {
+        let side = |operand: &FilterOperand| -> Result<FilterSide, QueryError> {
+            match operand {
+                FilterOperand::Var(name) => match slot_of.get(name) {
+                    Some(&v) => Ok(FilterSide::Slot(v)),
+                    None => Err(QueryError::UnknownVariable(name.clone())),
+                },
+                FilterOperand::Term(t) => Ok(match dict.id_of(t) {
+                    Some(id) => FilterSide::Known(id),
+                    None => FilterSide::Unknown,
+                }),
+            }
+        };
+        filters.push(CompiledFilter { left: side(&fexpr.left)?, op: fexpr.op, right: side(&fexpr.right)? });
+    }
+
+    let vars = if parsed.ask { Vec::new() } else { parsed.projection() };
+    let mut slots = Vec::with_capacity(vars.len());
+    for v in &vars {
+        match slot_of.get(v) {
+            Some(&s) => slots.push(s),
+            None => return Err(QueryError::UnknownVariable(v.clone())),
+        }
+    }
+    Ok(CompiledQuery {
+        bgp: (!unknown_constant).then(|| Bgp::new(patterns)),
+        vars,
+        slots,
+        distinct: parsed.distinct,
+        filters,
+        ask: parsed.ask,
+        limit: parsed.limit,
+        offset: parsed.offset,
+    })
+}
+
+/// Executes a compiled query against a store, decoding rows through the
+/// dictionary.
+pub fn execute_compiled(
+    store: &dyn TripleStore,
+    dict: &Dictionary,
+    q: &CompiledQuery,
+) -> ResultSet {
+    let Some(bgp) = &q.bgp else {
+        return ResultSet { vars: q.vars.clone(), rows: Vec::new() };
+    };
+    let mut rows = exec::execute_bgp(store, bgp);
+    if !q.filters.is_empty() {
+        rows.retain(|row| q.filters.iter().all(|f| f.accepts(row)));
+    }
+    if q.ask {
+        // ASK: a single empty row signals "yes", no rows "no".
+        let rows = if rows.is_empty() { Vec::new() } else { vec![Vec::new()] };
+        return ResultSet { vars: Vec::new(), rows };
+    }
+    let mut projected = exec::project(&rows, &q.slots);
+    if q.distinct {
+        projected = exec::distinct(projected);
+    }
+    if q.offset > 0 {
+        projected.drain(..q.offset.min(projected.len()));
+    }
+    if let Some(limit) = q.limit {
+        projected.truncate(limit);
+    }
+    let decoded = projected
+        .into_iter()
+        .map(|row| {
+            row.into_iter()
+                .map(|id| dict.decode(id).expect("result id missing from dictionary").clone())
+                .collect()
+        })
+        .collect();
+    ResultSet { vars: q.vars.clone(), rows: decoded }
+}
+
+/// Parses and runs a query against an arbitrary store + dictionary pair.
+pub fn execute_on(
+    store: &dyn TripleStore,
+    dict: &Dictionary,
+    query_text: &str,
+) -> Result<ResultSet, QueryError> {
+    let parsed = parse_query(query_text)?;
+    let compiled = compile(&parsed, dict)?;
+    Ok(execute_compiled(store, dict, &compiled))
+}
+
+/// Parses and runs a query against a [`GraphStore`] (the common case).
+pub fn execute(graph: &GraphStore, query_text: &str) -> Result<ResultSet, QueryError> {
+    execute_on(graph.store(), graph.dict(), query_text)
+}
+
+/// Parses and runs an ASK query, returning its boolean answer. SELECT
+/// queries are answered by non-emptiness.
+pub fn execute_ask(graph: &GraphStore, query_text: &str) -> Result<bool, QueryError> {
+    Ok(!execute(graph, query_text)?.is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdf_model::Triple;
+
+    fn iri(s: &str) -> Term {
+        Term::iri(format!("http://x/{s}"))
+    }
+
+    fn figure1_graph() -> GraphStore {
+        let mut g = GraphStore::new();
+        let data = [
+            ("ID1", "type", "FullProfessor"),
+            ("ID1", "teacherOf", "lit:AI"),
+            ("ID1", "bachelorFrom", "lit:MIT"),
+            ("ID1", "mastersFrom", "lit:Cambridge"),
+            ("ID1", "phdFrom", "lit:Yale"),
+            ("ID2", "type", "AssocProfessor"),
+            ("ID2", "worksFor", "lit:MIT"),
+            ("ID2", "teacherOf", "lit:DataBases"),
+            ("ID2", "bachelorsFrom", "lit:Yale"),
+            ("ID2", "phdFrom", "lit:Stanford"),
+            ("ID3", "type", "GradStudent"),
+            ("ID3", "advisor", "ID2"),
+            ("ID3", "teachingAssist", "lit:AI"),
+            ("ID3", "bachelorsFrom", "lit:Stanford"),
+            ("ID3", "mastersFrom", "lit:Princeton"),
+            ("ID4", "type", "GradStudent"),
+            ("ID4", "advisor", "ID1"),
+            ("ID4", "takesCourse", "lit:DataBases"),
+            ("ID4", "bachelorsFrom", "lit:Columbia"),
+        ];
+        for (s, p, o) in data {
+            let object = match o.strip_prefix("lit:") {
+                Some(lex) => Term::literal(lex),
+                None => iri(o),
+            };
+            g.insert(&Triple::new(iri(s), iri(p), object));
+        }
+        g
+    }
+
+    #[test]
+    fn figure1_upper_query() {
+        // SELECT A.property WHERE A.subj = ID2 AND A.obj = 'MIT'
+        let g = figure1_graph();
+        let rs = execute(&g, r#"SELECT ?property WHERE { <http://x/ID2> ?property "MIT" . }"#)
+            .unwrap();
+        assert_eq!(rs.vars, vec!["property"]);
+        assert_eq!(rs.rows, vec![vec![iri("worksFor")]]);
+    }
+
+    #[test]
+    fn figure1_lower_query() {
+        // People with the same relationship to Stanford as ID1 has to Yale
+        // (ID1 phdFrom Yale; ID2 phdFrom Stanford).
+        let g = figure1_graph();
+        let rs = execute(
+            &g,
+            r#"SELECT ?b WHERE {
+                <http://x/ID1> ?prop "Yale" .
+                ?b ?prop "Stanford" .
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(rs.rows, vec![vec![iri("ID2")]]);
+    }
+
+    #[test]
+    fn select_star_and_distinct() {
+        let g = figure1_graph();
+        let rs = execute(
+            &g,
+            r#"SELECT DISTINCT ?type WHERE { ?who <http://x/type> ?type . }"#,
+        )
+        .unwrap();
+        assert_eq!(rs.len(), 3); // FullProfessor, AssocProfessor, GradStudent
+        let star = execute(&g, r#"SELECT * WHERE { ?who <http://x/advisor> ?adv . }"#).unwrap();
+        assert_eq!(star.vars, vec!["who", "adv"]);
+        assert_eq!(star.len(), 2);
+    }
+
+    #[test]
+    fn unknown_constant_yields_empty_not_error() {
+        let g = figure1_graph();
+        let rs = execute(
+            &g,
+            r#"SELECT ?x WHERE { ?x <http://x/nonexistent> "nothing" . }"#,
+        )
+        .unwrap();
+        assert!(rs.is_empty());
+    }
+
+    #[test]
+    fn unknown_projected_variable_is_an_error() {
+        let g = figure1_graph();
+        let e = execute(&g, r#"SELECT ?zzz WHERE { ?x <http://x/type> ?y . }"#).unwrap_err();
+        assert!(matches!(e, QueryError::UnknownVariable(v) if v == "zzz"));
+    }
+
+    #[test]
+    fn runs_identically_on_baseline_stores() {
+        // The engine is store-agnostic; results must match across stores.
+        let g = figure1_graph();
+        let queries = [
+            r#"SELECT ?p WHERE { <http://x/ID2> ?p "MIT" . }"#,
+            r#"SELECT ?who ?how WHERE { ?who ?how "MIT" . }"#,
+            r#"SELECT DISTINCT ?s WHERE { ?s <http://x/type> <http://x/GradStudent> . ?s <http://x/advisor> ?a . }"#,
+        ];
+        // Rebuild the same data in a triples-table via the id stream.
+        let ids = g.store().matching(hexastore::IdPattern::ALL);
+        let table = hex_baselines::TriplesTable::from_triples(ids.iter().copied());
+        let covp1 = hex_baselines::Covp1::from_triples(ids.iter().copied());
+        let covp2 = hex_baselines::Covp2::from_triples(ids);
+        for q in queries {
+            let reference = {
+                let mut r = execute(&g, q).unwrap().rows;
+                r.sort();
+                r
+            };
+            for store in [&table as &dyn TripleStore, &covp1, &covp2] {
+                let mut rows = execute_on(store, g.dict(), q).unwrap().rows;
+                rows.sort();
+                assert_eq!(rows, reference, "store {} query {q}", store.name());
+            }
+        }
+    }
+
+    #[test]
+    fn limit_offset_and_ask() {
+        let g = figure1_graph();
+        let all = execute(&g, r#"SELECT ?s WHERE { ?s <http://x/type> ?t . }"#).unwrap();
+        assert_eq!(all.len(), 4);
+        let limited =
+            execute(&g, r#"SELECT ?s WHERE { ?s <http://x/type> ?t . } LIMIT 2"#).unwrap();
+        assert_eq!(limited.len(), 2);
+        assert_eq!(&limited.rows[..], &all.rows[..2]);
+        let offset =
+            execute(&g, r#"SELECT ?s WHERE { ?s <http://x/type> ?t . } OFFSET 3 LIMIT 5"#)
+                .unwrap();
+        assert_eq!(offset.len(), 1);
+        assert_eq!(offset.rows[0], all.rows[3]);
+        assert!(execute_ask(&g, r#"ASK { <http://x/ID3> <http://x/advisor> ?a . }"#).unwrap());
+        assert!(!execute_ask(&g, r#"ASK { <http://x/ID1> <http://x/advisor> ?a . }"#).unwrap());
+    }
+
+    #[test]
+    fn filters_restrict_solutions() {
+        let g = figure1_graph();
+        // Everyone related to MIT except by worksFor.
+        let rs = execute(
+            &g,
+            r#"SELECT ?who WHERE {
+                ?who ?how "MIT" .
+                FILTER(?how != <http://x/worksFor>)
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(rs.rows, vec![vec![iri("ID1")]]);
+        // BQ5-style non-Text filter expressed declaratively.
+        let rs = execute(
+            &g,
+            r#"SELECT ?s ?t WHERE {
+                ?s <http://x/type> ?t .
+                FILTER(?t != <http://x/GradStudent>)
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(rs.len(), 2);
+        // Equality filter between two variables.
+        let rs = execute(
+            &g,
+            r#"SELECT ?a WHERE {
+                ?a <http://x/teacherOf> ?c .
+                ?b <http://x/teachingAssist> ?c .
+                FILTER(?c = "AI")
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(rs.rows, vec![vec![iri("ID1")]]);
+        // Filter against a term absent from the data: != passes all.
+        let rs = execute(
+            &g,
+            r#"SELECT ?s WHERE { ?s <http://x/type> ?t . FILTER(?t != <http://x/Nothing>) }"#,
+        )
+        .unwrap();
+        assert_eq!(rs.len(), 4);
+        // Unknown variable in a filter is an error.
+        let e = execute(&g, r#"SELECT ?s WHERE { ?s ?p ?o . FILTER(?zzz = ?s) }"#).unwrap_err();
+        assert!(matches!(e, QueryError::UnknownVariable(_)));
+    }
+
+    #[test]
+    fn tsv_rendering() {
+        let g = figure1_graph();
+        let rs = execute(&g, r#"SELECT ?p WHERE { <http://x/ID2> ?p "MIT" . }"#).unwrap();
+        let tsv = rs.to_tsv();
+        assert!(tsv.starts_with("p\n"));
+        assert!(tsv.contains("worksFor"));
+    }
+}

@@ -1,0 +1,52 @@
+//! # hex-query — query processing over triple stores
+//!
+//! The query layer of the Hexastore reproduction:
+//!
+//! - [`algebra`] — basic graph patterns over dictionary ids;
+//! - [`exec`] — selectivity-ordered BGP execution against any
+//!   [`hexastore::TripleStore`];
+//! - [`ops`] — the counting/grouping operators the paper's benchmark
+//!   queries aggregate with;
+//! - [`path`] — path-expression evaluation with merge-join accounting
+//!   (paper §4.3), plus transitive closure;
+//! - [`parser`] / [`engine`] — a small SPARQL-like language, compiled
+//!   against a dictionary and executed on any store.
+//!
+//! ## Example
+//!
+//! ```
+//! use hexastore::GraphStore;
+//! use hex_query::execute;
+//!
+//! let mut g = GraphStore::new();
+//! g.load_ntriples(r#"
+//! <http://x/ID3> <http://x/advisor> <http://x/ID2> .
+//! <http://x/ID2> <http://x/worksFor> "MIT" .
+//! "#).unwrap();
+//!
+//! let rs = execute(&g, r#"
+//!     SELECT ?student WHERE {
+//!         ?student <http://x/advisor> ?prof .
+//!         ?prof <http://x/worksFor> "MIT" .
+//!     }
+//! "#).unwrap();
+//! assert_eq!(rs.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algebra;
+pub mod engine;
+pub mod exec;
+pub mod ops;
+pub mod parser;
+pub mod path;
+
+pub use algebra::{Bgp, Pattern, PatternTerm, VarId};
+pub use engine::{compile, execute, execute_ask, execute_compiled, execute_on, QueryError, ResultSet};
+pub use exec::{execute_bgp, execute_bgp_with_order, plan_order};
+pub use parser::{parse_query, FilterExpr, FilterOp, FilterOperand, ParseError, ParsedQuery};
+pub use path::{
+    follow_path, follow_path_generic, path_pairs, transitive_closure, PathResult, PathStats,
+};

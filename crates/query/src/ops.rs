@@ -1,0 +1,93 @@
+//! Aggregation operators used by the paper's benchmark queries.
+//!
+//! The Barton queries are aggregation-heavy: BQ1 counts subjects per
+//! object, BQ2/BQ3/BQ4/BQ6 count property frequencies and "popular" object
+//! values. These helpers implement the counting/grouping steps shared by
+//! every store's plan, so measured differences come from index access, not
+//! from different aggregation code.
+
+use hex_dict::Id;
+
+/// Counts occurrences of each id, returning `(id, count)` sorted by id.
+pub fn frequency(items: impl IntoIterator<Item = Id>) -> Vec<(Id, usize)> {
+    let mut v: Vec<Id> = items.into_iter().collect();
+    v.sort_unstable();
+    let mut out: Vec<(Id, usize)> = Vec::new();
+    for id in v {
+        match out.last_mut() {
+            Some((last, n)) if *last == id => *n += 1,
+            _ => out.push((id, 1)),
+        }
+    }
+    out
+}
+
+/// Sums pre-counted `(id, count)` pairs by id, sorted by id.
+pub fn merge_counts(pairs: impl IntoIterator<Item = (Id, usize)>) -> Vec<(Id, usize)> {
+    let mut v: Vec<(Id, usize)> = pairs.into_iter().collect();
+    v.sort_unstable_by_key(|&(id, _)| id);
+    let mut out: Vec<(Id, usize)> = Vec::new();
+    for (id, n) in v {
+        match out.last_mut() {
+            Some((last, total)) if *last == id => *total += n,
+            _ => out.push((id, n)),
+        }
+    }
+    out
+}
+
+/// Groups `(key, value)` pairs by key, values sorted and deduplicated;
+/// result sorted by key.
+pub fn group_by_key(pairs: impl IntoIterator<Item = (Id, Id)>) -> Vec<(Id, Vec<Id>)> {
+    let mut v: Vec<(Id, Id)> = pairs.into_iter().collect();
+    v.sort_unstable();
+    v.dedup();
+    let mut out: Vec<(Id, Vec<Id>)> = Vec::new();
+    for (k, val) in v {
+        match out.last_mut() {
+            Some((last, vals)) if *last == k => vals.push(val),
+            _ => out.push((k, vec![val])),
+        }
+    }
+    out
+}
+
+/// Keeps only entries with `count > 1` — the paper's "popular object
+/// values" filter of BQ3/BQ4.
+pub fn popular(counts: Vec<(Id, usize)>) -> Vec<(Id, usize)> {
+    counts.into_iter().filter(|&(_, n)| n > 1).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(v: u32) -> Id {
+        Id(v)
+    }
+
+    #[test]
+    fn frequency_counts_and_sorts() {
+        let f = frequency([id(3), id(1), id(3), id(3), id(2), id(1)]);
+        assert_eq!(f, vec![(id(1), 2), (id(2), 1), (id(3), 3)]);
+        assert_eq!(frequency([]), vec![]);
+    }
+
+    #[test]
+    fn merge_counts_sums_by_key() {
+        let m = merge_counts([(id(2), 5), (id(1), 1), (id(2), 3)]);
+        assert_eq!(m, vec![(id(1), 1), (id(2), 8)]);
+    }
+
+    #[test]
+    fn group_by_key_dedups_values() {
+        let g = group_by_key([(id(1), id(9)), (id(2), id(4)), (id(1), id(9)), (id(1), id(3))]);
+        assert_eq!(g, vec![(id(1), vec![id(3), id(9)]), (id(2), vec![id(4)])]);
+    }
+
+    #[test]
+    fn popular_filters_singletons() {
+        let p = popular(vec![(id(1), 1), (id(2), 2), (id(3), 7)]);
+        assert_eq!(p, vec![(id(2), 2), (id(3), 7)]);
+    }
+}

@@ -1,0 +1,42 @@
+//! # rdf-model
+//!
+//! The RDF data model used throughout the Hexastore reproduction:
+//! [`Term`]s (IRIs, literals, blank nodes), [`Triple`]s, triple
+//! [`TriplePattern`]s, and a line-oriented
+//! [N-Triples](https://www.w3.org/TR/n-triples/) parser and writer.
+//!
+//! The Hexastore paper (Weiss, Karras, Bernstein, VLDB 2008) stores RDF
+//! *statements* — triples `<subject, property, object>` — after dictionary
+//! encoding. This crate provides the string-level model that the
+//! [`hex_dict`](../hex_dict) crate encodes.
+//!
+//! ## Example
+//!
+//! ```
+//! use rdf_model::{Term, Triple};
+//!
+//! let t = Triple::new(
+//!     Term::iri("http://example.org/ID1"),
+//!     Term::iri("http://example.org/teacherOf"),
+//!     Term::literal("AI"),
+//! );
+//! assert_eq!(
+//!     t.to_string(),
+//!     "<http://example.org/ID1> <http://example.org/teacherOf> \"AI\" ."
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ntriples;
+mod pattern;
+mod term;
+mod triple;
+mod turtle;
+
+pub use ntriples::{parse_document, parse_line, write_document, NtParseError};
+pub use pattern::{TermPattern, TriplePattern};
+pub use term::{BlankNode, Iri, Literal, Term, TermKind};
+pub use triple::Triple;
+pub use turtle::{parse_turtle, write_turtle, TurtleParseError, RDF_TYPE};

@@ -1,0 +1,384 @@
+//! Line-oriented N-Triples parser and writer.
+//!
+//! N-Triples is the exchange syntax the paper's datasets were shipped in
+//! (the Barton dump was converted "from its native RDF/XML syntax to
+//! triples", §5.1.1). The grammar subset implemented here is the full
+//! [W3C N-Triples](https://www.w3.org/TR/n-triples/) triple line:
+//! IRIs, blank nodes, literals with escapes, language tags and datatypes,
+//! comments and blank lines.
+
+use crate::term::{BlankNode, Iri, Literal, Term};
+use crate::triple::Triple;
+use std::fmt;
+
+/// Error produced while parsing an N-Triples document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NtParseError {
+    /// 1-based line number the error occurred on (0 when unknown).
+    pub line: usize,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for NtParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N-Triples parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for NtParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> NtParseError {
+    NtParseError { line, message: message.into() }
+}
+
+/// A cursor over the bytes of one line.
+struct Cursor<'a> {
+    input: &'a str,
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(input: &'a str, line: usize) -> Self {
+        Cursor { input, pos: 0, line }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(' ' | '\t')) {
+            self.bump();
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), NtParseError> {
+        match self.bump() {
+            Some(got) if got == c => Ok(()),
+            Some(got) => Err(err(self.line, format!("expected '{c}', found '{got}'"))),
+            None => Err(err(self.line, format!("expected '{c}', found end of line"))),
+        }
+    }
+
+    fn parse_term(&mut self) -> Result<Term, NtParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some('<') => self.parse_iri().map(Term::Iri),
+            Some('_') => self.parse_blank().map(Term::Blank),
+            Some('"') => self.parse_literal().map(Term::Literal),
+            Some(c) => Err(err(self.line, format!("unexpected character '{c}' at start of term"))),
+            None => Err(err(self.line, "unexpected end of line, expected a term")),
+        }
+    }
+
+    fn parse_iri(&mut self) -> Result<Iri, NtParseError> {
+        self.expect('<')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some('>') => return Ok(Iri::new(out)),
+                Some('\\') => out.push(self.parse_escape()?),
+                Some(c) if c == ' ' || c == '<' || c == '"' => {
+                    return Err(err(self.line, format!("invalid character '{c}' inside IRI")))
+                }
+                Some(c) => out.push(c),
+                None => return Err(err(self.line, "unterminated IRI")),
+            }
+        }
+    }
+
+    fn parse_blank(&mut self) -> Result<BlankNode, NtParseError> {
+        self.expect('_')?;
+        self.expect(':')?;
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '_' || c == '-' || c == '.')
+        {
+            // A trailing '.' terminates the statement, not the label.
+            if self.peek() == Some('.') {
+                let after = self.rest()[1..].trim_start();
+                if after.is_empty() {
+                    break;
+                }
+            }
+            self.bump();
+        }
+        if self.pos == start {
+            return Err(err(self.line, "empty blank node label"));
+        }
+        Ok(BlankNode::new(&self.input[start..self.pos]))
+    }
+
+    fn parse_literal(&mut self) -> Result<Literal, NtParseError> {
+        self.expect('"')?;
+        let mut lex = String::new();
+        loop {
+            match self.bump() {
+                Some('"') => break,
+                Some('\\') => lex.push(self.parse_escape()?),
+                Some(c) => lex.push(c),
+                None => return Err(err(self.line, "unterminated literal")),
+            }
+        }
+        match self.peek() {
+            Some('@') => {
+                self.bump();
+                let start = self.pos;
+                while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == '-') {
+                    self.bump();
+                }
+                if self.pos == start {
+                    return Err(err(self.line, "empty language tag"));
+                }
+                Ok(Literal::lang(lex, &self.input[start..self.pos]))
+            }
+            Some('^') => {
+                self.expect('^')?;
+                self.expect('^')?;
+                let dt = self.parse_iri()?;
+                Ok(Literal::typed(lex, dt))
+            }
+            _ => Ok(Literal::simple(lex)),
+        }
+    }
+
+    fn parse_escape(&mut self) -> Result<char, NtParseError> {
+        match self.bump() {
+            Some('t') => Ok('\t'),
+            Some('n') => Ok('\n'),
+            Some('r') => Ok('\r'),
+            Some('b') => Ok('\u{8}'),
+            Some('f') => Ok('\u{c}'),
+            Some('"') => Ok('"'),
+            Some('\'') => Ok('\''),
+            Some('\\') => Ok('\\'),
+            Some('u') => self.parse_unicode_escape(4),
+            Some('U') => self.parse_unicode_escape(8),
+            Some(c) => Err(err(self.line, format!("invalid escape '\\{c}'"))),
+            None => Err(err(self.line, "dangling backslash")),
+        }
+    }
+
+    fn parse_unicode_escape(&mut self, digits: usize) -> Result<char, NtParseError> {
+        let mut value: u32 = 0;
+        for _ in 0..digits {
+            let c = self
+                .bump()
+                .ok_or_else(|| err(self.line, "truncated unicode escape"))?;
+            let d = c
+                .to_digit(16)
+                .ok_or_else(|| err(self.line, format!("invalid hex digit '{c}' in unicode escape")))?;
+            value = value * 16 + d;
+        }
+        char::from_u32(value)
+            .ok_or_else(|| err(self.line, format!("invalid unicode code point U+{value:X}")))
+    }
+}
+
+/// Parses a single N-Triples line.
+///
+/// Returns `Ok(None)` for blank lines and comment lines (starting with `#`).
+pub fn parse_line(line: &str, line_no: usize) -> Result<Option<Triple>, NtParseError> {
+    let trimmed = line.trim();
+    if trimmed.is_empty() || trimmed.starts_with('#') {
+        return Ok(None);
+    }
+    let mut cur = Cursor::new(trimmed, line_no);
+    let subject = cur.parse_term()?;
+    let predicate = cur.parse_term()?;
+    let object = cur.parse_term()?;
+    cur.skip_ws();
+    cur.expect('.')?;
+    cur.skip_ws();
+    if let Some(c) = cur.peek() {
+        if c != '#' {
+            return Err(err(line_no, format!("trailing content '{}' after '.'", cur.rest())));
+        }
+    }
+    if !subject.is_valid_subject() {
+        return Err(err(line_no, "literal in subject position"));
+    }
+    if !predicate.is_valid_predicate() {
+        return Err(err(line_no, "non-IRI in predicate position"));
+    }
+    Ok(Some(Triple::new(subject, predicate, object)))
+}
+
+/// Parses a full N-Triples document into a vector of triples.
+///
+/// Duplicate statements are preserved (the stores deduplicate, matching the
+/// paper's "eliminated duplicate triples" cleaning step).
+pub fn parse_document(input: &str) -> Result<Vec<Triple>, NtParseError> {
+    let mut triples = Vec::new();
+    for (idx, line) in input.lines().enumerate() {
+        if let Some(t) = parse_line(line, idx + 1)? {
+            triples.push(t);
+        }
+    }
+    Ok(triples)
+}
+
+/// Serializes triples as an N-Triples document (one statement per line).
+pub fn write_document<'a>(triples: impl IntoIterator<Item = &'a Triple>) -> String {
+    let mut out = String::new();
+    for t in triples {
+        out.push_str(&t.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::XSD_STRING;
+
+    #[test]
+    fn parses_simple_triple() {
+        let t = parse_line("<http://x/s> <http://x/p> <http://x/o> .", 1)
+            .unwrap()
+            .unwrap();
+        assert_eq!(t.subject, Term::iri("http://x/s"));
+        assert_eq!(t.predicate, Term::iri("http://x/p"));
+        assert_eq!(t.object, Term::iri("http://x/o"));
+    }
+
+    #[test]
+    fn parses_literal_object() {
+        let t = parse_line("<http://x/s> <http://x/p> \"hello world\" .", 1)
+            .unwrap()
+            .unwrap();
+        assert_eq!(t.object, Term::literal("hello world"));
+    }
+
+    #[test]
+    fn parses_lang_literal() {
+        let t = parse_line("<http://x/s> <http://x/p> \"chat\"@fr-BE .", 1)
+            .unwrap()
+            .unwrap();
+        let lit = t.object.as_literal().unwrap();
+        assert_eq!(lit.lexical(), "chat");
+        assert_eq!(lit.language(), Some("fr-BE"));
+    }
+
+    #[test]
+    fn parses_typed_literal() {
+        let t = parse_line(
+            "<http://x/s> <http://x/p> \"42\"^^<http://www.w3.org/2001/XMLSchema#integer> .",
+            1,
+        )
+        .unwrap()
+        .unwrap();
+        let lit = t.object.as_literal().unwrap();
+        assert_eq!(lit.lexical(), "42");
+        assert_eq!(lit.datatype(), "http://www.w3.org/2001/XMLSchema#integer");
+    }
+
+    #[test]
+    fn xsd_string_datatype_normalizes_to_plain() {
+        let line = format!("<http://x/s> <http://x/p> \"v\"^^<{XSD_STRING}> .");
+        let t = parse_line(&line, 1).unwrap().unwrap();
+        assert_eq!(t.object, Term::literal("v"));
+    }
+
+    #[test]
+    fn parses_blank_nodes() {
+        let t = parse_line("_:a <http://x/p> _:b0.c .", 1).unwrap().unwrap();
+        assert_eq!(t.subject, Term::blank("a"));
+        assert_eq!(t.object, Term::blank("b0.c"));
+    }
+
+    #[test]
+    fn parses_escapes_in_literals() {
+        let t = parse_line(r#"<http://x/s> <http://x/p> "a\tb\nc\"d\\eA\U00000042" ."#, 1)
+            .unwrap()
+            .unwrap();
+        assert_eq!(t.object.as_literal().unwrap().lexical(), "a\tb\nc\"d\\eAB");
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        assert_eq!(parse_line("", 1).unwrap(), None);
+        assert_eq!(parse_line("   ", 1).unwrap(), None);
+        assert_eq!(parse_line("# a comment", 1).unwrap(), None);
+    }
+
+    #[test]
+    fn allows_trailing_comment() {
+        let t = parse_line("<http://x/s> <http://x/p> \"v\" . # note", 1).unwrap();
+        assert!(t.is_some());
+    }
+
+    #[test]
+    fn rejects_missing_dot() {
+        assert!(parse_line("<http://x/s> <http://x/p> \"v\"", 1).is_err());
+    }
+
+    #[test]
+    fn rejects_literal_subject() {
+        assert!(parse_line("\"s\" <http://x/p> \"v\" .", 1).is_err());
+    }
+
+    #[test]
+    fn rejects_blank_predicate() {
+        assert!(parse_line("<http://x/s> _:p \"v\" .", 1).is_err());
+    }
+
+    #[test]
+    fn rejects_unterminated_iri_and_literal() {
+        assert!(parse_line("<http://x/s <http://x/p> <http://x/o> .", 1).is_err());
+        assert!(parse_line("<http://x/s> <http://x/p> \"v .", 1).is_err());
+    }
+
+    #[test]
+    fn rejects_garbage_after_dot() {
+        assert!(parse_line("<http://x/s> <http://x/p> \"v\" . junk", 1).is_err());
+    }
+
+    #[test]
+    fn rejects_invalid_escape() {
+        assert!(parse_line(r#"<http://x/s> <http://x/p> "a\qb" ."#, 1).is_err());
+    }
+
+    #[test]
+    fn rejects_invalid_unicode_escape() {
+        assert!(parse_line(r#"<http://x/s> <http://x/p> "\uD800" ."#, 1).is_err());
+        assert!(parse_line(r#"<http://x/s> <http://x/p> "\u00ZZ" ."#, 1).is_err());
+    }
+
+    #[test]
+    fn error_reports_line_number() {
+        let doc = "<http://x/s> <http://x/p> \"ok\" .\nbroken line\n";
+        let e = parse_document(doc).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn document_roundtrip() {
+        let doc = "\
+# sample
+<http://x/ID1> <http://x/type> <http://x/FullProfessor> .
+<http://x/ID1> <http://x/teacherOf> \"AI\" .
+<http://x/ID3> <http://x/advisor> <http://x/ID2> .
+
+<http://x/ID2> <http://x/label> \"multi\\nline\"@en .
+";
+        let triples = parse_document(doc).unwrap();
+        assert_eq!(triples.len(), 4);
+        let written = write_document(&triples);
+        let reparsed = parse_document(&written).unwrap();
+        assert_eq!(triples, reparsed);
+    }
+}

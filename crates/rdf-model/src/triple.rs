@@ -1,0 +1,108 @@
+//! RDF triples (statements).
+
+use crate::term::Term;
+use std::fmt;
+
+/// An RDF statement `<subject, predicate, object>`.
+///
+/// The paper calls the predicate position the *property*; the two words are
+/// used interchangeably throughout this workspace.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Triple {
+    /// The subject resource.
+    pub subject: Term,
+    /// The predicate (property) resource.
+    pub predicate: Term,
+    /// The object resource or value.
+    pub object: Term,
+}
+
+impl Triple {
+    /// Creates a triple from its three components.
+    pub fn new(subject: Term, predicate: Term, object: Term) -> Self {
+        Triple { subject, predicate, object }
+    }
+
+    /// The three components in (s, p, o) order.
+    pub fn as_tuple(&self) -> (&Term, &Term, &Term) {
+        (&self.subject, &self.predicate, &self.object)
+    }
+
+    /// True if the triple is valid RDF: IRI/blank subject, IRI predicate.
+    pub fn is_valid_rdf(&self) -> bool {
+        self.subject.is_valid_subject() && self.predicate.is_valid_predicate()
+    }
+}
+
+impl fmt::Display for Triple {
+    /// Formats the triple as an N-Triples statement (terminated by ` .`).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {} .", self.subject, self.predicate, self.object)
+    }
+}
+
+impl fmt::Debug for Triple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl From<(Term, Term, Term)> for Triple {
+    fn from((s, p, o): (Term, Term, Term)) -> Self {
+        Triple::new(s, p, o)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> Triple {
+        Triple::new(
+            Term::iri("http://x/ID1"),
+            Term::iri("http://x/teacherOf"),
+            Term::literal("AI"),
+        )
+    }
+
+    #[test]
+    fn display_is_ntriples() {
+        assert_eq!(t().to_string(), "<http://x/ID1> <http://x/teacherOf> \"AI\" .");
+    }
+
+    #[test]
+    fn tuple_accessor_matches_fields() {
+        let triple = t();
+        let (s, p, o) = triple.as_tuple();
+        assert_eq!(s, &triple.subject);
+        assert_eq!(p, &triple.predicate);
+        assert_eq!(o, &triple.object);
+    }
+
+    #[test]
+    fn validity() {
+        assert!(t().is_valid_rdf());
+        let bad = Triple::new(Term::literal("x"), Term::iri("http://x/p"), Term::literal("y"));
+        assert!(!bad.is_valid_rdf());
+        let bad_pred = Triple::new(Term::iri("http://x/s"), Term::blank("p"), Term::literal("y"));
+        assert!(!bad_pred.is_valid_rdf());
+    }
+
+    #[test]
+    fn ordering_is_spo_lexicographic() {
+        let a = Triple::new(Term::iri("http://x/a"), Term::iri("http://x/p"), Term::literal("1"));
+        let b = Triple::new(Term::iri("http://x/a"), Term::iri("http://x/q"), Term::literal("0"));
+        let c = Triple::new(Term::iri("http://x/b"), Term::iri("http://x/p"), Term::literal("0"));
+        let mut v = vec![c.clone(), b.clone(), a.clone()];
+        v.sort();
+        assert_eq!(v, vec![a, b, c]);
+    }
+
+    #[test]
+    fn from_tuple() {
+        let trip: Triple =
+            (Term::iri("http://x/s"), Term::iri("http://x/p"), Term::literal("o")).into();
+        assert_eq!(trip.subject.as_iri(), Some("http://x/s"));
+    }
+}

@@ -1,0 +1,71 @@
+//! Property-based round-trip tests: any generated triple survives
+//! serialize → parse unchanged.
+
+use proptest::prelude::*;
+use rdf_model::{parse_document, write_document, Term, Triple};
+
+fn arb_iri() -> impl Strategy<Value = Term> {
+    "[a-z][a-z0-9/._-]{0,20}".prop_map(|s| Term::iri(format!("http://example.org/{s}")))
+}
+
+fn arb_blank() -> impl Strategy<Value = Term> {
+    "[A-Za-z][A-Za-z0-9_]{0,10}".prop_map(Term::blank)
+}
+
+/// Literal lexical forms include whitespace, quotes, backslashes and
+/// non-ASCII characters so the escaping logic is exercised.
+fn arb_lex() -> proptest::string::RegexGeneratorStrategy<String> {
+    proptest::string::string_regex("[ -~\t\n\röäü€]{0,24}").unwrap()
+}
+
+fn arb_literal() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        arb_lex().prop_map(Term::literal),
+        (arb_lex(), "[a-z]{2}(-[A-Z]{2})?").prop_map(|(l, t)| Term::lang_literal(l, t)),
+        arb_lex().prop_map(|l| Term::typed_literal(l, "http://www.w3.org/2001/XMLSchema#integer")),
+    ]
+}
+
+fn arb_subject() -> impl Strategy<Value = Term> {
+    prop_oneof![arb_iri(), arb_blank()]
+}
+
+fn arb_object() -> impl Strategy<Value = Term> {
+    prop_oneof![arb_iri(), arb_blank(), arb_literal()]
+}
+
+fn arb_triple() -> impl Strategy<Value = Triple> {
+    (arb_subject(), arb_iri(), arb_object()).prop_map(|(s, p, o)| Triple::new(s, p, o))
+}
+
+proptest! {
+    #[test]
+    fn ntriples_roundtrip(triples in proptest::collection::vec(arb_triple(), 0..40)) {
+        let doc = write_document(&triples);
+        let parsed = parse_document(&doc).unwrap();
+        prop_assert_eq!(parsed, triples);
+    }
+
+    #[test]
+    fn display_of_single_triple_parses_back(t in arb_triple()) {
+        let line = t.to_string();
+        let parsed = rdf_model::parse_line(&line, 1).unwrap().unwrap();
+        prop_assert_eq!(parsed, t);
+    }
+}
+
+proptest! {
+    /// Turtle writer → parser round-trip on arbitrary (IRI/blank-subject)
+    /// triples. Blank-node labels survive because the writer emits labels,
+    /// never anonymous brackets.
+    #[test]
+    fn turtle_roundtrip(triples in proptest::collection::vec(arb_triple(), 0..30)) {
+        let doc = rdf_model::write_turtle(&triples);
+        let mut parsed = rdf_model::parse_turtle(&doc).unwrap();
+        let mut expected = triples;
+        expected.sort();
+        expected.dedup();
+        parsed.sort();
+        prop_assert_eq!(parsed, expected);
+    }
+}

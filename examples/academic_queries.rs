@@ -1,0 +1,83 @@
+//! The LUBM evaluation in miniature: generate an academic dataset, load it
+//! into all four stores, run the paper's five LUBM queries on each, and
+//! print response times side by side — a one-process preview of Figures
+//! 10–14.
+//!
+//! Run with: `cargo run --release --example academic_queries`
+
+use hex_bench_queries::lubm::{self, LubmIds};
+use hex_bench_queries::Suite;
+use hex_datagen::lubm::{generate, LubmConfig};
+use hexastore::TripleStore;
+use std::time::Instant;
+
+fn time<R>(f: impl Fn() -> R) -> (R, f64) {
+    let start = Instant::now();
+    let r = f();
+    let first = start.elapsed().as_secs_f64();
+    // One more run, take the faster (warm) one.
+    let start = Instant::now();
+    let r2 = f();
+    let second = start.elapsed().as_secs_f64();
+    drop(r);
+    (r2, first.min(second))
+}
+
+fn main() {
+    let cfg = LubmConfig::with_universities(2);
+    let triples = generate(&cfg);
+    println!(
+        "generated {} triples over {} universities ({} predicates)",
+        triples.len(),
+        cfg.universities,
+        hex_datagen::PREDICATES.len()
+    );
+
+    let suite = Suite::build(&triples);
+    let ids = LubmIds::resolve(&suite.dict).expect("generated data defines all query terms");
+    println!(
+        "loaded into Hexastore ({} B), COVP1 ({} B), COVP2 ({} B)\n",
+        suite.hexastore.heap_bytes(),
+        suite.covp1.heap_bytes(),
+        suite.covp2.heap_bytes()
+    );
+
+    println!("{:<6} {:>14} {:>14} {:>14}  result", "query", "Hexastore(s)", "COVP1(s)", "COVP2(s)");
+
+    let (r1, t_hex) = time(|| lubm::lq1_hexastore(&suite.hexastore, &ids));
+    let (_, t_c1) = time(|| lubm::lq1_covp1(&suite.covp1, &ids));
+    let (_, t_c2) = time(|| lubm::lq1_covp2(&suite.covp2, &ids));
+    println!("LQ1    {t_hex:>14.6} {t_c1:>14.6} {t_c2:>14.6}  {} people related to Course10", r1.len());
+
+    let (r2, t_hex) = time(|| lubm::lq2_hexastore(&suite.hexastore, &ids));
+    let (_, t_c1) = time(|| lubm::lq2_covp1(&suite.covp1, &ids));
+    let (_, t_c2) = time(|| lubm::lq2_covp2(&suite.covp2, &ids));
+    println!("LQ2    {t_hex:>14.6} {t_c1:>14.6} {t_c2:>14.6}  {} related to University0", r2.len());
+
+    let (r3, t_hex) = time(|| lubm::lq3_hexastore(&suite.hexastore, &ids));
+    let (_, t_c1) = time(|| lubm::lq3_covp1(&suite.covp1, &ids));
+    let (_, t_c2) = time(|| lubm::lq3_covp2(&suite.covp2, &ids));
+    println!("LQ3    {t_hex:>14.6} {t_c1:>14.6} {t_c2:>14.6}  {} facts about AssocProfessor10", r3.len());
+
+    let (r4, t_hex) = time(|| lubm::lq4_hexastore(&suite.hexastore, &ids));
+    let (_, t_c1) = time(|| lubm::lq4_covp1(&suite.covp1, &ids));
+    let (_, t_c2) = time(|| lubm::lq4_covp2(&suite.covp2, &ids));
+    println!("LQ4    {t_hex:>14.6} {t_c1:>14.6} {t_c2:>14.6}  {} courses taught, grouped", r4.len());
+
+    let (r5, t_hex) = time(|| lubm::lq5_hexastore(&suite.hexastore, &ids));
+    let (_, t_c1) = time(|| lubm::lq5_covp1(&suite.covp1, &ids));
+    let (_, t_c2) = time(|| lubm::lq5_covp2(&suite.covp2, &ids));
+    println!("LQ5    {t_hex:>14.6} {t_c1:>14.6} {t_c2:>14.6}  {} universities with degree holders", r5.len());
+
+    // Show a slice of LQ4's grouped answer with decoded names.
+    println!("\nLQ4 sample (first course):");
+    if let Some((course, related)) = r4.first() {
+        println!("  course {}", suite.dict.decode(*course).unwrap());
+        for (s, p) in related.iter().take(5) {
+            println!("    {} via {}", suite.dict.decode(*s).unwrap(), suite.dict.decode(*p).unwrap());
+        }
+        if related.len() > 5 {
+            println!("    … and {} more", related.len() - 5);
+        }
+    }
+}

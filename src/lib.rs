@@ -1,0 +1,23 @@
+//! Umbrella crate for the Hexastore reproduction workspace.
+//!
+//! This package exists to host the workspace-level [examples](../examples)
+//! and [integration tests](../tests); it re-exports the member crates so
+//! examples can use one coherent namespace.
+//!
+//! See the individual crates for the real functionality:
+//!
+//! - [`rdf_model`] — RDF terms, triples, N-Triples I/O
+//! - [`hex_dict`] — dictionary encoding of terms to integer ids
+//! - [`hexastore`] — the sextuple-index store (the paper's contribution)
+//! - [`hex_baselines`] — TriplesTable, COVP1 and COVP2 comparators
+//! - [`hex_query`] — BGP query engine with merge-join execution
+//! - [`hex_datagen`] — LUBM-like and Barton-like workload generators
+//! - [`hex_bench_queries`] — the paper's twelve benchmark queries
+
+pub use hex_baselines;
+pub use hex_bench_queries;
+pub use hex_datagen;
+pub use hex_dict;
+pub use hex_query;
+pub use hexastore;
+pub use rdf_model;

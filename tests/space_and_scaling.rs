@@ -1,0 +1,94 @@
+//! Integration checks of the paper's space claims (§4.1, Figure 15) and
+//! of prefix-scaling invariants the figure harness relies on.
+
+use hex_bench_queries::Suite;
+use hex_datagen::{barton::BartonConfig, lubm::LubmConfig};
+use hexastore::TripleStore;
+
+#[test]
+fn space_blowup_is_bounded_on_real_workloads() {
+    for (name, triples) in [
+        ("barton", hex_datagen::barton::generate(&BartonConfig { records: 3_000, ..Default::default() })),
+        ("lubm", hex_datagen::lubm::generate(&LubmConfig::tiny())),
+    ] {
+        let suite = Suite::build(&triples);
+        let stats = suite.hexastore.space_stats();
+        assert!(stats.blowup() <= 5.0, "{name}: blowup {}", stats.blowup());
+        assert!(stats.blowup() >= 1.0, "{name}: blowup {}", stats.blowup());
+        // Real data shares heavily, so it sits clearly under the bound.
+        assert!(stats.blowup() < 4.8, "{name}: expected sharing, got {}", stats.blowup());
+    }
+}
+
+#[test]
+fn memory_ordering_matches_figure15() {
+    // Figure 15: Hexastore uses the most memory (~4x COVP1 in the paper),
+    // COVP2 about double COVP1.
+    let triples =
+        hex_datagen::barton::generate(&BartonConfig { records: 4_000, ..Default::default() });
+    let suite = Suite::build(&triples);
+    let hex = suite.hexastore.heap_bytes();
+    let c1 = suite.covp1.heap_bytes();
+    let c2 = suite.covp2.heap_bytes();
+    assert!(hex > c2, "hexastore {hex} should exceed covp2 {c2}");
+    assert!(c2 > c1, "covp2 {c2} should exceed covp1 {c1}");
+    let ratio = hex as f64 / c1 as f64;
+    assert!(
+        (2.0..8.0).contains(&ratio),
+        "hexastore/covp1 memory ratio {ratio} outside plausible Figure-15 range"
+    );
+}
+
+#[test]
+fn dataset_prefixes_are_stable() {
+    // The figure harness assumes: generating a dataset twice yields the
+    // same stream, and a prefix of the stream equals the prefix of the
+    // regenerated stream.
+    let a = hex_datagen::lubm::generate(&LubmConfig::tiny());
+    let b = hex_datagen::lubm::generate(&LubmConfig::tiny());
+    assert_eq!(a, b);
+    let prefix = &a[..a.len() / 2];
+    assert_eq!(prefix, &b[..a.len() / 2]);
+}
+
+#[test]
+fn stores_agree_on_every_prefix() {
+    let triples = hex_datagen::barton::generate(&BartonConfig { records: 600, seed: 21, ..Default::default() });
+    for frac in [4, 2, 1] {
+        let prefix = &triples[..triples.len() / frac];
+        let suite = Suite::build(prefix);
+        assert_eq!(suite.hexastore.len(), suite.table.len());
+        assert_eq!(suite.hexastore.len(), suite.covp1.len());
+        assert_eq!(suite.hexastore.len(), suite.covp2.len());
+        // Spot-check a non-property-bound pattern on each prefix.
+        if let Some(t) = suite.triples.first() {
+            let pat = hexastore::IdPattern::o(t.o);
+            let mut reference = suite.hexastore.matching(pat);
+            reference.sort();
+            for store in [&suite.table as &dyn TripleStore, &suite.covp1, &suite.covp2] {
+                let mut got = store.matching(pat);
+                got.sort();
+                assert_eq!(got, reference, "{} at 1/{}", store.name(), frac);
+            }
+        }
+    }
+}
+
+#[test]
+fn incremental_and_bulk_agree_on_generated_data() {
+    let triples = hex_datagen::lubm::generate(&LubmConfig::tiny());
+    let mut dict = hex_dict::Dictionary::new();
+    let encoded: Vec<hex_dict::IdTriple> =
+        triples.iter().map(|t| dict.encode_triple(t)).collect();
+    let bulk = hexastore::Hexastore::from_triples(encoded.iter().copied());
+    let mut inc = hexastore::Hexastore::new();
+    for &t in &encoded {
+        inc.insert(t);
+    }
+    assert_eq!(bulk.len(), inc.len());
+    assert_eq!(bulk.space_stats(), inc.space_stats());
+    assert_eq!(
+        bulk.matching(hexastore::IdPattern::ALL),
+        inc.matching(hexastore::IdPattern::ALL)
+    );
+}
