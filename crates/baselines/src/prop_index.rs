@@ -47,10 +47,7 @@ impl PropIndex {
 
     /// Inserts `(p, key, item)`. Returns `true` if new.
     pub fn insert(&mut self, p: Id, key: Id, item: Id) -> bool {
-        let list = self
-            .tables
-            .get_or_insert_with(p, VecMap::new)
-            .get_or_insert_with(key, Vec::new);
+        let list = self.tables.get_or_insert_with(p, VecMap::new).get_or_insert_with(key, Vec::new);
         let added = sorted::insert(list, item);
         if added {
             self.len += 1;
@@ -77,10 +74,7 @@ impl PropIndex {
 
     /// The sorted items for `(p, key)`; empty slice if absent.
     pub fn items(&self, p: Id, key: Id) -> &[Id] {
-        self.tables
-            .get(&p)
-            .and_then(|t| t.get(&key))
-            .map_or(&[], Vec::as_slice)
+        self.tables.get(&p).and_then(|t| t.get(&key)).map_or(&[], Vec::as_slice)
     }
 
     /// Membership test for `(p, key, item)`.
@@ -90,10 +84,7 @@ impl PropIndex {
 
     /// Sorted iterator over one property table: `(key, sorted items)`.
     pub fn table(&self, p: Id) -> impl Iterator<Item = (Id, &[Id])> + '_ {
-        self.tables
-            .get(&p)
-            .into_iter()
-            .flat_map(|t| t.iter().map(|(k, v)| (k, v.as_slice())))
+        self.tables.get(&p).into_iter().flat_map(|t| t.iter().map(|(k, v)| (k, v.as_slice())))
     }
 
     /// The sorted first-column keys of one property table.
@@ -103,10 +94,7 @@ impl PropIndex {
 
     /// Number of triples in one property table.
     pub fn table_len(&self, p: Id) -> usize {
-        self.tables
-            .get(&p)
-            .map(|t| t.values().map(Vec::len).sum())
-            .unwrap_or(0)
+        self.tables.get(&p).map(|t| t.values().map(Vec::len).sum()).unwrap_or(0)
     }
 
     /// Deep heap bytes.

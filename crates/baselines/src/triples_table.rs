@@ -168,7 +168,8 @@ mod tests {
             IdPattern::spo(t(1, 2, 3)),
             IdPattern::spo(t(0, 0, 0)),
         ] {
-            let expected: Vec<IdTriple> = rows.iter().copied().filter(|&x| pat.matches(x)).collect();
+            let expected: Vec<IdTriple> =
+                rows.iter().copied().filter(|&x| pat.matches(x)).collect();
             assert_eq!(tab.matching(pat), expected, "pattern {pat:?}");
         }
     }

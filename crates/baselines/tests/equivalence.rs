@@ -14,9 +14,8 @@ fn arb_triple() -> impl Strategy<Value = IdTriple> {
 
 fn arb_pattern() -> impl Strategy<Value = IdPattern> {
     let pos = || proptest::option::of(0u32..14);
-    (pos(), proptest::option::of(0u32..7), pos()).prop_map(|(s, p, o)| {
-        IdPattern::new(s.map(Id), p.map(Id), o.map(Id))
-    })
+    (pos(), proptest::option::of(0u32..7), pos())
+        .prop_map(|(s, p, o)| IdPattern::new(s.map(Id), p.map(Id), o.map(Id)))
 }
 
 fn stores(triples: &[IdTriple]) -> (Hexastore, TriplesTable, Covp1, Covp2) {

@@ -13,10 +13,10 @@
 //! subject- and object-headed divisions on top.
 
 use hex_baselines::{Covp1, Covp2};
+use hex_datagen::barton::Vocab;
 use hex_dict::{Dictionary, Id, IdTriple};
 use hex_query::ops;
 use hexastore::{sorted, Hexastore};
-use hex_datagen::barton::Vocab;
 
 /// The dictionary ids of the terms the Barton queries bind.
 #[derive(Clone, Debug)]
@@ -50,10 +50,8 @@ impl BartonIds {
     /// until the dataset prefix contains every bound term.
     pub fn resolve(dict: &Dictionary) -> Option<Self> {
         let id = |t: &rdf_model::Term| dict.id_of(t);
-        let mut interesting: Vec<Id> = hex_datagen::barton::interesting_properties()
-            .iter()
-            .filter_map(id)
-            .collect();
+        let mut interesting: Vec<Id> =
+            hex_datagen::barton::interesting_properties().iter().filter_map(id).collect();
         interesting.sort_unstable();
         Some(BartonIds {
             p_type: id(&Vocab::property("Type"))?,
@@ -245,10 +243,7 @@ pub fn bq2_hexastore(h: &Hexastore, ids: &BartonIds, props: Option<&[Id]>) -> Ve
     let t = h.subjects_for(ids.p_type, ids.text);
     let merged = merge_property_vectors(h, t);
     match props {
-        Some(allowed) => merged
-            .into_iter()
-            .filter(|(p, _)| sorted::contains(allowed, p))
-            .collect(),
+        Some(allowed) => merged.into_iter().filter(|(p, _)| sorted::contains(allowed, p)).collect(),
         None => merged,
     }
 }
@@ -447,8 +442,7 @@ fn bq5_indexed<'a>(
     let typed_recorded = sorted::intersect(recorded_objects, type_subjects);
     let mut table: Vec<(Id, Vec<Id>)> = Vec::new();
     for o in typed_recorded {
-        let non_text: Vec<Id> =
-            types_of(o).iter().copied().filter(|&t| t != text).collect();
+        let non_text: Vec<Id> = types_of(o).iter().copied().filter(|&t| t != text).collect();
         if !non_text.is_empty() {
             table.push((o, non_text));
         }
@@ -561,10 +555,7 @@ pub fn bq6_hexastore(h: &Hexastore, ids: &BartonIds, props: Option<&[Id]>) -> Ve
     );
     let merged = merge_property_vectors(h, &t);
     match props {
-        Some(allowed) => merged
-            .into_iter()
-            .filter(|(p, _)| sorted::contains(allowed, p))
-            .collect(),
+        Some(allowed) => merged.into_iter().filter(|(p, _)| sorted::contains(allowed, p)).collect(),
         None => merged,
     }
 }

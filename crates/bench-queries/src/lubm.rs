@@ -8,8 +8,8 @@
 //! sweep every table.
 
 use hex_baselines::{Covp1, Covp2};
-use hex_dict::{Dictionary, Id, IdTriple};
 use hex_datagen::lubm::Vocab;
+use hex_dict::{Dictionary, Id, IdTriple};
 use hexastore::{sorted, Hexastore};
 
 /// The dictionary ids of the terms the LUBM queries bind.
@@ -277,8 +277,7 @@ fn lq5_group(
     universities
         .iter()
         .map(|&u| {
-            let lists: Vec<Vec<Id>> =
-                degrees.iter().map(|&d| subjects_for_degree(d, u)).collect();
+            let lists: Vec<Vec<Id>> = degrees.iter().map(|&d| subjects_for_degree(d, u)).collect();
             let refs: Vec<&[Id]> = lists.iter().map(Vec::as_slice).collect();
             (u, sorted::union_many(refs))
         })
@@ -419,9 +418,7 @@ mod tests {
         assert_eq!(lq5_covp2(&s.covp2, &ids), hex);
         assert!(!hex.is_empty(), "the professor has degrees from some university");
         for (u, holders) in &hex {
-            assert!(s
-                .hexastore
-                .contains(IdTriple::new(*u, ids.p_type, ids.class_university)));
+            assert!(s.hexastore.contains(IdTriple::new(*u, ids.p_type, ids.class_university)));
             // The professor holds a degree from each reported university.
             assert!(!holders.is_empty());
         }

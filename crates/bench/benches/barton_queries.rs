@@ -18,7 +18,9 @@ fn configured<'c>(
     name: &str,
 ) -> criterion::BenchmarkGroup<'c, criterion::measurement::WallTime> {
     let mut g = c.benchmark_group(name);
-    g.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(600));
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
     g
 }
 

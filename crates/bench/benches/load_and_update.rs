@@ -27,9 +27,7 @@ fn bench_load(c: &mut Criterion) {
     g.sample_size(10)
         .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_secs(1));
-    g.bench_function("hexastore_bulk", |b| {
-        b.iter(|| black_box(bulk::build(triples.clone())))
-    });
+    g.bench_function("hexastore_bulk", |b| b.iter(|| black_box(bulk::build(triples.clone()))));
     g.bench_function("hexastore_incremental", |b| {
         b.iter(|| {
             let mut h = Hexastore::new();

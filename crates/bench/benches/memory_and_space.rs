@@ -13,9 +13,7 @@ use std::time::Duration;
 const SCALE: usize = 60_000;
 
 fn bench_memory(c: &mut Criterion) {
-    for (dataset, data) in
-        [("barton", barton_dataset(SCALE)), ("lubm", lubm_dataset(SCALE))]
-    {
+    for (dataset, data) in [("barton", barton_dataset(SCALE)), ("lubm", lubm_dataset(SCALE))] {
         let suite = Suite::build(&data);
         let hex = suite.hexastore.heap_bytes();
         let c1 = suite.covp1.heap_bytes();

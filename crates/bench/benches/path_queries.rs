@@ -48,10 +48,7 @@ fn bench_paths(c: &mut Criterion) {
     }
 
     // Transitive closure over advisor chains (bounded by data shape).
-    let prof = suite
-        .dict
-        .id_of(&Vocab::associate_professor(0, 0, 10))
-        .expect("professor exists");
+    let prof = suite.dict.id_of(&Vocab::associate_professor(0, 0, 10)).expect("professor exists");
     let mut g = c.benchmark_group("transitive_closure");
     g.sample_size(10)
         .warm_up_time(Duration::from_millis(200))

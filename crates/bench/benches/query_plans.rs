@@ -54,9 +54,7 @@ fn bench_plans(c: &mut Criterion) {
     g.sample_size(10)
         .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_millis(800));
-    g.bench_function("planned", |b| {
-        b.iter(|| black_box(execute_bgp(&suite.hexastore, &bgp)))
-    });
+    g.bench_function("planned", |b| b.iter(|| black_box(execute_bgp(&suite.hexastore, &bgp))));
     g.bench_function("best_fixed_order", |b| {
         b.iter(|| black_box(execute_bgp_with_order(&suite.hexastore, &bgp, &[2, 1, 0])))
     });
@@ -76,9 +74,7 @@ fn bench_plans(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_millis(800));
     g.bench_function("lq1_engine_compiled", |b| {
-        b.iter(|| {
-            black_box(hex_query::execute_compiled(&suite.hexastore, &suite.dict, &compiled))
-        })
+        b.iter(|| black_box(hex_query::execute_compiled(&suite.hexastore, &suite.dict, &compiled)))
     });
     g.bench_function("lq1_engine_parse_and_run", |b| {
         b.iter(|| black_box(hex_query::execute_on(&suite.hexastore, &suite.dict, &lq1_text)))

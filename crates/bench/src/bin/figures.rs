@@ -28,19 +28,14 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args { figure: "all".into(), triples: 200_000, points: 5, reps: 3 };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next().ok_or_else(|| format!("missing value for {name}"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
         match flag.as_str() {
             "--figure" | "-f" => args.figure = value("--figure")?,
             "--triples" | "-n" => {
-                args.triples = value("--triples")?
-                    .parse()
-                    .map_err(|e| format!("--triples: {e}"))?
+                args.triples = value("--triples")?.parse().map_err(|e| format!("--triples: {e}"))?
             }
             "--points" | "-p" => {
-                args.points =
-                    value("--points")?.parse().map_err(|e| format!("--points: {e}"))?
+                args.points = value("--points")?.parse().map_err(|e| format!("--points: {e}"))?
             }
             "--reps" | "-r" => {
                 args.reps = value("--reps")?.parse().map_err(|e| format!("--reps: {e}"))?

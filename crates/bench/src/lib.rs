@@ -162,8 +162,7 @@ fn barton_query_fns(figure: &str, restrict_28: bool) -> BartonQueryFns {
         ($label:expr, |$s:ident, $ids:ident| $body:block) => {
             (
                 $label,
-                Box::new(|$s: &Suite, $ids: &BartonIds| $body)
-                    as Box<dyn Fn(&Suite, &BartonIds)>,
+                Box::new(|$s: &Suite, $ids: &BartonIds| $body) as Box<dyn Fn(&Suite, &BartonIds)>,
             )
         };
     }
@@ -319,10 +318,7 @@ fn barton_query_fns(figure: &str, restrict_28: bool) -> BartonQueryFns {
 fn lubm_query_fns(figure: &str) -> LubmQueryFns {
     macro_rules! q {
         ($label:expr, |$s:ident, $ids:ident| $body:block) => {
-            (
-                $label,
-                Box::new(|$s: &Suite, $ids: &LubmIds| $body) as Box<dyn Fn(&Suite, &LubmIds)>,
-            )
+            ($label, Box::new(|$s: &Suite, $ids: &LubmIds| $body) as Box<dyn Fn(&Suite, &LubmIds)>)
         };
     }
     match figure {
@@ -429,7 +425,9 @@ pub fn run_figure(figure: &str, scale: usize, points: usize, reps: usize) -> Fig
             let title = FIGURES.iter().find(|(id, _)| *id == figure).unwrap().1;
             Figure { id: format!("Figure {figure}"), title: title.to_string(), rows }
         }
-        other => panic!("run_figure does not handle '{other}'; see memory_figure/space_report/path_report"),
+        other => panic!(
+            "run_figure does not handle '{other}'; see memory_figure/space_report/path_report"
+        ),
     }
 }
 
@@ -506,10 +504,7 @@ pub fn space_report(scale: usize) -> String {
             stats.blowup()
         ));
     };
-    for (name, data) in [
-        ("barton", barton_dataset(scale)),
-        ("lubm", lubm_dataset(scale)),
-    ] {
+    for (name, data) in [("barton", barton_dataset(scale)), ("lubm", lubm_dataset(scale))] {
         let suite = Suite::build(&data);
         line(name, suite.hexastore.space_stats());
     }
@@ -541,9 +536,8 @@ pub fn path_report(scale: usize) -> String {
         ("advisor/worksFor", vec![advisor, works_for]),
         ("advisor/worksFor/subOrganizationOf", vec![advisor, works_for, sub_org]),
     ];
-    let mut out = String::from(
-        "# §4.3 — path expressions: Hexastore (pos+pso) vs property-table plan\n",
-    );
+    let mut out =
+        String::from("# §4.3 — path expressions: Hexastore (pos+pso) vs property-table plan\n");
     out.push_str("path,plan,seconds,merge_joins,sort_merge_joins,sorts,ends\n");
     for (name, props) in &paths {
         let t_hex = time_query(3, || path::follow_path(&suite.hexastore, props));
@@ -619,8 +613,7 @@ mod tests {
     #[test]
     fn figure4_includes_28_variants() {
         let fig = run_figure("4", 8_000, 1, 1);
-        let labels: Vec<&str> =
-            fig.rows[0].points.iter().map(|p| p.label.as_str()).collect();
+        let labels: Vec<&str> = fig.rows[0].points.iter().map(|p| p.label.as_str()).collect();
         assert!(labels.contains(&"Hexastore 28"));
         assert!(labels.contains(&"COVP1 28"));
         assert_eq!(labels.len(), 6);
@@ -630,9 +623,7 @@ mod tests {
     fn memory_figure_shows_hexastore_largest() {
         let rows = memory_figure("barton", 10_000, 1);
         let bytes = &rows[0].bytes;
-        let get = |label: &str| {
-            bytes.iter().find(|(l, _)| l == label).map(|&(_, b)| b).unwrap()
-        };
+        let get = |label: &str| bytes.iter().find(|(l, _)| l == label).map(|&(_, b)| b).unwrap();
         assert!(get("Hexastore") > get("COVP2"));
         assert!(get("COVP2") > get("COVP1"));
         assert!(get("COVP1") >= get("TriplesTable") / 2);

@@ -202,9 +202,7 @@ pub fn recommend(profile: &WorkloadProfile) -> IndexSet {
         }
     }
     // Membership checks and full scans need *some* index.
-    if chosen.is_empty()
-        && (profile.count(Shape::Spo) > 0 || profile.count(Shape::None_) > 0)
-    {
+    if chosen.is_empty() && (profile.count(Shape::Spo) > 0 || profile.count(Shape::None_) > 0) {
         chosen = chosen.with(IndexKind::Spo);
     }
     chosen
@@ -348,10 +346,8 @@ mod tests {
         }
         let full = estimate_savings(&h, IndexSet::all());
         assert_eq!(full, 0);
-        let keep_three = IndexSet::EMPTY
-            .with(IndexKind::Spo)
-            .with(IndexKind::Pos)
-            .with(IndexKind::Osp);
+        let keep_three =
+            IndexSet::EMPTY.with(IndexKind::Spo).with(IndexKind::Pos).with(IndexKind::Osp);
         let some = estimate_savings(&h, keep_three);
         let keep_one = IndexSet::EMPTY.with(IndexKind::Spo);
         let most = estimate_savings(&h, keep_one);
@@ -362,8 +358,7 @@ mod tests {
 
     #[test]
     fn profile_counts_shapes() {
-        let patterns =
-            vec![IdPattern::p(Id(1)), IdPattern::p(Id(2)), IdPattern::o(Id(3))];
+        let patterns = vec![IdPattern::p(Id(1)), IdPattern::p(Id(2)), IdPattern::o(Id(3))];
         let profile = WorkloadProfile::from_patterns(&patterns);
         assert_eq!(profile.count(Shape::P), 2);
         assert_eq!(profile.count(Shape::O), 1);

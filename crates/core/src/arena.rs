@@ -116,7 +116,8 @@ impl ListArena {
     pub fn heap_bytes(&self) -> usize {
         let spine = self.lists.capacity() * std::mem::size_of::<Vec<Id>>()
             + self.free.capacity() * std::mem::size_of::<ListId>();
-        let items: usize = self.lists.iter().map(|l| l.capacity() * std::mem::size_of::<Id>()).sum();
+        let items: usize =
+            self.lists.iter().map(|l| l.capacity() * std::mem::size_of::<Id>()).sum();
         spine + items
     }
 

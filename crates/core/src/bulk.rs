@@ -137,10 +137,7 @@ mod tests {
         assert_eq!(bulk.space_stats(), inc.space_stats());
         for &tr in &triples {
             assert!(bulk.contains(tr));
-            assert_eq!(
-                bulk.matching(IdPattern::o(tr.o)),
-                inc.matching(IdPattern::o(tr.o))
-            );
+            assert_eq!(bulk.matching(IdPattern::o(tr.o)), inc.matching(IdPattern::o(tr.o)));
             assert_eq!(
                 bulk.matching(IdPattern::so(tr.s, tr.o)),
                 inc.matching(IdPattern::so(tr.s, tr.o))

@@ -28,10 +28,7 @@ struct OwnedIndex {
 
 impl OwnedIndex {
     fn insert(&mut self, k1: Id, k2: Id, item: Id) -> bool {
-        let list = self
-            .map
-            .get_or_insert_with(k1, VecMap::new)
-            .get_or_insert_with(k2, Vec::new);
+        let list = self.map.get_or_insert_with(k1, VecMap::new).get_or_insert_with(k2, Vec::new);
         sorted::insert(list, item)
     }
 
@@ -55,17 +52,12 @@ impl OwnedIndex {
     }
 
     fn division(&self, k1: Id) -> impl Iterator<Item = (Id, &[Id])> + '_ {
-        self.map
-            .get(&k1)
-            .into_iter()
-            .flat_map(|m| m.iter().map(|(k2, list)| (k2, list.as_slice())))
+        self.map.get(&k1).into_iter().flat_map(|m| m.iter().map(|(k2, list)| (k2, list.as_slice())))
     }
 
     fn scan(&self) -> impl Iterator<Item = (Id, Id, Id)> + '_ {
         self.map.iter().flat_map(|(k1, inner)| {
-            inner
-                .iter()
-                .flat_map(move |(k2, list)| list.iter().map(move |&item| (k1, k2, item)))
+            inner.iter().flat_map(move |(k2, list)| list.iter().map(move |&item| (k1, k2, item)))
         })
     }
 

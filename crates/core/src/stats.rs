@@ -34,13 +34,10 @@ impl DatasetStats {
     /// Computes statistics from a store.
     pub fn compute(store: &Hexastore) -> DatasetStats {
         let triples = store.len();
-        let distinct =
-            (store.subject_count(), store.property_count(), store.object_count());
+        let distinct = (store.subject_count(), store.property_count(), store.object_count());
 
-        let mut property_cardinalities: Vec<(Id, usize)> = store
-            .properties()
-            .map(|p| (p, store.property_cardinality(p)))
-            .collect();
+        let mut property_cardinalities: Vec<(Id, usize)> =
+            store.properties().map(|p| (p, store.property_cardinality(p))).collect();
         property_cardinalities.sort_by_key(|&(p, n)| (std::cmp::Reverse(n), p));
 
         let mut sp_pairs = 0usize;
@@ -124,12 +121,7 @@ mod tests {
 
     #[test]
     fn property_cardinalities_sorted_descending() {
-        let h = Hexastore::from_triples([
-            t(1, 10, 1),
-            t(2, 10, 2),
-            t(3, 10, 3),
-            t(1, 11, 1),
-        ]);
+        let h = Hexastore::from_triples([t(1, 10, 1), t(2, 10, 2), t(3, 10, 3), t(1, 11, 1)]);
         let stats = DatasetStats::compute(&h);
         assert_eq!(stats.property_cardinalities[0], (Id(10), 3));
         assert_eq!(stats.property_cardinalities[1], (Id(11), 1));

@@ -322,10 +322,8 @@ impl Hexastore {
     pub fn space_stats(&self) -> SpaceStats {
         let indices = [&self.spo, &self.sop, &self.pso, &self.pos, &self.osp, &self.ops];
         let header_entries = indices.iter().map(|ix| ix.len()).sum();
-        let vector_entries = indices
-            .iter()
-            .map(|ix| ix.values().map(VecMap::len).sum::<usize>())
-            .sum();
+        let vector_entries =
+            indices.iter().map(|ix| ix.values().map(VecMap::len).sum::<usize>()).sum();
         let list_entries =
             self.o_lists.total_items() + self.p_lists.total_items() + self.s_lists.total_items();
         SpaceStats { triples: self.len, header_entries, vector_entries, list_entries }
@@ -355,13 +353,7 @@ impl Hexastore {
 
     pub(crate) fn parts(
         &mut self,
-    ) -> (
-        [&mut TwoLevel; 6],
-        &mut ListArena,
-        &mut ListArena,
-        &mut ListArena,
-        &mut usize,
-    ) {
+    ) -> ([&mut TwoLevel; 6], &mut ListArena, &mut ListArena, &mut ListArena, &mut usize) {
         (
             [
                 &mut self.spo,

@@ -242,8 +242,7 @@ mod tests {
 
     #[test]
     fn from_iterator_sorts_and_last_dup_wins() {
-        let m: VecMap<u32, &str> =
-            [(3, "a"), (1, "b"), (3, "c"), (2, "d")].into_iter().collect();
+        let m: VecMap<u32, &str> = [(3, "a"), (1, "b"), (3, "c"), (2, "d")].into_iter().collect();
         assert_eq!(m.len(), 3);
         assert_eq!(m.get(&3), Some(&"c"));
         assert_eq!(m.key_vec(), vec![1, 2, 3]);

@@ -31,9 +31,8 @@ pub const NS: &str = "http://barton.example.org/";
 pub const PROPERTY_COUNT: usize = 285;
 
 /// The core properties the benchmark queries bind.
-pub const CORE_PROPERTIES: [&str; 9] = [
-    "Type", "Language", "Origin", "Records", "Encoding", "Point", "Title", "Creator", "Subject",
-];
+pub const CORE_PROPERTIES: [&str; 9] =
+    ["Type", "Language", "Origin", "Records", "Encoding", "Point", "Title", "Creator", "Subject"];
 
 /// IRI constructors for the generated catalog.
 pub struct Vocab;
@@ -77,8 +76,14 @@ pub const TYPE_WEIGHTS: [(&str, u32); 10] = [
 
 /// Languages with `French` present at a realistic minority share (BQ4
 /// selects `Language: French`).
-pub const LANGUAGES: [(&str, u32); 6] =
-    [("English", 55), ("French", 12), ("German", 12), ("Spanish", 9), ("Italian", 7), ("Russian", 5)];
+pub const LANGUAGES: [(&str, u32); 6] = [
+    ("English", 55),
+    ("French", 12),
+    ("German", 12),
+    ("Spanish", 9),
+    ("Italian", 7),
+    ("Russian", 5),
+];
 
 /// Cataloguing origins; `DLC` (US Library of Congress) is the value BQ5
 /// selects, present as a substantial minority.
@@ -100,7 +105,12 @@ pub struct BartonConfig {
 
 impl Default for BartonConfig {
     fn default() -> Self {
-        BartonConfig { records: 10_000, seed: 0xba5704, tail_exponent: 1.4, tail_properties_per_record: 4 }
+        BartonConfig {
+            records: 10_000,
+            seed: 0xba5704,
+            tail_exponent: 1.4,
+            tail_properties_per_record: 4,
+        }
     }
 }
 
@@ -170,7 +180,10 @@ pub fn generate_into(config: &BartonConfig, emit: &mut dyn FnMut(Triple)) {
                     emit(Triple::new(
                         rec.clone(),
                         p_creator.clone(),
-                        Term::literal(format!("Creator {}", rng.gen_range(0..config.records / 20 + 1))),
+                        Term::literal(format!(
+                            "Creator {}",
+                            rng.gen_range(0..config.records / 20 + 1)
+                        )),
                     ));
                 }
                 if rng.gen_bool(0.5) {
@@ -306,16 +319,10 @@ mod tests {
         let triples = generate(&BartonConfig::tiny());
         let p_records = Vocab::property("Records");
         let p_type = Vocab::property("Type");
-        let typed: BTreeSet<&Term> = triples
-            .iter()
-            .filter(|t| t.predicate == p_type)
-            .map(|t| &t.subject)
-            .collect();
-        let targets: Vec<&Term> = triples
-            .iter()
-            .filter(|t| t.predicate == p_records)
-            .map(|t| &t.object)
-            .collect();
+        let typed: BTreeSet<&Term> =
+            triples.iter().filter(|t| t.predicate == p_type).map(|t| &t.subject).collect();
+        let targets: Vec<&Term> =
+            triples.iter().filter(|t| t.predicate == p_records).map(|t| &t.object).collect();
         assert!(!targets.is_empty());
         assert!(targets.iter().all(|t| typed.contains(t)), "Records targets must have a Type");
     }

@@ -188,11 +188,7 @@ pub fn generate_into(config: &LubmConfig, emit: &mut dyn FnMut(Triple)) {
     for u in 0..config.universities {
         let univ = Vocab::university(u);
         emit(Triple::new(univ.clone(), type_p.clone(), Vocab::class("University")));
-        emit(Triple::new(
-            univ.clone(),
-            p("name"),
-            Term::literal(format!("University {u}")),
-        ));
+        emit(Triple::new(univ.clone(), p("name"), Term::literal(format!("University {u}"))));
 
         for d in 0..config.departments {
             let dept = Vocab::department(u, d);
@@ -201,10 +197,7 @@ pub fn generate_into(config: &LubmConfig, emit: &mut dyn FnMut(Triple)) {
 
             let mut faculty: Vec<Term> = Vec::new();
             let emit_person =
-                |person: &Term,
-                 class: &str,
-                 rng: &mut StdRng,
-                 emit: &mut dyn FnMut(Triple)| {
+                |person: &Term, class: &str, rng: &mut StdRng, emit: &mut dyn FnMut(Triple)| {
                     emit(Triple::new(person.clone(), type_p.clone(), Vocab::class(class)));
                     emit(Triple::new(person.clone(), p("worksFor"), dept.clone()));
                     emit(Triple::new(person.clone(), p("memberOf"), dept.clone()));
@@ -346,8 +339,7 @@ mod tests {
     #[test]
     fn has_exactly_18_predicates() {
         let triples = generate(&LubmConfig::tiny());
-        let preds: BTreeSet<String> =
-            triples.iter().map(|t| t.predicate.to_string()).collect();
+        let preds: BTreeSet<String> = triples.iter().map(|t| t.predicate.to_string()).collect();
         assert_eq!(preds.len(), 18, "paper: 18 different predicates; got {preds:?}");
     }
 
@@ -384,11 +376,8 @@ mod tests {
         let cfg = LubmConfig::tiny();
         let triples = generate(&cfg);
         let teacher_of = Vocab::predicate("teacherOf");
-        let taught: BTreeSet<&Term> = triples
-            .iter()
-            .filter(|t| t.predicate == teacher_of)
-            .map(|t| &t.object)
-            .collect();
+        let taught: BTreeSet<&Term> =
+            triples.iter().filter(|t| t.predicate == teacher_of).map(|t| &t.object).collect();
         assert_eq!(taught.len(), cfg.departments * cfg.courses);
     }
 

@@ -43,7 +43,8 @@ impl Dictionary {
         if let Some(&id) = self.ids.get(term) {
             return id;
         }
-        let id = Id(u32::try_from(self.terms.len()).expect("dictionary overflow: more than 2^32 terms"));
+        let id =
+            Id(u32::try_from(self.terms.len()).expect("dictionary overflow: more than 2^32 terms"));
         self.terms.push(term.clone());
         self.ids.insert(term.clone(), id);
         id
@@ -89,10 +90,7 @@ impl Dictionary {
 
     /// Iterates `(id, term)` pairs in id order.
     pub fn iter(&self) -> impl Iterator<Item = (Id, &Term)> {
-        self.terms
-            .iter()
-            .enumerate()
-            .map(|(i, t)| (Id(i as u32), t))
+        self.terms.iter().enumerate().map(|(i, t)| (Id(i as u32), t))
     }
 
     /// Approximate heap footprint of the dictionary in bytes: the id-to-term
@@ -105,15 +103,12 @@ impl Dictionary {
             .map(|t| match t {
                 Term::Iri(i) => i.as_str().len(),
                 Term::Blank(b) => b.as_str().len(),
-                Term::Literal(l) => {
-                    l.lexical().len() + l.language().map_or(0, str::len)
-                }
+                Term::Literal(l) => l.lexical().len() + l.language().map_or(0, str::len),
             })
             .sum();
         let vec = self.terms.capacity() * std::mem::size_of::<Term>();
         // HashMap stores (Term, Id) entries plus ~1/8 control byte overhead.
-        let map = self.ids.capacity()
-            * (std::mem::size_of::<(Term, Id)>() + 1);
+        let map = self.ids.capacity() * (std::mem::size_of::<(Term, Id)>() + 1);
         strings + vec + map
     }
 }
@@ -148,7 +143,8 @@ mod tests {
     #[test]
     fn decode_inverts_encode() {
         let mut d = Dictionary::new();
-        let terms = [iri("a"), Term::literal("lit"), Term::blank("b0"), Term::lang_literal("x", "en")];
+        let terms =
+            [iri("a"), Term::literal("lit"), Term::blank("b0"), Term::lang_literal("x", "en")];
         let ids: Vec<Id> = terms.iter().map(|t| d.encode(t)).collect();
         for (id, term) in ids.iter().zip(&terms) {
             assert_eq!(d.decode(*id), Some(term));

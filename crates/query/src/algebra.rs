@@ -85,10 +85,7 @@ impl Pattern {
 
     /// Number of positions that are constants or bound in `row`.
     pub fn bound_count(&self, row: &[Option<Id>]) -> usize {
-        [self.s, self.p, self.o]
-            .into_iter()
-            .filter(|t| t.resolve(row).is_some())
-            .count()
+        [self.s, self.p, self.o].into_iter().filter(|t| t.resolve(row).is_some()).count()
     }
 }
 
@@ -105,12 +102,7 @@ pub struct Bgp {
 impl Bgp {
     /// Creates a BGP, computing `var_count` from the highest slot used.
     pub fn new(patterns: Vec<Pattern>) -> Self {
-        let var_count = patterns
-            .iter()
-            .flat_map(Pattern::vars)
-            .map(|v| v.0 + 1)
-            .max()
-            .unwrap_or(0);
+        let var_count = patterns.iter().flat_map(Pattern::vars).map(|v| v.0 + 1).max().unwrap_or(0);
         Bgp { patterns, var_count }
     }
 
@@ -152,10 +144,7 @@ mod tests {
 
     #[test]
     fn bgp_var_count_is_max_slot_plus_one() {
-        let bgp = Bgp::new(vec![
-            Pattern::new(v(0), c(1), v(3)),
-            Pattern::new(v(3), c(2), v(1)),
-        ]);
+        let bgp = Bgp::new(vec![Pattern::new(v(0), c(1), v(3)), Pattern::new(v(3), c(2), v(1))]);
         assert_eq!(bgp.var_count, 4);
         assert_eq!(bgp.empty_row().len(), 4);
         let empty = Bgp::new(vec![]);

@@ -188,7 +188,11 @@ pub fn compile(parsed: &ParsedQuery, dict: &Dictionary) -> Result<CompiledQuery,
                 }),
             }
         };
-        filters.push(CompiledFilter { left: side(&fexpr.left)?, op: fexpr.op, right: side(&fexpr.right)? });
+        filters.push(CompiledFilter {
+            left: side(&fexpr.left)?,
+            op: fexpr.op,
+            right: side(&fexpr.right)?,
+        });
     }
 
     let vars = if parsed.ask { Vec::new() } else { parsed.projection() };
@@ -319,8 +323,8 @@ mod tests {
     fn figure1_upper_query() {
         // SELECT A.property WHERE A.subj = ID2 AND A.obj = 'MIT'
         let g = figure1_graph();
-        let rs = execute(&g, r#"SELECT ?property WHERE { <http://x/ID2> ?property "MIT" . }"#)
-            .unwrap();
+        let rs =
+            execute(&g, r#"SELECT ?property WHERE { <http://x/ID2> ?property "MIT" . }"#).unwrap();
         assert_eq!(rs.vars, vec!["property"]);
         assert_eq!(rs.rows, vec![vec![iri("worksFor")]]);
     }
@@ -344,11 +348,8 @@ mod tests {
     #[test]
     fn select_star_and_distinct() {
         let g = figure1_graph();
-        let rs = execute(
-            &g,
-            r#"SELECT DISTINCT ?type WHERE { ?who <http://x/type> ?type . }"#,
-        )
-        .unwrap();
+        let rs =
+            execute(&g, r#"SELECT DISTINCT ?type WHERE { ?who <http://x/type> ?type . }"#).unwrap();
         assert_eq!(rs.len(), 3); // FullProfessor, AssocProfessor, GradStudent
         let star = execute(&g, r#"SELECT * WHERE { ?who <http://x/advisor> ?adv . }"#).unwrap();
         assert_eq!(star.vars, vec!["who", "adv"]);
@@ -358,11 +359,8 @@ mod tests {
     #[test]
     fn unknown_constant_yields_empty_not_error() {
         let g = figure1_graph();
-        let rs = execute(
-            &g,
-            r#"SELECT ?x WHERE { ?x <http://x/nonexistent> "nothing" . }"#,
-        )
-        .unwrap();
+        let rs =
+            execute(&g, r#"SELECT ?x WHERE { ?x <http://x/nonexistent> "nothing" . }"#).unwrap();
         assert!(rs.is_empty());
     }
 
@@ -411,8 +409,7 @@ mod tests {
         assert_eq!(limited.len(), 2);
         assert_eq!(&limited.rows[..], &all.rows[..2]);
         let offset =
-            execute(&g, r#"SELECT ?s WHERE { ?s <http://x/type> ?t . } OFFSET 3 LIMIT 5"#)
-                .unwrap();
+            execute(&g, r#"SELECT ?s WHERE { ?s <http://x/type> ?t . } OFFSET 3 LIMIT 5"#).unwrap();
         assert_eq!(offset.len(), 1);
         assert_eq!(offset.rows[0], all.rows[3]);
         assert!(execute_ask(&g, r#"ASK { <http://x/ID3> <http://x/advisor> ?a . }"#).unwrap());

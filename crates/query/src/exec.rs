@@ -57,11 +57,7 @@ pub fn plan_order(store: &dyn TripleStore, bgp: &Bgp) -> Vec<usize> {
 
 /// Extends one binding row with a matching triple, checking repeated
 /// variables. Returns `None` on conflict.
-fn extend_row(
-    row: &[Option<Id>],
-    pat: &Pattern,
-    t: hex_dict::IdTriple,
-) -> Option<Vec<Option<Id>>> {
+fn extend_row(row: &[Option<Id>], pat: &Pattern, t: hex_dict::IdTriple) -> Option<Vec<Option<Id>>> {
     let mut out = row.to_vec();
     for (term, value) in [(pat.s, t.s), (pat.p, t.p), (pat.o, t.o)] {
         if let PatternTerm::Var(v) = term {
@@ -164,10 +160,8 @@ mod tests {
     fn two_pattern_join() {
         // Students whose advisor works for MIT.
         let store = academic();
-        let bgp = Bgp::new(vec![
-            Pattern::new(v(0), c(100), v(1)),
-            Pattern::new(v(1), c(101), c(50)),
-        ]);
+        let bgp =
+            Bgp::new(vec![Pattern::new(v(0), c(100), v(1)), Pattern::new(v(1), c(101), c(50))]);
         let rows = execute_bgp(&store, &bgp);
         let got = distinct(project(&rows, &[VarId(0)]));
         assert_eq!(got, vec![vec![Id(3)], vec![Id(4)]]);
@@ -212,10 +206,7 @@ mod tests {
         // Figure 1(b) lower query: people related to 51 the same way 1 is
         // related to 50. 1 -worksFor-> 50, so find ?b with ?b -worksFor-> 51.
         let store = academic();
-        let bgp = Bgp::new(vec![
-            Pattern::new(c(1), v(0), c(50)),
-            Pattern::new(v(1), v(0), c(51)),
-        ]);
+        let bgp = Bgp::new(vec![Pattern::new(c(1), v(0), c(50)), Pattern::new(v(1), v(0), c(51))]);
         let rows = execute_bgp(&store, &bgp);
         let got = distinct(project(&rows, &[VarId(1)]));
         assert_eq!(got, vec![vec![Id(2)]]);
@@ -243,10 +234,8 @@ mod tests {
         let store = academic();
         // (?, 102, 60) matches 2; (?, 100, ?) matches 3 — expect the type
         // pattern first.
-        let bgp = Bgp::new(vec![
-            Pattern::new(v(0), c(100), v(1)),
-            Pattern::new(v(1), c(102), c(60)),
-        ]);
+        let bgp =
+            Bgp::new(vec![Pattern::new(v(0), c(100), v(1)), Pattern::new(v(1), c(102), c(60))]);
         let order = plan_order(&store, &bgp);
         assert_eq!(order[0], 1);
     }

@@ -44,7 +44,9 @@ pub mod parser;
 pub mod path;
 
 pub use algebra::{Bgp, Pattern, PatternTerm, VarId};
-pub use engine::{compile, execute, execute_ask, execute_compiled, execute_on, QueryError, ResultSet};
+pub use engine::{
+    compile, execute, execute_ask, execute_compiled, execute_on, QueryError, ResultSet,
+};
 pub use exec::{execute_bgp, execute_bgp_with_order, plan_order};
 pub use parser::{parse_query, FilterExpr, FilterOp, FilterOperand, ParseError, ParsedQuery};
 pub use path::{

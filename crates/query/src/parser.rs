@@ -415,10 +415,8 @@ mod tests {
     #[test]
     fn parses_figure1_upper_query() {
         // "What relationship does ID2 have to MIT?"
-        let q = parse_query(
-            r#"SELECT ?property WHERE { <http://x/ID2> ?property "MIT" . }"#,
-        )
-        .unwrap();
+        let q =
+            parse_query(r#"SELECT ?property WHERE { <http://x/ID2> ?property "MIT" . }"#).unwrap();
         assert_eq!(q.select, vec!["property"]);
         assert!(!q.distinct);
         assert_eq!(q.patterns.len(), 1);
@@ -441,8 +439,7 @@ mod tests {
 
     #[test]
     fn select_star_projects_all_vars_in_order() {
-        let q = parse_query("SELECT * WHERE { ?x <http://x/p> ?y . ?y <http://x/q> ?z }")
-            .unwrap();
+        let q = parse_query("SELECT * WHERE { ?x <http://x/p> ?y . ?y <http://x/q> ?z }").unwrap();
         assert!(q.select.is_empty());
         assert_eq!(q.projection(), vec!["x", "y", "z"]);
     }
@@ -485,10 +482,8 @@ mod tests {
 
     #[test]
     fn comments_are_skipped() {
-        let q = parse_query(
-            "SELECT ?x # project x\nWHERE { # patterns\n ?x <http://x/p> ?y . }",
-        )
-        .unwrap();
+        let q = parse_query("SELECT ?x # project x\nWHERE { # patterns\n ?x <http://x/p> ?y . }")
+            .unwrap();
         assert_eq!(q.patterns.len(), 1);
     }
 

@@ -249,13 +249,9 @@ mod tests {
         let (teach, takes) = (20, 21);
         // Model "courses x is related to": start -teach-> mid <-takes- end
         // here path is teach/takenBy, so use takenBy edges mid -> person.
-        for (s, p, o) in [
-            (1, teach, 100),
-            (1, teach, 101),
-            (100, takes, 8),
-            (100, takes, 9),
-            (101, takes, 9),
-        ] {
+        for (s, p, o) in
+            [(1, teach, 100), (1, teach, 101), (100, takes, 8), (100, takes, 9), (101, takes, 9)]
+        {
             h.insert(t(s, p, o));
         }
         let grouped = path_pairs(&h, Id(teach), Id(takes));

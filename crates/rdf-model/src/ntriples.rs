@@ -173,12 +173,10 @@ impl<'a> Cursor<'a> {
     fn parse_unicode_escape(&mut self, digits: usize) -> Result<char, NtParseError> {
         let mut value: u32 = 0;
         for _ in 0..digits {
-            let c = self
-                .bump()
-                .ok_or_else(|| err(self.line, "truncated unicode escape"))?;
-            let d = c
-                .to_digit(16)
-                .ok_or_else(|| err(self.line, format!("invalid hex digit '{c}' in unicode escape")))?;
+            let c = self.bump().ok_or_else(|| err(self.line, "truncated unicode escape"))?;
+            let d = c.to_digit(16).ok_or_else(|| {
+                err(self.line, format!("invalid hex digit '{c}' in unicode escape"))
+            })?;
             value = value * 16 + d;
         }
         char::from_u32(value)
@@ -246,9 +244,7 @@ mod tests {
 
     #[test]
     fn parses_simple_triple() {
-        let t = parse_line("<http://x/s> <http://x/p> <http://x/o> .", 1)
-            .unwrap()
-            .unwrap();
+        let t = parse_line("<http://x/s> <http://x/p> <http://x/o> .", 1).unwrap().unwrap();
         assert_eq!(t.subject, Term::iri("http://x/s"));
         assert_eq!(t.predicate, Term::iri("http://x/p"));
         assert_eq!(t.object, Term::iri("http://x/o"));
@@ -256,17 +252,13 @@ mod tests {
 
     #[test]
     fn parses_literal_object() {
-        let t = parse_line("<http://x/s> <http://x/p> \"hello world\" .", 1)
-            .unwrap()
-            .unwrap();
+        let t = parse_line("<http://x/s> <http://x/p> \"hello world\" .", 1).unwrap().unwrap();
         assert_eq!(t.object, Term::literal("hello world"));
     }
 
     #[test]
     fn parses_lang_literal() {
-        let t = parse_line("<http://x/s> <http://x/p> \"chat\"@fr-BE .", 1)
-            .unwrap()
-            .unwrap();
+        let t = parse_line("<http://x/s> <http://x/p> \"chat\"@fr-BE .", 1).unwrap().unwrap();
         let lit = t.object.as_literal().unwrap();
         assert_eq!(lit.lexical(), "chat");
         assert_eq!(lit.language(), Some("fr-BE"));

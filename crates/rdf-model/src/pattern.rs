@@ -106,10 +106,7 @@ impl TriplePattern {
     /// Number of bound positions (0–3). The paper's "statement-based
     /// queries" are patterns with 1 or 2 bound positions.
     pub fn bound_count(&self) -> usize {
-        [&self.subject, &self.predicate, &self.object]
-            .into_iter()
-            .filter(|p| p.is_bound())
-            .count()
+        [&self.subject, &self.predicate, &self.object].into_iter().filter(|p| p.is_bound()).count()
     }
 
     /// Iterator over the distinct variable names in s, p, o order.
@@ -150,11 +147,8 @@ mod tests {
 
     #[test]
     fn variables_match_anything() {
-        let pat = TriplePattern::new(
-            TermPattern::var("s"),
-            TermPattern::var("p"),
-            TermPattern::var("o"),
-        );
+        let pat =
+            TriplePattern::new(TermPattern::var("s"), TermPattern::var("p"), TermPattern::var("o"));
         assert!(pat.matches(&triple()));
         assert_eq!(pat.bound_count(), 0);
         assert_eq!(pat.variables(), vec!["s", "p", "o"]);
@@ -172,21 +166,15 @@ mod tests {
 
     #[test]
     fn repeated_variable_listed_once() {
-        let pat = TriplePattern::new(
-            TermPattern::var("x"),
-            TermPattern::var("p"),
-            TermPattern::var("x"),
-        );
+        let pat =
+            TriplePattern::new(TermPattern::var("x"), TermPattern::var("p"), TermPattern::var("x"));
         assert_eq!(pat.variables(), vec!["x", "p"]);
     }
 
     #[test]
     fn display_uses_question_mark_for_vars() {
-        let pat = TriplePattern::new(
-            TermPattern::var("x"),
-            Term::iri("http://x/p"),
-            Term::literal("o"),
-        );
+        let pat =
+            TriplePattern::new(TermPattern::var("x"), Term::iri("http://x/p"), Term::literal("o"));
         assert_eq!(pat.to_string(), "?x <http://x/p> \"o\" .");
     }
 

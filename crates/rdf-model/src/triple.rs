@@ -59,11 +59,7 @@ mod tests {
     use super::*;
 
     fn t() -> Triple {
-        Triple::new(
-            Term::iri("http://x/ID1"),
-            Term::iri("http://x/teacherOf"),
-            Term::literal("AI"),
-        )
+        Triple::new(Term::iri("http://x/ID1"), Term::iri("http://x/teacherOf"), Term::literal("AI"))
     }
 
     #[test]

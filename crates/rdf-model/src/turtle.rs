@@ -377,7 +377,8 @@ impl<'a> Parser<'a> {
             }
             Some(c) if c.is_alphabetic() || c == ':' => {
                 // true/false or prefixed name.
-                if !as_predicate && (self.rest().starts_with("true") || self.rest().starts_with("false"))
+                if !as_predicate
+                    && (self.rest().starts_with("true") || self.rest().starts_with("false"))
                 {
                     let term = self.parse_shorthand()?;
                     return Ok(term);
@@ -389,7 +390,11 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn parse_object_list(&mut self, subject: &Term, predicate: &Term) -> Result<(), TurtleParseError> {
+    fn parse_object_list(
+        &mut self,
+        subject: &Term,
+        predicate: &Term,
+    ) -> Result<(), TurtleParseError> {
         loop {
             let object = self.parse_term(false)?;
             self.triples.push(Triple::new(subject.clone(), predicate.clone(), object));
@@ -501,8 +506,10 @@ pub fn write_turtle<'a>(triples: impl IntoIterator<Item = &'a Triple>) -> String
                 out.push(' ');
                 first_predicate = false;
             } else {
-                out.push_str(" ;
-    ");
+                out.push_str(
+                    " ;
+    ",
+                );
             }
             if predicate.as_iri() == Some(RDF_TYPE) {
                 out.push('a');
@@ -524,8 +531,10 @@ pub fn write_turtle<'a>(triples: impl IntoIterator<Item = &'a Triple>) -> String
                 i += 1;
             }
         }
-        out.push_str(" .
-");
+        out.push_str(
+            " .
+",
+        );
     }
     out
 }
@@ -712,8 +721,10 @@ ex:ID2 ex:worksFor "MIT" .
         triples.sort();
         let written = write_turtle(&triples);
         // Grouping shorthand present.
-        assert!(written.contains(" ;
-"));
+        assert!(written.contains(
+            " ;
+"
+        ));
         assert!(written.contains(" , "));
         assert!(written.contains(" a "));
         let mut reparsed = parse_turtle(&written).unwrap();

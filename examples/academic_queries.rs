@@ -47,7 +47,10 @@ fn main() {
     let (r1, t_hex) = time(|| lubm::lq1_hexastore(&suite.hexastore, &ids));
     let (_, t_c1) = time(|| lubm::lq1_covp1(&suite.covp1, &ids));
     let (_, t_c2) = time(|| lubm::lq1_covp2(&suite.covp2, &ids));
-    println!("LQ1    {t_hex:>14.6} {t_c1:>14.6} {t_c2:>14.6}  {} people related to Course10", r1.len());
+    println!(
+        "LQ1    {t_hex:>14.6} {t_c1:>14.6} {t_c2:>14.6}  {} people related to Course10",
+        r1.len()
+    );
 
     let (r2, t_hex) = time(|| lubm::lq2_hexastore(&suite.hexastore, &ids));
     let (_, t_c1) = time(|| lubm::lq2_covp1(&suite.covp1, &ids));
@@ -57,24 +60,37 @@ fn main() {
     let (r3, t_hex) = time(|| lubm::lq3_hexastore(&suite.hexastore, &ids));
     let (_, t_c1) = time(|| lubm::lq3_covp1(&suite.covp1, &ids));
     let (_, t_c2) = time(|| lubm::lq3_covp2(&suite.covp2, &ids));
-    println!("LQ3    {t_hex:>14.6} {t_c1:>14.6} {t_c2:>14.6}  {} facts about AssocProfessor10", r3.len());
+    println!(
+        "LQ3    {t_hex:>14.6} {t_c1:>14.6} {t_c2:>14.6}  {} facts about AssocProfessor10",
+        r3.len()
+    );
 
     let (r4, t_hex) = time(|| lubm::lq4_hexastore(&suite.hexastore, &ids));
     let (_, t_c1) = time(|| lubm::lq4_covp1(&suite.covp1, &ids));
     let (_, t_c2) = time(|| lubm::lq4_covp2(&suite.covp2, &ids));
-    println!("LQ4    {t_hex:>14.6} {t_c1:>14.6} {t_c2:>14.6}  {} courses taught, grouped", r4.len());
+    println!(
+        "LQ4    {t_hex:>14.6} {t_c1:>14.6} {t_c2:>14.6}  {} courses taught, grouped",
+        r4.len()
+    );
 
     let (r5, t_hex) = time(|| lubm::lq5_hexastore(&suite.hexastore, &ids));
     let (_, t_c1) = time(|| lubm::lq5_covp1(&suite.covp1, &ids));
     let (_, t_c2) = time(|| lubm::lq5_covp2(&suite.covp2, &ids));
-    println!("LQ5    {t_hex:>14.6} {t_c1:>14.6} {t_c2:>14.6}  {} universities with degree holders", r5.len());
+    println!(
+        "LQ5    {t_hex:>14.6} {t_c1:>14.6} {t_c2:>14.6}  {} universities with degree holders",
+        r5.len()
+    );
 
     // Show a slice of LQ4's grouped answer with decoded names.
     println!("\nLQ4 sample (first course):");
     if let Some((course, related)) = r4.first() {
         println!("  course {}", suite.dict.decode(*course).unwrap());
         for (s, p) in related.iter().take(5) {
-            println!("    {} via {}", suite.dict.decode(*s).unwrap(), suite.dict.decode(*p).unwrap());
+            println!(
+                "    {} via {}",
+                suite.dict.decode(*s).unwrap(),
+                suite.dict.decode(*p).unwrap()
+            );
         }
         if related.len() > 5 {
             println!("    … and {} more", related.len() - 5);

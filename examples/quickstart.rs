@@ -7,8 +7,8 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use hexastore::GraphStore;
 use hex_query::execute;
+use hexastore::GraphStore;
 use rdf_model::{Term, TermPattern, TriplePattern};
 
 const EX: &str = "http://example.org/";
@@ -44,11 +44,8 @@ fn main() {
     println!("loaded {added} triples; store reports {}", g.len());
 
     // Figure 1(b), upper query: what relationship does ID2 have to MIT?
-    let rs = execute(
-        &g,
-        &format!(r#"SELECT ?property WHERE {{ <{EX}ID2> ?property "MIT" . }}"#),
-    )
-    .unwrap();
+    let rs = execute(&g, &format!(r#"SELECT ?property WHERE {{ <{EX}ID2> ?property "MIT" . }}"#))
+        .unwrap();
     println!("\nQ1: how is ID2 related to MIT?");
     print!("{}", rs.to_tsv());
 

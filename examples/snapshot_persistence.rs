@@ -1,0 +1,47 @@
+//! Persist a `GraphStore` to JSON and rebuild it through the bulk loader.
+//!
+//! The paper's prototype is in-memory; §7 names a disk-based Hexastore as
+//! future work. The `serde`-gated snapshot is the middle ground: store the
+//! dictionary terms and encoded triples once (near triples-table size) and
+//! reconstruct the sextuple redundancy on load.
+//!
+//! Run with: `cargo run --features serde --example snapshot_persistence`
+
+use hexastore::snapshot::Snapshot;
+use hexastore::GraphStore;
+use rdf_model::{Term, TermPattern, TriplePattern};
+
+fn main() {
+    let mut g = GraphStore::new();
+    g.load_ntriples(
+        r#"
+<http://ex/ID1> <http://ex/advisor> <http://ex/ID2> .
+<http://ex/ID2> <http://ex/worksFor> "MIT" .
+<http://ex/ID3> <http://ex/advisor> <http://ex/ID2> .
+"#,
+    )
+    .expect("valid N-Triples");
+    println!("loaded {} triples", g.len());
+
+    let snap = Snapshot::capture(&g);
+    let json = serde_json::to_string(&snap).expect("snapshot serializes");
+    println!("snapshot is {} bytes of JSON", json.len());
+
+    let path = std::env::temp_dir().join("hexastore_snapshot_demo.json");
+    std::fs::write(&path, &json).expect("write snapshot");
+    let text = std::fs::read_to_string(&path).expect("read snapshot");
+    std::fs::remove_file(&path).ok();
+
+    let restored: Snapshot = serde_json::from_str(&text).expect("snapshot parses");
+    let g2 = restored.restore();
+    println!("restored {} triples from {}", g2.len(), path.display());
+
+    let pat = TriplePattern::new(
+        TermPattern::var("student"),
+        TermPattern::Bound(Term::iri("http://ex/advisor")),
+        TermPattern::Bound(Term::iri("http://ex/ID2")),
+    );
+    let (before, after) = (g.matching(&pat), g2.matching(&pat));
+    assert_eq!(before, after, "restored store answers identically");
+    println!("advisor query agrees before/after: {} students of ID2", after.len());
+}

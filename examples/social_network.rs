@@ -45,7 +45,11 @@ fn main() {
     for (s, p, o) in edges {
         g.insert(&Triple::new(person(s), rel(p), person(o)));
     }
-    println!("social graph: {} edges, {} relationship kinds\n", g.len(), g.store().property_count());
+    println!(
+        "social graph: {} edges, {} relationship kinds\n",
+        g.len(),
+        g.store().property_count()
+    );
 
     // Relationship discovery: how are two people connected, if at all?
     // Property is the unknown — an (s, ?, o) probe on the sop index.
@@ -56,7 +60,10 @@ fn main() {
         )
         .unwrap();
         let hows: Vec<String> = rs.rows.iter().map(|r| r[0].to_string()).collect();
-        println!("{a} → {b}: {}", if hows.is_empty() { "no direct link".into() } else { hows.join(", ") });
+        println!(
+            "{a} → {b}: {}",
+            if hows.is_empty() { "no direct link".into() } else { hows.join(", ") }
+        );
     }
 
     // Who is connected to alice in any direction, by any relationship?
@@ -64,24 +71,26 @@ fn main() {
     // query all relationship tables and union (§2.2.3).
     println!("\neveryone connected to alice (any property, any direction):");
     let alice = g.id_of(&person("alice")).unwrap();
-    let inbound: Vec<(Id, Vec<Id>)> = g
-        .store()
-        .osp_vector(alice)
-        .map(|(s, props)| (s, props.to_vec()))
-        .collect();
+    let inbound: Vec<(Id, Vec<Id>)> =
+        g.store().osp_vector(alice).map(|(s, props)| (s, props.to_vec())).collect();
     for (s, props) in inbound {
         for p in props {
-            println!("  {} --{}--> alice", g.dict().decode(s).unwrap(), g.dict().decode(p).unwrap());
+            println!(
+                "  {} --{}--> alice",
+                g.dict().decode(s).unwrap(),
+                g.dict().decode(p).unwrap()
+            );
         }
     }
-    let outbound: Vec<(Id, Vec<Id>)> = g
-        .store()
-        .spo_vector(alice)
-        .map(|(p, objs)| (p, objs.to_vec()))
-        .collect();
+    let outbound: Vec<(Id, Vec<Id>)> =
+        g.store().spo_vector(alice).map(|(p, objs)| (p, objs.to_vec())).collect();
     for (p, objs) in outbound {
         for o in objs {
-            println!("  alice --{}--> {}", g.dict().decode(p).unwrap(), g.dict().decode(o).unwrap());
+            println!(
+                "  alice --{}--> {}",
+                g.dict().decode(p).unwrap(),
+                g.dict().decode(o).unwrap()
+            );
         }
     }
 

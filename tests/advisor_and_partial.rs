@@ -81,8 +81,7 @@ fn degraded_shapes_still_answer_correctly_on_generated_data() {
     let triples = generate(&LubmConfig::tiny());
     let suite = Suite::build(&triples);
     let ids = LubmIds::resolve(&suite.dict).unwrap();
-    let mut spo_only =
-        PartialHexastore::new(hexastore::IndexSet::EMPTY.with(IndexKind::Spo));
+    let mut spo_only = PartialHexastore::new(hexastore::IndexSet::EMPTY.with(IndexKind::Spo));
     for &t in &suite.triples {
         spo_only.insert(t);
     }

@@ -8,7 +8,11 @@ use hex_query::execute_on;
 use hexastore::TripleStore;
 
 fn barton_suite() -> (Suite, barton::BartonIds) {
-    let triples = hex_datagen::barton::generate(&BartonConfig { records: 2_500, seed: 3, ..BartonConfig::default() });
+    let triples = hex_datagen::barton::generate(&BartonConfig {
+        records: 2_500,
+        seed: 3,
+        ..BartonConfig::default()
+    });
     let suite = Suite::build(&triples);
     let ids = barton::BartonIds::resolve(&suite.dict).expect("all terms generated");
     (suite, ids)
@@ -89,11 +93,8 @@ fn sparql_engine_agrees_with_lq1_plan() {
     let query = format!("SELECT ?who ?how WHERE {{ ?who ?how {course} . }}");
     for store in [&s.hexastore as &dyn TripleStore, &s.table, &s.covp1, &s.covp2] {
         let rs = execute_on(store, &s.dict, &query).unwrap();
-        let mut got: Vec<(String, String)> = rs
-            .rows
-            .iter()
-            .map(|r| (r[0].to_string(), r[1].to_string()))
-            .collect();
+        let mut got: Vec<(String, String)> =
+            rs.rows.iter().map(|r| (r[0].to_string(), r[1].to_string())).collect();
         got.sort();
         let mut expected: Vec<(String, String)> = lubm::lq1_hexastore(&s.hexastore, &ids)
             .into_iter()

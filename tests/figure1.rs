@@ -1,8 +1,8 @@
 //! The paper's Figure 1 worked example, verified literally at string
 //! level, including the §4.1 index-content walkthrough.
 
-use hexastore::GraphStore;
 use hex_query::execute;
+use hexastore::GraphStore;
 use rdf_model::{Term, TermPattern, Triple, TriplePattern};
 
 const EX: &str = "http://example.org/";
@@ -76,11 +76,8 @@ fn section_4_1_ops_example_for_mit() {
     // a one-item subject list (ID1, ID2 respectively).
     let g = figure1();
     let mit = g.id_of(&lit("MIT")).unwrap();
-    let props: Vec<String> = g
-        .store()
-        .ops_vector(mit)
-        .map(|(p, _)| g.dict().decode(p).unwrap().to_string())
-        .collect();
+    let props: Vec<String> =
+        g.store().ops_vector(mit).map(|(p, _)| g.dict().decode(p).unwrap().to_string()).collect();
     assert_eq!(props, vec![format!("<{EX}bachelorFrom>"), format!("<{EX}worksFor>")]);
     let bachelor = g.id_of(&iri("bachelorFrom")).unwrap();
     let works_for = g.id_of(&iri("worksFor")).unwrap();
@@ -111,15 +108,12 @@ fn motivation_queries_from_section_2_2_3() {
     let g = figure1();
     // "people who hold a degree, of any type, from a certain university":
     // anyone related to Yale.
-    let yale_pat = TriplePattern::new(
-        TermPattern::var("who"),
-        TermPattern::var("how"),
-        lit("Yale"),
-    );
+    let yale_pat =
+        TriplePattern::new(TermPattern::var("who"), TermPattern::var("how"), lit("Yale"));
     let yale_hits = g.matching(&yale_pat);
     assert_eq!(yale_hits.len(), 2); // ID1 phdFrom, ID2 bachelorsFrom
-    // "people who are anyhow related with both of a pair of universities":
-    // merge-join of two osp subject vectors (here: Yale ∩ Stanford = ID2).
+                                    // "people who are anyhow related with both of a pair of universities":
+                                    // merge-join of two osp subject vectors (here: Yale ∩ Stanford = ID2).
     let yale = g.id_of(&lit("Yale")).unwrap();
     let stanford = g.id_of(&lit("Stanford")).unwrap();
     let both = hexastore::sorted::intersect(

@@ -8,7 +8,10 @@ use hexastore::TripleStore;
 #[test]
 fn space_blowup_is_bounded_on_real_workloads() {
     for (name, triples) in [
-        ("barton", hex_datagen::barton::generate(&BartonConfig { records: 3_000, ..Default::default() })),
+        (
+            "barton",
+            hex_datagen::barton::generate(&BartonConfig { records: 3_000, ..Default::default() }),
+        ),
         ("lubm", hex_datagen::lubm::generate(&LubmConfig::tiny())),
     ] {
         let suite = Suite::build(&triples);
@@ -53,7 +56,11 @@ fn dataset_prefixes_are_stable() {
 
 #[test]
 fn stores_agree_on_every_prefix() {
-    let triples = hex_datagen::barton::generate(&BartonConfig { records: 600, seed: 21, ..Default::default() });
+    let triples = hex_datagen::barton::generate(&BartonConfig {
+        records: 600,
+        seed: 21,
+        ..Default::default()
+    });
     for frac in [4, 2, 1] {
         let prefix = &triples[..triples.len() / frac];
         let suite = Suite::build(prefix);
@@ -78,8 +85,7 @@ fn stores_agree_on_every_prefix() {
 fn incremental_and_bulk_agree_on_generated_data() {
     let triples = hex_datagen::lubm::generate(&LubmConfig::tiny());
     let mut dict = hex_dict::Dictionary::new();
-    let encoded: Vec<hex_dict::IdTriple> =
-        triples.iter().map(|t| dict.encode_triple(t)).collect();
+    let encoded: Vec<hex_dict::IdTriple> = triples.iter().map(|t| dict.encode_triple(t)).collect();
     let bulk = hexastore::Hexastore::from_triples(encoded.iter().copied());
     let mut inc = hexastore::Hexastore::new();
     for &t in &encoded {
@@ -87,8 +93,5 @@ fn incremental_and_bulk_agree_on_generated_data() {
     }
     assert_eq!(bulk.len(), inc.len());
     assert_eq!(bulk.space_stats(), inc.space_stats());
-    assert_eq!(
-        bulk.matching(hexastore::IdPattern::ALL),
-        inc.matching(hexastore::IdPattern::ALL)
-    );
+    assert_eq!(bulk.matching(hexastore::IdPattern::ALL), inc.matching(hexastore::IdPattern::ALL));
 }

@@ -1,0 +1,275 @@
+//! Vendored stand-in for the `criterion` benchmark harness (0.5 API
+//! subset).
+//!
+//! The build environment has no crates-registry access, so this crate
+//! provides the exact surface the workspace's benches compile against:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup`] with
+//! `sample_size`/`warm_up_time`/`measurement_time`, [`Bencher::iter`] and
+//! [`Bencher::iter_batched`], plus the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple — warm up, then run timed samples
+//! within the configured measurement budget and report min/mean — rather
+//! than criterion's full statistical machinery. Numbers printed by this
+//! harness are indicative; the paper-figure CSVs from the `figures`
+//! binary are the workspace's real evidence artifacts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Measurement strategies (only wall-clock is provided).
+pub mod measurement {
+    /// Wall-clock time measurement, the criterion default.
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct WallTime;
+}
+
+/// How `iter_batched` amortizes setup cost across a batch.
+///
+/// This stand-in runs one routine call per setup call regardless of the
+/// hint, so the variants only document intent.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration input; setup is cheap relative to the routine.
+    SmallInput,
+    /// Large per-iteration input; setup dominates, keep batches small.
+    LargeInput,
+    /// Fresh setup for every single iteration.
+    PerIteration,
+    /// Explicit number of batches.
+    NumBatches(u64),
+    /// Explicit number of iterations per batch.
+    NumIterations(u64),
+}
+
+/// Per-benchmark measurement configuration.
+#[derive(Clone, Copy, Debug)]
+struct Config {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+/// The benchmark manager handed to every `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _measurement: measurement::WallTime,
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(
+        &mut self,
+        name: impl Into<String>,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup::new(self, name.into())
+    }
+
+    /// Runs a single free-standing benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(&id, Config::default(), f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    config: Config,
+    _marker: std::marker::PhantomData<M>,
+}
+
+impl<'a> BenchmarkGroup<'a, measurement::WallTime> {
+    fn new(criterion: &'a mut Criterion, name: String) -> Self {
+        BenchmarkGroup {
+            _criterion: criterion,
+            name,
+            config: Config::default(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up duration before sampling starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Sets the total measurement budget for each benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        run_one(&id, self.config, f);
+        self
+    }
+
+    /// Ends the group (accepted for API compatibility; drop does the same).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, config: Config, mut f: F) {
+    let mut bencher = Bencher { config, samples: Vec::new() };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{id:<60} (no samples)");
+        return;
+    }
+    let min = bencher.samples.iter().copied().min().unwrap();
+    let total: Duration = bencher.samples.iter().sum();
+    let mean = total / bencher.samples.len() as u32;
+    println!(
+        "{id:<60} min {:>12} mean {:>12} ({} samples)",
+        fmt_duration(min),
+        fmt_duration(mean),
+        bencher.samples.len()
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Timing context passed to each benchmark closure.
+pub struct Bencher {
+    config: Config,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    ///
+    /// Warm-up runs until the warm-up budget is spent, then samples are
+    /// collected until either `sample_size` samples exist or the
+    /// measurement budget is exhausted (always at least one sample).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        self.iter_batched(|| (), |()| routine(), BatchSize::SmallInput);
+    }
+
+    /// Times `routine` on fresh inputs produced by `setup`; only the
+    /// routine is timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_up_until = Instant::now() + self.config.warm_up_time;
+        loop {
+            let input = setup();
+            black_box(routine(black_box(input)));
+            if Instant::now() >= warm_up_until {
+                break;
+            }
+        }
+        let measure_until = Instant::now() + self.config.measurement_time;
+        while self.samples.len() < self.config.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(black_box(input)));
+            self.samples.push(start.elapsed());
+            if Instant::now() >= measure_until && !self.samples.is_empty() {
+                break;
+            }
+        }
+    }
+}
+
+/// Declares a benchmark group function that runs each target in turn.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_collect_samples_and_respect_budget() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("test");
+        g.sample_size(5)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(20));
+        let mut calls = 0u64;
+        g.bench_function("counter", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        g.finish();
+        assert!(calls > 0, "routine should have run");
+    }
+
+    #[test]
+    fn iter_batched_times_only_routine() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("batched");
+        g.sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(10));
+        g.bench_function("clone", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::LargeInput)
+        });
+    }
+}

@@ -1,0 +1,581 @@
+//! Vendored stand-in for the `proptest` property-testing crate.
+//!
+//! The build environment has no crates-registry access, so the workspace
+//! vendors the surface its property tests use:
+//!
+//! - the [`strategy::Strategy`] trait with `prop_map` and `boxed`,
+//!   implemented for integer ranges, tuples, and regex string literals;
+//! - [`collection::vec`] / [`collection::btree_set`], [`option::of`],
+//!   [`string::string_regex`];
+//! - the [`proptest!`], [`prop_assert!`], [`prop_assert_eq!`] and
+//!   [`prop_oneof!`] macros;
+//! - [`prelude::ProptestConfig`] with `with_cases`.
+//!
+//! Differences from real proptest: generation is deterministic (fixed
+//! seed per test body, perturbed per case), there is **no shrinking** —
+//! a failing case panics with the generated values via the assert
+//! message — and the regex subset covers character classes, groups,
+//! alternation and bounded repetition (what the tests here use).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy;
+
+pub mod test_runner;
+
+/// Strategies for `String` generation from regular expressions.
+pub mod string {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Error from [`string_regex`] for patterns outside the supported
+    /// subset.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error(pub String);
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "unsupported regex: {}", self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// A strategy generating strings matched by a regular expression.
+    #[derive(Clone, Debug)]
+    pub struct RegexGeneratorStrategy<T> {
+        pub(crate) ast: Node,
+        pub(crate) _marker: std::marker::PhantomData<T>,
+    }
+
+    /// Parses `pattern` into a generator strategy.
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy<String>, Error> {
+        let mut chars: Vec<char> = pattern.chars().collect();
+        // A leading ^ / trailing $ anchor the whole string; generation is
+        // always anchored, so they are simply dropped.
+        if chars.first() == Some(&'^') {
+            chars.remove(0);
+        }
+        if chars.last() == Some(&'$') {
+            chars.pop();
+        }
+        let mut p = Parser { chars: &chars, pos: 0 };
+        let node = p.parse_alternation()?;
+        if p.pos != p.chars.len() {
+            return Err(Error(format!("trailing input at byte {}", p.pos)));
+        }
+        Ok(RegexGeneratorStrategy { ast: node, _marker: std::marker::PhantomData })
+    }
+
+    impl Strategy for RegexGeneratorStrategy<String> {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            self.ast.generate(rng, &mut out);
+            out
+        }
+    }
+
+    /// Parsed regex node (generation-oriented, not matching-oriented).
+    #[derive(Clone, Debug)]
+    pub(crate) enum Node {
+        /// Sequence of nodes.
+        Concat(Vec<Node>),
+        /// `a|b|c` alternatives.
+        Alt(Vec<Node>),
+        /// `x{min,max}` (also encodes `?`, `*`, `+` with max capped).
+        Repeat(Box<Node>, u32, u32),
+        /// Literal character.
+        Char(char),
+        /// Character class: inclusive ranges to choose from.
+        Class(Vec<(char, char)>),
+    }
+
+    impl Node {
+        fn generate(&self, rng: &mut TestRng, out: &mut String) {
+            match self {
+                Node::Concat(nodes) => {
+                    for n in nodes {
+                        n.generate(rng, out);
+                    }
+                }
+                Node::Alt(alts) => {
+                    let i = rng.below(alts.len() as u64) as usize;
+                    alts[i].generate(rng, out);
+                }
+                Node::Repeat(node, min, max) => {
+                    let n = *min + rng.below((*max - *min + 1) as u64) as u32;
+                    for _ in 0..n {
+                        node.generate(rng, out);
+                    }
+                }
+                Node::Char(c) => out.push(*c),
+                Node::Class(ranges) => {
+                    // Weight ranges by size so every char is uniform.
+                    let total: u64 =
+                        ranges.iter().map(|(a, b)| (*b as u64) - (*a as u64) + 1).sum();
+                    let mut pick = rng.below(total);
+                    for (a, b) in ranges {
+                        let size = (*b as u64) - (*a as u64) + 1;
+                        if pick < size {
+                            let code = *a as u32 + pick as u32;
+                            // Skip the surrogate gap if a range crosses it.
+                            out.push(char::from_u32(code).unwrap_or(*a));
+                            return;
+                        }
+                        pick -= size;
+                    }
+                    unreachable!("class pick within total weight");
+                }
+            }
+        }
+    }
+
+    struct Parser<'a> {
+        chars: &'a [char],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn peek(&self) -> Option<char> {
+            self.chars.get(self.pos).copied()
+        }
+
+        fn bump(&mut self) -> Option<char> {
+            let c = self.peek();
+            if c.is_some() {
+                self.pos += 1;
+            }
+            c
+        }
+
+        fn parse_alternation(&mut self) -> Result<Node, Error> {
+            let mut alts = vec![self.parse_concat()?];
+            while self.peek() == Some('|') {
+                self.bump();
+                alts.push(self.parse_concat()?);
+            }
+            Ok(if alts.len() == 1 { alts.pop().unwrap() } else { Node::Alt(alts) })
+        }
+
+        fn parse_concat(&mut self) -> Result<Node, Error> {
+            let mut nodes = Vec::new();
+            while let Some(c) = self.peek() {
+                if c == '|' || c == ')' {
+                    break;
+                }
+                let atom = self.parse_atom()?;
+                nodes.push(self.parse_repeat(atom)?);
+            }
+            Ok(if nodes.len() == 1 { nodes.pop().unwrap() } else { Node::Concat(nodes) })
+        }
+
+        fn parse_atom(&mut self) -> Result<Node, Error> {
+            match self.bump() {
+                Some('(') => {
+                    // Non-capturing marker `?:` is irrelevant to generation.
+                    if self.peek() == Some('?') {
+                        self.bump();
+                        if self.bump() != Some(':') {
+                            return Err(Error("only (?: groups supported".into()));
+                        }
+                    }
+                    let inner = self.parse_alternation()?;
+                    if self.bump() != Some(')') {
+                        return Err(Error("unclosed group".into()));
+                    }
+                    Ok(inner)
+                }
+                Some('[') => self.parse_class(),
+                Some('\\') => Ok(Node::Char(self.parse_escape()?)),
+                Some('.') => Ok(Node::Class(vec![(' ', '~')])),
+                Some(c @ ('*' | '+' | '?' | '{')) => {
+                    Err(Error(format!("dangling repetition operator {c:?}")))
+                }
+                Some(c) => Ok(Node::Char(c)),
+                None => Err(Error("unexpected end of pattern".into())),
+            }
+        }
+
+        fn parse_escape(&mut self) -> Result<char, Error> {
+            match self.bump() {
+                Some('t') => Ok('\t'),
+                Some('n') => Ok('\n'),
+                Some('r') => Ok('\r'),
+                Some('0') => Ok('\0'),
+                Some(
+                    c @ ('\\' | '.' | '-' | '[' | ']' | '(' | ')' | '{' | '}' | '|' | '?' | '*'
+                    | '+' | '^' | '$' | '/'),
+                ) => Ok(c),
+                Some(c) => Err(Error(format!("unsupported escape \\{c}"))),
+                None => Err(Error("dangling escape".into())),
+            }
+        }
+
+        fn parse_class(&mut self) -> Result<Node, Error> {
+            if self.peek() == Some('^') {
+                return Err(Error("negated classes unsupported".into()));
+            }
+            let mut ranges = Vec::new();
+            loop {
+                let lo = match self.bump() {
+                    None => return Err(Error("unclosed character class".into())),
+                    Some(']') => break,
+                    Some('\\') => self.parse_escape()?,
+                    Some(c) => c,
+                };
+                // `a-z` range, unless `-` is the literal last char.
+                if self.peek() == Some('-') && self.chars.get(self.pos + 1) != Some(&']') {
+                    self.bump();
+                    let hi = match self.bump() {
+                        Some('\\') => self.parse_escape()?,
+                        Some(c) => c,
+                        None => return Err(Error("unclosed class range".into())),
+                    };
+                    if hi < lo {
+                        return Err(Error(format!("invalid class range {lo}-{hi}")));
+                    }
+                    ranges.push((lo, hi));
+                } else {
+                    ranges.push((lo, lo));
+                }
+            }
+            if ranges.is_empty() {
+                return Err(Error("empty character class".into()));
+            }
+            Ok(Node::Class(ranges))
+        }
+
+        fn parse_repeat(&mut self, atom: Node) -> Result<Node, Error> {
+            // Bound for unbounded operators: generated strings stay short.
+            const UNBOUNDED: u32 = 8;
+            match self.peek() {
+                Some('?') => {
+                    self.bump();
+                    Ok(Node::Repeat(Box::new(atom), 0, 1))
+                }
+                Some('*') => {
+                    self.bump();
+                    Ok(Node::Repeat(Box::new(atom), 0, UNBOUNDED))
+                }
+                Some('+') => {
+                    self.bump();
+                    Ok(Node::Repeat(Box::new(atom), 1, UNBOUNDED))
+                }
+                Some('{') => {
+                    self.bump();
+                    let mut min = String::new();
+                    while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                        min.push(self.bump().unwrap());
+                    }
+                    let min: u32 = min.parse().map_err(|_| Error("bad {n} bound".into()))?;
+                    let max = match self.bump() {
+                        Some('}') => min,
+                        Some(',') => {
+                            let mut max = String::new();
+                            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                                max.push(self.bump().unwrap());
+                            }
+                            if self.bump() != Some('}') {
+                                return Err(Error("unclosed {m,n}".into()));
+                            }
+                            if max.is_empty() {
+                                min + UNBOUNDED
+                            } else {
+                                max.parse().map_err(|_| Error("bad {m,n} bound".into()))?
+                            }
+                        }
+                        _ => return Err(Error("unclosed {n}".into())),
+                    };
+                    if max < min {
+                        return Err(Error("repetition max below min".into()));
+                    }
+                    Ok(Node::Repeat(Box::new(atom), min, max))
+                }
+                _ => Ok(atom),
+            }
+        }
+    }
+}
+
+/// Strategies over collections.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s with lengths drawn from a range.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors of `size` elements from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "vec size range must be non-empty");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy producing `BTreeSet`s with target sizes drawn from a range.
+    #[derive(Clone, Debug)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates sets aiming for `size` elements (fewer if the element
+    /// domain is too small to produce enough distinct values).
+    pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        assert!(size.start < size.end, "set size range must be non-empty");
+        BTreeSetStrategy { element, size }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.end - self.size.start) as u64;
+            let target = self.size.start + rng.below(span) as usize;
+            let mut set = BTreeSet::new();
+            // Cap attempts so tiny domains cannot loop forever.
+            for _ in 0..target.saturating_mul(4).max(16) {
+                if set.len() >= target {
+                    break;
+                }
+                set.insert(self.element.generate(rng));
+            }
+            set
+        }
+    }
+}
+
+/// Strategies over `Option`.
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy producing `None` about a quarter of the time.
+    #[derive(Clone, Debug)]
+    pub struct OptionStrategy<S>(S);
+
+    /// Wraps `inner`'s values in `Some`, interleaving `None`s.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+}
+
+/// The glob import every property test starts with.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::TestRng;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Per-`proptest!`-block configuration.
+    #[derive(Clone, Copy, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Configuration running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Real proptest defaults to 256; 64 keeps the suite quick
+            // while still exercising plenty of structure.
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+/// Runs each property function over `cases` generated inputs.
+///
+/// Accepts the same shape as real proptest:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0u32..10, v in collection::vec(0u32..5, 0..20)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+///
+/// Unlike real proptest there is no shrinking: the panic message of the
+/// failing assertion carries the generated values instead.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $( $arg:ident in $strategy:expr ),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                // Stable per-property stream: derived from the property
+                // name so sibling tests explore different inputs.
+                let mut rng = $crate::test_runner::TestRng::for_property(stringify!($name));
+                for _case in 0..config.cases {
+                    $( let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut rng); )+
+                    $body
+                }
+            }
+        )*
+    };
+    ( $($rest:tt)* ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::prelude::ProptestConfig::default())]
+            $($rest)*
+        }
+    };
+}
+
+/// Asserts a condition inside a property (panics with the message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property (panics with both values).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Picks among strategies, optionally weighted (`3 => strat`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $( $weight:literal => $strategy:expr ),+ $(,)? ) => {
+        $crate::strategy::Union::new(vec![
+            $( ($weight as u32, $crate::strategy::Strategy::boxed($strategy)) ),+
+        ])
+    };
+    ( $( $strategy:expr ),+ $(,)? ) => {
+        $crate::strategy::Union::new(vec![
+            $( (1u32, $crate::strategy::Strategy::boxed($strategy)) ),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn regex_generation_matches_shape() {
+        let strat = crate::string::string_regex("[a-z]{2}(-[A-Z]{2})?").unwrap();
+        let mut rng = TestRng::for_property("regex");
+        let mut saw_suffix = false;
+        for _ in 0..200 {
+            let s = Strategy::generate(&strat, &mut rng);
+            let bytes: Vec<char> = s.chars().collect();
+            assert!(bytes.len() == 2 || bytes.len() == 5, "bad len: {s:?}");
+            assert!(bytes[0].is_ascii_lowercase() && bytes[1].is_ascii_lowercase());
+            if bytes.len() == 5 {
+                saw_suffix = true;
+                assert_eq!(bytes[2], '-');
+                assert!(bytes[3].is_ascii_uppercase() && bytes[4].is_ascii_uppercase());
+            }
+        }
+        assert!(saw_suffix, "optional group should sometimes appear");
+    }
+
+    #[test]
+    fn str_literals_are_strategies() {
+        let mut rng = TestRng::for_property("lit");
+        for _ in 0..50 {
+            let s = Strategy::generate(&"[0-9]{3}", &mut rng);
+            assert_eq!(s.len(), 3);
+            assert!(s.chars().all(|c| c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn ranges_tuples_and_maps_compose() {
+        let strat = (0u32..10, 5u32..6).prop_map(|(a, b)| a + b);
+        let mut rng = TestRng::for_property("compose");
+        for _ in 0..100 {
+            let v = Strategy::generate(&strat, &mut rng);
+            assert!((5..15).contains(&v));
+        }
+    }
+
+    #[test]
+    fn oneof_honours_weights_roughly() {
+        let strat = prop_oneof![9 => 0u32..1, 1 => 100u32..101];
+        let mut rng = TestRng::for_property("weights");
+        let rare = (0..1000).filter(|_| Strategy::generate(&strat, &mut rng) == 100).count();
+        assert!((30..300).contains(&rare), "rare arm hit {rare}/1000");
+    }
+
+    proptest! {
+        #[test]
+        fn vec_sizes_respect_range(v in crate::collection::vec(0u32..5, 2..7)) {
+            prop_assert!((2..7).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn sets_are_sets(s in crate::collection::btree_set(0u32..64, 0..40)) {
+            prop_assert!(s.len() < 40);
+        }
+
+        #[test]
+        fn options_mix(o in crate::option::of(1u32..2)) {
+            if let Some(v) = o {
+                prop_assert_eq!(v, 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,468 @@
+//! Vendored stand-in for `serde`.
+//!
+//! The build environment has no crates-registry access, so the workspace
+//! vendors a compact serialization framework under the `serde` name. It
+//! is **not** API-compatible with real serde's visitor architecture;
+//! instead both traits go through an owned [`Value`] tree:
+//!
+//! - [`Serialize`] renders a type to a [`Value`];
+//! - [`Deserialize`] rebuilds a type from a [`Value`];
+//! - `#[derive(Serialize, Deserialize)]` (from the companion
+//!   `serde_derive` proc-macro crate, re-exported here) generates those
+//!   impls for plain structs, tuple structs, and enums;
+//! - the companion `serde_json` crate converts [`Value`] to and from
+//!   JSON text.
+//!
+//! The encoding mirrors serde_json's defaults so snapshots look
+//! conventional: structs become maps, newtype structs unwrap to their
+//! inner value, and enum variants are externally tagged.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+// Let this crate's own tests use the derive macros, whose generated code
+// refers to `::serde`.
+extern crate self as serde;
+
+use std::fmt;
+use std::sync::Arc;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing tree every type serializes through.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null` (used for `Option::None`).
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence (arrays, tuples, tuple structs).
+    Seq(Vec<Value>),
+    /// Ordered map with string keys (structs, tagged enum variants).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The map entries, if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The sequence elements, if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an unsigned integer, if representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(v) => Some(*v),
+            Value::I64(v) => u64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a signed integer, if representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(v) => Some(*v),
+            Value::U64(v) => i64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a float (integers convert losslessly when possible).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(v) => Some(*v),
+            Value::U64(v) => Some(*v as f64),
+            Value::I64(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// True for [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error with a custom message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Looks up a required struct field in map entries (derive helper).
+pub fn field<'v>(entries: &'v [(String, Value)], name: &str) -> Result<&'v Value, Error> {
+    entries
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| Error::custom(format_args!("missing field `{name}`")))
+}
+
+/// A type that can render itself to a [`Value`].
+pub trait Serialize {
+    /// Renders `self` as a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can rebuild itself from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuilds an instance from a value tree.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let raw = value
+                    .as_u64()
+                    .ok_or_else(|| Error::custom(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(raw)
+                    .map_err(|_| Error::custom(concat!("out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 { Value::U64(v as u64) } else { Value::I64(v) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let raw = value
+                    .as_i64()
+                    .ok_or_else(|| Error::custom(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(raw)
+                    .map_err(|_| Error::custom(concat!("out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value.as_f64().ok_or_else(|| Error::custom("expected number"))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value.as_f64().map(|v| v as f32).ok_or_else(|| Error::custom("expected number"))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value.as_bool().ok_or_else(|| Error::custom("expected bool"))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value.as_str().map(str::to_owned).ok_or_else(|| Error::custom("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for Arc<str> {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for Arc<str> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value.as_str().map(Arc::from).ok_or_else(|| Error::custom("expected string"))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        if value.is_null() {
+            Ok(None)
+        } else {
+            T::from_value(value).map(Some)
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_seq()
+            .ok_or_else(|| Error::custom("expected sequence"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! impl_tuple {
+    ( $( ($($name:ident : $idx:tt),+) ),+ ) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$( self.$idx.to_value() ),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let seq = value.as_seq().ok_or_else(|| Error::custom("expected tuple"))?;
+                let expected = [$( $idx ),+].len();
+                if seq.len() != expected {
+                    return Err(Error::custom(format_args!(
+                        "expected tuple of {expected}, got {}", seq.len()
+                    )));
+                }
+                Ok(($( $name::from_value(&seq[$idx])?, )+))
+            }
+        }
+    )+};
+}
+
+impl_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3)
+);
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
+        assert_eq!(i32::from_value(&(-7i32).to_value()).unwrap(), -7);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        let s: Arc<str> = Arc::from("hi");
+        assert_eq!(&*Arc::<str>::from_value(&s.to_value()).unwrap(), "hi");
+    }
+
+    #[test]
+    fn options_and_vecs_roundtrip() {
+        let v: Vec<Option<u32>> = vec![Some(1), None, Some(3)];
+        let val = v.to_value();
+        assert_eq!(Vec::<Option<u32>>::from_value(&val).unwrap(), v);
+    }
+
+    #[test]
+    fn tuples_check_arity() {
+        let val = (1u32, 2u32).to_value();
+        assert!(<(u32, u32, u32)>::from_value(&val).is_err());
+        assert_eq!(<(u32, u32)>::from_value(&val).unwrap(), (1, 2));
+    }
+
+    #[test]
+    fn out_of_range_is_an_error() {
+        let big = Value::U64(u64::MAX);
+        assert!(u32::from_value(&big).is_err());
+        assert!(i64::from_value(&big).is_err());
+    }
+
+    // ------------------------------------------- derive macro coverage
+
+    #[derive(Serialize, Deserialize, Debug, PartialEq)]
+    struct Named {
+        a: u32,
+        b: Option<String>,
+    }
+
+    #[derive(Serialize, Deserialize, Debug, PartialEq)]
+    struct Newtype(u32);
+
+    #[derive(Serialize, Deserialize, Debug, PartialEq)]
+    struct Pair(u32, String);
+
+    #[derive(Serialize, Deserialize, Debug, PartialEq)]
+    enum Mixed {
+        Unit,
+        One(u32),
+        Two(u32, u32),
+        Fields { x: u32 },
+    }
+
+    #[derive(Serialize, Deserialize, Debug, PartialEq)]
+    enum UnitOnly {
+        A,
+        B,
+    }
+
+    #[derive(Serialize, Deserialize, Debug, PartialEq)]
+    struct Generic<K, V> {
+        entries: Vec<(K, V)>,
+    }
+
+    #[test]
+    fn derived_structs_roundtrip() {
+        for v in [Named { a: 1, b: Some("x".into()) }, Named { a: 2, b: None }] {
+            assert_eq!(Named::from_value(&v.to_value()).unwrap(), v);
+        }
+        assert_eq!(Newtype::from_value(&Newtype(7).to_value()).unwrap(), Newtype(7));
+        // Newtypes unwrap to their inner value, as with real serde.
+        assert_eq!(Newtype(7).to_value(), Value::U64(7));
+        let p = Pair(1, "two".into());
+        assert_eq!(Pair::from_value(&p.to_value()).unwrap(), p);
+    }
+
+    #[test]
+    fn derived_enums_roundtrip() {
+        for v in [Mixed::Unit, Mixed::One(1), Mixed::Two(2, 3), Mixed::Fields { x: 4 }] {
+            assert_eq!(Mixed::from_value(&v.to_value()).unwrap(), v);
+        }
+        // Regression: enums whose variants are all unit used to make the
+        // derive emit invalid Rust (stray comma in an empty match).
+        for v in [UnitOnly::A, UnitOnly::B] {
+            assert_eq!(UnitOnly::from_value(&v.to_value()).unwrap(), v);
+        }
+        assert!(UnitOnly::from_value(&Value::Str("C".into())).is_err());
+        assert!(Mixed::from_value(&Value::Map(vec![("Nope".into(), Value::Null)])).is_err());
+    }
+
+    #[test]
+    fn derived_generics_roundtrip() {
+        let g = Generic { entries: vec![(1u32, "a".to_string()), (2, "b".to_string())] };
+        assert_eq!(Generic::<u32, String>::from_value(&g.to_value()).unwrap(), g);
+    }
+}

@@ -1,0 +1,465 @@
+//! Vendored stand-in for `serde_derive`.
+//!
+//! Hand-rolled derive macros (no `syn`/`quote`, since the build
+//! environment has no registry access) that generate impls of the
+//! companion `serde` crate's Value-tree `Serialize`/`Deserialize`
+//! traits. Supported shapes — everything this workspace derives on:
+//!
+//! - structs with named fields (optionally generic over type params);
+//! - tuple structs (newtypes unwrap to their inner value);
+//! - enums with unit, tuple, or struct variants (externally tagged).
+//!
+//! Unsupported input (lifetimes, const generics, `where` clauses,
+//! `#[serde(...)]` attributes) produces a `compile_error!` naming the
+//! limitation rather than silently wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the vendored `serde::Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derives the vendored `serde::Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match parse_item(input).map(|item| generate(&item, mode)) {
+        Ok(code) => code.parse().expect("serde_derive generated invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+/// What we need to know about the deriving item.
+struct Item {
+    name: String,
+    /// Type parameter names, e.g. `["K", "V"]`.
+    generics: Vec<String>,
+    kind: Kind,
+}
+
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attrs_and_vis(&tokens, &mut pos);
+
+    let keyword = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    pos += 1;
+
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    pos += 1;
+
+    let generics = parse_generics(&tokens, &mut pos)?;
+
+    match keyword.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item {
+                name,
+                generics,
+                kind: Kind::NamedStruct(parse_named_fields(g.stream())?),
+            }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Item { name, generics, kind: Kind::TupleStruct(count_tuple_fields(g.stream())) })
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "where" => {
+                Err("`where` clauses are not supported by the vendored serde_derive".into())
+            }
+            other => Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Item { name, generics, kind: Kind::Enum(parse_variants(g.stream())?) })
+            }
+            other => Err(format!("unsupported enum body: {other:?}")),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+/// Advances past attributes (`#[...]`, including doc comments) and a
+/// `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 1;
+                if matches!(tokens.get(*pos), Some(TokenTree::Group(_))) {
+                    *pos += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *pos += 1;
+                if matches!(
+                    tokens.get(*pos),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *pos += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `<A, B, ...>` type parameters (plain idents only).
+fn parse_generics(tokens: &[TokenTree], pos: &mut usize) -> Result<Vec<String>, String> {
+    let mut params = Vec::new();
+    match tokens.get(*pos) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => *pos += 1,
+        _ => return Ok(params),
+    }
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                *pos += 1;
+                return Ok(params);
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => *pos += 1,
+            Some(TokenTree::Ident(id)) => {
+                params.push(id.to_string());
+                *pos += 1;
+                // Bounds, defaults, lifetimes, and const params are out of
+                // scope for the vendored derive.
+                match tokens.get(*pos) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' || p.as_char() == '=' => {
+                        return Err(format!(
+                            "generic bounds/defaults on `{}` are not supported by the vendored serde_derive",
+                            params.last().unwrap()
+                        ));
+                    }
+                    _ => {}
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '\'' => {
+                return Err(
+                    "lifetime parameters are not supported by the vendored serde_derive".into()
+                );
+            }
+            other => return Err(format!("unsupported generic parameter: {other:?}")),
+        }
+    }
+}
+
+/// Splits a brace-group body into top-level comma-separated chunks.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = vec![Vec::new()];
+    let mut angle_depth = 0i32;
+    for tok in stream {
+        match &tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                chunks.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        chunks.last_mut().unwrap().push(tok);
+    }
+    chunks.retain(|c| !c.is_empty());
+    chunks
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|chunk| {
+            let mut pos = 0;
+            skip_attrs_and_vis(&chunk, &mut pos);
+            match chunk.get(pos) {
+                Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+                other => Err(format!("expected field name, found {other:?}")),
+            }
+        })
+        .collect()
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_top_level(stream).len()
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|chunk| {
+            let mut pos = 0;
+            skip_attrs_and_vis(&chunk, &mut pos);
+            let name = match chunk.get(pos) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => return Err(format!("expected variant name, found {other:?}")),
+            };
+            pos += 1;
+            let fields = match chunk.get(pos) {
+                None => VariantFields::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantFields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantFields::Named(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                    return Err(format!(
+                        "explicit discriminant on `{name}` is not supported by the vendored serde_derive"
+                    ));
+                }
+                other => return Err(format!("unsupported variant body: {other:?}")),
+            };
+            Ok(Variant { name, fields })
+        })
+        .collect()
+}
+
+// ------------------------------------------------------------- generation
+
+fn generate(item: &Item, mode: Mode) -> String {
+    let trait_name = match mode {
+        Mode::Serialize => "Serialize",
+        Mode::Deserialize => "Deserialize",
+    };
+    let impl_generics = if item.generics.is_empty() {
+        String::new()
+    } else {
+        let bounded: Vec<String> =
+            item.generics.iter().map(|g| format!("{g}: ::serde::{trait_name}")).collect();
+        format!("<{}>", bounded.join(", "))
+    };
+    let type_generics = if item.generics.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", item.generics.join(", "))
+    };
+    let name = &item.name;
+    let body = match mode {
+        Mode::Serialize => serialize_body(item),
+        Mode::Deserialize => deserialize_body(item),
+    };
+    let signature = match mode {
+        Mode::Serialize => "fn to_value(&self) -> ::serde::Value",
+        Mode::Deserialize => {
+            "fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error>"
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{impl_generics} ::serde::{trait_name} for {name}{type_generics} {{\n\
+             {signature} {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn serialize_body(item: &Item) -> String {
+    match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Kind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Kind::Enum(variants) => {
+            let name = &item.name;
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Str(::std::string::String::from({vname:?}))"
+                        ),
+                        VariantFields::Tuple(1) => format!(
+                            "{name}::{vname}(f0) => ::serde::Value::Map(::std::vec![\
+                             (::std::string::String::from({vname:?}), ::serde::Serialize::to_value(f0))])"
+                        ),
+                        VariantFields::Tuple(n) => {
+                            let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Map(::std::vec![\
+                                 (::std::string::String::from({vname:?}), \
+                                  ::serde::Value::Seq(::std::vec![{}]))])",
+                                binders.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantFields::Named(fields) => {
+                            let binders = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from({f:?}), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binders} }} => ::serde::Value::Map(::std::vec![\
+                                 (::std::string::String::from({vname:?}), \
+                                  ::serde::Value::Map(::std::vec![{}]))])",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    }
+}
+
+fn deserialize_body(item: &Item) -> String {
+    let name = &item.name;
+    match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::field(entries, {f:?})?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let entries = value.as_map().ok_or_else(|| \
+                 ::serde::Error::custom(concat!(\"expected map for \", {name:?})))?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Kind::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))")
+        }
+        Kind::TupleStruct(n) => {
+            let inits: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Deserialize::from_value(&seq[{i}])?")).collect();
+            format!(
+                "let seq = value.as_seq().ok_or_else(|| \
+                 ::serde::Error::custom(concat!(\"expected sequence for \", {name:?})))?;\n\
+                 if seq.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::Error::custom(concat!(\"wrong arity for \", {name:?}))); }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Kind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, VariantFields::Unit))
+                .map(|v| {
+                    format!("{:?} => return ::std::result::Result::Ok({name}::{}),", v.name, v.name)
+                })
+                .collect();
+            let mut tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => None,
+                        VariantFields::Tuple(1) => Some(format!(
+                            "{vname:?} => ::std::result::Result::Ok(\
+                             {name}::{vname}(::serde::Deserialize::from_value(inner)?))"
+                        )),
+                        VariantFields::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&seq[{i}])?"))
+                                .collect();
+                            Some(format!(
+                                "{vname:?} => {{ let seq = inner.as_seq().ok_or_else(|| \
+                                 ::serde::Error::custom(\"expected sequence variant\"))?; \
+                                 if seq.len() != {n} {{ return ::std::result::Result::Err(\
+                                 ::serde::Error::custom(\"wrong variant arity\")); }} \
+                                 ::std::result::Result::Ok({name}::{vname}({})) }}",
+                                inits.join(", ")
+                            ))
+                        }
+                        VariantFields::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(::serde::field(entries, {f:?})?)?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "{vname:?} => {{ let entries = inner.as_map().ok_or_else(|| \
+                                 ::serde::Error::custom(\"expected map variant\"))?; \
+                                 ::std::result::Result::Ok({name}::{vname} {{ {} }}) }}",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            // The fallback arm lives in the same list so an enum with only
+            // unit variants still yields a syntactically valid match.
+            tagged_arms.push(format!(
+                "_ => ::std::result::Result::Err(::serde::Error::custom(\
+                 concat!(\"unknown variant of \", {name:?})))"
+            ));
+            format!(
+                "if let ::std::option::Option::Some(tag) = value.as_str() {{\n\
+                     match tag {{ {unit} _ => return ::std::result::Result::Err(\
+                     ::serde::Error::custom(concat!(\"unknown unit variant of \", {name:?}))) }}\n\
+                 }}\n\
+                 let entries = value.as_map().ok_or_else(|| \
+                 ::serde::Error::custom(concat!(\"expected variant map for \", {name:?})))?;\n\
+                 if entries.len() != 1 {{ return ::std::result::Result::Err(\
+                 ::serde::Error::custom(\"expected single-entry variant map\")); }}\n\
+                 let (tag, inner) = (&entries[0].0, &entries[0].1);\n\
+                 let _ = inner;\n\
+                 match tag.as_str() {{\n\
+                     {tagged}\n\
+                 }}",
+                unit = unit_arms.join(" "),
+                tagged = tagged_arms.join(",\n")
+            )
+        }
+    }
+}

@@ -1,0 +1,334 @@
+//! Vendored stand-in for `serde_json`, paired with the vendored `serde`.
+//!
+//! Converts the vendored [`serde::Value`] tree to and from JSON text:
+//! [`to_string`] renders any [`serde::Serialize`] type, [`from_str`]
+//! parses into any [`serde::Deserialize`] type. The emitted JSON matches
+//! real serde_json's defaults for the shapes the derive produces
+//! (structs as objects, newtypes unwrapped, externally tagged enums), so
+//! snapshot files stay conventional and portable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde::Error;
+use serde::{Deserialize, Serialize, Value};
+
+/// Renders `value` as compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out)?;
+    Ok(out)
+}
+
+/// Parses JSON text into a `T`.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let mut parser = Parser { chars: text.chars().collect(), pos: 0 };
+    parser.skip_ws();
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.chars.len() {
+        return Err(Error::custom("trailing characters after JSON value"));
+    }
+    T::from_value(&value)
+}
+
+// ---------------------------------------------------------------- writing
+
+fn write_value(value: &Value, out: &mut String) -> Result<(), Error> {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::U64(v) => out.push_str(&v.to_string()),
+        Value::I64(v) => out.push_str(&v.to_string()),
+        Value::F64(v) => {
+            if !v.is_finite() {
+                return Err(Error::custom("JSON cannot represent NaN or infinity"));
+            }
+            out.push_str(&v.to_string());
+        }
+        Value::Str(s) => write_string(s, out),
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out)?;
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            out.push('{');
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(key, out);
+                out.push(':');
+                write_value(item, out)?;
+            }
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------- parsing
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Result<char, Error> {
+        let c = self.peek().ok_or_else(|| Error::custom("unexpected end of JSON"))?;
+        self.pos += 1;
+        Ok(c)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(' ' | '\t' | '\n' | '\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: char) -> Result<(), Error> {
+        let got = self.bump()?;
+        if got != want {
+            return Err(Error::custom(format_args!("expected {want:?}, found {got:?}")));
+        }
+        Ok(())
+    }
+
+    fn eat_keyword(&mut self, word: &str) -> Result<(), Error> {
+        for want in word.chars() {
+            self.expect(want)?;
+        }
+        Ok(())
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some('n') => {
+                self.eat_keyword("null")?;
+                Ok(Value::Null)
+            }
+            Some('t') => {
+                self.eat_keyword("true")?;
+                Ok(Value::Bool(true))
+            }
+            Some('f') => {
+                self.eat_keyword("false")?;
+                Ok(Value::Bool(false))
+            }
+            Some('"') => self.parse_string().map(Value::Str),
+            Some('[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(']') {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                loop {
+                    items.push(self.parse_value()?);
+                    self.skip_ws();
+                    match self.bump()? {
+                        ',' => {}
+                        ']' => return Ok(Value::Seq(items)),
+                        c => {
+                            return Err(Error::custom(format_args!("expected , or ], found {c:?}")))
+                        }
+                    }
+                }
+            }
+            Some('{') => {
+                self.pos += 1;
+                let mut entries = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some('}') {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.skip_ws();
+                    self.expect(':')?;
+                    let value = self.parse_value()?;
+                    entries.push((key, value));
+                    self.skip_ws();
+                    match self.bump()? {
+                        ',' => {}
+                        '}' => return Ok(Value::Map(entries)),
+                        c => {
+                            return Err(Error::custom(format_args!(
+                                "expected , or }}, found {c:?}"
+                            )))
+                        }
+                    }
+                }
+            }
+            Some(c) if c == '-' || c.is_ascii_digit() => self.parse_number(),
+            Some(c) => Err(Error::custom(format_args!("unexpected character {c:?}"))),
+            None => Err(Error::custom("unexpected end of JSON")),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump()? {
+                '"' => return Ok(out),
+                '\\' => match self.bump()? {
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    '/' => out.push('/'),
+                    'n' => out.push('\n'),
+                    'r' => out.push('\r'),
+                    't' => out.push('\t'),
+                    'b' => out.push('\u{08}'),
+                    'f' => out.push('\u{0C}'),
+                    'u' => {
+                        let hi = self.parse_hex4()?;
+                        let code = if (0xD800..0xDC00).contains(&hi) {
+                            // Surrogate pair.
+                            self.expect('\\')?;
+                            self.expect('u')?;
+                            let lo = self.parse_hex4()?;
+                            if !(0xDC00..0xE000).contains(&lo) {
+                                return Err(Error::custom("invalid low surrogate"));
+                            }
+                            0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                        } else {
+                            hi
+                        };
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| Error::custom("invalid unicode escape"))?,
+                        );
+                    }
+                    c => return Err(Error::custom(format_args!("invalid escape \\{c}"))),
+                },
+                c if (c as u32) < 0x20 => {
+                    return Err(Error::custom("unescaped control character in string"));
+                }
+                c => out.push(c),
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let c = self.bump()?;
+            let digit = c.to_digit(16).ok_or_else(|| Error::custom("invalid hex digit"))?;
+            v = v * 16 + digit;
+        }
+        Ok(v)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some('-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                '0'..='9' => self.pos += 1,
+                '.' | 'e' | 'E' | '+' | '-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        if is_float {
+            let v: f64 = text.parse().map_err(|_| Error::custom("invalid number"))?;
+            Ok(Value::F64(v))
+        } else if text.starts_with('-') {
+            // Parse with the sign attached so i64::MIN round-trips.
+            let v: i64 = text.parse().map_err(|_| Error::custom("integer out of range"))?;
+            Ok(Value::I64(v))
+        } else {
+            let v: u64 = text.parse().map_err(|_| Error::custom("integer out of range"))?;
+            Ok(Value::U64(v))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_roundtrip() {
+        assert_eq!(to_string(&42u32).unwrap(), "42");
+        assert_eq!(from_str::<u32>("42").unwrap(), 42);
+        assert_eq!(to_string(&-3i32).unwrap(), "-3");
+        assert_eq!(from_str::<i32>("-3").unwrap(), -3);
+        // Regression: i64::MIN has no positive counterpart, so it must be
+        // parsed with the sign attached rather than negated afterwards.
+        let min_text = to_string(&i64::MIN).unwrap();
+        assert_eq!(from_str::<i64>(&min_text).unwrap(), i64::MIN);
+        assert_eq!(from_str::<u64>(&to_string(&u64::MAX).unwrap()).unwrap(), u64::MAX);
+        assert!(from_str::<bool>(" true ").unwrap());
+        assert_eq!(from_str::<Option<u32>>("null").unwrap(), None);
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let original = "line\n\"quoted\" \\ tab\t unicode: öäü€ \u{1}".to_string();
+        let json = to_string(&original).unwrap();
+        assert_eq!(from_str::<String>(&json).unwrap(), original);
+        // Explicit escapes parse too.
+        assert_eq!(from_str::<String>(r#""é😀""#).unwrap(), "é😀");
+    }
+
+    #[test]
+    fn nested_structures_roundtrip() {
+        let v: Vec<(u32, Option<String>)> =
+            vec![(1, Some("a".into())), (2, None), (3, Some("c".into()))];
+        let json = to_string(&v).unwrap();
+        assert_eq!(json, r#"[[1,"a"],[2,null],[3,"c"]]"#);
+        assert_eq!(from_str::<Vec<(u32, Option<String>)>>(&json).unwrap(), v);
+    }
+
+    #[test]
+    fn malformed_input_errors() {
+        assert!(from_str::<u32>("").is_err());
+        assert!(from_str::<u32>("42 junk").is_err());
+        assert!(from_str::<String>(r#""unterminated"#).is_err());
+        assert!(from_str::<Vec<u32>>("[1,2").is_err());
+    }
+}
