@@ -27,7 +27,20 @@ fn bench_load(c: &mut Criterion) {
     g.sample_size(10)
         .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_secs(1));
-    g.bench_function("hexastore_bulk", |b| b.iter(|| black_box(bulk::build(triples.clone()))));
+    g.bench_function("hexastore_bulk_serial", |b| {
+        b.iter(|| black_box(bulk::build_with(triples.clone(), bulk::Config::serial())))
+    });
+    g.bench_function("hexastore_bulk_parallel4", |b| {
+        b.iter(|| black_box(bulk::build_with(triples.clone(), bulk::Config::parallel(4))))
+    });
+    g.bench_function("hexastore_bulk_no_presize", |b| {
+        b.iter(|| {
+            black_box(bulk::build_with(
+                triples.clone(),
+                bulk::Config { threads: 1, presize: false },
+            ))
+        })
+    });
     g.bench_function("hexastore_incremental", |b| {
         b.iter(|| {
             let mut h = Hexastore::new();

@@ -1,0 +1,183 @@
+//! CI benchmark-evidence collector.
+//!
+//! Runs every figure at a small fixed scale, writes each CSV to an output
+//! directory, measures bulk-load throughput (serial vs parallel) at a
+//! larger scale, and summarizes everything in a machine-readable
+//! `BENCH_ci.json` so the perf trajectory of the repository is diffable
+//! across PRs.
+//!
+//! ```text
+//! bench_evidence [--triples N] [--points K] [--reps R] [--threads T]
+//!                [--load-triples M] [--out DIR]
+//! ```
+//!
+//! The CI job runs this on every PR and uploads `DIR` as a workflow
+//! artifact; see `.github/workflows/ci.yml`.
+
+use hex_bench::{
+    cli, load_figure, load_to_csv, memory_figure, memory_to_csv, path_report, run_figure,
+    space_report, Figure, LoadRow, FIGURES,
+};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+struct Args {
+    triples: usize,
+    points: usize,
+    reps: usize,
+    threads: usize,
+    load_triples: usize,
+    out: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        triples: 20_000,
+        points: 5,
+        reps: 1,
+        threads: 4,
+        load_triples: 200_000,
+        out: PathBuf::from("bench-artifacts"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--triples" | "-n" => args.triples = cli::parse_usize(&mut it, "--triples")?,
+            "--points" | "-p" => args.points = cli::parse_usize(&mut it, "--points")?,
+            "--reps" | "-r" => args.reps = cli::parse_usize(&mut it, "--reps")?,
+            "--threads" | "-t" => args.threads = cli::parse_usize(&mut it, "--threads")?,
+            "--load-triples" => args.load_triples = cli::parse_usize(&mut it, "--load-triples")?,
+            "--out" | "-o" => args.out = PathBuf::from(cli::value(&mut it, "--out")?),
+            "--help" | "-h" => {
+                println!(
+                    "bench_evidence — run all figures + the load benchmark, write CSVs and \
+                     BENCH_ci.json\n\nusage: bench_evidence [--triples N] [--points K] [--reps R] \
+                     [--threads T] [--load-triples M] [--out DIR]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.points == 0 || args.triples < 1000 || args.threads == 0 || args.load_triples < 1000 {
+        return Err(
+            "need --points >= 1, --threads >= 1 and --triples/--load-triples >= 1000".into()
+        );
+    }
+    Ok(args)
+}
+
+/// Peak (slowest) measured response time across all rows and series of a
+/// timing figure — the number that regresses first when a plan degrades.
+fn peak_seconds(fig: &Figure) -> f64 {
+    fig.rows.iter().flat_map(|r| r.points.iter()).map(|p| p.time.as_secs_f64()).fold(0.0, f64::max)
+}
+
+fn write_file(dir: &Path, name: &str, contents: &str) {
+    let path = dir.join(name);
+    std::fs::write(&path, contents)
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    eprintln!("# wrote {}", path.display());
+}
+
+/// Formats an `f64` for JSON: finite, plain decimal notation.
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.9}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    std::fs::create_dir_all(&args.out)
+        .unwrap_or_else(|e| panic!("cannot create {}: {e}", args.out.display()));
+    eprintln!(
+        "# bench_evidence: triples={} points={} reps={} threads={} load_triples={} out={}",
+        args.triples,
+        args.points,
+        args.reps,
+        args.threads,
+        args.load_triples,
+        args.out.display()
+    );
+
+    // Timing figures: CSV per figure plus a peak-seconds summary entry.
+    let mut figure_entries: Vec<String> = Vec::new();
+    for (id, title) in FIGURES {
+        match id {
+            "15" => {
+                let mut csv = String::new();
+                for dataset in ["barton", "lubm"] {
+                    csv.push_str(&memory_to_csv(
+                        dataset,
+                        &memory_figure(dataset, args.triples, args.points),
+                    ));
+                    csv.push('\n');
+                }
+                write_file(&args.out, "figure_15_memory.csv", &csv);
+            }
+            "space" => write_file(&args.out, "space.csv", &space_report(args.triples)),
+            "path" => write_file(&args.out, "path.csv", &path_report(args.triples)),
+            "load" => {} // measured separately below, at --load-triples scale
+            timing => {
+                let fig = run_figure(timing, args.triples, args.points, args.reps);
+                write_file(&args.out, &format!("figure_{timing}.csv"), &fig.to_csv());
+                figure_entries.push(format!(
+                    "    {{\"id\": \"{timing}\", \"title\": \"{title}\", \"peak_seconds\": {}}}",
+                    num(peak_seconds(&fig))
+                ));
+            }
+        }
+    }
+
+    // Load throughput at the larger scale: the acceptance signal for the
+    // parallel loader, one row (the full batch).
+    let load_rows = load_figure("lubm", args.load_triples, 1, args.reps, args.threads);
+    write_file(&args.out, "load.csv", &load_to_csv("lubm", &load_rows));
+    let load: &LoadRow = load_rows.last().expect("load figure produced no rows");
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"schema\": 1,");
+    let _ = writeln!(json, "  \"figures_triples\": {},", args.triples);
+    let _ = writeln!(json, "  \"reps\": {},", args.reps);
+    let _ = writeln!(json, "  \"load\": {{");
+    let _ = writeln!(json, "    \"dataset\": \"lubm\",");
+    let _ = writeln!(json, "    \"triples\": {},", load.triples);
+    let _ = writeln!(json, "    \"threads\": {},", load.threads);
+    let _ = writeln!(json, "    \"serial_seconds\": {},", num(load.serial.as_secs_f64()));
+    let _ = writeln!(json, "    \"parallel_seconds\": {},", num(load.parallel.as_secs_f64()));
+    let _ = writeln!(json, "    \"speedup\": {},", num(load.speedup()));
+    let _ = writeln!(
+        json,
+        "    \"serial_triples_per_second\": {},",
+        num(LoadRow::mtriples_per_sec(load.triples, load.serial) * 1e6)
+    );
+    let _ = writeln!(
+        json,
+        "    \"parallel_triples_per_second\": {}",
+        num(LoadRow::mtriples_per_sec(load.triples, load.parallel) * 1e6)
+    );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"figures\": [");
+    let _ = writeln!(json, "{}", figure_entries.join(",\n"));
+    let _ = writeln!(json, "  ]");
+    json.push_str("}\n");
+    write_file(&args.out, "BENCH_ci.json", &json);
+
+    println!(
+        "load {} triples: serial {:.3}s, parallel({}) {:.3}s, speedup {:.2}x",
+        load.triples,
+        load.serial.as_secs_f64(),
+        load.threads,
+        load.parallel.as_secs_f64(),
+        load.speedup()
+    );
+}

@@ -1,7 +1,8 @@
 //! Regenerates the paper's figures as CSV tables on stdout.
 //!
 //! ```text
-//! figures [--figure <3..15|space|path|all>] [--triples N] [--points K] [--reps R]
+//! figures [--figure <3..15|space|path|load|all>] [--triples N] [--points K]
+//!         [--reps R] [--threads T]
 //! ```
 //!
 //! Examples:
@@ -9,37 +10,36 @@
 //! ```text
 //! cargo run --release -p hex-bench --bin figures -- --figure 10
 //! cargo run --release -p hex-bench --bin figures -- --figure all --triples 1000000
+//! cargo run --release -p hex-bench --bin figures -- --figure load --threads 8
 //! ```
 //!
 //! Defaults are sized for a laptop-scale run (200k triples, 5 prefix
 //! points); raise `--triples` towards the paper's 6M-triple axis when time
 //! permits.
 
-use hex_bench::{memory_figure, memory_to_csv, path_report, run_figure, space_report, FIGURES};
+use hex_bench::{
+    cli, load_figure, load_to_csv, memory_figure, memory_to_csv, path_report, run_figure,
+    space_report, FIGURES,
+};
 
 struct Args {
     figure: String,
     triples: usize,
     points: usize,
     reps: usize,
+    threads: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args = Args { figure: "all".into(), triples: 200_000, points: 5, reps: 3 };
+    let mut args = Args { figure: "all".into(), triples: 200_000, points: 5, reps: 3, threads: 4 };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
         match flag.as_str() {
-            "--figure" | "-f" => args.figure = value("--figure")?,
-            "--triples" | "-n" => {
-                args.triples = value("--triples")?.parse().map_err(|e| format!("--triples: {e}"))?
-            }
-            "--points" | "-p" => {
-                args.points = value("--points")?.parse().map_err(|e| format!("--points: {e}"))?
-            }
-            "--reps" | "-r" => {
-                args.reps = value("--reps")?.parse().map_err(|e| format!("--reps: {e}"))?
-            }
+            "--figure" | "-f" => args.figure = cli::value(&mut it, "--figure")?,
+            "--triples" | "-n" => args.triples = cli::parse_usize(&mut it, "--triples")?,
+            "--points" | "-p" => args.points = cli::parse_usize(&mut it, "--points")?,
+            "--reps" | "-r" => args.reps = cli::parse_usize(&mut it, "--reps")?,
+            "--threads" | "-t" => args.threads = cli::parse_usize(&mut it, "--threads")?,
             "--help" | "-h" => {
                 print_help();
                 std::process::exit(0);
@@ -47,15 +47,16 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag {other}")),
         }
     }
-    if args.points == 0 || args.triples < 1000 {
-        return Err("need --points >= 1 and --triples >= 1000".into());
+    if args.points == 0 || args.triples < 1000 || args.threads == 0 {
+        return Err("need --points >= 1, --triples >= 1000 and --threads >= 1".into());
     }
     Ok(args)
 }
 
 fn print_help() {
     println!("figures — regenerate the Hexastore paper's evaluation figures\n");
-    println!("usage: figures [--figure F] [--triples N] [--points K] [--reps R]\n");
+    println!("usage: figures [--figure F] [--triples N] [--points K] [--reps R] [--threads T]\n");
+    println!("  --threads applies to the 'load' figure's parallel loader (default 4)\n");
     println!("figures:");
     for (id, title) in FIGURES {
         println!("  {id:>6}  {title}");
@@ -63,7 +64,7 @@ fn print_help() {
     println!("  {:>6}  everything above", "all");
 }
 
-fn emit(figure: &str, triples: usize, points: usize, reps: usize) {
+fn emit(figure: &str, triples: usize, points: usize, reps: usize, threads: usize) {
     match figure {
         "15" => {
             for dataset in ["barton", "lubm"] {
@@ -79,6 +80,13 @@ fn emit(figure: &str, triples: usize, points: usize, reps: usize) {
         "path" => {
             print!("{}", path_report(triples));
             println!();
+        }
+        "load" => {
+            for dataset in ["barton", "lubm"] {
+                let rows = load_figure(dataset, triples, points, reps, threads);
+                print!("{}", load_to_csv(dataset, &rows));
+                println!();
+            }
         }
         timing => {
             let fig = run_figure(timing, triples, points, reps);
@@ -98,14 +106,14 @@ fn main() {
         }
     };
     eprintln!(
-        "# figures: figure={} triples={} points={} reps={}",
-        args.figure, args.triples, args.points, args.reps
+        "# figures: figure={} triples={} points={} reps={} threads={}",
+        args.figure, args.triples, args.points, args.reps, args.threads
     );
     if args.figure == "all" {
         for (id, _) in FIGURES {
-            emit(id, args.triples, args.points, args.reps);
+            emit(id, args.triples, args.points, args.reps, args.threads);
         }
     } else {
-        emit(&args.figure, args.triples, args.points, args.reps);
+        emit(&args.figure, args.triples, args.points, args.reps, args.threads);
     }
 }

@@ -26,6 +26,21 @@ use hexastore::TripleStore;
 use rdf_model::Triple;
 use std::time::{Duration, Instant};
 
+/// Minimal flag-parsing helpers shared by the workspace binaries
+/// (`figures`, `bench_evidence`), so both speak the same `--flag value`
+/// grammar with one error style.
+pub mod cli {
+    /// Takes the value following `flag`, or a "missing value" error.
+    pub fn value(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
+        it.next().ok_or_else(|| format!("missing value for {flag}"))
+    }
+
+    /// Takes and parses the numeric value following `flag`.
+    pub fn parse_usize(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<usize, String> {
+        value(it, flag)?.parse().map_err(|e| format!("{flag}: {e}"))
+    }
+}
+
 /// Generates a Barton-like dataset of roughly `n_triples` statements
 /// (truncated exactly to `n_triples` if the generator overshoots).
 pub fn barton_dataset(n_triples: usize) -> Vec<Triple> {
@@ -135,7 +150,7 @@ impl Figure {
 }
 
 /// Which figures exist and what they measure.
-pub const FIGURES: [(&str, &str); 15] = [
+pub const FIGURES: [(&str, &str); 16] = [
     ("3", "Barton Query 1"),
     ("4", "Barton Query 2 (full + 28-property)"),
     ("5", "Barton Query 3 (full + 28-property)"),
@@ -151,6 +166,7 @@ pub const FIGURES: [(&str, &str); 15] = [
     ("15", "Memory consumption (both datasets)"),
     ("space", "§4.1 worst-case five-fold space bound"),
     ("path", "§4.3 path expressions: merge vs sort-merge joins"),
+    ("load", "Bulk-load throughput: serial vs parallel loader"),
 ];
 
 type BartonQueryFns = Vec<(&'static str, Box<dyn Fn(&Suite, &BartonIds)>)>;
@@ -486,6 +502,106 @@ pub fn memory_to_csv(dataset: &str, rows: &[MemoryRow]) -> String {
     out
 }
 
+/// One bulk-load measurement: the same prefix loaded serially and with
+/// the parallel loader.
+#[derive(Clone, Debug)]
+pub struct LoadRow {
+    /// Number of (possibly duplicated) input triples in this prefix.
+    pub triples: usize,
+    /// Wall-clock build time with `bulk::Config::serial()`.
+    pub serial: Duration,
+    /// Wall-clock build time with `bulk::Config::parallel(threads)`.
+    pub parallel: Duration,
+    /// Thread count of the parallel configuration.
+    pub threads: usize,
+}
+
+impl LoadRow {
+    /// Serial time over parallel time (>1 means the parallel loader won).
+    pub fn speedup(&self) -> f64 {
+        self.serial.as_secs_f64() / self.parallel.as_secs_f64().max(f64::MIN_POSITIVE)
+    }
+
+    /// Load throughput in million triples per second for a measured time.
+    pub fn mtriples_per_sec(triples: usize, time: Duration) -> f64 {
+        triples as f64 / time.as_secs_f64().max(f64::MIN_POSITIVE) / 1e6
+    }
+}
+
+/// Times one bulk build, minimum over `reps` runs after one untimed
+/// warmup (so a single-rep measurement is not penalized by cold caches).
+/// The input copy happens outside the timed region (the loader takes
+/// ownership of its batch).
+pub fn time_bulk_build(
+    reps: usize,
+    triples: &[hex_dict::IdTriple],
+    cfg: hexastore::bulk::Config,
+) -> Duration {
+    std::hint::black_box(hexastore::bulk::build_with(triples.to_vec(), cfg).len());
+    let mut best = Duration::MAX;
+    for _ in 0..reps.max(1) {
+        let batch = triples.to_vec();
+        let start = Instant::now();
+        let store = hexastore::bulk::build_with(batch, cfg);
+        let elapsed = start.elapsed();
+        std::hint::black_box(store.len());
+        best = best.min(elapsed);
+    }
+    best
+}
+
+/// The bulk-load throughput figure: prefix sweep of one dataset, loading
+/// each prefix with the serial and the `threads`-way parallel loader.
+pub fn load_figure(
+    dataset: &str,
+    scale: usize,
+    points: usize,
+    reps: usize,
+    threads: usize,
+) -> Vec<LoadRow> {
+    let data = match dataset {
+        "barton" => barton_dataset(scale),
+        "lubm" => lubm_dataset(scale),
+        other => panic!("unknown dataset {other}"),
+    };
+    let mut dict = hex_dict::Dictionary::new();
+    let encoded: Vec<hex_dict::IdTriple> = data.iter().map(|t| dict.encode_triple(t)).collect();
+    prefix_points(encoded.len(), points)
+        .into_iter()
+        .map(|prefix| {
+            let slice = &encoded[..prefix];
+            LoadRow {
+                triples: prefix,
+                serial: time_bulk_build(reps, slice, hexastore::bulk::Config::serial()),
+                parallel: time_bulk_build(reps, slice, hexastore::bulk::Config::parallel(threads)),
+                threads,
+            }
+        })
+        .collect()
+}
+
+/// Renders load rows as CSV: seconds and throughput per loader, plus the
+/// serial/parallel speedup.
+pub fn load_to_csv(dataset: &str, rows: &[LoadRow]) -> String {
+    let threads = rows.first().map_or(0, |r| r.threads);
+    let mut out = format!(
+        "# Figure load — Bulk-load throughput, {dataset} dataset (serial vs parallel, threads={threads})\n"
+    );
+    out.push_str("triples,serial_s,parallel_s,speedup,serial_mtriples_s,parallel_mtriples_s\n");
+    for row in rows {
+        out.push_str(&format!(
+            "{},{:.6},{:.6},{:.3},{:.3},{:.3}\n",
+            row.triples,
+            row.serial.as_secs_f64(),
+            row.parallel.as_secs_f64(),
+            row.speedup(),
+            LoadRow::mtriples_per_sec(row.triples, row.serial),
+            LoadRow::mtriples_per_sec(row.triples, row.parallel),
+        ));
+    }
+    out
+}
+
 /// The §4.1 space-bound experiment: blowup of Hexastore key entries vs a
 /// triples table, on both datasets plus the adversarial all-distinct case.
 pub fn space_report(scale: usize) -> String {
@@ -617,6 +733,22 @@ mod tests {
         assert!(labels.contains(&"Hexastore 28"));
         assert!(labels.contains(&"COVP1 28"));
         assert_eq!(labels.len(), 6);
+    }
+
+    #[test]
+    fn load_figure_measures_both_loaders() {
+        let rows = load_figure("lubm", 5_000, 2, 1, 2);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows.last().unwrap().triples, 5_000);
+        for row in &rows {
+            assert!(row.serial > Duration::ZERO);
+            assert!(row.parallel > Duration::ZERO);
+            assert!(row.speedup() > 0.0);
+        }
+        let csv = load_to_csv("lubm", &rows);
+        assert!(csv.contains("Figure load"));
+        assert!(csv.contains("triples,serial_s,parallel_s,speedup"));
+        assert_eq!(csv.lines().count(), 2 + rows.len());
     }
 
     #[test]

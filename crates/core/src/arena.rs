@@ -39,6 +39,13 @@ impl ListArena {
         ListArena::default()
     }
 
+    /// Creates an empty arena whose spine has room for `lists` terminal
+    /// lists. The bulk loader counts lists up front so appends through
+    /// [`Self::alloc_sorted`] never reallocate the spine.
+    pub fn with_capacity(lists: usize) -> Self {
+        ListArena { lists: Vec::with_capacity(lists), free: Vec::new() }
+    }
+
     /// Allocates a new single-element list.
     pub fn alloc(&mut self, first: Id) -> ListId {
         if let Some(id) = self.free.pop() {

@@ -1,4 +1,4 @@
-//! Sort-based bulk loader.
+//! Sort-based bulk loader, serial or parallel.
 //!
 //! Random-order [`TripleStore::insert`](crate::TripleStore::insert) pays
 //! `O(n)` vector shifts when keys arrive out of order. Loading a batch is
@@ -6,6 +6,26 @@
 //! experiment), so this loader sorts the batch three ways and builds each
 //! index pair by pure appends: every header, vector entry and terminal
 //! list is emitted in final sorted order.
+//!
+//! The batch only needs **three** sort orders — `(s,p,o)`, `(s,o,p)` and
+//! `(p,o,s)` — because paired indices read the same run: spo/pso share the
+//! first, sop/osp the second, pos/ops the third. The loader exploits three
+//! further structural facts:
+//!
+//! 1. **Index pairs are independent.** Each pair owns disjoint parts of the
+//!    store, so with [`Config::threads`] > 1 the three pairs build
+//!    concurrently under [`std::thread::scope`].
+//! 2. **Runs share work.** The batch is sorted (and deduplicated) once in
+//!    spo order; the sop run is that run *re-permuted within each subject
+//!    group* (an `(o,p)` sort of short ranges, much cheaper than a full
+//!    re-sort), and only the pos run pays a full re-sort.
+//! 3. **Sizes are knowable up front.** With [`Config::presize`], a
+//!    [`SpaceStats`](crate::SpaceStats)-style counting pass over each run
+//!    computes the exact number of headers and terminal lists, so every
+//!    run-level `VecMap` and [`ListArena`] allocation is exact and the
+//!    build path is append-only with no reallocation. (Inner per-header
+//!    vectors are exact-sized either way — the grouping pass counts them
+//!    as it walks.)
 
 use crate::arena::{ListArena, ListId};
 use crate::store::Hexastore;
@@ -14,96 +34,408 @@ use hex_dict::{Id, IdTriple};
 
 type TwoLevel = VecMap<Id, VecMap<Id, ListId>>;
 
-/// Builds a Hexastore from an arbitrary (unsorted, possibly duplicated)
-/// triple batch.
-pub fn build(mut triples: Vec<IdTriple>) -> Hexastore {
-    triples.sort_unstable();
-    triples.dedup();
-    let n = triples.len();
-    let mut store = Hexastore::new();
-    {
-        let ([spo, sop, pso, pos, osp, ops], o_lists, p_lists, s_lists, len) = store.parts();
-        *len = n;
+/// One built index pair: primary ordering, mirror ordering, shared arena.
+type Pair = (TwoLevel, TwoLevel, ListArena);
 
-        // spo order is the natural sort order of IdTriple.
-        build_pair(&triples, |t| (t.s, t.p, t.o), spo, pso, o_lists);
+/// Projection of a triple into one ordering's `(k1, k2, item)` key order.
+/// A plain `fn` pointer so it is trivially `Send` across build threads.
+type KeyFn = fn(&IdTriple) -> (Id, Id, Id);
 
-        let mut by_sop = triples.clone();
-        by_sop.sort_unstable_by_key(|t| (t.s, t.o, t.p));
-        build_pair(&by_sop, |t| (t.s, t.o, t.p), sop, osp, p_lists);
-
-        let mut by_pos = triples;
-        by_pos.sort_unstable_by_key(|t| (t.p, t.o, t.s));
-        build_pair(&by_pos, |t| (t.p, t.o, t.s), pos, ops, s_lists);
-    }
-    store
+fn key_spo(t: &IdTriple) -> (Id, Id, Id) {
+    (t.s, t.p, t.o)
+}
+fn key_sop(t: &IdTriple) -> (Id, Id, Id) {
+    (t.s, t.o, t.p)
+}
+fn key_pos(t: &IdTriple) -> (Id, Id, Id) {
+    (t.p, t.o, t.s)
 }
 
-/// Builds one index pair plus its shared arena from triples sorted by
-/// `(k1, k2, item)`, where `key` projects a triple into that order.
-fn build_pair(
-    sorted_triples: &[IdTriple],
-    key: impl Fn(&IdTriple) -> (Id, Id, Id),
-    primary: &mut TwoLevel,
-    mirror: &mut TwoLevel,
-    arena: &mut ListArena,
-) {
-    // (k2, k1, list) entries for the mirror index, filled while walking the
-    // primary order and then sorted once.
-    let mut mirror_entries: Vec<(Id, Id, ListId)> = Vec::new();
+/// Batches smaller than this always load serially under an auto
+/// ([`Config::threads`] = 0) configuration: thread spawn overhead would
+/// dominate. An explicit thread count is always honored, so tests can
+/// drive the parallel path on tiny batches.
+const AUTO_SERIAL_BELOW: usize = 8 * 1024;
 
+/// Tuning knobs for [`build_with`].
+///
+/// The default configuration auto-detects parallelism and pre-sizes all
+/// allocations; [`Config::serial`] reproduces the single-threaded loader.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Config {
+    /// Worker threads for sorting and index building. `0` means
+    /// auto-detect ([`std::thread::available_parallelism`], capped at 8,
+    /// and serial for small batches); `1` forces the serial path; larger
+    /// values are used as given.
+    pub threads: usize,
+    /// Pre-size the run-level allocations — header maps, arena spines and
+    /// mirror-entry buffers — from a counting pass over each sorted run,
+    /// so the whole build is append-only with no reallocation. (Inner
+    /// per-header vectors are exact-sized regardless: the grouping pass
+    /// knows their lengths for free.) Costs one extra linear scan per
+    /// run; wins it back on any batch large enough to reallocate.
+    pub presize: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { threads: 0, presize: true }
+    }
+}
+
+impl Config {
+    /// The single-threaded configuration (still pre-sized).
+    pub fn serial() -> Self {
+        Config { threads: 1, presize: true }
+    }
+
+    /// A configuration with an explicit thread count (pre-sized).
+    pub fn parallel(threads: usize) -> Self {
+        Config { threads, presize: true }
+    }
+
+    /// Resolves `threads` to the count actually used for `batch_len`
+    /// triples.
+    pub fn effective_threads(&self, batch_len: usize) -> usize {
+        match self.threads {
+            0 => {
+                if batch_len < AUTO_SERIAL_BELOW {
+                    1
+                } else {
+                    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
+                }
+            }
+            n => n,
+        }
+    }
+}
+
+/// Builds a Hexastore from an arbitrary (unsorted, possibly duplicated)
+/// triple batch using the default [`Config`].
+pub fn build(triples: Vec<IdTriple>) -> Hexastore {
+    build_with(triples, Config::default())
+}
+
+/// Builds a Hexastore from an arbitrary triple batch with explicit
+/// [`Config`] knobs.
+pub fn build_with(mut triples: Vec<IdTriple>, config: Config) -> Hexastore {
+    let threads = config.effective_threads(triples.len()).max(1);
+    sort_dedup(&mut triples, threads);
+    let n = triples.len();
+    let presize = config.presize;
+
+    let (spo_pair, sop_pair, pos_pair) = if threads <= 1 {
+        let spo_pair = build_pair(&triples, key_spo, presize);
+        // Reuse the spo run as scratch: re-permute it for sop, then
+        // re-sort it for pos — no second batch copy on the serial path.
+        let mut run = triples;
+        repermute_sop(&mut run);
+        let sop_pair = build_pair(&run, key_sop, presize);
+        run.sort_unstable_by_key(key_pos);
+        let pos_pair = build_pair(&run, key_pos, presize);
+        (spo_pair, sop_pair, pos_pair)
+    } else if threads == 2 {
+        // Exactly two workers: the spawned task takes pos (the only order
+        // needing a full re-sort, the heaviest), the caller thread builds
+        // spo then sop.
+        std::thread::scope(|s| {
+            let pos_task = s.spawn(|| {
+                let mut run = triples.clone();
+                run.sort_unstable_by_key(key_pos);
+                build_pair(&run, key_pos, presize)
+            });
+            let spo_pair = build_pair(&triples, key_spo, presize);
+            let mut run = triples.clone();
+            repermute_sop(&mut run);
+            let sop_pair = build_pair(&run, key_sop, presize);
+            (spo_pair, sop_pair, pos_task.join().expect("pos build task panicked"))
+        })
+    } else {
+        // One task per index pair. The shared spo run is only borrowed by
+        // the spo task; the other two re-permute their own copy. Any
+        // thread budget beyond the three tasks accelerates the pos task's
+        // full re-sort, the most expensive of the three.
+        let spare = threads.saturating_sub(2);
+        std::thread::scope(|s| {
+            let sop_task = s.spawn(|| {
+                let mut run = triples.clone();
+                repermute_sop(&mut run);
+                build_pair(&run, key_sop, presize)
+            });
+            let pos_task = s.spawn(|| {
+                let mut run = triples.clone();
+                par_sort(&mut run, spare, key_pos);
+                build_pair(&run, key_pos, presize)
+            });
+            let spo_pair = build_pair(&triples, key_spo, presize);
+            let sop_pair = sop_task.join().expect("sop build task panicked");
+            let pos_pair = pos_task.join().expect("pos build task panicked");
+            (spo_pair, sop_pair, pos_pair)
+        })
+    };
+    Hexastore::from_built_parts(spo_pair, sop_pair, pos_pair, n)
+}
+
+/// Sorts the batch in spo order (parallel for `threads > 1`) and removes
+/// duplicates. The strict-ascending invariant every downstream append
+/// relies on is asserted here **once**, instead of per index pair.
+pub(crate) fn sort_dedup(triples: &mut Vec<IdTriple>, threads: usize) {
+    par_sort(triples, threads, key_spo);
+    triples.dedup();
+    debug_assert!(
+        triples.windows(2).all(|w| w[0] < w[1]),
+        "bulk run must be strictly increasing after sort + dedup"
+    );
+}
+
+/// Sorts `v` by `key` across `threads` scoped threads: sort equal chunks
+/// concurrently, then merge runs pairwise (also concurrently) through one
+/// scratch buffer.
+fn par_sort(v: &mut Vec<IdTriple>, threads: usize, key: KeyFn) {
+    let n = v.len();
+    if threads <= 1 || n < 2 * threads {
+        v.sort_unstable_by_key(key);
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|s| {
+        for part in v.chunks_mut(chunk) {
+            s.spawn(move || part.sort_unstable_by_key(key));
+        }
+    });
+    // Run boundaries into `v`: [0, chunk, 2*chunk, .., n].
+    let mut bounds: Vec<usize> = (0..).map(|i| i * chunk).take_while(|&b| b < n).collect();
+    bounds.push(n);
+    let mut src = std::mem::take(v);
+    // Scratch buffer, fully overwritten by every merge pass. A fill (not
+    // a clone) initializes it write-only; `forbid(unsafe_code)` rules out
+    // an uninitialized buffer.
+    let mut dst = vec![src[0]; n];
+    while bounds.len() > 2 {
+        let mut new_bounds = vec![0];
+        {
+            // Give each pair merge its own disjoint output region.
+            let mut regions: Vec<(&[IdTriple], &[IdTriple], &mut [IdTriple])> = Vec::new();
+            let mut rest: &mut [IdTriple] = &mut dst;
+            let mut i = 0;
+            while i + 2 < bounds.len() {
+                let (a, b) = (&src[bounds[i]..bounds[i + 1]], &src[bounds[i + 1]..bounds[i + 2]]);
+                let (out, tail) = rest.split_at_mut(a.len() + b.len());
+                rest = tail;
+                regions.push((a, b, out));
+                new_bounds.push(new_bounds.last().unwrap() + a.len() + b.len());
+                i += 2;
+            }
+            if i + 1 < bounds.len() {
+                // Odd run out: copy through unchanged.
+                let a = &src[bounds[i]..bounds[i + 1]];
+                let (out, _) = rest.split_at_mut(a.len());
+                out.copy_from_slice(a);
+                new_bounds.push(new_bounds.last().unwrap() + a.len());
+            }
+            std::thread::scope(|s| {
+                for (a, b, out) in regions {
+                    s.spawn(move || merge_into(a, b, out, key));
+                }
+            });
+        }
+        std::mem::swap(&mut src, &mut dst);
+        bounds = new_bounds;
+    }
+    *v = src;
+}
+
+/// Merges two `key`-sorted slices into `out` (`out.len() == a.len() +
+/// b.len()`).
+fn merge_into(a: &[IdTriple], b: &[IdTriple], out: &mut [IdTriple], key: KeyFn) {
+    let (mut i, mut j) = (0, 0);
+    for slot in out.iter_mut() {
+        *slot = if i < a.len() && (j >= b.len() || key(&a[i]) <= key(&b[j])) {
+            i += 1;
+            a[i - 1]
+        } else {
+            j += 1;
+            b[j - 1]
+        };
+    }
+}
+
+/// Turns an spo-sorted run into the sop run in place: subject groups are
+/// already contiguous, so an `(o, p)` sort of each group suffices — the
+/// "shared run re-permuted" trick that replaces a full second sort.
+fn repermute_sop(run: &mut [IdTriple]) {
+    let n = run.len();
     let mut i = 0;
-    let n = sorted_triples.len();
-    let mut current_header: Option<Id> = None;
-    let mut inner: VecMap<Id, ListId> = VecMap::new();
-
     while i < n {
-        let (k1, k2, _) = key(&sorted_triples[i]);
-        // Collect the contiguous (k1, k2) group's items (already sorted).
-        let mut items = Vec::new();
-        while i < n {
-            let (a, b, item) = key(&sorted_triples[i]);
-            if a != k1 || b != k2 {
+        let s = run[i].s;
+        let mut j = i + 1;
+        while j < n && run[j].s == s {
+            j += 1;
+        }
+        run[i..j].sort_unstable_by_key(|t| (t.o, t.p));
+        i = j;
+    }
+}
+
+/// One step of a grouped walk over a sorted run — see [`scan_groups`].
+pub(crate) enum GroupEvent<'a> {
+    /// A new `k1` group starts; `distinct_k2` is its exact vector length.
+    Header { k1: Id, distinct_k2: usize },
+    /// One `(k1, k2)` group's contiguous triples, in sorted order.
+    Leaf { k2: Id, items: &'a [IdTriple] },
+    /// The current `k1` group is complete.
+    EndHeader { k1: Id },
+}
+
+/// Walks a run sorted by `key`, emitting `Header` / `Leaf`* / `EndHeader`
+/// per first-level group. Both the full loader's pair build and the
+/// partial store's index build drive their append-only fills from this
+/// one grouping pass, so the boundary logic lives in exactly one place.
+pub(crate) fn scan_groups(
+    run: &[IdTriple],
+    key: impl Fn(&IdTriple) -> (Id, Id, Id),
+    mut emit: impl FnMut(GroupEvent<'_>),
+) {
+    let n = run.len();
+    let mut i = 0;
+    while i < n {
+        let k1 = key(&run[i]).0;
+        // First scan: find the group's end and its distinct-k2 count, so
+        // the receiver can allocate its vector exactly.
+        let mut j = i;
+        let mut distinct_k2 = 0;
+        let mut prev_k2: Option<Id> = None;
+        while j < n {
+            let (a, b, _) = key(&run[j]);
+            if a != k1 {
                 break;
             }
-            items.push(item);
-            i += 1;
-        }
-        let lid = arena.alloc_sorted(items);
-
-        if current_header != Some(k1) {
-            if let Some(h) = current_header.take() {
-                inner.shrink_to_fit();
-                primary.push_sorted(h, std::mem::take(&mut inner));
+            if prev_k2 != Some(b) {
+                distinct_k2 += 1;
+                prev_k2 = Some(b);
             }
-            current_header = Some(k1);
+            j += 1;
         }
-        inner.push_sorted(k2, lid);
-        mirror_entries.push((k2, k1, lid));
+        emit(GroupEvent::Header { k1, distinct_k2 });
+        // Second scan: emit each (k1, k2) group's contiguous items.
+        let mut g = i;
+        while g < j {
+            let k2 = key(&run[g]).1;
+            let mut h = g + 1;
+            while h < j && key(&run[h]).1 == k2 {
+                h += 1;
+            }
+            emit(GroupEvent::Leaf { k2, items: &run[g..h] });
+            g = h;
+        }
+        emit(GroupEvent::EndHeader { k1 });
+        i = j;
     }
-    if let Some(h) = current_header {
-        inner.shrink_to_fit();
-        primary.push_sorted(h, inner);
-    }
+}
 
-    // Mirror: group by k2, push (k1 -> list) in sorted order.
-    mirror_entries.sort_unstable_by_key(|e| (e.0, e.1));
-    let mut current_header: Option<Id> = None;
+/// Number of distinct adjacent `head` values in a sorted slice — the
+/// header count of a run that is about to be group-built.
+pub(crate) fn count_distinct_adjacent<T, K: PartialEq>(
+    items: &[T],
+    head: impl Fn(&T) -> K,
+) -> usize {
+    let mut count = 0;
+    let mut prev: Option<K> = None;
+    for item in items {
+        let k = head(item);
+        if prev.as_ref() != Some(&k) {
+            count += 1;
+            prev = Some(k);
+        }
+    }
+    count
+}
+
+/// Exact sizes of one index pair, computed by a linear counting pass over
+/// its sorted run — the same header/vector/list accounting as
+/// [`SpaceStats`](crate::SpaceStats), but *before* building, so every
+/// allocation below can be exact.
+struct RunCounts {
+    /// Distinct `k1` values: primary header entries.
+    headers: usize,
+    /// Distinct `(k1, k2)` pairs: vector entries and terminal lists.
+    pairs: usize,
+}
+
+fn count_run(run: &[IdTriple], key: KeyFn) -> RunCounts {
+    let mut headers = 0;
+    let mut pairs = 0;
+    let mut prev: Option<(Id, Id)> = None;
+    for t in run {
+        let (k1, k2, _) = key(t);
+        if prev.is_none_or(|(p1, _)| p1 != k1) {
+            headers += 1;
+        }
+        if prev != Some((k1, k2)) {
+            pairs += 1;
+        }
+        prev = Some((k1, k2));
+    }
+    RunCounts { headers, pairs }
+}
+
+/// Builds one index pair plus its shared arena from a run sorted by
+/// `(k1, k2, item)` under `key`. With `presize`, all containers are
+/// allocated at their exact final size before the append-only fill.
+fn build_pair(run: &[IdTriple], key: KeyFn, presize: bool) -> Pair {
+    let (mut primary, mut arena, mut mirror_entries) = if presize {
+        let counts = count_run(run, key);
+        (
+            TwoLevel::with_capacity(counts.headers),
+            ListArena::with_capacity(counts.pairs),
+            Vec::with_capacity(counts.pairs),
+        )
+    } else {
+        (TwoLevel::new(), ListArena::new(), Vec::new())
+    };
+
     let mut inner: VecMap<Id, ListId> = VecMap::new();
-    for (k2, k1, lid) in mirror_entries {
-        if current_header != Some(k2) {
-            if let Some(h) = current_header.take() {
-                inner.shrink_to_fit();
-                mirror.push_sorted(h, std::mem::take(&mut inner));
-            }
-            current_header = Some(k2);
+    let mut current_k1 = Id(0);
+    scan_groups(run, key, |event| match event {
+        GroupEvent::Header { k1, distinct_k2 } => {
+            inner = VecMap::with_capacity(distinct_k2);
+            current_k1 = k1;
         }
-        inner.push_sorted(k1, lid);
+        GroupEvent::Leaf { k2, items } => {
+            // The group's items are contiguous and already sorted: one
+            // exact-size terminal list per leaf.
+            let list: Vec<Id> = items.iter().map(|t| key(t).2).collect();
+            let lid = arena.alloc_sorted(list);
+            inner.push_sorted(k2, lid);
+            mirror_entries.push((k2, current_k1, lid));
+        }
+        GroupEvent::EndHeader { k1 } => primary.push_sorted(k1, std::mem::take(&mut inner)),
+    });
+
+    // Mirror: group by k2, push (k1 -> list) in sorted order. Each (k2,
+    // k1) appears once, so group lengths are exact inner capacities.
+    mirror_entries.sort_unstable_by_key(|e| (e.0, e.1));
+    let m = mirror_entries.len();
+    let mut mirror = if presize {
+        TwoLevel::with_capacity(count_distinct_adjacent(&mirror_entries, |e| e.0))
+    } else {
+        TwoLevel::new()
+    };
+    let mut i = 0;
+    while i < m {
+        let k2 = mirror_entries[i].0;
+        let mut j = i + 1;
+        while j < m && mirror_entries[j].0 == k2 {
+            j += 1;
+        }
+        let mut inner: VecMap<Id, ListId> = VecMap::with_capacity(j - i);
+        for &(_, k1, lid) in &mirror_entries[i..j] {
+            inner.push_sorted(k1, lid);
+        }
+        mirror.push_sorted(k2, inner);
+        i = j;
     }
-    if let Some(h) = current_header {
-        inner.shrink_to_fit();
-        mirror.push_sorted(h, inner);
-    }
+    (primary, mirror, arena)
 }
 
 #[cfg(test)]
@@ -116,9 +448,8 @@ mod tests {
         IdTriple::from((s, p, o))
     }
 
-    #[test]
-    fn bulk_equals_incremental() {
-        let triples = vec![
+    fn sample() -> Vec<IdTriple> {
+        vec![
             t(3, 1, 9),
             t(0, 2, 4),
             t(3, 1, 2),
@@ -126,7 +457,12 @@ mod tests {
             t(7, 7, 7),
             t(3, 2, 9),
             t(0, 2, 4), // duplicate
-        ];
+        ]
+    }
+
+    #[test]
+    fn bulk_equals_incremental() {
+        let triples = sample();
         let bulk = build(triples.clone());
         let mut inc = Hexastore::new();
         for tr in &triples {
@@ -146,20 +482,86 @@ mod tests {
     }
 
     #[test]
+    fn every_config_builds_the_same_store() {
+        let triples: Vec<IdTriple> = (0..500u32).map(|i| t(i % 23, i % 7, i % 41)).collect();
+        let reference = build_with(triples.clone(), Config::serial());
+        for threads in [2, 3, 4, 8] {
+            for presize in [false, true] {
+                let cfg = Config { threads, presize };
+                let store = build_with(triples.clone(), cfg);
+                assert_eq!(store.len(), reference.len(), "{cfg:?}");
+                assert_eq!(
+                    store.matching(IdPattern::ALL),
+                    reference.matching(IdPattern::ALL),
+                    "{cfg:?}"
+                );
+                assert_eq!(store.space_stats(), reference.space_stats(), "{cfg:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn presize_leaves_no_slack_capacity() {
+        let triples: Vec<IdTriple> = (0..2000u32).map(|i| t(i % 97, i % 13, i)).collect();
+        let mut presized = build_with(triples.clone(), Config { threads: 1, presize: true });
+        let before = presized.heap_bytes();
+        presized.shrink_to_fit();
+        assert_eq!(presized.heap_bytes(), before, "presized build must already be exact");
+    }
+
+    #[test]
+    fn effective_threads_auto_is_serial_for_small_batches() {
+        let auto = Config::default();
+        assert_eq!(auto.effective_threads(100), 1);
+        assert!(auto.effective_threads(AUTO_SERIAL_BELOW) >= 1);
+        assert_eq!(Config::parallel(6).effective_threads(100), 6);
+        assert_eq!(Config::serial().effective_threads(1 << 20), 1);
+    }
+
+    #[test]
+    fn par_sort_matches_std_sort() {
+        let mut rng_state = 0x2545F4914F6CDD1Du64;
+        let mut next = move || {
+            rng_state ^= rng_state << 13;
+            rng_state ^= rng_state >> 7;
+            rng_state ^= rng_state << 17;
+            rng_state
+        };
+        for n in [0usize, 1, 2, 7, 100, 1000, 4096, 5000] {
+            for threads in [2usize, 3, 4, 8] {
+                let mut v: Vec<IdTriple> = (0..n)
+                    .map(|_| {
+                        let r = next();
+                        t((r % 50) as u32, ((r >> 8) % 50) as u32, ((r >> 16) % 50) as u32)
+                    })
+                    .collect();
+                let mut expected = v.clone();
+                expected.sort_unstable_by_key(key_pos);
+                par_sort(&mut v, threads, key_pos);
+                assert_eq!(v, expected, "n={n} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
     fn bulk_empty() {
         let h = build(Vec::new());
         assert!(h.is_empty());
         assert_eq!(h.matching(IdPattern::ALL), Vec::new());
+        let h = build_with(Vec::new(), Config::parallel(4));
+        assert!(h.is_empty());
     }
 
     #[test]
     fn bulk_store_supports_updates_afterwards() {
-        let mut h = build(vec![t(1, 2, 3), t(4, 5, 6)]);
-        assert!(h.insert(t(0, 0, 0)));
-        assert!(h.remove(t(4, 5, 6)));
-        assert_eq!(h.len(), 2);
-        assert!(h.contains(t(0, 0, 0)));
-        assert!(!h.contains(t(4, 5, 6)));
+        for cfg in [Config::serial(), Config::parallel(4)] {
+            let mut h = build_with(vec![t(1, 2, 3), t(4, 5, 6)], cfg);
+            assert!(h.insert(t(0, 0, 0)));
+            assert!(h.remove(t(4, 5, 6)));
+            assert_eq!(h.len(), 2);
+            assert!(h.contains(t(0, 0, 0)));
+            assert!(!h.contains(t(4, 5, 6)));
+        }
     }
 
     #[test]

@@ -45,7 +45,7 @@
 //! | [`vecmap`] | the sorted-vector association map backing every index level |
 //! | [`arena`] | shared terminal-list storage (the paper's single-copy lists) |
 //! | [`store`] | [`Hexastore`]: the six indices over [`hex_dict::IdTriple`]s |
-//! | [`bulk`] | sort-based bulk loader |
+//! | [`bulk`] | sort-based bulk loader, serial or parallel ([`bulk::Config`]) |
 //! | [`graph`] | [`GraphStore`]: Hexastore + dictionary, string-level API |
 //! | [`pattern`] | [`IdPattern`]: the eight access shapes |
 //! | [`traits`] | [`TripleStore`]: the interface shared with the baselines |

@@ -74,6 +74,30 @@ impl OwnedIndex {
                 })
                 .sum::<usize>()
     }
+
+    /// Append-only build from a duplicate-free run sorted by
+    /// `project(kind, ·)` — the partial-store counterpart of the full
+    /// loader's pair build, driven by the same shared grouping pass
+    /// ([`crate::bulk::scan_groups`]). With `presize`, headers and inner
+    /// vectors are allocated at their exact final sizes.
+    fn build_from_run(run: &[IdTriple], kind: IndexKind, presize: bool) -> OwnedIndex {
+        use crate::bulk::{count_distinct_adjacent, scan_groups, GroupEvent};
+        let key = |t: &IdTriple| project(kind, *t);
+        let mut map: VecMap<Id, VecMap<Id, Vec<Id>>> = if presize {
+            VecMap::with_capacity(count_distinct_adjacent(run, |t| key(t).0))
+        } else {
+            VecMap::new()
+        };
+        let mut inner: VecMap<Id, Vec<Id>> = VecMap::new();
+        scan_groups(run, key, |event| match event {
+            GroupEvent::Header { distinct_k2, .. } => inner = VecMap::with_capacity(distinct_k2),
+            GroupEvent::Leaf { k2, items } => {
+                inner.push_sorted(k2, items.iter().map(|t| key(t).2).collect())
+            }
+            GroupEvent::EndHeader { k1 } => map.push_sorted(k1, std::mem::take(&mut inner)),
+        });
+        OwnedIndex { map }
+    }
 }
 
 /// Projects a triple into an ordering's `(k1, k2, item)` key order.
@@ -129,6 +153,84 @@ impl PartialHexastore {
         let keep = if keep.is_empty() { IndexSet::EMPTY.with(IndexKind::Spo) } else { keep };
         let indices = keep.iter().map(|k| (k, OwnedIndex::default())).collect();
         PartialHexastore { keep, indices, len: 0 }
+    }
+
+    /// Bulk-builds a partial store from an arbitrary triple batch using
+    /// the default loader [`Config`](crate::bulk::Config) (much faster
+    /// than repeated [`TripleStore::insert`] for large batches).
+    pub fn from_triples(keep: IndexSet, triples: impl IntoIterator<Item = IdTriple>) -> Self {
+        Self::from_triples_with(keep, triples.into_iter().collect(), crate::bulk::Config::default())
+    }
+
+    /// Bulk-builds a partial store with explicit loader knobs. The batch
+    /// is sorted and deduplicated once; each kept ordering then builds
+    /// append-only from its own re-sorted run. With more than one
+    /// configured thread, the orderings are split across at most
+    /// `threads` scoped workers, each reusing one scratch buffer — so
+    /// concurrency *and* peak batch copies stay within the budget.
+    pub fn from_triples_with(
+        keep: IndexSet,
+        mut triples: Vec<IdTriple>,
+        config: crate::bulk::Config,
+    ) -> Self {
+        let keep = if keep.is_empty() { IndexSet::EMPTY.with(IndexKind::Spo) } else { keep };
+        let threads = config.effective_threads(triples.len());
+        crate::bulk::sort_dedup(&mut triples, threads);
+        let len = triples.len();
+        let presize = config.presize;
+        let kinds: Vec<IndexKind> = keep.iter().collect();
+        let indices: Vec<(IndexKind, OwnedIndex)> = if threads <= 1 || kinds.len() == 1 {
+            // Serial path: reuse one scratch buffer across the non-spo
+            // orderings instead of copying the batch per index.
+            let mut scratch: Option<Vec<IdTriple>> = None;
+            kinds
+                .iter()
+                .map(|&kind| {
+                    if kind == IndexKind::Spo {
+                        // The shared run is already in spo order.
+                        (kind, OwnedIndex::build_from_run(&triples, kind, presize))
+                    } else {
+                        let run = scratch.get_or_insert_with(|| triples.clone());
+                        run.sort_unstable_by_key(|t| project(kind, *t));
+                        (kind, OwnedIndex::build_from_run(run, kind, presize))
+                    }
+                })
+                .collect()
+        } else {
+            // At most `threads` workers, each building a contiguous chunk
+            // of the kept orderings sequentially with one reused scratch
+            // buffer — bounding both concurrency and the number of live
+            // batch copies at the configured budget.
+            let chunk = kinds.len().div_ceil(threads.min(kinds.len()));
+            std::thread::scope(|s| {
+                let tasks: Vec<_> = kinds
+                    .chunks(chunk)
+                    .map(|chunk_kinds| {
+                        let shared = &triples;
+                        s.spawn(move || {
+                            let mut scratch: Option<Vec<IdTriple>> = None;
+                            chunk_kinds
+                                .iter()
+                                .map(|&kind| {
+                                    if kind == IndexKind::Spo {
+                                        (kind, OwnedIndex::build_from_run(shared, kind, presize))
+                                    } else {
+                                        let run = scratch.get_or_insert_with(|| shared.clone());
+                                        run.sort_unstable_by_key(|t| project(kind, *t));
+                                        (kind, OwnedIndex::build_from_run(run, kind, presize))
+                                    }
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                tasks
+                    .into_iter()
+                    .flat_map(|task| task.join().expect("index build task panicked"))
+                    .collect()
+            })
+        };
+        PartialHexastore { keep, indices, len }
     }
 
     /// The orderings this store maintains.
@@ -316,6 +418,53 @@ mod tests {
                 assert_eq!(got, expected, "{keep:?} pattern {pat:?}");
             }
         }
+    }
+
+    /// Bulk construction (serial and parallel, pre-sized or not) matches
+    /// insert-order construction for every subset of orderings.
+    #[test]
+    fn bulk_build_equals_incremental_for_every_subset() {
+        let with_dups: Vec<IdTriple> =
+            sample().into_iter().chain(sample().into_iter().take(3)).collect();
+        for bits in 1u8..64 {
+            let mut keep = IndexSet::EMPTY;
+            for (i, kind) in IndexKind::ALL.into_iter().enumerate() {
+                if bits & (1 << i) != 0 {
+                    keep = keep.with(kind);
+                }
+            }
+            let mut incremental = PartialHexastore::new(keep);
+            for &tr in &with_dups {
+                incremental.insert(tr);
+            }
+            for cfg in [
+                crate::bulk::Config::serial(),
+                crate::bulk::Config::parallel(4),
+                crate::bulk::Config { threads: 2, presize: false },
+            ] {
+                let bulk = PartialHexastore::from_triples_with(keep, with_dups.clone(), cfg);
+                assert_eq!(bulk.len(), incremental.len(), "{keep:?} {cfg:?}");
+                assert_eq!(bulk.kept(), incremental.kept(), "{keep:?} {cfg:?}");
+                for pat in all_patterns() {
+                    let mut expected = incremental.matching(pat);
+                    expected.sort();
+                    let mut got = bulk.matching(pat);
+                    got.sort();
+                    assert_eq!(got, expected, "{keep:?} {cfg:?} pattern {pat:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bulk_build_promotes_empty_set_and_supports_updates() {
+        let duplicated: Vec<IdTriple> = sample().into_iter().chain(sample()).collect();
+        let mut store = PartialHexastore::from_triples(IndexSet::EMPTY, duplicated);
+        assert!(store.kept().contains(IndexKind::Spo));
+        assert_eq!(store.len(), sample().len(), "input duplicates deduplicated");
+        assert!(store.insert(t(42, 42, 42)));
+        assert!(store.remove(t(1, 2, 3)));
+        assert!(!store.contains(t(1, 2, 3)));
     }
 
     #[test]

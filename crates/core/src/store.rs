@@ -351,23 +351,20 @@ impl Hexastore {
         ix.heap_bytes_shallow() + ix.values().map(VecMap::heap_bytes_shallow).sum::<usize>()
     }
 
-    pub(crate) fn parts(
-        &mut self,
-    ) -> ([&mut TwoLevel; 6], &mut ListArena, &mut ListArena, &mut ListArena, &mut usize) {
-        (
-            [
-                &mut self.spo,
-                &mut self.sop,
-                &mut self.pso,
-                &mut self.pos,
-                &mut self.osp,
-                &mut self.ops,
-            ],
-            &mut self.o_lists,
-            &mut self.p_lists,
-            &mut self.s_lists,
-            &mut self.len,
-        )
+    /// Assembles a store from three fully built index pairs, one per
+    /// shared arena: `(primary, mirror, arena)` in spo/pso, sop/osp and
+    /// pos/ops order. Used by the bulk loader, whose pair-build tasks
+    /// produce exactly these parts (possibly on different threads).
+    pub(crate) fn from_built_parts(
+        spo_pair: (TwoLevel, TwoLevel, ListArena),
+        sop_pair: (TwoLevel, TwoLevel, ListArena),
+        pos_pair: (TwoLevel, TwoLevel, ListArena),
+        len: usize,
+    ) -> Hexastore {
+        let (spo, pso, o_lists) = spo_pair;
+        let (sop, osp, p_lists) = sop_pair;
+        let (pos, ops, s_lists) = pos_pair;
+        Hexastore { spo, sop, pso, pos, osp, ops, o_lists, p_lists, s_lists, len }
     }
 }
 

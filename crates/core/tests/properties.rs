@@ -127,6 +127,74 @@ proptest! {
         prop_assert_eq!(bulk_store.space_stats(), inc.space_stats());
     }
 
+    /// The parallel loader is an optimization, never a semantic change:
+    /// any thread count and either presize setting must produce a store
+    /// that answers all eight access patterns exactly like insert-order
+    /// construction.
+    #[test]
+    fn parallel_bulk_load_equals_incremental(
+        triples in proptest::collection::vec(arb_triple(), 0..200),
+        threads in 1usize..9,
+        presize in (0u32..2).prop_map(|b| b == 1),
+    ) {
+        let cfg = bulk::Config { threads, presize };
+        let bulk_store = bulk::build_with(triples.clone(), cfg);
+        let mut inc = Hexastore::new();
+        for &t in &triples {
+            inc.insert(t);
+        }
+        prop_assert_eq!(bulk_store.len(), inc.len());
+        prop_assert_eq!(bulk_store.space_stats(), inc.space_stats());
+        // All eight shapes: (s?, p?, o?) fully enumerated over the small
+        // id universe would be slow; probe every stored triple instead.
+        for &t in &triples {
+            for pat in [
+                IdPattern::ALL,
+                IdPattern::s(t.s),
+                IdPattern::p(t.p),
+                IdPattern::o(t.o),
+                IdPattern::sp(t.s, t.p),
+                IdPattern::so(t.s, t.o),
+                IdPattern::po(t.p, t.o),
+                IdPattern::spo(t),
+            ] {
+                prop_assert_eq!(
+                    bulk_store.matching(pat),
+                    inc.matching(pat),
+                    "threads={} presize={} pattern {:?}", threads, presize, pat
+                );
+                prop_assert_eq!(bulk_store.count_matching(pat), inc.count_matching(pat));
+            }
+        }
+    }
+
+    /// Bulk-built partial stores (serial and parallel) agree with the full
+    /// Hexastore on every pattern, for a workload-relevant index subset.
+    #[test]
+    fn parallel_partial_bulk_equals_full(
+        triples in proptest::collection::vec(arb_triple(), 0..150),
+        threads in 1usize..9,
+    ) {
+        use hexastore::{IndexKind, IndexSet, PartialHexastore};
+        let full = bulk::build(triples.clone());
+        let keep = IndexSet::EMPTY.with(IndexKind::Spo).with(IndexKind::Pos).with(IndexKind::Osp);
+        let partial = PartialHexastore::from_triples_with(
+            keep,
+            triples.clone(),
+            bulk::Config { threads, presize: true },
+        );
+        prop_assert_eq!(partial.len(), full.len());
+        for &t in &triples {
+            for pat in [IdPattern::sp(t.s, t.p), IdPattern::po(t.p, t.o), IdPattern::o(t.o)] {
+                let mut expected = full.matching(pat);
+                expected.sort();
+                let mut got = partial.matching(pat);
+                got.sort();
+                prop_assert_eq!(got, expected, "threads={} pattern {:?}", threads, pat);
+            }
+        }
+    }
+
     #[test]
     fn terminal_lists_stay_sorted_sets(ops in arb_ops()) {
         let (h, _) = apply(&ops);

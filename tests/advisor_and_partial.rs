@@ -32,10 +32,9 @@ fn recommended_partial_store_answers_the_workload_directly() {
     assert!(!keep.contains(IndexKind::Ops));
     assert!(keep.len() < 6);
 
-    let mut partial = PartialHexastore::new(keep);
-    for &t in &suite.triples {
-        partial.insert(t);
-    }
+    // Bulk-build the partial store so the memory comparison is
+    // like-for-like: both stores exactly pre-sized by the bulk loader.
+    let partial = PartialHexastore::from_triples(keep, suite.triples.iter().copied());
     assert_eq!(partial.len(), suite.hexastore.len());
     assert!(partial.heap_bytes() < suite.hexastore.heap_bytes());
 
@@ -56,10 +55,7 @@ fn savings_estimate_is_consistent_with_actual_partial_memory() {
     let ids = LubmIds::resolve(&suite.dict).unwrap();
     let keep = recommend(&WorkloadProfile::from_patterns(&paper_workload(&ids)));
 
-    let mut partial = PartialHexastore::new(keep);
-    for &t in &suite.triples {
-        partial.insert(t);
-    }
+    let partial = PartialHexastore::from_triples(keep, suite.triples.iter().copied());
     let full = suite.hexastore.heap_bytes();
     let estimated_saving = estimate_savings(&suite.hexastore, keep);
     let actual_saving = full.saturating_sub(partial.heap_bytes());
