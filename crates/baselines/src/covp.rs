@@ -10,7 +10,7 @@
 
 use crate::prop_index::PropIndex;
 use hex_dict::{Id, IdTriple};
-use hexastore::{sorted, IdPattern, Shape, TripleStore};
+use hexastore::{sorted, IdPattern, IndexKind, IndexSet, Shape, TripleIter, TripleStore};
 
 /// Single-index (pso) column-oriented vertical-partitioning store.
 #[derive(Clone, Default, Debug)]
@@ -67,6 +67,14 @@ impl TripleStore for Covp1 {
 
     fn for_each_matching(&self, pat: IdPattern, f: &mut dyn FnMut(IdTriple)) {
         pso_for_each(&self.pso, pat, f);
+    }
+
+    fn iter_matching(&self, pat: IdPattern) -> TripleIter<'_> {
+        pso_iter(&self.pso, pat)
+    }
+
+    fn capabilities(&self) -> IndexSet {
+        IndexSet::EMPTY.with(IndexKind::Pso)
     }
 
     fn count_matching(&self, pat: IdPattern) -> usize {
@@ -187,6 +195,27 @@ impl TripleStore for Covp2 {
         }
     }
 
+    fn iter_matching(&self, pat: IdPattern) -> TripleIter<'_> {
+        match pat.shape() {
+            Shape::Po => {
+                let (p, o) = (pat.p.unwrap(), pat.o.unwrap());
+                Box::new(self.pos.items(p, o).iter().map(move |&s| IdTriple::new(s, p, o)))
+            }
+            Shape::O => {
+                let o = pat.o.unwrap();
+                let pos = &self.pos;
+                Box::new(pos.properties().flat_map(move |p| {
+                    pos.items(p, o).iter().map(move |&s| IdTriple::new(s, p, o))
+                }))
+            }
+            _ => pso_iter(&self.pso, pat),
+        }
+    }
+
+    fn capabilities(&self) -> IndexSet {
+        IndexSet::EMPTY.with(IndexKind::Pso).with(IndexKind::Pos)
+    }
+
     fn count_matching(&self, pat: IdPattern) -> usize {
         match pat.shape() {
             Shape::Sp => self.pso.items(pat.p.unwrap(), pat.s.unwrap()).len(),
@@ -275,6 +304,61 @@ fn pso_for_each(pso: &PropIndex, pat: IdPattern, f: &mut dyn FnMut(IdTriple)) {
     }
 }
 
+/// Lazy counterpart of [`pso_for_each`]: the same per-shape plans, yielded
+/// through a cursor so early-terminating consumers stop the table walks as
+/// soon as they have enough triples.
+fn pso_iter(pso: &PropIndex, pat: IdPattern) -> TripleIter<'_> {
+    match pat.shape() {
+        Shape::Spo | Shape::Sp => {
+            let (s, p) = (pat.s.unwrap(), pat.p.unwrap());
+            Box::new(
+                pso.items(p, s)
+                    .iter()
+                    .copied()
+                    .filter(move |&o| pat.o.is_none_or(|po| po == o))
+                    .map(move |o| IdTriple::new(s, p, o)),
+            )
+        }
+        Shape::P => {
+            let p = pat.p.unwrap();
+            Box::new(
+                pso.table(p)
+                    .flat_map(move |(s, objs)| objs.iter().map(move |&o| IdTriple::new(s, p, o))),
+            )
+        }
+        Shape::Po => {
+            let (p, o) = (pat.p.unwrap(), pat.o.unwrap());
+            Box::new(
+                pso.table(p)
+                    .filter(move |(_, objs)| sorted::contains(objs, &o))
+                    .map(move |(s, _)| IdTriple::new(s, p, o)),
+            )
+        }
+        Shape::S | Shape::So => {
+            let s = pat.s.unwrap();
+            Box::new(pso.properties().flat_map(move |p| {
+                pso.items(p, s)
+                    .iter()
+                    .copied()
+                    .filter(move |&o| pat.o.is_none_or(|po| po == o))
+                    .map(move |o| IdTriple::new(s, p, o))
+            }))
+        }
+        Shape::O => {
+            let o = pat.o.unwrap();
+            Box::new(pso.properties().flat_map(move |p| {
+                pso.table(p)
+                    .filter(move |(_, objs)| sorted::contains(objs, &o))
+                    .map(move |(s, _)| IdTriple::new(s, p, o))
+            }))
+        }
+        Shape::None_ => Box::new(pso.properties().flat_map(move |p| {
+            pso.table(p)
+                .flat_map(move |(s, objs)| objs.iter().map(move |&o| IdTriple::new(s, p, o)))
+        })),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -332,6 +416,27 @@ mod tests {
             assert_eq!(got, expected, "covp2 pattern {pat:?}");
             assert_eq!(store.count_matching(pat), got.len());
         }
+    }
+
+    #[test]
+    fn cursors_agree_with_visitors() {
+        let c1 = Covp1::from_triples(sample());
+        let c2 = Covp2::from_triples(sample());
+        for pat in all_patterns() {
+            assert_eq!(c1.iter_matching(pat).collect::<Vec<_>>(), c1.matching(pat), "{pat:?}");
+            assert_eq!(c2.iter_matching(pat).collect::<Vec<_>>(), c2.matching(pat), "{pat:?}");
+        }
+    }
+
+    #[test]
+    fn capabilities_name_the_physical_indices() {
+        assert_eq!(Covp1::new().capabilities(), IndexSet::EMPTY.with(IndexKind::Pso));
+        assert_eq!(
+            Covp2::new().capabilities(),
+            IndexSet::EMPTY.with(IndexKind::Pso).with(IndexKind::Pos)
+        );
+        assert!(Covp2::new().capabilities().serves(hexastore::Shape::Po));
+        assert!(!Covp1::new().capabilities().serves(hexastore::Shape::O));
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! *everything else is a scan*.
 
 use hex_dict::{Id, IdTriple};
-use hexastore::{IdPattern, Shape, TripleStore};
+use hexastore::{IdPattern, IndexKind, IndexSet, Shape, TripleStore};
 
 /// A single sorted relation of dictionary-encoded triples.
 #[derive(Clone, Default, Debug)]
@@ -114,6 +114,21 @@ impl TripleStore for TriplesTable {
         }
     }
 
+    fn iter_matching(&self, pat: IdPattern) -> hexastore::TripleIter<'_> {
+        let range = match pat.shape() {
+            Shape::Spo | Shape::Sp => self.sp_range(pat.s.unwrap(), pat.p.unwrap()),
+            Shape::S | Shape::So => self.subject_range(pat.s.unwrap()),
+            _ => 0..self.rows.len(),
+        };
+        Box::new(self.rows[range].iter().copied().filter(move |&t| pat.matches(t)))
+    }
+
+    fn capabilities(&self) -> IndexSet {
+        // The spo sort order is the table's only "index": subject-prefixed
+        // shapes are binary searches, everything else is a scan.
+        IndexSet::EMPTY.with(IndexKind::Spo)
+    }
+
     fn heap_bytes(&self) -> usize {
         self.rows.capacity() * std::mem::size_of::<IdTriple>()
     }
@@ -171,7 +186,17 @@ mod tests {
             let expected: Vec<IdTriple> =
                 rows.iter().copied().filter(|&x| pat.matches(x)).collect();
             assert_eq!(tab.matching(pat), expected, "pattern {pat:?}");
+            assert_eq!(tab.iter_matching(pat).collect::<Vec<_>>(), expected, "cursor {pat:?}");
         }
+    }
+
+    #[test]
+    fn capabilities_reflect_the_spo_sort_order() {
+        let tab = TriplesTable::new();
+        assert_eq!(tab.capabilities(), IndexSet::EMPTY.with(IndexKind::Spo));
+        assert!(tab.capabilities().serves(Shape::Sp));
+        assert!(tab.capabilities().serves(Shape::S));
+        assert!(!tab.capabilities().serves(Shape::Po));
     }
 
     #[test]

@@ -15,8 +15,8 @@
 //! artifact; see `.github/workflows/ci.yml`.
 
 use hex_bench::{
-    cli, load_figure, load_to_csv, memory_figure, memory_to_csv, path_report, run_figure,
-    space_report, Figure, LoadRow, FIGURES,
+    ask_early_exit, ask_to_csv, cli, load_figure, load_to_csv, memory_figure, memory_to_csv,
+    path_report, run_figure, space_report, AskRow, Figure, LoadRow, FIGURES,
 };
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -144,6 +144,11 @@ fn main() {
     write_file(&args.out, "load.csv", &load_to_csv("lubm", &load_rows));
     let load: &LoadRow = load_rows.last().expect("load figure produced no rows");
 
+    // ASK early exit at the same large scale: the acceptance signal for
+    // the streaming query surface (streamed plan vs materializing path).
+    let ask: AskRow = ask_early_exit(args.load_triples, args.reps);
+    write_file(&args.out, "ask_early_exit.csv", &ask_to_csv(&ask));
+
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"schema\": 1,");
     let _ = writeln!(json, "  \"figures_triples\": {},", args.triples);
@@ -166,6 +171,15 @@ fn main() {
         num(LoadRow::mtriples_per_sec(load.triples, load.parallel) * 1e6)
     );
     let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"ask_early_exit\": {{");
+    let _ = writeln!(json, "    \"dataset\": \"lubm\",");
+    let _ = writeln!(json, "    \"triples\": {},", ask.triples);
+    let _ = writeln!(json, "    \"matches\": {},", ask.matches);
+    let _ = writeln!(json, "    \"streamed_seconds\": {},", num(ask.streamed.as_secs_f64()));
+    let _ =
+        writeln!(json, "    \"materialized_seconds\": {},", num(ask.materialized.as_secs_f64()));
+    let _ = writeln!(json, "    \"speedup\": {}", num(ask.speedup()));
+    let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"figures\": [");
     let _ = writeln!(json, "{}", figure_entries.join(",\n"));
     let _ = writeln!(json, "  ]");
@@ -179,5 +193,12 @@ fn main() {
         load.threads,
         load.parallel.as_secs_f64(),
         load.speedup()
+    );
+    println!(
+        "ask early exit over {} matches: streamed {:.3e}s, materialized {:.3e}s, speedup {:.1}x",
+        ask.matches,
+        ask.streamed.as_secs_f64(),
+        ask.materialized.as_secs_f64(),
+        ask.speedup()
     );
 }

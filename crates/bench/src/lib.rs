@@ -602,6 +602,75 @@ pub fn load_to_csv(dataset: &str, rows: &[LoadRow]) -> String {
     out
 }
 
+/// One ASK early-exit measurement: the same existence check answered by
+/// the streaming plan (`Plan::solutions().next()`, stops at the first
+/// row) and by the old materializing path (`execute_bgp` collects every
+/// binding row, then tests emptiness).
+#[derive(Clone, Debug)]
+pub struct AskRow {
+    /// Number of triples in the loaded store.
+    pub triples: usize,
+    /// Binding rows the materializing path produces before answering.
+    pub matches: usize,
+    /// Wall-clock of the streamed ASK.
+    pub streamed: Duration,
+    /// Wall-clock of the materializing ASK.
+    pub materialized: Duration,
+}
+
+impl AskRow {
+    /// Materialized time over streamed time (>1 means streaming won).
+    pub fn speedup(&self) -> f64 {
+        self.materialized.as_secs_f64() / self.streamed.as_secs_f64().max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Measures the ASK early-exit gain on a loaded LUBM dataset: `ASK { ?x
+/// <type> ?t . }` matches one row per typed resource, so the
+/// materializing path enumerates thousands of rows while the streamed
+/// plan stops at the first.
+pub fn ask_early_exit(scale: usize, reps: usize) -> AskRow {
+    use hex_query::{Bgp, CompiledQuery, Pattern, PatternTerm, Plan, VarId};
+    let data = lubm_dataset(scale);
+    let suite = Suite::build(&data);
+    let p_type = ids_of(&suite, "type");
+    let bgp = Bgp::new(vec![Pattern::new(
+        PatternTerm::Var(VarId(0)),
+        PatternTerm::Const(p_type),
+        PatternTerm::Var(VarId(1)),
+    )]);
+    let q = CompiledQuery {
+        bgp: Some(bgp.clone()),
+        vars: Vec::new(),
+        slots: Vec::new(),
+        var_names: vec!["x".into(), "t".into()],
+        distinct: false,
+        filters: Vec::new(),
+        ask: true,
+        limit: None,
+        offset: 0,
+    };
+    let plan = Plan::from_compiled(q, &suite.dict, &suite.hexastore);
+    let streamed = time_query(reps, || plan.solutions().next().is_some());
+    let materialized =
+        time_query(reps, || !hex_query::execute_bgp(&suite.hexastore, &bgp).is_empty());
+    let matches = suite.hexastore.count_matching(hexastore::IdPattern::p(p_type));
+    AskRow { triples: suite.len(), matches, streamed, materialized }
+}
+
+/// Renders the ASK early-exit measurement as a one-row CSV.
+pub fn ask_to_csv(row: &AskRow) -> String {
+    format!(
+        "# ASK early exit — streamed Plan::solutions() vs materializing execute_bgp, lubm \
+         dataset\ntriples,matches,streamed_s,materialized_s,speedup\n{},{},{:.9},{:.9},{:.3}\n",
+        row.triples,
+        row.matches,
+        row.streamed.as_secs_f64(),
+        row.materialized.as_secs_f64(),
+        row.speedup()
+    )
+}
+
 /// The §4.1 space-bound experiment: blowup of Hexastore key entries vs a
 /// triples table, on both datasets plus the adversarial all-distinct case.
 pub fn space_report(scale: usize) -> String {
@@ -749,6 +818,18 @@ mod tests {
         assert!(csv.contains("Figure load"));
         assert!(csv.contains("triples,serial_s,parallel_s,speedup"));
         assert_eq!(csv.lines().count(), 2 + rows.len());
+    }
+
+    #[test]
+    fn ask_early_exit_measures_both_paths() {
+        let row = ask_early_exit(8_000, 1);
+        assert!(row.triples > 0 && row.triples <= 8_000, "{} distinct triples", row.triples);
+        assert!(row.matches > 100, "the type pattern must match broadly, got {}", row.matches);
+        assert!(row.streamed > Duration::ZERO);
+        assert!(row.materialized > Duration::ZERO);
+        let csv = ask_to_csv(&row);
+        assert!(csv.contains("triples,matches,streamed_s,materialized_s,speedup"));
+        assert_eq!(csv.lines().count(), 3);
     }
 
     #[test]

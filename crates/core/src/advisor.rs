@@ -108,6 +108,17 @@ impl IndexSet {
     pub fn iter(self) -> impl Iterator<Item = IndexKind> {
         IndexKind::ALL.into_iter().filter(move |&k| self.contains(k))
     }
+
+    /// True if the two sets share at least one ordering.
+    pub fn intersects(self, other: IndexSet) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// True if some member ordering answers the access shape with a single
+    /// probe (see [`serving_indices`]) — the planner-side servability test.
+    pub fn serves(self, shape: Shape) -> bool {
+        self.intersects(serving_indices(shape))
+    }
 }
 
 impl std::fmt::Debug for IndexSet {
@@ -261,6 +272,12 @@ mod tests {
         assert_eq!(IndexSet::all().len(), 6);
         let names: Vec<&str> = s.iter().map(IndexKind::name).collect();
         assert_eq!(names, vec!["spo", "pos"]);
+        assert!(s.intersects(IndexSet::EMPTY.with(IndexKind::Spo)));
+        assert!(!s.intersects(IndexSet::EMPTY.with(IndexKind::Ops)));
+        assert!(s.serves(Shape::Po), "pos serves (?, p, o)");
+        assert!(s.serves(Shape::Sp), "spo serves (s, p, ?)");
+        assert!(!s.serves(Shape::O), "neither osp nor ops kept");
+        assert!(!IndexSet::EMPTY.serves(Shape::None_));
     }
 
     #[test]

@@ -76,7 +76,7 @@ pub use partial::PartialHexastore;
 pub use pattern::{IdPattern, Shape};
 pub use stats::DatasetStats;
 pub use store::{Hexastore, SpaceStats};
-pub use traits::{extend_store, TripleStore};
+pub use traits::{extend_store, TripleIter, TripleStore};
 pub use vecmap::VecMap;
 
 #[cfg(feature = "serde")]

@@ -361,6 +361,54 @@ impl TripleStore for PartialHexastore {
         }
     }
 
+    fn iter_matching(&self, pat: IdPattern) -> crate::traits::TripleIter<'_> {
+        let shape = pat.shape();
+        match shape {
+            Shape::Spo => {
+                let t = IdTriple::new(pat.s.unwrap(), pat.p.unwrap(), pat.o.unwrap());
+                Box::new(self.contains(t).then_some(t).into_iter())
+            }
+            Shape::None_ => {
+                let (kind, ix) = self.any_index();
+                Box::new(ix.scan().map(move |(k1, k2, item)| unproject(kind, k1, k2, item)))
+            }
+            _ => match self.server_for(shape) {
+                Some((kind, ix)) => {
+                    let probe = IdTriple::new(
+                        pat.s.unwrap_or(Id(0)),
+                        pat.p.unwrap_or(Id(0)),
+                        pat.o.unwrap_or(Id(0)),
+                    );
+                    let (k1, k2, _) = project(kind, probe);
+                    match shape {
+                        Shape::Sp | Shape::So | Shape::Po => Box::new(
+                            ix.items(k1, k2).iter().map(move |&item| unproject(kind, k1, k2, item)),
+                        ),
+                        Shape::S | Shape::P | Shape::O => {
+                            Box::new(ix.division(k1).flat_map(move |(k2, list)| {
+                                list.iter().map(move |&item| unproject(kind, k1, k2, item))
+                            }))
+                        }
+                        Shape::Spo | Shape::None_ => unreachable!("handled above"),
+                    }
+                }
+                None => {
+                    // Degraded path: lazily filter a full scan.
+                    let (kind, ix) = self.any_index();
+                    Box::new(
+                        ix.scan()
+                            .map(move |(k1, k2, item)| unproject(kind, k1, k2, item))
+                            .filter(move |&t| pat.matches(t)),
+                    )
+                }
+            },
+        }
+    }
+
+    fn capabilities(&self) -> IndexSet {
+        self.keep
+    }
+
     fn heap_bytes(&self) -> usize {
         self.indices.iter().map(|(_, ix)| ix.heap_bytes()).sum()
     }
@@ -410,9 +458,17 @@ mod tests {
                 partial.insert(tr);
             }
             assert_eq!(partial.len(), full.len(), "{keep:?}");
+            assert_eq!(partial.capabilities(), partial.kept(), "{keep:?}");
             for pat in all_patterns() {
                 let mut expected = full.matching(pat);
                 expected.sort();
+                // The lazy cursor must visit exactly what the callback
+                // visitor does, in the same order.
+                assert_eq!(
+                    partial.iter_matching(pat).collect::<Vec<_>>(),
+                    partial.matching(pat),
+                    "{keep:?} pattern {pat:?}"
+                );
                 let mut got = partial.matching(pat);
                 got.sort();
                 assert_eq!(got, expected, "{keep:?} pattern {pat:?}");

@@ -467,6 +467,60 @@ impl TripleStore for Hexastore {
         }
     }
 
+    fn iter_matching(&self, pat: IdPattern) -> crate::traits::TripleIter<'_> {
+        match pat.shape() {
+            Shape::Spo => {
+                let t = IdTriple::new(pat.s.unwrap(), pat.p.unwrap(), pat.o.unwrap());
+                Box::new(self.contains(t).then_some(t).into_iter())
+            }
+            Shape::Sp => {
+                let (s, p) = (pat.s.unwrap(), pat.p.unwrap());
+                Box::new(self.objects_for(s, p).iter().map(move |&o| IdTriple::new(s, p, o)))
+            }
+            Shape::So => {
+                let (s, o) = (pat.s.unwrap(), pat.o.unwrap());
+                Box::new(self.properties_for(s, o).iter().map(move |&p| IdTriple::new(s, p, o)))
+            }
+            Shape::Po => {
+                let (p, o) = (pat.p.unwrap(), pat.o.unwrap());
+                Box::new(self.subjects_for(p, o).iter().map(move |&s| IdTriple::new(s, p, o)))
+            }
+            Shape::S => {
+                let s = pat.s.unwrap();
+                Box::new(
+                    self.spo_vector(s).flat_map(move |(p, objs)| {
+                        objs.iter().map(move |&o| IdTriple::new(s, p, o))
+                    }),
+                )
+            }
+            Shape::P => {
+                let p = pat.p.unwrap();
+                Box::new(
+                    self.pso_vector(p).flat_map(move |(s, objs)| {
+                        objs.iter().map(move |&o| IdTriple::new(s, p, o))
+                    }),
+                )
+            }
+            Shape::O => {
+                let o = pat.o.unwrap();
+                Box::new(
+                    self.osp_vector(o).flat_map(move |(s, props)| {
+                        props.iter().map(move |&p| IdTriple::new(s, p, o))
+                    }),
+                )
+            }
+            Shape::None_ => Box::new(self.spo.iter().flat_map(move |(s, inner)| {
+                inner.iter().flat_map(move |(p, &lid)| {
+                    self.o_lists.get(lid).iter().map(move |&o| IdTriple::new(s, p, o))
+                })
+            })),
+        }
+    }
+
+    fn capabilities(&self) -> crate::advisor::IndexSet {
+        crate::advisor::IndexSet::all()
+    }
+
     fn count_matching(&self, pat: IdPattern) -> usize {
         match pat.shape() {
             Shape::Spo => usize::from(self.contains(IdTriple::new(
@@ -730,6 +784,27 @@ mod tests {
         assert!(bytes > 1000 * 3 * 4, "six indices must exceed raw triple size");
         h.shrink_to_fit();
         assert!(h.heap_bytes() <= bytes);
+    }
+
+    #[test]
+    fn cursor_agrees_with_for_each_on_all_shapes() {
+        let h = figure1();
+        let mut pats =
+            vec![IdPattern::ALL, IdPattern::spo(t(1, 10, 20)), IdPattern::spo(t(9, 9, 9))];
+        for &tr in &h.matching(IdPattern::ALL) {
+            pats.extend([
+                IdPattern::sp(tr.s, tr.p),
+                IdPattern::so(tr.s, tr.o),
+                IdPattern::po(tr.p, tr.o),
+                IdPattern::s(tr.s),
+                IdPattern::p(tr.p),
+                IdPattern::o(tr.o),
+            ]);
+        }
+        for pat in pats {
+            let lazy: Vec<IdTriple> = h.iter_matching(pat).collect();
+            assert_eq!(lazy, h.matching(pat), "pattern {pat:?}");
+        }
     }
 
     #[test]

@@ -5,8 +5,16 @@
 //! shared contract that lets the query engine, the benchmark queries and
 //! the equivalence tests run against any of them.
 
+use crate::advisor::IndexSet;
 use crate::pattern::IdPattern;
 use hex_dict::IdTriple;
+
+/// A lazy cursor over the triples matching a pattern.
+///
+/// Returned by [`TripleStore::iter_matching`]; index-backed stores yield
+/// triples on demand, so a consumer that stops early (ASK, LIMIT) never
+/// pays for the rest of the result.
+pub type TripleIter<'a> = Box<dyn Iterator<Item = IdTriple> + 'a>;
 
 /// A dictionary-encoded RDF triple store.
 ///
@@ -36,6 +44,30 @@ pub trait TripleStore {
 
     /// Visits every triple matching the pattern.
     fn for_each_matching(&self, pat: IdPattern, f: &mut dyn FnMut(IdTriple));
+
+    /// Iterator-style cursor over the triples matching the pattern, in the
+    /// same order `for_each_matching` visits them.
+    ///
+    /// The default implementation buffers the full match set through
+    /// [`Self::for_each_matching`]; index-backed stores override it with a
+    /// lazy cursor so early-terminating consumers (ASK, LIMIT) stop paying
+    /// as soon as they have enough rows.
+    fn iter_matching(&self, pat: IdPattern) -> TripleIter<'_> {
+        Box::new(self.matching(pat).into_iter())
+    }
+
+    /// The index orderings this store can probe directly, in the sextuple
+    /// vocabulary of [`crate::advisor`]: a shape whose
+    /// [`crate::advisor::serving_indices`] intersect this set is answered
+    /// by a single probe rather than a filtered scan.
+    ///
+    /// The default claims the full sextuple set, which keeps planning
+    /// purely selectivity-driven for stores that answer every pattern
+    /// uniformly. Stores with a restricted physical design override this
+    /// honestly so planners can avoid their degraded access paths.
+    fn capabilities(&self) -> IndexSet {
+        IndexSet::all()
+    }
 
     /// Number of triples matching the pattern.
     ///
@@ -128,5 +160,21 @@ mod tests {
         assert_eq!(s.count_matching(IdPattern::sp(Id(1), Id(2))), 2);
         assert_eq!(s.matching(IdPattern::ALL).len(), 2);
         assert_eq!(s.count_matching(IdPattern::o(Id(9))), 0);
+    }
+
+    #[test]
+    fn default_cursor_and_capabilities() {
+        let mut s = SetStore(Default::default());
+        s.insert(IdTriple::from((1, 2, 3)));
+        s.insert(IdTriple::from((1, 2, 4)));
+        s.insert(IdTriple::from((5, 6, 7)));
+        // The default cursor agrees with for_each_matching, including when
+        // the consumer stops early.
+        let all: Vec<IdTriple> = s.iter_matching(IdPattern::ALL).collect();
+        assert_eq!(all, s.matching(IdPattern::ALL));
+        let first = s.iter_matching(IdPattern::sp(Id(1), Id(2))).next();
+        assert_eq!(first, Some(IdTriple::from((1, 2, 3))));
+        // The default claims the full sextuple set (uniform-access store).
+        assert_eq!(s.capabilities(), IndexSet::all());
     }
 }

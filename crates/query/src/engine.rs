@@ -1,14 +1,25 @@
-//! String-level query execution: parse → compile against a dictionary →
-//! execute on any [`TripleStore`] → decode.
+//! String-level query processing: parse → compile against a dictionary →
+//! prepare an index-aware [`Plan`] → stream [`Solutions`] from any
+//! [`TripleStore`].
+//!
+//! The primary surface is [`prepare`] (or [`prepare_on`] for query text):
+//! it compiles the query, orders the joins around the store's
+//! [`TripleStore::capabilities`], pushes every FILTER down to the earliest
+//! step where its operands are bound, and returns a [`Plan`] whose
+//! [`Plan::explain`] renders the chosen steps and whose
+//! [`Plan::solutions`] lazily streams decoded rows — ASK stops at the
+//! first solution, `LIMIT k` after `offset + k`. The `execute*` functions
+//! are retained as one-call shims over the same machinery.
 
 use crate::algebra::{Bgp, Pattern, PatternTerm, VarId};
-use crate::exec;
+use crate::exec::{self, PlanStep};
 use crate::parser::{parse_query, FilterOp, FilterOperand, ParseError, ParsedQuery};
 use hex_dict::Dictionary;
-use hexastore::{GraphStore, TripleStore};
+use hexastore::{GraphStore, Shape, TripleStore};
 use rdf_model::{Term, TermPattern};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::fmt::Write as _;
 
 /// A query result: projected variable names and rows of terms.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -17,6 +28,22 @@ pub struct ResultSet {
     pub vars: Vec<String>,
     /// Result rows, one term per projected variable.
     pub rows: Vec<Vec<Term>>,
+}
+
+/// Escapes a TSV cell: backslash, tab, newline and carriage return become
+/// `\\`, `\t`, `\n`, `\r`, so embedded separators cannot corrupt the table.
+fn escape_tsv(cell: &str) -> String {
+    let mut out = String::with_capacity(cell.len());
+    for ch in cell.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            other => out.push(other),
+        }
+    }
+    out
 }
 
 impl ResultSet {
@@ -30,13 +57,16 @@ impl ResultSet {
         self.rows.is_empty()
     }
 
-    /// A simple tab-separated rendering with a header line.
+    /// A tab-separated rendering with a header line. Cell contents are
+    /// escaped (`\t`, `\n`, `\r`, `\\`) so literals containing separators
+    /// round-trip one row per line.
     pub fn to_tsv(&self) -> String {
         let mut out = String::new();
-        out.push_str(&self.vars.join("\t"));
+        let header: Vec<String> = self.vars.iter().map(|v| escape_tsv(v)).collect();
+        out.push_str(&header.join("\t"));
         out.push('\n');
         for row in &self.rows {
-            let cells: Vec<String> = row.iter().map(Term::to_string).collect();
+            let cells: Vec<String> = row.iter().map(|t| escape_tsv(&t.to_string())).collect();
             out.push_str(&cells.join("\t"));
             out.push('\n');
         }
@@ -82,6 +112,8 @@ pub struct CompiledQuery {
     pub vars: Vec<String>,
     /// Slot of each projected variable.
     pub slots: Vec<VarId>,
+    /// Every variable's name, indexed by slot (used by `Plan::explain`).
+    pub var_names: Vec<String>,
     /// Whether to deduplicate rows.
     pub distinct: bool,
     /// Compiled FILTER constraints.
@@ -139,6 +171,14 @@ impl CompiledFilter {
             FilterOp::Eq => equal,
             FilterOp::Ne => !equal,
         }
+    }
+
+    /// The binding-row slots this filter reads.
+    fn slots(&self) -> impl Iterator<Item = VarId> {
+        [self.left, self.right].into_iter().filter_map(|side| match side {
+            FilterSide::Slot(v) => Some(v),
+            _ => None,
+        })
     }
 }
 
@@ -203,10 +243,15 @@ pub fn compile(parsed: &ParsedQuery, dict: &Dictionary) -> Result<CompiledQuery,
             None => return Err(QueryError::UnknownVariable(v.clone())),
         }
     }
+    let mut var_names = vec![String::new(); next as usize];
+    for (name, v) in &slot_of {
+        var_names[v.index()] = name.clone();
+    }
     Ok(CompiledQuery {
         bgp: (!unknown_constant).then(|| Bgp::new(patterns)),
         vars,
         slots,
+        var_names,
         distinct: parsed.distinct,
         filters,
         ask: parsed.ask,
@@ -215,55 +260,350 @@ pub fn compile(parsed: &ParsedQuery, dict: &Dictionary) -> Result<CompiledQuery,
     })
 }
 
+/// A prepared query: the compiled algebra, the chosen join order with its
+/// cost annotations, and the FILTER push-down assignment — bound to one
+/// store and dictionary, re-runnable any number of times.
+pub struct Plan<'a> {
+    store: &'a dyn TripleStore,
+    dict: &'a Dictionary,
+    query: CompiledQuery,
+    /// Execution steps in order; empty when the plan is statically empty
+    /// or the BGP has no patterns.
+    steps: Vec<PlanStep>,
+    /// FILTERs assigned to each step (aligned with `steps`): the earliest
+    /// step after which all of the filter's variables are bound.
+    step_filters: Vec<Vec<CompiledFilter>>,
+    /// Why no solutions can exist, decided at prepare time.
+    empty_reason: Option<&'static str>,
+}
+
+/// Compiles and plans a parsed query against a dictionary and a store.
+///
+/// The returned [`Plan`] borrows both; inspect it with [`Plan::explain`]
+/// and stream rows with [`Plan::solutions`].
+pub fn prepare<'a>(
+    parsed: &ParsedQuery,
+    dict: &'a Dictionary,
+    store: &'a dyn TripleStore,
+) -> Result<Plan<'a>, QueryError> {
+    Ok(Plan::from_compiled(compile(parsed, dict)?, dict, store))
+}
+
+/// Parses, compiles and plans query text against a store + dictionary
+/// pair (the text-level counterpart of [`prepare`]).
+pub fn prepare_on<'a>(
+    store: &'a dyn TripleStore,
+    dict: &'a Dictionary,
+    query_text: &str,
+) -> Result<Plan<'a>, QueryError> {
+    let parsed = parse_query(query_text)?;
+    prepare(&parsed, dict, store)
+}
+
+fn shape_name(shape: Shape) -> &'static str {
+    match shape {
+        Shape::Spo => "spo",
+        Shape::Sp => "sp",
+        Shape::So => "so",
+        Shape::Po => "po",
+        Shape::S => "s",
+        Shape::P => "p",
+        Shape::O => "o",
+        Shape::None_ => "any",
+    }
+}
+
+impl<'a> Plan<'a> {
+    /// Plans an already-compiled query. This is the entry point for
+    /// callers that build [`CompiledQuery`] values programmatically (the
+    /// benches and property tests do, to bypass the parser).
+    pub fn from_compiled(
+        query: CompiledQuery,
+        dict: &'a Dictionary,
+        store: &'a dyn TripleStore,
+    ) -> Plan<'a> {
+        let mut empty_reason =
+            query.bgp.is_none().then_some("a constant does not occur in the dictionary");
+        let steps = match &query.bgp {
+            Some(bgp) => exec::plan_steps(store, bgp),
+            None => Vec::new(),
+        };
+        let mut step_filters: Vec<Vec<CompiledFilter>> = steps.iter().map(|_| Vec::new()).collect();
+        if let Some(bgp) = &query.bgp {
+            // Bound-variable set after each step, for FILTER placement.
+            let mut bound = vec![false; bgp.var_count as usize];
+            let bound_after: Vec<Vec<bool>> = steps
+                .iter()
+                .map(|step| {
+                    for v in bgp.patterns[step.pattern].vars() {
+                        bound[v.index()] = true;
+                    }
+                    bound.clone()
+                })
+                .collect();
+            for f in &query.filters {
+                let slots: Vec<VarId> = f.slots().collect();
+                if slots.is_empty() {
+                    // Constants-only comparison: decidable right now.
+                    if empty_reason.is_none() && !f.accepts(&[]) {
+                        empty_reason = Some("a FILTER comparison over constants is false");
+                    }
+                    continue;
+                }
+                // A slot no pattern binds stays unbound in every row, and
+                // an unbound filtered variable rejects the row (SPARQL
+                // error semantics) — so the whole result is empty. The
+                // parser cannot produce this, but programmatically built
+                // queries can.
+                let all_bound = |bound: &[bool]| {
+                    slots.iter().all(|v| bound.get(v.index()).copied().unwrap_or(false))
+                };
+                match (0..steps.len()).find(|&d| all_bound(&bound_after[d])) {
+                    Some(depth) => step_filters[depth].push(*f),
+                    None => {
+                        if empty_reason.is_none() {
+                            empty_reason =
+                                Some("a FILTER references a variable bound by no pattern")
+                        }
+                    }
+                }
+            }
+        }
+        Plan { store, dict, query, steps, step_filters, empty_reason }
+    }
+
+    /// The compiled query this plan runs.
+    pub fn query(&self) -> &CompiledQuery {
+        &self.query
+    }
+
+    /// The ordered, cost-annotated steps.
+    pub fn steps(&self) -> &[PlanStep] {
+        &self.steps
+    }
+
+    /// True when prepare-time analysis proved the result empty (a constant
+    /// outside the dictionary, or a constants-only FILTER that is false).
+    pub fn is_statically_empty(&self) -> bool {
+        self.empty_reason.is_some()
+    }
+
+    fn render_term(&self, term: PatternTerm) -> String {
+        match term {
+            PatternTerm::Var(v) => match self.query.var_names.get(v.index()) {
+                Some(name) => format!("?{name}"),
+                None => format!("?_{}", v.index()),
+            },
+            PatternTerm::Const(id) => match self.dict.decode(id) {
+                Some(t) => t.to_string(),
+                None => "<unresolved>".to_string(),
+            },
+        }
+    }
+
+    fn render_side(&self, side: FilterSide) -> String {
+        match side {
+            FilterSide::Slot(v) => self.render_term(PatternTerm::Var(v)),
+            FilterSide::Known(id) => self.render_term(PatternTerm::Const(id)),
+            FilterSide::Unknown => "<absent from dictionary>".to_string(),
+        }
+    }
+
+    /// Renders the plan as stable, line-oriented text for humans, tests
+    /// and benches: the query goal, the store and its capabilities, then
+    /// one line per step with its access shape, cardinality estimate and
+    /// serving index (`via scan` marks a shape no surviving index can
+    /// answer directly), with pushed-down filters listed under the step
+    /// that applies them.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        let mut goal = if self.query.ask {
+            "ASK".to_string()
+        } else {
+            let mut s = String::from("SELECT");
+            if self.query.distinct {
+                s.push_str(" DISTINCT");
+            }
+            for v in &self.query.vars {
+                let _ = write!(s, " ?{v}");
+            }
+            s
+        };
+        if self.query.offset > 0 {
+            let _ = write!(goal, " OFFSET {}", self.query.offset);
+        }
+        if let Some(limit) = self.query.limit {
+            let _ = write!(goal, " LIMIT {limit}");
+        }
+        let _ = writeln!(out, "query: {goal}");
+        let caps: Vec<&str> = self.store.capabilities().iter().map(|k| k.name()).collect();
+        let _ = writeln!(out, "store: {} capabilities={{{}}}", self.store.name(), caps.join(","));
+        if let Some(reason) = self.empty_reason {
+            let _ = writeln!(out, "  statically empty: {reason}");
+            return out;
+        }
+        let Some(bgp) = &self.query.bgp else { unreachable!("empty_reason covers bgp=None") };
+        for (i, step) in self.steps.iter().enumerate() {
+            let pat = &bgp.patterns[step.pattern];
+            let via = match step.index {
+                Some(kind) => format!("index {}", kind.name()),
+                None => "scan".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "  step {}: ({}, {}, {}) shape={} est={} via {}",
+                i + 1,
+                self.render_term(pat.s),
+                self.render_term(pat.p),
+                self.render_term(pat.o),
+                shape_name(step.shape),
+                step.estimate,
+                via
+            );
+            for f in &self.step_filters[i] {
+                let op = match f.op {
+                    FilterOp::Eq => "=",
+                    FilterOp::Ne => "!=",
+                };
+                let _ = writeln!(
+                    out,
+                    "    filter: {} {op} {}",
+                    self.render_side(f.left),
+                    self.render_side(f.right)
+                );
+            }
+        }
+        out
+    }
+
+    /// Streams the plan's solutions lazily: rows are produced on demand,
+    /// ASK yields at most one (empty) row, and `OFFSET`/`LIMIT` stop the
+    /// underlying join walk as soon as enough rows have been emitted.
+    pub fn solutions(&self) -> Solutions<'_> {
+        let cursor = match (&self.query.bgp, self.empty_reason) {
+            (Some(bgp), None) => {
+                let order: Vec<usize> = self.steps.iter().map(|s| s.pattern).collect();
+                let mut cursor = exec::BgpCursor::new(self.store, bgp, &order);
+                for (depth, filters) in self.step_filters.iter().enumerate() {
+                    for &f in filters {
+                        cursor.add_check(depth, Box::new(move |row| f.accepts(row)));
+                    }
+                }
+                Some(cursor)
+            }
+            _ => None,
+        };
+        Solutions {
+            dict: self.dict,
+            vars: &self.query.vars,
+            slots: &self.query.slots,
+            cursor,
+            ask: self.query.ask,
+            distinct: self.query.distinct,
+            seen: HashSet::new(),
+            offset: self.query.offset,
+            skipped: 0,
+            limit: self.query.limit,
+            emitted: 0,
+            done: false,
+        }
+    }
+
+    /// Runs the plan to completion, collecting a [`ResultSet`].
+    pub fn run(&self) -> ResultSet {
+        ResultSet { vars: self.query.vars.clone(), rows: self.solutions().collect() }
+    }
+}
+
+/// A lazy iterator over a [`Plan`]'s decoded solution rows.
+///
+/// Produced by [`Plan::solutions`]. Each `next()` resumes the join walk;
+/// dropping the iterator abandons the remaining work, which is what makes
+/// ASK and `LIMIT` early-terminating.
+pub struct Solutions<'p> {
+    dict: &'p Dictionary,
+    vars: &'p [String],
+    slots: &'p [VarId],
+    /// `None` when the plan is statically empty.
+    cursor: Option<exec::BgpCursor<'p>>,
+    ask: bool,
+    distinct: bool,
+    seen: HashSet<Vec<hex_dict::Id>>,
+    offset: usize,
+    skipped: usize,
+    limit: Option<usize>,
+    emitted: usize,
+    done: bool,
+}
+
+impl Solutions<'_> {
+    /// The projected variable names (empty for ASK).
+    pub fn vars(&self) -> &[String] {
+        self.vars
+    }
+}
+
+impl Iterator for Solutions<'_> {
+    type Item = Vec<Term>;
+
+    fn next(&mut self) -> Option<Vec<Term>> {
+        // ASK answers pure existence: OFFSET/LIMIT modifiers don't apply
+        // (matching the pre-streaming semantics, where ASK short-circuited
+        // before the modifier pipeline).
+        if self.done || (!self.ask && self.limit.is_some_and(|l| self.emitted >= l)) {
+            self.done = true;
+            return None;
+        }
+        let cursor = self.cursor.as_mut()?;
+        for row in cursor {
+            if self.ask {
+                // ASK: a single empty row signals "yes"; stop immediately.
+                self.done = true;
+                return Some(Vec::new());
+            }
+            // Project; rows with an unbound projected slot are dropped.
+            let Some(ids) =
+                self.slots.iter().map(|v| row[v.index()]).collect::<Option<Vec<hex_dict::Id>>>()
+            else {
+                continue;
+            };
+            if self.distinct && !self.seen.insert(ids.clone()) {
+                continue;
+            }
+            if self.skipped < self.offset {
+                self.skipped += 1;
+                continue;
+            }
+            self.emitted += 1;
+            let terms = ids
+                .into_iter()
+                .map(|id| self.dict.decode(id).expect("result id missing from dictionary").clone())
+                .collect();
+            return Some(terms);
+        }
+        self.done = true;
+        None
+    }
+}
+
 /// Executes a compiled query against a store, decoding rows through the
-/// dictionary.
+/// dictionary. Thin shim over [`Plan::from_compiled`] + [`Plan::run`].
 pub fn execute_compiled(
     store: &dyn TripleStore,
     dict: &Dictionary,
     q: &CompiledQuery,
 ) -> ResultSet {
-    let Some(bgp) = &q.bgp else {
-        return ResultSet { vars: q.vars.clone(), rows: Vec::new() };
-    };
-    let mut rows = exec::execute_bgp(store, bgp);
-    if !q.filters.is_empty() {
-        rows.retain(|row| q.filters.iter().all(|f| f.accepts(row)));
-    }
-    if q.ask {
-        // ASK: a single empty row signals "yes", no rows "no".
-        let rows = if rows.is_empty() { Vec::new() } else { vec![Vec::new()] };
-        return ResultSet { vars: Vec::new(), rows };
-    }
-    let mut projected = exec::project(&rows, &q.slots);
-    if q.distinct {
-        projected = exec::distinct(projected);
-    }
-    if q.offset > 0 {
-        projected.drain(..q.offset.min(projected.len()));
-    }
-    if let Some(limit) = q.limit {
-        projected.truncate(limit);
-    }
-    let decoded = projected
-        .into_iter()
-        .map(|row| {
-            row.into_iter()
-                .map(|id| dict.decode(id).expect("result id missing from dictionary").clone())
-                .collect()
-        })
-        .collect();
-    ResultSet { vars: q.vars.clone(), rows: decoded }
+    Plan::from_compiled(q.clone(), dict, store).run()
 }
 
 /// Parses and runs a query against an arbitrary store + dictionary pair.
+/// Thin shim over [`prepare_on`] + [`Plan::run`].
 pub fn execute_on(
     store: &dyn TripleStore,
     dict: &Dictionary,
     query_text: &str,
 ) -> Result<ResultSet, QueryError> {
-    let parsed = parse_query(query_text)?;
-    let compiled = compile(&parsed, dict)?;
-    Ok(execute_compiled(store, dict, &compiled))
+    Ok(prepare_on(store, dict, query_text)?.run())
 }
 
 /// Parses and runs a query against a [`GraphStore`] (the common case).
@@ -272,9 +612,10 @@ pub fn execute(graph: &GraphStore, query_text: &str) -> Result<ResultSet, QueryE
 }
 
 /// Parses and runs an ASK query, returning its boolean answer. SELECT
-/// queries are answered by non-emptiness.
+/// queries are answered by non-emptiness. Streams: evaluation stops at
+/// the first solution.
 pub fn execute_ask(graph: &GraphStore, query_text: &str) -> Result<bool, QueryError> {
-    Ok(!execute(graph, query_text)?.is_empty())
+    Ok(prepare_on(graph.store(), graph.dict(), query_text)?.solutions().next().is_some())
 }
 
 #[cfg(test)]
@@ -362,6 +703,15 @@ mod tests {
         let rs =
             execute(&g, r#"SELECT ?x WHERE { ?x <http://x/nonexistent> "nothing" . }"#).unwrap();
         assert!(rs.is_empty());
+        let plan = prepare_on(
+            g.store(),
+            g.dict(),
+            r#"SELECT ?x WHERE { ?x <http://x/nonexistent> "nothing" . }"#,
+        )
+        .unwrap();
+        assert!(plan.is_statically_empty());
+        assert!(plan.explain().contains("statically empty"));
+        assert_eq!(plan.solutions().count(), 0);
     }
 
     #[test]
@@ -469,5 +819,121 @@ mod tests {
         let tsv = rs.to_tsv();
         assert!(tsv.starts_with("p\n"));
         assert!(tsv.contains("worksFor"));
+    }
+
+    #[test]
+    fn tsv_escapes_separators_in_cells() {
+        // IRIs render unescaped, so a tab or newline inside one used to
+        // split cells and rows; literals render N-Triples-escaped, so
+        // their backslashes must double to stay lossless.
+        let rs = ResultSet {
+            vars: vec!["a".into(), "b".into()],
+            rows: vec![vec![
+                Term::iri("http://x/tab\there\nnewline"),
+                Term::literal("lit\twith\nseparators"),
+            ]],
+        };
+        let tsv = rs.to_tsv();
+        // One header line + one row line, no matter what the cells hold.
+        assert_eq!(tsv.lines().count(), 2);
+        let row = tsv.lines().nth(1).unwrap();
+        assert_eq!(row.split('\t').count(), 2, "embedded tab must not split the cell");
+        assert!(row.contains("<http://x/tab\\there\\nnewline>"), "{row}");
+        // The literal's own N-Triples escapes survive, backslash-doubled.
+        assert!(row.contains("\"lit\\\\twith\\\\nseparators\""), "{row}");
+    }
+
+    #[test]
+    fn prepared_plan_explains_steps_and_pushdown() {
+        let g = figure1_graph();
+        let plan = prepare_on(
+            g.store(),
+            g.dict(),
+            r#"SELECT ?who WHERE {
+                ?who <http://x/type> <http://x/GradStudent> .
+                ?who <http://x/advisor> ?adv .
+                FILTER(?adv != <http://x/ID1>)
+            } LIMIT 1"#,
+        )
+        .unwrap();
+        let text = plan.explain();
+        assert!(text.contains("query: SELECT ?who LIMIT 1"), "{text}");
+        assert!(text.contains("store: Hexastore capabilities={spo,sop,pso,pos,osp,ops}"), "{text}");
+        // Step 1 is the more selective type pattern (a po probe).
+        assert!(text.contains("step 1: (?who, <http://x/type>, <http://x/GradStudent>) shape=po"));
+        assert!(text.contains("via index pos"), "{text}");
+        // The filter runs at the step that binds ?adv, not at the end.
+        assert!(text.contains("filter: ?adv != <http://x/ID1>"), "{text}");
+        assert!(!text.contains("via scan"), "{text}");
+        // The same plan streams the answer.
+        let rows: Vec<Vec<Term>> = plan.solutions().collect();
+        assert_eq!(rows, vec![vec![iri("ID3")]]);
+    }
+
+    #[test]
+    fn constant_false_filter_is_statically_empty() {
+        let g = figure1_graph();
+        let plan = prepare_on(
+            g.store(),
+            g.dict(),
+            r#"SELECT ?s WHERE { ?s <http://x/type> ?t . FILTER(<http://x/ID1> = <http://x/ID2>) }"#,
+        )
+        .unwrap();
+        assert!(plan.is_statically_empty());
+        assert!(plan.explain().contains("statically empty: a FILTER comparison over constants"));
+        assert!(plan.run().is_empty());
+    }
+
+    #[test]
+    fn solutions_stream_and_replay() {
+        let g = figure1_graph();
+        let plan =
+            prepare_on(g.store(), g.dict(), r#"SELECT ?s WHERE { ?s <http://x/type> ?t . }"#)
+                .unwrap();
+        let mut solutions = plan.solutions();
+        assert_eq!(solutions.vars(), &["s"]);
+        assert!(solutions.next().is_some());
+        drop(solutions); // abandoning mid-stream is fine
+                         // A plan is re-runnable: a fresh iterator starts over.
+        assert_eq!(plan.solutions().count(), 4);
+        assert_eq!(plan.run().len(), 4);
+    }
+
+    #[test]
+    fn ask_ignores_limit_and_offset_modifiers() {
+        // The parser accepts modifiers after ASK; existence semantics must
+        // not change (the old path answered before applying them).
+        let g = figure1_graph();
+        assert!(execute_ask(&g, r#"ASK { ?s <http://x/type> ?t . } LIMIT 0"#).unwrap());
+        assert!(execute_ask(&g, r#"ASK { ?s <http://x/type> ?t . } OFFSET 9 LIMIT 0"#).unwrap());
+        assert!(!execute_ask(&g, r#"ASK { ?s <http://x/nope> ?t . } LIMIT 0"#).unwrap());
+    }
+
+    #[test]
+    fn filter_on_never_bound_slot_is_statically_empty_not_a_panic() {
+        // Programmatically built queries can reference slots no pattern
+        // binds (the parser cannot); an unbound filtered variable rejects
+        // every row, so the plan is statically empty.
+        let g = figure1_graph();
+        let parsed = parse_query(r#"SELECT ?s WHERE { ?s <http://x/type> ?t . }"#).unwrap();
+        let mut q = compile(&parsed, g.dict()).unwrap();
+        q.filters.push(CompiledFilter {
+            left: FilterSide::Slot(VarId(40)), // out of range entirely
+            op: FilterOp::Eq,
+            right: FilterSide::Slot(VarId(0)),
+        });
+        let plan = Plan::from_compiled(q, g.dict(), g.store());
+        assert!(plan.is_statically_empty());
+        assert!(plan.explain().contains("bound by no pattern"), "{}", plan.explain());
+        assert!(plan.run().is_empty());
+    }
+
+    #[test]
+    fn ask_plan_yields_at_most_one_row() {
+        let g = figure1_graph();
+        let plan = prepare_on(g.store(), g.dict(), r#"ASK { ?s <http://x/type> ?t . }"#).unwrap();
+        let rows: Vec<Vec<Term>> = plan.solutions().collect();
+        assert_eq!(rows, vec![Vec::<Term>::new()]);
+        assert!(plan.explain().starts_with("query: ASK\n"));
     }
 }

@@ -1,4 +1,4 @@
-//! BGP execution: selectivity-ordered index-nested joins.
+//! BGP execution: selectivity-ordered index-nested joins, streamed.
 //!
 //! The executor evaluates one pattern at a time. For every partial binding
 //! row it resolves the pattern to one of the eight access shapes and asks
@@ -6,53 +6,97 @@
 //! request is a single index probe over sorted data, which is what turns
 //! the first-step joins into merge joins. Join *order* is chosen greedily
 //! by estimated cardinality (fewest expected matches first), the standard
-//! strategy the paper assumes when it sketches per-query plans in §5.2.
+//! strategy the paper assumes when it sketches per-query plans in §5.2 —
+//! refined here to consult [`TripleStore::capabilities`] so stores with a
+//! reduced index set (a [`hexastore::PartialHexastore`], the baselines)
+//! are probed through the access shapes they actually serve.
+//!
+//! Evaluation itself is *lazy*: [`BgpCursor`] walks the join tree
+//! depth-first and yields one binding row at a time through the stores'
+//! [`TripleStore::iter_matching`] cursors, so a consumer that stops early
+//! (ASK, LIMIT) never pays for the rows it does not read. The
+//! materializing [`execute_bgp`] entry points are retained as thin
+//! collectors over the cursor.
 
 use crate::algebra::{Bgp, Pattern, PatternTerm};
 use hex_dict::Id;
-use hexastore::TripleStore;
+use hexastore::{advisor, IndexKind, Shape, TripleIter, TripleStore};
 
 /// A set of binding rows; `None` marks an unbound slot.
 pub type Rows = Vec<Vec<Option<Id>>>;
 
-/// Chooses the evaluation order: repeatedly pick the pattern whose access
-/// shape under the current variable knowledge has the smallest estimated
-/// result, preferring more-bound shapes on ties.
-pub fn plan_order(store: &dyn TripleStore, bgp: &Bgp) -> Vec<usize> {
+/// One step of a compiled BGP plan: which pattern runs at this depth and
+/// the cost annotations that ordered it.
+#[derive(Clone, Copy, Debug)]
+pub struct PlanStep {
+    /// Index of the pattern in the source [`Bgp`].
+    pub pattern: usize,
+    /// The access shape the pattern presents to the store at execution
+    /// time, counting variables bound by earlier steps.
+    pub shape: Shape,
+    /// Constants-only cardinality estimate (one `count_matching` probe).
+    pub estimate: usize,
+    /// The index ordering that serves `shape` with a single probe, if the
+    /// store's [`TripleStore::capabilities`] contain one; `None` means the
+    /// store must fall back to a filtered scan for this step.
+    pub index: Option<IndexKind>,
+}
+
+impl PlanStep {
+    /// Whether the step is a direct index probe (vs a filtered scan).
+    pub fn indexed(&self) -> bool {
+        self.index.is_some()
+    }
+}
+
+/// Chooses the evaluation order and annotates each step.
+///
+/// Greedy strategy: repeatedly pick the pattern whose access shape under
+/// the current variable knowledge (a) is servable by one of the store's
+/// surviving indices, (b) has the smallest constants-only estimate, and
+/// (c) binds the most positions — in that priority. The constants-only
+/// estimate of a pattern never changes between greedy rounds, so it is
+/// probed exactly once per pattern.
+pub fn plan_steps(store: &dyn TripleStore, bgp: &Bgp) -> Vec<PlanStep> {
+    let caps = store.capabilities();
     let n = bgp.patterns.len();
+    let const_row = vec![None; bgp.var_count as usize];
+    let estimates: Vec<usize> =
+        bgp.patterns.iter().map(|pat| store.count_matching(pat.access(&const_row))).collect();
+
     let mut remaining: Vec<usize> = (0..n).collect();
-    let mut order = Vec::with_capacity(n);
+    let mut steps = Vec::with_capacity(n);
     // Track which variables become bound as patterns are chosen.
     let mut bound = vec![false; bgp.var_count as usize];
 
     while !remaining.is_empty() {
-        let mut best_idx = 0;
-        let mut best_key = (usize::MAX, usize::MAX);
+        // A pseudo-row where chosen-bound vars are "bound" with a
+        // placeholder: shape computation only needs bound-ness.
+        let shape_row: Vec<Option<Id>> =
+            bound.iter().map(|&b| if b { Some(Id(0)) } else { None }).collect();
+        let mut best: Option<(usize, (bool, usize, usize), Shape)> = None;
         for (pos, &pi) in remaining.iter().enumerate() {
             let pat = &bgp.patterns[pi];
-            // Build a pseudo-row where chosen-bound vars are "bound" with a
-            // placeholder: estimation only needs the *shape*.
-            let shape_row: Vec<Option<Id>> = (0..bgp.var_count as usize)
-                .map(|i| if bound[i] { Some(Id(0)) } else { None })
-                .collect();
-            let bound_positions = pat.bound_count(&shape_row);
-            // Estimate with constants only (variables bound to unknown
-            // values cannot be estimated without executing).
-            let const_access = pat.access(&vec![None; bgp.var_count as usize]);
-            let estimate = store.count_matching(const_access);
-            let key = (estimate, 3 - bound_positions);
-            if key < best_key {
-                best_key = key;
-                best_idx = pos;
+            let shape = pat.access(&shape_row).shape();
+            let key = (!caps.serves(shape), estimates[pi], 3 - pat.bound_count(&shape_row));
+            if best.as_ref().is_none_or(|&(_, best_key, _)| key < best_key) {
+                best = Some((pos, key, shape));
             }
         }
-        let pi = remaining.swap_remove(best_idx);
+        let (pos, _, shape) = best.expect("remaining is non-empty");
+        let pi = remaining.swap_remove(pos);
         for v in bgp.patterns[pi].vars() {
             bound[v.index()] = true;
         }
-        order.push(pi);
+        let index = advisor::serving_indices(shape).iter().find(|&k| caps.contains(k));
+        steps.push(PlanStep { pattern: pi, shape, estimate: estimates[pi], index });
     }
-    order
+    steps
+}
+
+/// Chooses the evaluation order: the pattern indices of [`plan_steps`].
+pub fn plan_order(store: &dyn TripleStore, bgp: &Bgp) -> Vec<usize> {
+    plan_steps(store, bgp).iter().map(|s| s.pattern).collect()
 }
 
 /// Extends one binding row with a matching triple, checking repeated
@@ -70,33 +114,96 @@ fn extend_row(row: &[Option<Id>], pat: &Pattern, t: hex_dict::IdTriple) -> Optio
     Some(out)
 }
 
-/// Evaluates a BGP, returning all binding rows.
+/// A row predicate attached to one plan depth, applied as soon as the
+/// step's extended row exists — the hook FILTER pushdown uses.
+pub type RowCheck<'a> = Box<dyn Fn(&[Option<Id>]) -> bool + 'a>;
+
+/// One depth of the in-flight join tree: the store cursor feeding it and
+/// the binding row it extends.
+struct Level<'a> {
+    iter: TripleIter<'a>,
+    row: Vec<Option<Id>>,
+}
+
+/// A lazy depth-first BGP evaluator: an iterator of binding rows.
+///
+/// Each `next()` call resumes the join-tree walk exactly where the last
+/// row was produced; dropping the cursor abandons the remaining work. This
+/// is what makes ASK stop at the first solution and `LIMIT k` after `k`.
+pub struct BgpCursor<'a> {
+    store: &'a dyn TripleStore,
+    /// Patterns in execution order.
+    patterns: Vec<Pattern>,
+    /// Per-depth row predicates (same length as `patterns`).
+    checks: Vec<Vec<RowCheck<'a>>>,
+    stack: Vec<Level<'a>>,
+    /// The pre-first-step row; `Some` until iteration starts.
+    start: Option<Vec<Option<Id>>>,
+}
+
+impl<'a> BgpCursor<'a> {
+    /// Creates a cursor evaluating `bgp`'s patterns in `order`.
+    pub fn new(store: &'a dyn TripleStore, bgp: &Bgp, order: &[usize]) -> Self {
+        assert_eq!(order.len(), bgp.patterns.len(), "order must cover every pattern");
+        let patterns: Vec<Pattern> = order.iter().map(|&i| bgp.patterns[i]).collect();
+        let checks = patterns.iter().map(|_| Vec::new()).collect();
+        BgpCursor { store, patterns, checks, stack: Vec::new(), start: Some(bgp.empty_row()) }
+    }
+
+    /// Attaches a predicate to the step at `depth` (0-based, execution
+    /// order): rows failing it are pruned before deeper steps run.
+    pub fn add_check(&mut self, depth: usize, check: RowCheck<'a>) {
+        self.checks[depth].push(check);
+    }
+}
+
+impl Iterator for BgpCursor<'_> {
+    type Item = Vec<Option<Id>>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if let Some(row) = self.start.take() {
+            match self.patterns.first() {
+                // An empty BGP has exactly one solution: the empty row.
+                None => return Some(row),
+                Some(first) => {
+                    let iter = self.store.iter_matching(first.access(&row));
+                    self.stack.push(Level { iter, row });
+                }
+            }
+        }
+        while let Some(depth) = self.stack.len().checked_sub(1) {
+            let level = self.stack.last_mut().expect("stack is non-empty");
+            let Some(t) = level.iter.next() else {
+                self.stack.pop();
+                continue;
+            };
+            let Some(extended) = extend_row(&level.row, &self.patterns[depth], t) else {
+                continue;
+            };
+            if !self.checks[depth].iter().all(|check| check(&extended)) {
+                continue;
+            }
+            match self.patterns.get(depth + 1) {
+                None => return Some(extended),
+                Some(next_pat) => {
+                    let iter = self.store.iter_matching(next_pat.access(&extended));
+                    self.stack.push(Level { iter, row: extended });
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Evaluates a BGP, materializing all binding rows.
 pub fn execute_bgp(store: &dyn TripleStore, bgp: &Bgp) -> Rows {
     execute_bgp_with_order(store, bgp, &plan_order(store, bgp))
 }
 
 /// Evaluates a BGP with an explicit pattern order (for tests and plan
-/// ablation benches).
+/// ablation benches), materializing all binding rows.
 pub fn execute_bgp_with_order(store: &dyn TripleStore, bgp: &Bgp, order: &[usize]) -> Rows {
-    assert_eq!(order.len(), bgp.patterns.len(), "order must cover every pattern");
-    let mut rows: Rows = vec![bgp.empty_row()];
-    for &pi in order {
-        let pat = &bgp.patterns[pi];
-        let mut next: Rows = Vec::new();
-        for row in &rows {
-            let access = pat.access(row);
-            store.for_each_matching(access, &mut |t| {
-                if let Some(extended) = extend_row(row, pat, t) {
-                    next.push(extended);
-                }
-            });
-        }
-        rows = next;
-        if rows.is_empty() {
-            break;
-        }
-    }
-    rows
+    BgpCursor::new(store, bgp, order).collect()
 }
 
 /// Projects rows onto chosen variable slots, dropping rows where a
@@ -119,7 +226,8 @@ mod tests {
     use super::*;
     use crate::algebra::VarId;
     use hex_dict::IdTriple;
-    use hexastore::Hexastore;
+    use hexastore::{Hexastore, IdPattern};
+    use std::cell::Cell;
 
     fn c(v: u32) -> PatternTerm {
         PatternTerm::Const(Id(v))
@@ -223,6 +331,13 @@ mod tests {
     }
 
     #[test]
+    fn empty_bgp_yields_one_empty_row() {
+        let store = academic();
+        let bgp = Bgp::new(vec![]);
+        assert_eq!(execute_bgp(&store, &bgp), vec![Vec::<Option<Id>>::new()]);
+    }
+
+    #[test]
     fn projection_drops_rows_with_unbound_slots() {
         let rows: Rows = vec![vec![Some(Id(1)), None], vec![Some(Id(2)), Some(Id(3))]];
         let projected = project(&rows, &[VarId(0), VarId(1)]);
@@ -238,5 +353,118 @@ mod tests {
             Bgp::new(vec![Pattern::new(v(0), c(100), v(1)), Pattern::new(v(1), c(102), c(60))]);
         let order = plan_order(&store, &bgp);
         assert_eq!(order[0], 1);
+    }
+
+    #[test]
+    fn plan_steps_annotate_shapes_and_indices() {
+        let store = academic();
+        let bgp =
+            Bgp::new(vec![Pattern::new(v(0), c(100), v(1)), Pattern::new(v(1), c(102), c(60))]);
+        let steps = plan_steps(&store, &bgp);
+        assert_eq!(steps.len(), 2);
+        // Step 1: (?, 102, 60) — a po probe via the pos index.
+        assert_eq!(steps[0].pattern, 1);
+        assert_eq!(steps[0].shape, Shape::Po);
+        assert_eq!(steps[0].index, Some(IndexKind::Pos));
+        assert_eq!(steps[0].estimate, 2);
+        // Step 2: ?1 is bound by then, so (?, 100, ?1) presents po too.
+        assert_eq!(steps[1].pattern, 0);
+        assert_eq!(steps[1].shape, Shape::Po);
+        assert!(steps[1].indexed());
+    }
+
+    #[test]
+    fn plan_steps_respect_restricted_capabilities() {
+        // A store keeping only {spo, pos}: the planner must route every
+        // step through a servable shape when the query allows it.
+        let triples: Vec<IdTriple> = academic().matching(IdPattern::ALL);
+        let partial = hexastore::PartialHexastore::from_triples(
+            hexastore::IndexSet::EMPTY.with(IndexKind::Spo).with(IndexKind::Pos),
+            triples,
+        );
+        let bgp =
+            Bgp::new(vec![Pattern::new(v(0), c(100), v(1)), Pattern::new(v(1), c(101), c(50))]);
+        let steps = plan_steps(&partial, &bgp);
+        assert!(steps.iter().all(PlanStep::indexed), "all steps servable: {steps:?}");
+        // And execution agrees with the full store.
+        let mut got = execute_bgp(&partial, &bgp);
+        got.sort();
+        let mut expected = execute_bgp(&academic(), &bgp);
+        expected.sort();
+        assert_eq!(got, expected);
+    }
+
+    /// A store wrapper counting how many triples its cursors yield — the
+    /// probe for early-termination claims.
+    struct Counting<'a> {
+        inner: &'a Hexastore,
+        yielded: &'a Cell<usize>,
+    }
+
+    impl hexastore::TripleStore for Counting<'_> {
+        fn name(&self) -> &'static str {
+            "Counting"
+        }
+        fn len(&self) -> usize {
+            self.inner.len()
+        }
+        fn insert(&mut self, _: IdTriple) -> bool {
+            unimplemented!("read-only wrapper")
+        }
+        fn remove(&mut self, _: IdTriple) -> bool {
+            unimplemented!("read-only wrapper")
+        }
+        fn contains(&self, t: IdTriple) -> bool {
+            self.inner.contains(t)
+        }
+        fn for_each_matching(&self, pat: IdPattern, f: &mut dyn FnMut(IdTriple)) {
+            self.inner.for_each_matching(pat, &mut |t| {
+                self.yielded.set(self.yielded.get() + 1);
+                f(t);
+            });
+        }
+        fn iter_matching(&self, pat: IdPattern) -> TripleIter<'_> {
+            Box::new(self.inner.iter_matching(pat).inspect(|_| {
+                self.yielded.set(self.yielded.get() + 1);
+            }))
+        }
+        fn count_matching(&self, pat: IdPattern) -> usize {
+            self.inner.count_matching(pat)
+        }
+        fn capabilities(&self) -> hexastore::IndexSet {
+            self.inner.capabilities()
+        }
+        fn heap_bytes(&self) -> usize {
+            self.inner.heap_bytes()
+        }
+    }
+
+    #[test]
+    fn cursor_stops_pulling_when_dropped_early() {
+        // 1000 advisor triples; taking one row must not visit them all.
+        let store = Hexastore::from_triples((0..1000).map(|i| t(i, 100, i + 1000)));
+        let yielded = Cell::new(0);
+        let counting = Counting { inner: &store, yielded: &yielded };
+        let bgp = Bgp::new(vec![Pattern::new(v(0), c(100), v(1))]);
+        let order = plan_order(&counting, &bgp);
+        let mut cursor = BgpCursor::new(&counting, &bgp, &order);
+        assert!(cursor.next().is_some());
+        assert!(yielded.get() <= 2, "one row pulled, {} triples visited", yielded.get());
+        drop(cursor);
+        assert!(yielded.get() <= 2);
+    }
+
+    #[test]
+    fn cursor_checks_prune_before_deeper_steps() {
+        let store = academic();
+        // advisors pattern first, then worksFor; prune ?1 != 1 at depth 0.
+        let bgp =
+            Bgp::new(vec![Pattern::new(v(0), c(100), v(1)), Pattern::new(v(1), c(101), v(2))]);
+        let mut cursor = BgpCursor::new(&store, &bgp, &[0, 1]);
+        cursor.add_check(0, Box::new(|row| row[1] == Some(Id(1))));
+        let rows: Rows = cursor.collect();
+        // Only students advised by 1 survive: 3 and 4, joined to MIT.
+        let got = distinct(project(&rows, &[VarId(0)]));
+        assert_eq!(got, vec![vec![Id(3)], vec![Id(4)]]);
     }
 }

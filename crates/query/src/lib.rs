@@ -3,20 +3,32 @@
 //! The query layer of the Hexastore reproduction:
 //!
 //! - [`algebra`] — basic graph patterns over dictionary ids;
-//! - [`exec`] — selectivity-ordered BGP execution against any
-//!   [`hexastore::TripleStore`];
+//! - [`exec`] — streaming, selectivity- and index-aware BGP execution
+//!   against any [`hexastore::TripleStore`];
 //! - [`ops`] — the counting/grouping operators the paper's benchmark
 //!   queries aggregate with;
 //! - [`path`] — path-expression evaluation with merge-join accounting
 //!   (paper §4.3), plus transitive closure;
 //! - [`parser`] / [`engine`] — a small SPARQL-like language, compiled
-//!   against a dictionary and executed on any store.
+//!   against a dictionary and planned/executed on any store.
+//!
+//! ## The prepared-plan surface
+//!
+//! [`prepare`] (or [`prepare_on`] for query text) compiles a query and
+//! returns a [`Plan`]: join order chosen around the store's
+//! [`hexastore::TripleStore::capabilities`], FILTERs pushed down to the
+//! earliest step that binds their variables, and every step annotated
+//! with its access shape, cardinality estimate and serving index —
+//! rendered by [`Plan::explain`]. [`Plan::solutions`] streams decoded
+//! rows lazily, so ASK stops at the first solution and `LIMIT k` after
+//! `offset + k` rows. The one-call [`execute`]/[`execute_on`]/
+//! [`execute_ask`] functions are thin shims over the same machinery.
 //!
 //! ## Example
 //!
 //! ```
 //! use hexastore::GraphStore;
-//! use hex_query::execute;
+//! use hex_query::prepare_on;
 //!
 //! let mut g = GraphStore::new();
 //! g.load_ntriples(r#"
@@ -24,13 +36,14 @@
 //! <http://x/ID2> <http://x/worksFor> "MIT" .
 //! "#).unwrap();
 //!
-//! let rs = execute(&g, r#"
+//! let plan = prepare_on(g.store(), g.dict(), r#"
 //!     SELECT ?student WHERE {
 //!         ?student <http://x/advisor> ?prof .
 //!         ?prof <http://x/worksFor> "MIT" .
 //!     }
 //! "#).unwrap();
-//! assert_eq!(rs.len(), 1);
+//! println!("{}", plan.explain());        // cost-annotated steps
+//! assert_eq!(plan.solutions().count(), 1); // lazy row stream
 //! ```
 
 #![forbid(unsafe_code)]
@@ -45,9 +58,12 @@ pub mod path;
 
 pub use algebra::{Bgp, Pattern, PatternTerm, VarId};
 pub use engine::{
-    compile, execute, execute_ask, execute_compiled, execute_on, QueryError, ResultSet,
+    compile, execute, execute_ask, execute_compiled, execute_on, prepare, prepare_on,
+    CompiledFilter, CompiledQuery, FilterSide, Plan, QueryError, ResultSet, Solutions,
 };
-pub use exec::{execute_bgp, execute_bgp_with_order, plan_order};
+pub use exec::{
+    execute_bgp, execute_bgp_with_order, plan_order, plan_steps, BgpCursor, PlanStep, RowCheck,
+};
 pub use parser::{parse_query, FilterExpr, FilterOp, FilterOperand, ParseError, ParsedQuery};
 pub use path::{
     follow_path, follow_path_generic, path_pairs, transitive_closure, PathResult, PathStats,

@@ -4,7 +4,9 @@
 //! object, BQ2/BQ3/BQ4/BQ6 count property frequencies and "popular" object
 //! values. These helpers implement the counting/grouping steps shared by
 //! every store's plan, so measured differences come from index access, not
-//! from different aggregation code.
+//! from different aggregation code. They take any `IntoIterator`, so a
+//! lazy [`hexastore::TripleStore::iter_matching`] cursor feeds them
+//! directly — e.g. `frequency(store.iter_matching(pat).map(|t| t.o))`.
 
 use hex_dict::Id;
 

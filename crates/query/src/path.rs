@@ -92,16 +92,15 @@ pub fn follow_path_generic(store: &dyn TripleStore, props: &[Id]) -> PathResult 
     };
     let mut stats = PathStats::default();
     // Gather objects of p1 by scanning its table: unsorted, so sort now.
-    let mut frontier: Vec<Id> = Vec::new();
-    store.for_each_matching(IdPattern::p(first), &mut |t| frontier.push(t.o));
+    let mut frontier: Vec<Id> = store.iter_matching(IdPattern::p(first)).map(|t| t.o).collect();
     sorted::sort_dedup(&mut frontier);
     stats.sorts += 1;
 
     for &p in rest {
         // Subjects of p sorted (the table's own order), but since the
         // frontier required a sort, the join is a sort-merge join.
-        let mut pairs: Vec<(Id, Id)> = Vec::new();
-        store.for_each_matching(IdPattern::p(p), &mut |t| pairs.push((t.s, t.o)));
+        let pairs: Vec<(Id, Id)> =
+            store.iter_matching(IdPattern::p(p)).map(|t| (t.s, t.o)).collect();
         let subjects: Vec<Id> = {
             let mut s: Vec<Id> = pairs.iter().map(|&(s, _)| s).collect();
             sorted::sort_dedup(&mut s);

@@ -1,0 +1,330 @@
+//! Property-based validation of the streaming query surface: collected
+//! [`hex_query::Plan::solutions`] must equal a brute-force oracle (every
+//! assignment of store triples to patterns, consistency-checked) across
+//! random BGPs on all four stores — Hexastore, TriplesTable, COVP1,
+//! COVP2 — plus `PartialHexastore` instances keeping random index
+//! subsets. A counting-store wrapper additionally pins down the early
+//! termination claims: ASK and LIMIT stop pulling triples as soon as the
+//! consumer has enough rows.
+
+use hex_baselines::{Covp1, Covp2, TriplesTable};
+use hex_dict::{Dictionary, Id, IdTriple};
+use hex_query::{Bgp, CompiledQuery, Pattern, PatternTerm, Plan, VarId};
+use hexastore::{Hexastore, IdPattern, IndexKind, IndexSet, PartialHexastore, TripleStore};
+use proptest::prelude::*;
+use rdf_model::Term;
+use std::cell::Cell;
+
+/// Terms are minted so that term `i` gets dictionary id `i` (ids are
+/// assigned densely in insertion order).
+fn term_for(i: u32) -> Term {
+    Term::iri(format!("http://t/{i}"))
+}
+
+fn dict_for(n: u32) -> Dictionary {
+    let mut dict = Dictionary::new();
+    for i in 0..n {
+        let id = dict.encode(&term_for(i));
+        assert_eq!(id, Id(i));
+    }
+    dict
+}
+
+const MAX_ID: u32 = 6;
+
+fn arb_triple() -> impl Strategy<Value = IdTriple> {
+    (0u32..MAX_ID, 0u32..4, 0u32..MAX_ID).prop_map(IdTriple::from)
+}
+
+fn arb_pattern_term(max_var: u16) -> impl Strategy<Value = PatternTerm> {
+    prop_oneof![
+        (0u32..MAX_ID).prop_map(|v| PatternTerm::Const(Id(v))),
+        (0u16..max_var).prop_map(|v| PatternTerm::Var(VarId(v))),
+    ]
+}
+
+fn arb_bgp() -> impl Strategy<Value = Bgp> {
+    proptest::collection::vec(
+        (arb_pattern_term(3), arb_pattern_term(3), arb_pattern_term(3))
+            .prop_map(|(s, p, o)| Pattern::new(s, p, o)),
+        1..4,
+    )
+    .prop_map(Bgp::new)
+}
+
+/// Brute force: try every |store|^k assignment of triples to the k
+/// patterns, keeping assignments whose variable bindings are consistent.
+fn brute_force(all: &[IdTriple], bgp: &Bgp) -> Vec<Vec<Option<Id>>> {
+    let k = bgp.patterns.len();
+    let mut results = Vec::new();
+    let mut idx = vec![0usize; k];
+    if all.is_empty() {
+        return results;
+    }
+    'outer: loop {
+        let mut row = bgp.empty_row();
+        let mut ok = true;
+        'check: for (pat, &i) in bgp.patterns.iter().zip(&idx) {
+            let t = all[i];
+            for (term, value) in [(pat.s, t.s), (pat.p, t.p), (pat.o, t.o)] {
+                match term {
+                    PatternTerm::Const(c) => {
+                        if c != value {
+                            ok = false;
+                            break 'check;
+                        }
+                    }
+                    PatternTerm::Var(v) => match row[v.index()] {
+                        Some(existing) if existing != value => {
+                            ok = false;
+                            break 'check;
+                        }
+                        _ => row[v.index()] = Some(value),
+                    },
+                }
+            }
+        }
+        if ok {
+            results.push(row);
+        }
+        for slot in (0..k).rev() {
+            idx[slot] += 1;
+            if idx[slot] < all.len() {
+                continue 'outer;
+            }
+            idx[slot] = 0;
+            if slot == 0 {
+                break 'outer;
+            }
+        }
+    }
+    results.sort();
+    results.dedup();
+    results
+}
+
+/// Wraps a BGP in a `SELECT` over every variable that occurs in it.
+fn select_all(bgp: &Bgp) -> (CompiledQuery, Vec<VarId>) {
+    let mut occurring: Vec<VarId> = bgp.patterns.iter().flat_map(Pattern::vars).collect();
+    occurring.sort();
+    occurring.dedup();
+    let var_names: Vec<String> = (0..bgp.var_count).map(|i| format!("v{i}")).collect();
+    let vars: Vec<String> = occurring.iter().map(|v| format!("v{}", v.0)).collect();
+    let q = CompiledQuery {
+        bgp: Some(bgp.clone()),
+        vars,
+        slots: occurring.clone(),
+        var_names,
+        distinct: false,
+        filters: Vec::new(),
+        ask: false,
+        limit: None,
+        offset: 0,
+    };
+    (q, occurring)
+}
+
+/// The oracle's view of the solutions: brute-force rows projected onto the
+/// occurring variables and decoded to terms, sorted + deduplicated.
+fn expected_solutions(all: &[IdTriple], bgp: &Bgp, slots: &[VarId]) -> Vec<Vec<Term>> {
+    let mut rows: Vec<Vec<Term>> = brute_force(all, bgp)
+        .into_iter()
+        .map(|row| {
+            slots
+                .iter()
+                .map(|v| term_for(row[v.index()].expect("occurring vars bind in full rows").0))
+                .collect()
+        })
+        .collect();
+    rows.sort();
+    rows.dedup();
+    rows
+}
+
+fn collected_solutions(
+    store: &dyn TripleStore,
+    dict: &Dictionary,
+    q: &CompiledQuery,
+) -> Vec<Vec<Term>> {
+    let plan = Plan::from_compiled(q.clone(), dict, store);
+    let mut rows: Vec<Vec<Term>> = plan.solutions().collect();
+    rows.sort();
+    rows.dedup();
+    rows
+}
+
+fn subset_from_bits(bits: u8) -> IndexSet {
+    let mut keep = IndexSet::EMPTY;
+    for (i, kind) in IndexKind::ALL.into_iter().enumerate() {
+        if bits & (1 << i) != 0 {
+            keep = keep.with(kind);
+        }
+    }
+    keep
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn plan_solutions_match_brute_force_on_every_store(
+        triples in proptest::collection::vec(arb_triple(), 0..10),
+        bgp in arb_bgp(),
+        subset_bits in 1u8..64,
+    ) {
+        let dict = dict_for(MAX_ID);
+        let hexa = Hexastore::from_triples(triples.iter().copied());
+        let all = hexa.matching(IdPattern::ALL);
+        let (q, slots) = select_all(&bgp);
+        let expected = expected_solutions(&all, &bgp, &slots);
+
+        let table = TriplesTable::from_triples(triples.iter().copied());
+        let covp1 = Covp1::from_triples(triples.iter().copied());
+        let covp2 = Covp2::from_triples(triples.iter().copied());
+        let partial =
+            PartialHexastore::from_triples(subset_from_bits(subset_bits), triples.iter().copied());
+        for store in
+            [&hexa as &dyn TripleStore, &table, &covp1, &covp2, &partial]
+        {
+            prop_assert_eq!(
+                collected_solutions(store, &dict, &q),
+                expected.clone(),
+                "store {} (partial keeps {:?})",
+                store.name(),
+                partial.kept()
+            );
+        }
+    }
+
+    #[test]
+    fn every_plan_step_is_annotated_consistently(
+        triples in proptest::collection::vec(arb_triple(), 0..10),
+        bgp in arb_bgp(),
+        subset_bits in 1u8..64,
+    ) {
+        // On any store, plan_steps covers each pattern exactly once, and a
+        // step marked `indexed` names an ordering the store really keeps.
+        let partial =
+            PartialHexastore::from_triples(subset_from_bits(subset_bits), triples.iter().copied());
+        let steps = hex_query::plan_steps(&partial, &bgp);
+        let mut covered: Vec<usize> = steps.iter().map(|s| s.pattern).collect();
+        covered.sort_unstable();
+        prop_assert_eq!(covered, (0..bgp.patterns.len()).collect::<Vec<_>>());
+        for step in &steps {
+            if let Some(kind) = step.index {
+                prop_assert!(partial.kept().contains(kind), "step {step:?} claims a dropped index");
+            }
+        }
+    }
+}
+
+/// A read-only store wrapper counting how many triples its cursors and
+/// visitors yield — the measurement behind the early-termination claims.
+struct Counting<'a> {
+    inner: &'a Hexastore,
+    yielded: &'a Cell<usize>,
+}
+
+impl TripleStore for Counting<'_> {
+    fn name(&self) -> &'static str {
+        "Counting"
+    }
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+    fn insert(&mut self, _: IdTriple) -> bool {
+        unimplemented!("read-only wrapper")
+    }
+    fn remove(&mut self, _: IdTriple) -> bool {
+        unimplemented!("read-only wrapper")
+    }
+    fn contains(&self, t: IdTriple) -> bool {
+        self.inner.contains(t)
+    }
+    fn for_each_matching(&self, pat: IdPattern, f: &mut dyn FnMut(IdTriple)) {
+        self.inner.for_each_matching(pat, &mut |t| {
+            self.yielded.set(self.yielded.get() + 1);
+            f(t);
+        });
+    }
+    fn iter_matching(&self, pat: IdPattern) -> hexastore::TripleIter<'_> {
+        Box::new(self.inner.iter_matching(pat).inspect(|_| {
+            self.yielded.set(self.yielded.get() + 1);
+        }))
+    }
+    fn count_matching(&self, pat: IdPattern) -> usize {
+        self.inner.count_matching(pat)
+    }
+    fn capabilities(&self) -> IndexSet {
+        self.inner.capabilities()
+    }
+    fn heap_bytes(&self) -> usize {
+        self.inner.heap_bytes()
+    }
+}
+
+/// 10k-triple star: subjects 0..10_000 all typed (p=0) as class 1.
+fn big_store_and_dict() -> (Hexastore, Dictionary) {
+    let mut dict = Dictionary::new();
+    // Reserve small ids for the query constants.
+    for i in 0..2 {
+        dict.encode(&term_for(i));
+    }
+    let triples: Vec<IdTriple> = (0..10_000u32)
+        .map(|i| {
+            let s = dict.encode(&Term::iri(format!("http://t/subject/{i}")));
+            IdTriple::new(s, Id(0), Id(1))
+        })
+        .collect();
+    (Hexastore::from_triples(triples), dict)
+}
+
+#[test]
+fn ask_visits_a_bounded_number_of_rows() {
+    let (store, dict) = big_store_and_dict();
+    let yielded = Cell::new(0);
+    let counting = Counting { inner: &store, yielded: &yielded };
+    let plan = hex_query::prepare_on(
+        &counting,
+        &dict,
+        &format!("ASK {{ ?x {} {} . }}", term_for(0), term_for(1)),
+    )
+    .unwrap();
+    assert!(plan.solutions().next().is_some());
+    assert!(
+        yielded.get() <= 2,
+        "ASK over 10k matches visited {} triples; must stop at the first",
+        yielded.get()
+    );
+}
+
+#[test]
+fn limit_stops_after_offset_plus_limit_rows() {
+    let (store, dict) = big_store_and_dict();
+    let yielded = Cell::new(0);
+    let counting = Counting { inner: &store, yielded: &yielded };
+    let plan = hex_query::prepare_on(
+        &counting,
+        &dict,
+        &format!("SELECT ?x WHERE {{ ?x {} {} . }} OFFSET 5 LIMIT 10", term_for(0), term_for(1)),
+    )
+    .unwrap();
+    let rows: Vec<Vec<Term>> = plan.solutions().collect();
+    assert_eq!(rows.len(), 10);
+    assert!(
+        yielded.get() <= 16,
+        "LIMIT 10 OFFSET 5 visited {} triples; must stop near 15",
+        yielded.get()
+    );
+}
+
+#[test]
+fn materializing_shim_still_agrees_with_streaming() {
+    // The retained execute* shims and the Plan surface answer identically.
+    let (store, dict) = big_store_and_dict();
+    let query = format!("SELECT ?x WHERE {{ ?x {} {} . }} LIMIT 3", term_for(0), term_for(1));
+    let shim = hex_query::execute_on(&store, &dict, &query).unwrap();
+    let plan = hex_query::prepare_on(&store, &dict, &query).unwrap();
+    assert_eq!(shim.rows, plan.solutions().collect::<Vec<_>>());
+    assert_eq!(shim.vars, plan.query().vars);
+}

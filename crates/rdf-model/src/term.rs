@@ -191,8 +191,9 @@ pub enum TermKind {
 /// RDF restricts which kinds may appear in which triple position (e.g.
 /// literals only as objects); [`crate::Triple::new`] does not enforce this —
 /// the stores in this workspace are generalized triple stores, as was the
-/// paper's prototype — but [`crate::ntriples`] emits/accepts only valid
-/// N-Triples.
+/// paper's prototype — but the N-Triples I/O functions
+/// ([`crate::parse_document`], [`crate::write_document`]) emit/accept only
+/// valid N-Triples.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Term {

@@ -60,6 +60,25 @@ fn main() {
         IdPattern::po(ids.p_type, ids.class_university),
     ];
     report("property-bound (COVP-shaped) mix", h, &covp_workload);
+
+    // Close the loop: build the recommended partial store and run a query
+    // through `hex_query::prepare` — the planner reads `capabilities()`
+    // and routes every step through a surviving index, no hand-picked
+    // plan orders needed.
+    let keep = recommend(&WorkloadProfile::from_patterns(&paper_workload));
+    let partial = hexastore::PartialHexastore::from_triples(keep, suite.triples.iter().copied());
+    let query = format!(
+        "SELECT ?x WHERE {{ ?x {} {} . }} LIMIT 3",
+        hex_datagen::lubm::Vocab::predicate("type"),
+        hex_datagen::lubm::Vocab::class("University"),
+    );
+    let plan = hex_query::prepare_on(&partial, &suite.dict, &query)
+        .expect("query compiles against the suite dictionary");
+    println!("\nauto-planned query on the reduced store ({} of 6 orderings):", keep.len());
+    print!("{}", plan.explain());
+    for row in plan.solutions() {
+        println!("  -> {}", row[0]);
+    }
 }
 
 fn report(name: &str, h: &hexastore::Hexastore, workload: &[IdPattern]) {

@@ -1,0 +1,94 @@
+//! The streaming query surface: `prepare` → `explain` → `Solutions`.
+//!
+//! Prepares queries instead of running them in one shot: the returned
+//! `Plan` shows its cost-annotated, index-aware join order (`explain`),
+//! and streams rows lazily (`solutions`), so ASK stops at the first
+//! answer and LIMIT after `offset + limit` rows — on the full sextuple
+//! store *and* on an advisor-reduced `PartialHexastore`, whose
+//! `capabilities()` the planner consults automatically.
+//!
+//! Run with: `cargo run --example prepared_queries`
+
+use hex_query::prepare_on;
+use hexastore::advisor::{recommend, WorkloadProfile};
+use hexastore::{GraphStore, IdPattern, PartialHexastore, TripleStore};
+
+const EX: &str = "http://example.org/";
+
+fn main() {
+    // The paper's Figure 1 academic micro-graph.
+    let mut g = GraphStore::new();
+    g.load_ntriples(&format!(
+        r#"
+<{EX}ID1> <{EX}type> <{EX}FullProfessor> .
+<{EX}ID1> <{EX}teacherOf> "AI" .
+<{EX}ID1> <{EX}bachelorFrom> "MIT" .
+<{EX}ID1> <{EX}phdFrom> "Yale" .
+<{EX}ID2> <{EX}type> <{EX}AssocProfessor> .
+<{EX}ID2> <{EX}worksFor> "MIT" .
+<{EX}ID2> <{EX}teacherOf> "DataBases" .
+<{EX}ID2> <{EX}phdFrom> "Stanford" .
+<{EX}ID3> <{EX}type> <{EX}GradStudent> .
+<{EX}ID3> <{EX}advisor> <{EX}ID2> .
+<{EX}ID3> <{EX}teachingAssist> "AI" .
+<{EX}ID4> <{EX}type> <{EX}GradStudent> .
+<{EX}ID4> <{EX}advisor> <{EX}ID1> .
+<{EX}ID4> <{EX}takesCourse> "DataBases" .
+"#
+    ))
+    .expect("well-formed N-Triples");
+
+    // 1. Prepare once, inspect the plan, then stream the solutions.
+    let query = format!(
+        r#"SELECT ?student ?prof WHERE {{
+            ?student <{EX}type> <{EX}GradStudent> .
+            ?student <{EX}advisor> ?prof .
+            FILTER(?prof != <{EX}ID1>)
+        }}"#
+    );
+    let plan = prepare_on(g.store(), g.dict(), &query).expect("query compiles");
+    println!("=== plan on the full Hexastore ===");
+    print!("{}", plan.explain());
+    println!("--- solutions (streamed) ---");
+    for row in plan.solutions() {
+        let cells: Vec<String> = row.iter().map(ToString::to_string).collect();
+        println!("  {}", cells.join("  "));
+    }
+
+    // 2. ASK terminates at the first matching row.
+    let ask = format!("ASK {{ ?who <{EX}worksFor> \"MIT\" . }}");
+    let plan = prepare_on(g.store(), g.dict(), &ask).expect("query compiles");
+    println!("\n=== {ask} ===");
+    println!("answer: {}", plan.solutions().next().is_some());
+
+    // 3. The same surface plans automatically on a reduced store: profile
+    //    the workload, keep only the recommended orderings, and let the
+    //    planner route every step through a surviving index.
+    let workload = [
+        IdPattern::po(
+            g.id_of(&rdf_model::Term::iri(format!("{EX}type"))).unwrap(),
+            g.id_of(&rdf_model::Term::iri(format!("{EX}GradStudent"))).unwrap(),
+        ),
+        IdPattern::s(g.id_of(&rdf_model::Term::iri(format!("{EX}ID3"))).unwrap()),
+    ];
+    let keep = recommend(&WorkloadProfile::from_patterns(&workload));
+    let partial = PartialHexastore::from_triples(keep, g.store().matching(IdPattern::ALL));
+    println!(
+        "\n=== same query on a PartialHexastore keeping {:?} ({} of 6 orderings) ===",
+        partial.kept(),
+        partial.kept().len()
+    );
+    let reduced_query = format!(
+        r#"SELECT ?s WHERE {{
+            ?s <{EX}type> <{EX}GradStudent> .
+            ?s <{EX}teachingAssist> "AI" .
+        }}"#
+    );
+    let plan = prepare_on(&partial, g.dict(), &reduced_query).expect("query compiles");
+    print!("{}", plan.explain());
+    println!("--- solutions ---");
+    for row in plan.solutions() {
+        println!("  {}", row[0]);
+    }
+    println!("\nmemory: partial {} B vs full {} B", partial.heap_bytes(), g.store().heap_bytes());
+}

@@ -1,11 +1,12 @@
 //! Integration of the §6 extensions: profile the paper's own query mix
 //! over generated data, build the recommended `PartialHexastore`, and
 //! verify it answers the mix identically to the full sextuple store while
-//! using less memory.
+//! using less memory — with the query planner consulting the partial
+//! store's `capabilities()` so no plan has to be picked by hand.
 
 use hex_bench_queries::lubm::LubmIds;
 use hex_bench_queries::Suite;
-use hex_datagen::lubm::{generate, LubmConfig};
+use hex_datagen::lubm::{generate, LubmConfig, Vocab};
 use hexastore::advisor::{estimate_savings, recommend, IndexKind, WorkloadProfile};
 use hexastore::{IdPattern, PartialHexastore, TripleStore};
 
@@ -68,6 +69,51 @@ fn savings_estimate_is_consistent_with_actual_partial_memory() {
         (0.3..3.0).contains(&ratio),
         "estimate {estimated_saving} vs actual {actual_saving} (ratio {ratio})"
     );
+}
+
+#[test]
+fn partial_store_queries_plan_automatically_from_capabilities() {
+    // End-to-end §6 + streaming-API flow: recommend an index subset for
+    // the paper's mix, bulk-build the reduced store, then let `prepare`
+    // choose the join order from `capabilities()` — no hand-picked plans.
+    let triples = generate(&LubmConfig::tiny());
+    let suite = Suite::build(&triples);
+    let ids = LubmIds::resolve(&suite.dict).unwrap();
+    let keep = recommend(&WorkloadProfile::from_patterns(&paper_workload(&ids)));
+    let partial = PartialHexastore::from_triples(keep, suite.triples.iter().copied());
+    assert_eq!(partial.capabilities(), keep);
+
+    let queries = [
+        // po + sp join: students of AssociateProfessor10's courses.
+        format!(
+            "SELECT ?x WHERE {{ ?x {} {} . {} {} ?c . }}",
+            Vocab::predicate("type"),
+            Vocab::class("University"),
+            Vocab::associate_professor(0, 0, 10),
+            Vocab::predicate("teacherOf"),
+        ),
+        // Everyone related to Course10, by any property.
+        format!("SELECT ?s ?p WHERE {{ ?s ?p {} . }}", Vocab::course(0, 0, 10)),
+        format!("ASK {{ ?x {} {} . }}", Vocab::predicate("type"), Vocab::class("University")),
+    ];
+    for query in &queries {
+        let plan = hex_query::prepare_on(&partial, &suite.dict, query).unwrap();
+        // Every step's access shape must be servable by a kept ordering:
+        // the planner consulted capabilities, the explain text proves it.
+        let text = plan.explain();
+        assert!(!text.contains("via scan"), "unservable step in:\n{text}");
+        for step in plan.steps() {
+            let kind = step.index.expect("every step indexed");
+            assert!(keep.contains(kind), "{step:?} uses a dropped ordering");
+        }
+        // And the reduced store answers exactly like the full one.
+        let mut got = plan.run().rows;
+        got.sort();
+        let mut expected =
+            hex_query::execute_on(&suite.hexastore, &suite.dict, query).unwrap().rows;
+        expected.sort();
+        assert_eq!(got, expected, "{query}");
+    }
 }
 
 #[test]

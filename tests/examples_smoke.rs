@@ -7,8 +7,14 @@
 
 use std::process::Command;
 
-const EXAMPLES: [&str; 5] =
-    ["quickstart", "social_network", "library_browse", "academic_queries", "index_advisor"];
+const EXAMPLES: [&str; 6] = [
+    "quickstart",
+    "social_network",
+    "library_browse",
+    "academic_queries",
+    "index_advisor",
+    "prepared_queries",
+];
 
 #[test]
 fn every_example_runs_and_exits_zero() {
