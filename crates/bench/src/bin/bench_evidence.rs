@@ -16,7 +16,8 @@
 
 use hex_bench::{
     ask_early_exit, ask_to_csv, cli, load_figure, load_to_csv, memory_figure, memory_to_csv,
-    path_report, run_figure, space_report, AskRow, Figure, LoadRow, FIGURES,
+    path_report, run_figure, snapshot_figure, snapshot_to_csv, space_report, AskRow, Figure,
+    LoadRow, SnapshotRow, FIGURES,
 };
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -126,7 +127,7 @@ fn main() {
             }
             "space" => write_file(&args.out, "space.csv", &space_report(args.triples)),
             "path" => write_file(&args.out, "path.csv", &path_report(args.triples)),
-            "load" => {} // measured separately below, at --load-triples scale
+            "load" | "snapshot" => {} // measured separately below, at --load-triples scale
             timing => {
                 let fig = run_figure(timing, args.triples, args.points, args.reps);
                 write_file(&args.out, &format!("figure_{timing}.csv"), &fig.to_csv());
@@ -148,6 +149,11 @@ fn main() {
     // the streaming query surface (streamed plan vs materializing path).
     let ask: AskRow = ask_early_exit(args.load_triples, args.reps);
     write_file(&args.out, "ask_early_exit.csv", &ask_to_csv(&ask));
+
+    // Snapshot formats at the same large scale: the acceptance signal
+    // for the binary hexsnap format (frozen open vs JSON rebuild).
+    let snap: SnapshotRow = snapshot_figure(args.load_triples, args.reps);
+    write_file(&args.out, "snapshot.csv", &snapshot_to_csv(&snap));
 
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"schema\": 1,");
@@ -180,6 +186,29 @@ fn main() {
         writeln!(json, "    \"materialized_seconds\": {},", num(ask.materialized.as_secs_f64()));
     let _ = writeln!(json, "    \"speedup\": {}", num(ask.speedup()));
     let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"snapshot\": {{");
+    let _ = writeln!(json, "    \"dataset\": \"lubm\",");
+    let _ = writeln!(json, "    \"triples\": {},", snap.triples);
+    let _ = writeln!(json, "    \"json_bytes\": {},", snap.json_bytes);
+    let _ = writeln!(json, "    \"binary_bytes\": {},", snap.binary_bytes);
+    let _ = writeln!(json, "    \"frozen_bytes\": {},", snap.frozen_bytes);
+    let _ = writeln!(json, "    \"json_save_seconds\": {},", num(snap.json_save.as_secs_f64()));
+    let _ =
+        writeln!(json, "    \"json_restore_seconds\": {},", num(snap.json_restore.as_secs_f64()));
+    let _ = writeln!(json, "    \"binary_save_seconds\": {},", num(snap.binary_save.as_secs_f64()));
+    let _ = writeln!(
+        json,
+        "    \"binary_open_frozen_seconds\": {},",
+        num(snap.binary_open.as_secs_f64())
+    );
+    let _ = writeln!(
+        json,
+        "    \"binary_rebuild_seconds\": {},",
+        num(snap.binary_rebuild.as_secs_f64())
+    );
+    let _ = writeln!(json, "    \"open_speedup_vs_json\": {},", num(snap.open_speedup()));
+    let _ = writeln!(json, "    \"size_ratio_vs_json\": {}", num(snap.size_ratio()));
+    let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"figures\": [");
     let _ = writeln!(json, "{}", figure_entries.join(",\n"));
     let _ = writeln!(json, "  ]");
@@ -200,5 +229,17 @@ fn main() {
         ask.streamed.as_secs_f64(),
         ask.materialized.as_secs_f64(),
         ask.speedup()
+    );
+    println!(
+        "snapshot {} triples: compact binary {} B vs JSON {} B ({:.1}x smaller, query-ready \
+         {} B); frozen open {:.3}s vs JSON restore {:.3}s ({:.1}x faster)",
+        snap.triples,
+        snap.binary_bytes,
+        snap.json_bytes,
+        snap.size_ratio(),
+        snap.frozen_bytes,
+        snap.binary_open.as_secs_f64(),
+        snap.json_restore.as_secs_f64(),
+        snap.open_speedup()
     );
 }

@@ -19,7 +19,7 @@
 
 use hex_bench::{
     cli, load_figure, load_to_csv, memory_figure, memory_to_csv, path_report, run_figure,
-    space_report, FIGURES,
+    snapshot_figure, snapshot_to_csv, space_report, FIGURES,
 };
 
 struct Args {
@@ -87,6 +87,10 @@ fn emit(figure: &str, triples: usize, points: usize, reps: usize, threads: usize
                 print!("{}", load_to_csv(dataset, &rows));
                 println!();
             }
+        }
+        "snapshot" => {
+            print!("{}", snapshot_to_csv(&snapshot_figure(triples, reps)));
+            println!();
         }
         timing => {
             let fig = run_figure(timing, triples, points, reps);

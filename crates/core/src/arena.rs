@@ -20,7 +20,7 @@ pub struct ListId(u32);
 
 impl ListId {
     #[inline]
-    fn index(self) -> usize {
+    pub(crate) fn index(self) -> usize {
         self.0 as usize
     }
 }
@@ -111,6 +111,12 @@ impl ListArena {
     /// Number of live (non-recycled) lists.
     pub fn live_lists(&self) -> usize {
         self.lists.len() - self.free.len()
+    }
+
+    /// Number of slots ever allocated, including recycled ones — the size
+    /// a `ListId`-indexed side table needs (the freezer's remap table).
+    pub(crate) fn slot_count(&self) -> usize {
+        self.lists.len()
     }
 
     /// Total number of id entries across all lists. This is the paper's

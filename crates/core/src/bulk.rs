@@ -28,6 +28,8 @@
 //!    as it walks.)
 
 use crate::arena::{ListArena, ListId};
+use crate::frozen::{FrozenHexastore, FrozenIndex, FrozenPair};
+use crate::slab::FlatArena;
 use crate::store::Hexastore;
 use crate::vecmap::VecMap;
 use hex_dict::{Id, IdTriple};
@@ -174,6 +176,198 @@ pub fn build_with(mut triples: Vec<IdTriple>, config: Config) -> Hexastore {
         })
     };
     Hexastore::from_built_parts(spo_pair, sop_pair, pos_pair, n)
+}
+
+/// Builds a [`FrozenHexastore`] from an arbitrary triple batch using the
+/// default [`Config`] — see [`build_frozen_with`].
+pub fn build_frozen(triples: Vec<IdTriple>) -> FrozenHexastore {
+    build_frozen_with(triples, Config::default())
+}
+
+/// Builds a [`FrozenHexastore`] from an arbitrary triple batch, emitting
+/// the flat slabs *directly* from sorted runs — the nested
+/// `VecMap`/`Vec<Vec<Id>>` form is never materialized.
+///
+/// Where [`build_with`] hands the sop and pos tasks each a full clone of
+/// the 12-byte-per-triple batch, this path shares the one canonical
+/// spo-sorted run immutably and gives each non-spo pair a 4-byte-per-
+/// triple *permutation* (`u32` positions sorted into the pair's order,
+/// gathered during emission). That removes both extra batch copies the
+/// parallel loader paid — the copy-halving the ROADMAP asked for, taken
+/// to zero.
+pub fn build_frozen_with(mut triples: Vec<IdTriple>, config: Config) -> FrozenHexastore {
+    let threads = config.effective_threads(triples.len()).max(1);
+    sort_dedup(&mut triples, threads);
+    let n = triples.len();
+    let presize = config.presize;
+
+    let (spo_pair, sop_pair, pos_pair) = if threads <= 1 {
+        let spo_pair = build_pair_frozen(&triples, None, key_spo, presize);
+        // One u32 permutation, reused: re-permute within subject groups
+        // for sop, then fully re-sort it for pos.
+        let mut perm = identity_perm(n);
+        permute_sop(&triples, &mut perm);
+        let sop_pair = build_pair_frozen(&triples, Some(&perm), key_sop, presize);
+        perm.sort_unstable_by_key(|&i| key_pos(&triples[i as usize]));
+        let pos_pair = build_pair_frozen(&triples, Some(&perm), key_pos, presize);
+        (spo_pair, sop_pair, pos_pair)
+    } else if threads == 2 {
+        // Two workers, mirroring build_with: the spawned task takes pos
+        // (the only full re-sort), the caller builds spo then sop.
+        let run = &triples;
+        std::thread::scope(|s| {
+            let pos_task = s.spawn(move || {
+                let mut perm = identity_perm(n);
+                perm.sort_unstable_by_key(|&i| key_pos(&run[i as usize]));
+                build_pair_frozen(run, Some(&perm), key_pos, presize)
+            });
+            let spo_pair = build_pair_frozen(run, None, key_spo, presize);
+            let mut perm = identity_perm(n);
+            permute_sop(run, &mut perm);
+            let sop_pair = build_pair_frozen(run, Some(&perm), key_sop, presize);
+            (spo_pair, sop_pair, pos_task.join().expect("pos frozen build task panicked"))
+        })
+    } else {
+        let run = &triples;
+        std::thread::scope(|s| {
+            let sop_task = s.spawn(move || {
+                let mut perm = identity_perm(n);
+                permute_sop(run, &mut perm);
+                build_pair_frozen(run, Some(&perm), key_sop, presize)
+            });
+            let pos_task = s.spawn(move || {
+                let mut perm = identity_perm(n);
+                perm.sort_unstable_by_key(|&i| key_pos(&run[i as usize]));
+                build_pair_frozen(run, Some(&perm), key_pos, presize)
+            });
+            let spo_pair = build_pair_frozen(run, None, key_spo, presize);
+            (
+                spo_pair,
+                sop_task.join().expect("sop frozen build task panicked"),
+                pos_task.join().expect("pos frozen build task panicked"),
+            )
+        })
+    };
+    FrozenHexastore::from_parts(spo_pair, sop_pair, pos_pair, n)
+}
+
+fn identity_perm(n: usize) -> Vec<u32> {
+    u32::try_from(n).expect("bulk batch exceeds 2^32 triples");
+    (0..n as u32).collect()
+}
+
+/// Turns the identity permutation over an spo-sorted run into the sop
+/// permutation: subject groups are contiguous, so an `(o, p)` sort of
+/// each group's positions suffices — the permutation counterpart of
+/// [`repermute_sop`].
+fn permute_sop(run: &[IdTriple], perm: &mut [u32]) {
+    let n = run.len();
+    let mut i = 0;
+    while i < n {
+        let s = run[i].s;
+        let mut j = i + 1;
+        while j < n && run[j].s == s {
+            j += 1;
+        }
+        perm[i..j].sort_unstable_by_key(|&x| {
+            let t = &run[x as usize];
+            (t.o, t.p)
+        });
+        i = j;
+    }
+}
+
+/// Builds one frozen index pair from a strict-ascending run, viewed
+/// through `perm` when the pair's order differs from the run's physical
+/// order. All slabs are emitted append-only; with `presize`, a counting
+/// pass makes every allocation exact.
+fn build_pair_frozen(
+    run: &[IdTriple],
+    perm: Option<&[u32]>,
+    key: KeyFn,
+    presize: bool,
+) -> FrozenPair {
+    let n = run.len();
+    let at = |i: usize| -> (Id, Id, Id) {
+        match perm {
+            Some(p) => key(&run[p[i] as usize]),
+            None => key(&run[i]),
+        }
+    };
+
+    let (mut primary, mut arena, mut mirror_entries) = if presize {
+        let mut headers = 0;
+        let mut pairs = 0;
+        let mut prev: Option<(Id, Id)> = None;
+        for i in 0..n {
+            let (k1, k2, _) = at(i);
+            if prev.is_none_or(|(p1, _)| p1 != k1) {
+                headers += 1;
+            }
+            if prev != Some((k1, k2)) {
+                pairs += 1;
+            }
+            prev = Some((k1, k2));
+        }
+        (
+            FrozenIndex::with_capacity(headers, pairs),
+            FlatArena::with_capacity(pairs, n),
+            Vec::with_capacity(pairs),
+        )
+    } else {
+        (FrozenIndex::default(), FlatArena::new(), Vec::new())
+    };
+
+    // Emission walk; `at` is the hot projection (a perm indirection plus
+    // a key gather), so each position's key is computed once per boundary
+    // test rather than per comparison.
+    let mut i = 0;
+    while i < n {
+        let (k1, mut k2, _) = at(i);
+        let start = primary.begin_k1();
+        let mut g = i;
+        loop {
+            let mut h = g + 1;
+            let mut next = None;
+            while h < n {
+                let (a, b, _) = at(h);
+                if a != k1 || b != k2 {
+                    next = (a == k1).then_some(b);
+                    break;
+                }
+                h += 1;
+            }
+            let lid = arena.push_list((g..h).map(|x| at(x).2));
+            primary.push_leaf(k2, lid);
+            mirror_entries.push((k2, k1, lid));
+            g = h;
+            match next {
+                Some(b) => k2 = b,
+                None => break,
+            }
+        }
+        primary.end_k1(k1, start);
+        i = g;
+    }
+
+    // Mirror: group by k2, referencing the already-emitted shared lists.
+    mirror_entries.sort_unstable_by_key(|e| (e.0, e.1));
+    let m = mirror_entries.len();
+    let mut mirror =
+        FrozenIndex::with_capacity(count_distinct_adjacent(&mirror_entries, |e| e.0), m);
+    let mut i = 0;
+    while i < m {
+        let k2 = mirror_entries[i].0;
+        let start = mirror.begin_k1();
+        let mut j = i;
+        while j < m && mirror_entries[j].0 == k2 {
+            mirror.push_leaf(mirror_entries[j].1, mirror_entries[j].2);
+            j += 1;
+        }
+        mirror.end_k1(k2, start);
+        i = j;
+    }
+    (primary, mirror, arena)
 }
 
 /// Sorts the batch in spo order (parallel for `threads > 1`) and removes
@@ -562,6 +756,61 @@ mod tests {
             assert!(h.contains(t(0, 0, 0)));
             assert!(!h.contains(t(4, 5, 6)));
         }
+    }
+
+    #[test]
+    fn frozen_build_equals_mutable_for_every_config() {
+        let triples: Vec<IdTriple> = (0..700u32).map(|i| t(i % 23, i % 7, i % 41)).collect();
+        let reference = build_with(triples.clone(), Config::serial());
+        for threads in [1, 2, 3, 4, 8] {
+            for presize in [false, true] {
+                let cfg = Config { threads, presize };
+                let frozen = build_frozen_with(triples.clone(), cfg);
+                assert_eq!(frozen.len(), reference.len(), "{cfg:?}");
+                assert_eq!(frozen.space_stats(), reference.space_stats(), "{cfg:?}");
+                assert_eq!(
+                    frozen.matching(IdPattern::ALL),
+                    reference.matching(IdPattern::ALL),
+                    "{cfg:?}"
+                );
+                for &tr in triples.iter().step_by(37) {
+                    for pat in [
+                        IdPattern::sp(tr.s, tr.p),
+                        IdPattern::so(tr.s, tr.o),
+                        IdPattern::po(tr.p, tr.o),
+                        IdPattern::s(tr.s),
+                        IdPattern::p(tr.p),
+                        IdPattern::o(tr.o),
+                        IdPattern::spo(tr),
+                    ] {
+                        assert_eq!(
+                            frozen.matching(pat),
+                            reference.matching(pat),
+                            "{cfg:?} {pat:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frozen_build_direct_equals_freeze_of_mutable() {
+        // Emitting slabs from sorted runs and flattening a mutable build
+        // must produce byte-identical structures.
+        let triples: Vec<IdTriple> = (0..300u32).map(|i| t(i % 17, i % 5, i % 29)).collect();
+        let direct = build_frozen(triples.clone());
+        let via_freeze = build(triples).freeze();
+        assert_eq!(direct, via_freeze);
+    }
+
+    #[test]
+    fn frozen_build_empty() {
+        let frozen = build_frozen(Vec::new());
+        assert!(frozen.is_empty());
+        assert_eq!(frozen.matching(IdPattern::ALL), Vec::new());
+        let frozen = build_frozen_with(Vec::new(), Config::parallel(4));
+        assert!(frozen.is_empty());
     }
 
     #[test]

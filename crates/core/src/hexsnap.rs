@@ -1,0 +1,953 @@
+//! `hexsnap`: the versioned little-endian binary snapshot format.
+//!
+//! The serde (JSON) [`crate::snapshot`] shim stores terms and triples as
+//! text and rebuilds all six indices on every restore. This module is the
+//! disk-based Hexastore the paper's §7 names as future work, reduced to
+//! its essence: a columnar file whose sections are the same flat slabs
+//! the [`FrozenHexastore`] queries, so *opening* a snapshot with prebuilt
+//! slab sections is a sequence of contiguous array reads — no parsing, no
+//! sorting, no index rebuild.
+//!
+//! # Layout
+//!
+//! All integers are little-endian.
+//!
+//! ```text
+//! offset   size  field
+//! 0        8     magic "hexsnap\0"
+//! 8        4     format version (u32, currently 1)
+//! 12       …     section payloads, back to back
+//! …        var   section table: u32 count, then per section
+//!                [u8; 4] tag · u64 offset · u64 length
+//! end-16   8     u64 offset of the section table
+//! end-8    8     magic "hexsnap\0" again (trailer)
+//! ```
+//!
+//! The trailer lets the writer stream sections without back-patching and
+//! lets the reader detect truncation immediately. Unknown section tags
+//! are skipped (forward compatibility); a file holds at most
+//! [`MAX_SECTIONS`] sections. Defined sections:
+//!
+//! - **`DICT`** — the dictionary as one contiguous UTF-8 string arena
+//!   plus offsets (not per-term values): `u32 n_terms`, one kind byte per
+//!   term (0 iri, 1 blank, 2 plain literal, 3 language literal, 4 typed
+//!   literal), `u32 n_pieces`, cumulative `u32` end offsets per string
+//!   piece, `u64 n_bytes`, then the arena bytes. Terms of kind 0–2
+//!   consume one piece; kinds 3–4 consume two (lexical + tag/datatype).
+//! - **`TRPL`** — the triple column: `u64 n_triples`, then chunks of
+//!   `u32 chunk_len` followed by `chunk_len` subject, predicate and
+//!   object ids (three contiguous `u32` runs), terminated by a zero
+//!   chunk. Chunking is what lets [`Reader::for_each_triple_chunk`] feed
+//!   [`crate::bulk::build`] without ever holding string-level triples.
+//! - **`FROZ`** — optional prebuilt slabs: the [`FrozenHexastore`]'s
+//!   three shared arenas and six orderings as raw columns, in canonical
+//!   order. When present, [`load_frozen`] is query-ready on read.
+//!
+//! `u32` offsets bound a single string arena and a single slab at 2^32
+//! entries — far above the paper's 61M-triple ceiling and identical to
+//! the [`hex_dict::Id`] width everywhere else.
+
+use crate::frozen::{FrozenHexastore, FrozenIndex};
+use crate::graph::GraphStore;
+use crate::pattern::IdPattern;
+use crate::slab::{FlatArena, FlatVecMap, Span};
+use crate::traits::TripleStore;
+use hex_dict::{Dictionary, Id, IdTriple};
+use rdf_model::Term;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// The eight file-identifying bytes, also used as the trailer.
+pub const MAGIC: [u8; 8] = *b"hexsnap\0";
+
+/// The current format version.
+pub const VERSION: u32 = 1;
+
+/// Triples per chunk in the `TRPL` section (~768 KiB of ids).
+const TRIPLE_CHUNK: usize = 64 * 1024;
+
+/// Maximum sections per file, enforced symmetrically by [`Writer`] (at
+/// write time) and [`Reader`] (as a corruption bound on the table).
+pub const MAX_SECTIONS: usize = 64;
+
+const TAG_DICT: [u8; 4] = *b"DICT";
+const TAG_TRPL: [u8; 4] = *b"TRPL";
+const TAG_FROZ: [u8; 4] = *b"FROZ";
+
+/// Errors reading or writing a `hexsnap` file.
+#[derive(Debug)]
+pub enum Error {
+    /// An underlying I/O failure.
+    Io(io::Error),
+    /// The file is not a valid snapshot (bad magic, truncation, or an
+    /// internally inconsistent section).
+    Corrupt(String),
+    /// The file declares a format version this build does not read.
+    Version(u32),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "hexsnap i/o error: {e}"),
+            Error::Corrupt(why) => write!(f, "corrupt hexsnap file: {why}"),
+            Error::Version(v) => {
+                write!(f, "unsupported hexsnap version {v} (supported: {VERSION})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for Error {
+    fn from(e: io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+/// `Result` alias for snapshot operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+fn corrupt<T>(why: impl Into<String>) -> Result<T> {
+    Err(Error::Corrupt(why.into()))
+}
+
+// ---------------------------------------------------------------------
+// Little-endian primitives.
+// ---------------------------------------------------------------------
+
+fn w_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn w_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn r_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn r_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// Writes a `u32` run through a reusable byte buffer (64 KiB blocks).
+fn w_u32_run(w: &mut impl Write, vals: impl Iterator<Item = u32>) -> io::Result<()> {
+    let mut buf = Vec::with_capacity(64 * 1024);
+    for v in vals {
+        buf.extend_from_slice(&v.to_le_bytes());
+        if buf.len() >= 64 * 1024 {
+            w.write_all(&buf)?;
+            buf.clear();
+        }
+    }
+    w.write_all(&buf)
+}
+
+/// Reads `n` little-endian `u32`s.
+fn r_u32_run(r: &mut impl Read, n: usize) -> Result<Vec<u32>> {
+    let mut out = Vec::with_capacity(n);
+    let mut buf = vec![0u8; (64 * 1024).min(n.max(1) * 4)];
+    let mut remaining = n;
+    while remaining > 0 {
+        let take = buf.len().min(remaining * 4);
+        r.read_exact(&mut buf[..take])?;
+        out.extend(
+            buf[..take].chunks_exact(4).map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]])),
+        );
+        remaining -= take / 4;
+    }
+    Ok(out)
+}
+
+fn r_id_run(r: &mut impl Read, n: usize) -> Result<Vec<Id>> {
+    Ok(r_u32_run(r, n)?.into_iter().map(Id).collect())
+}
+
+/// Checked usize-from-u64 for declared counts, bounding allocations to
+/// what the host can address.
+fn checked_len(v: u64, what: &str) -> Result<usize> {
+    usize::try_from(v).map_err(|_| Error::Corrupt(format!("{what} count {v} overflows usize")))
+}
+
+// ---------------------------------------------------------------------
+// Writer.
+// ---------------------------------------------------------------------
+
+/// A streaming `hexsnap` writer over any `Write + Seek` sink.
+///
+/// Sections are written in call order; [`Writer::finish`] appends the
+/// section table and trailer. Use the [`save`] / [`save_frozen`]
+/// convenience functions for the common whole-file cases.
+pub struct Writer<W: Write + Seek> {
+    w: W,
+    sections: Vec<([u8; 4], u64, u64)>,
+}
+
+impl<W: Write + Seek> Writer<W> {
+    /// Starts a snapshot: writes the header.
+    pub fn new(mut w: W) -> Result<Self> {
+        w.write_all(&MAGIC)?;
+        w_u32(&mut w, VERSION)?;
+        Ok(Writer { w, sections: Vec::new() })
+    }
+
+    fn begin_section(&mut self) -> Result<u64> {
+        Ok(self.w.stream_position()?)
+    }
+
+    fn end_section(&mut self, tag: [u8; 4], start: u64) -> Result<()> {
+        if self.sections.len() >= MAX_SECTIONS {
+            return corrupt(format!("more than {MAX_SECTIONS} sections"));
+        }
+        let end = self.w.stream_position()?;
+        self.sections.push((tag, start, end - start));
+        Ok(())
+    }
+
+    /// Writes the `DICT` section: terms as one contiguous UTF-8 arena
+    /// plus offsets, in id order.
+    pub fn dictionary(&mut self, dict: &Dictionary) -> Result<()> {
+        let start = self.begin_section()?;
+        let terms = dict.terms();
+        let n = u32::try_from(terms.len())
+            .map_err(|_| Error::Corrupt("dictionary exceeds 2^32 terms".into()))?;
+        w_u32(&mut self.w, n)?;
+        // Kind column.
+        let mut kinds = Vec::with_capacity(terms.len());
+        for term in terms {
+            kinds.push(match term {
+                Term::Iri(_) => 0u8,
+                Term::Blank(_) => 1,
+                Term::Literal(l) if l.language().is_some() => 3,
+                Term::Literal(l) if l.datatype() != rdf_model::XSD_STRING => 4,
+                Term::Literal(_) => 2,
+            });
+        }
+        self.w.write_all(&kinds)?;
+        // String pieces: primary string per term, plus tag/datatype for
+        // kinds 3 and 4. One pass computes offsets, a second writes bytes.
+        let mut pieces: Vec<&str> = Vec::with_capacity(terms.len());
+        for term in terms {
+            match term {
+                Term::Iri(iri) => pieces.push(iri.as_str()),
+                Term::Blank(b) => pieces.push(b.as_str()),
+                Term::Literal(l) => {
+                    pieces.push(l.lexical());
+                    if let Some(tag) = l.language() {
+                        pieces.push(tag);
+                    } else if l.datatype() != rdf_model::XSD_STRING {
+                        pieces.push(l.datatype());
+                    }
+                }
+            }
+        }
+        w_u32(
+            &mut self.w,
+            u32::try_from(pieces.len())
+                .map_err(|_| Error::Corrupt("dictionary exceeds 2^32 string pieces".into()))?,
+        )?;
+        let mut end_off = 0u64;
+        let mut ends = Vec::with_capacity(pieces.len());
+        for piece in &pieces {
+            end_off += piece.len() as u64;
+            ends.push(
+                u32::try_from(end_off)
+                    .map_err(|_| Error::Corrupt("dictionary string arena exceeds 4 GiB".into()))?,
+            );
+        }
+        w_u32_run(&mut self.w, ends.into_iter())?;
+        w_u64(&mut self.w, end_off)?;
+        for piece in &pieces {
+            self.w.write_all(piece.as_bytes())?;
+        }
+        self.end_section(TAG_DICT, start)
+    }
+
+    /// Writes the `TRPL` section: exactly `count` triples from the
+    /// iterator, in chunks. Errors if the iterator disagrees with
+    /// `count`.
+    pub fn triples(&mut self, count: u64, it: impl Iterator<Item = IdTriple>) -> Result<()> {
+        let start = self.begin_section()?;
+        w_u64(&mut self.w, count)?;
+        let mut written = 0u64;
+        let mut chunk: Vec<IdTriple> = Vec::with_capacity(TRIPLE_CHUNK);
+        let flush = |w: &mut W, chunk: &mut Vec<IdTriple>, written: &mut u64| -> io::Result<()> {
+            if chunk.is_empty() {
+                return Ok(());
+            }
+            w_u32(w, chunk.len() as u32)?;
+            w_u32_run(w, chunk.iter().map(|t| t.s.0))?;
+            w_u32_run(w, chunk.iter().map(|t| t.p.0))?;
+            w_u32_run(w, chunk.iter().map(|t| t.o.0))?;
+            *written += chunk.len() as u64;
+            chunk.clear();
+            Ok(())
+        };
+        for t in it {
+            chunk.push(t);
+            if chunk.len() == TRIPLE_CHUNK {
+                flush(&mut self.w, &mut chunk, &mut written)?;
+            }
+        }
+        flush(&mut self.w, &mut chunk, &mut written)?;
+        w_u32(&mut self.w, 0)?; // terminator
+        if written != count {
+            return corrupt(format!("triple section declared {count} but wrote {written}"));
+        }
+        self.end_section(TAG_TRPL, start)
+    }
+
+    /// Writes the `FROZ` section: the store's slabs as raw columns.
+    pub fn frozen(&mut self, store: &FrozenHexastore) -> Result<()> {
+        let start = self.begin_section()?;
+        w_u64(&mut self.w, store.len() as u64)?;
+        for arena in store.arenas() {
+            w_u32(
+                &mut self.w,
+                u32::try_from(arena.list_count())
+                    .map_err(|_| Error::Corrupt("arena exceeds 2^32 lists".into()))?,
+            )?;
+            w_u64(&mut self.w, arena.total_items() as u64)?;
+            w_u32_run(&mut self.w, arena.spans_raw().iter().flat_map(|s| [s.off, s.len]))?;
+            w_u32_run(&mut self.w, arena.items_raw().iter().map(|id| id.0))?;
+        }
+        for ix in store.orderings() {
+            let h = ix.k1.len();
+            w_u32(
+                &mut self.w,
+                u32::try_from(h).map_err(|_| Error::Corrupt("2^32 headers".into()))?,
+            )?;
+            w_u32_run(&mut self.w, ix.k1.keys().iter().map(|id| id.0))?;
+            w_u32_run(&mut self.w, ix.k1.values().iter().flat_map(|s| [s.off, s.len]))?;
+            let m = ix.k2.len();
+            w_u32(
+                &mut self.w,
+                u32::try_from(m).map_err(|_| Error::Corrupt("2^32 vector entries".into()))?,
+            )?;
+            w_u32_run(&mut self.w, ix.k2.iter().map(|id| id.0))?;
+            w_u32_run(&mut self.w, ix.lists.iter().copied())?;
+        }
+        self.end_section(TAG_FROZ, start)
+    }
+
+    /// Writes the section table and trailer, returning the sink.
+    pub fn finish(mut self) -> Result<W> {
+        let table_pos = self.w.stream_position()?;
+        w_u32(&mut self.w, self.sections.len() as u32)?;
+        for (tag, off, len) in &self.sections {
+            self.w.write_all(tag)?;
+            w_u64(&mut self.w, *off)?;
+            w_u64(&mut self.w, *len)?;
+        }
+        w_u64(&mut self.w, table_pos)?;
+        self.w.write_all(&MAGIC)?;
+        self.w.flush()?;
+        Ok(self.w)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reader.
+// ---------------------------------------------------------------------
+
+/// A `hexsnap` reader over any `Read + Seek` source.
+///
+/// Construction validates the header, trailer and section table, so a
+/// truncated or non-snapshot file is rejected before any section is
+/// touched. Use [`load`] / [`load_frozen`] for the common whole-file
+/// cases.
+pub struct Reader<R: Read + Seek> {
+    r: R,
+    sections: Vec<([u8; 4], u64, u64)>,
+}
+
+impl<R: Read + Seek> Reader<R> {
+    /// Opens a snapshot, validating magic, version, trailer and table.
+    pub fn new(mut r: R) -> Result<Self> {
+        let file_len = r.seek(SeekFrom::End(0))?;
+        r.seek(SeekFrom::Start(0))?;
+        let mut magic = [0u8; 8];
+        // Smallest well-formed file: header (magic + version), an empty
+        // section table (count only), table offset, trailer magic.
+        if file_len < (MAGIC.len() + 4 + 4 + 8 + MAGIC.len()) as u64 {
+            return corrupt("file too short for a snapshot");
+        }
+        r.read_exact(&mut magic)?;
+        if magic != MAGIC {
+            return corrupt("bad magic (not a hexsnap file)");
+        }
+        let version = r_u32(&mut r)?;
+        if version != VERSION {
+            return Err(Error::Version(version));
+        }
+        r.seek(SeekFrom::End(-16))?;
+        let table_pos = r_u64(&mut r)?;
+        r.read_exact(&mut magic)?;
+        if magic != MAGIC {
+            return corrupt("bad trailer magic (truncated file?)");
+        }
+        if table_pos < 12 || table_pos > file_len - 16 - 4 {
+            return corrupt("section table offset out of range");
+        }
+        r.seek(SeekFrom::Start(table_pos))?;
+        let count = r_u32(&mut r)? as usize;
+        // Each entry is tag(4) + offset(8) + length(8); the whole table
+        // must fit between table_pos and the trailer.
+        if count > MAX_SECTIONS || table_pos + 4 + count as u64 * 20 > file_len - 16 {
+            return corrupt("section table does not fit the file");
+        }
+        let mut sections = Vec::with_capacity(count);
+        for _ in 0..count {
+            let mut tag = [0u8; 4];
+            r.read_exact(&mut tag)?;
+            let off = r_u64(&mut r)?;
+            let len = r_u64(&mut r)?;
+            if off < 12 || off.checked_add(len).is_none_or(|end| end > table_pos) {
+                return corrupt("section extent out of range");
+            }
+            sections.push((tag, off, len));
+        }
+        Ok(Reader { r, sections })
+    }
+
+    /// Positions the reader at a section's start, returning `(end, len)`.
+    fn seek_section(&mut self, tag: [u8; 4]) -> Result<(u64, u64)> {
+        let &(_, off, len) = self
+            .sections
+            .iter()
+            .find(|(t, _, _)| *t == tag)
+            .ok_or_else(|| Error::Corrupt(format!("missing {} section", tag_name(tag))))?;
+        self.r.seek(SeekFrom::Start(off))?;
+        Ok((off + len, len))
+    }
+
+    /// Rejects a section whose parse consumed bytes past its declared
+    /// extent — per-field bounds alone cannot catch counts that each fit
+    /// the section but sum past its end into the next section's bytes,
+    /// which must be a rejection, never a silent misread.
+    fn check_section_end(&mut self, end: u64) -> Result<()> {
+        if self.r.stream_position()? > end {
+            return corrupt("section contents overrun the declared extent");
+        }
+        Ok(())
+    }
+
+    /// True if the snapshot carries prebuilt `FROZ` slab sections.
+    pub fn has_frozen(&self) -> bool {
+        self.sections.iter().any(|(t, _, _)| *t == TAG_FROZ)
+    }
+
+    /// Reads the `DICT` section into a [`Dictionary`] whose ids are the
+    /// stored term indices.
+    pub fn dictionary(&mut self) -> Result<Dictionary> {
+        let (section_end, section_len) = self.seek_section(TAG_DICT)?;
+        let n = r_u32(&mut self.r)? as usize;
+        // Every declared count must fit in the section: this bounds
+        // allocations before they happen, so a flipped count byte cannot
+        // balloon memory.
+        if n as u64 > section_len {
+            return corrupt("dictionary term count exceeds section size");
+        }
+        let mut kinds = vec![0u8; n];
+        self.r.read_exact(&mut kinds)?;
+        let n_pieces = r_u32(&mut self.r)? as usize;
+        let expected_pieces: usize = kinds.iter().map(|&k| if k >= 3 { 2usize } else { 1 }).sum();
+        if n_pieces != expected_pieces {
+            return corrupt(format!(
+                "dictionary declares {n_pieces} string pieces, kinds require {expected_pieces}"
+            ));
+        }
+        if n_pieces as u64 * 4 > section_len {
+            return corrupt("dictionary piece count exceeds section size");
+        }
+        let ends = r_u32_run(&mut self.r, n_pieces)?;
+        let n_bytes = checked_len(r_u64(&mut self.r)?, "string arena byte")?;
+        if n_bytes as u64 > section_len {
+            return corrupt("dictionary arena size exceeds section size");
+        }
+        if ends.windows(2).any(|w| w[0] > w[1])
+            || ends.last().is_some_and(|&e| e as usize != n_bytes)
+        {
+            return corrupt("dictionary piece offsets are not a monotone cover of the arena");
+        }
+        let mut bytes = vec![0u8; n_bytes];
+        self.r.read_exact(&mut bytes)?;
+        self.check_section_end(section_end)?;
+        let arena = match std::str::from_utf8(&bytes) {
+            Ok(s) => s,
+            Err(_) => return corrupt("dictionary string arena is not UTF-8"),
+        };
+        fn next_piece<'a>(
+            arena: &'a str,
+            ends: &[u32],
+            idx: &mut usize,
+            start: &mut usize,
+        ) -> Result<&'a str> {
+            let end = ends[*idx] as usize;
+            // `get` also rejects offsets that split a UTF-8 sequence.
+            let Some(s) = arena.get(*start..end) else {
+                return corrupt("piece offset splits a UTF-8 sequence");
+            };
+            *start = end;
+            *idx += 1;
+            Ok(s)
+        }
+        let (mut idx, mut start) = (0usize, 0usize);
+        let mut piece = || next_piece(arena, &ends, &mut idx, &mut start);
+        let mut terms = Vec::with_capacity(n);
+        for &kind in &kinds {
+            let term = match kind {
+                0 => Term::iri(piece()?),
+                1 => Term::blank(piece()?),
+                2 => Term::literal(piece()?),
+                3 => {
+                    let lex = piece()?;
+                    Term::lang_literal(lex, piece()?)
+                }
+                4 => {
+                    let lex = piece()?;
+                    Term::typed_literal(lex, piece()?)
+                }
+                other => return corrupt(format!("unknown term kind {other}")),
+            };
+            terms.push(term);
+        }
+        // Distinctness is a dictionary invariant; corruption inside the
+        // string arena can merge two terms, which must be rejected (not
+        // silently mapped to the later id).
+        match Dictionary::try_from_id_ordered_terms(terms) {
+            Some(dict) => Ok(dict),
+            None => corrupt("duplicate term in dictionary section"),
+        }
+    }
+
+    /// Streams the `TRPL` section chunk by chunk — the restore path feeds
+    /// these straight into the bulk loader without ever materializing
+    /// string-level triples. Returns the total triple count.
+    pub fn for_each_triple_chunk(&mut self, mut f: impl FnMut(&[IdTriple])) -> Result<u64> {
+        let (section_end, _) = self.seek_section(TAG_TRPL)?;
+        let declared = r_u64(&mut self.r)?;
+        let mut seen = 0u64;
+        let mut chunk: Vec<IdTriple> = Vec::new();
+        loop {
+            let len = r_u32(&mut self.r)? as usize;
+            if len == 0 {
+                break;
+            }
+            if len > TRIPLE_CHUNK || seen + len as u64 > declared {
+                return corrupt("triple chunk exceeds declared count");
+            }
+            let s = r_u32_run(&mut self.r, len)?;
+            let p = r_u32_run(&mut self.r, len)?;
+            let o = r_u32_run(&mut self.r, len)?;
+            chunk.clear();
+            chunk.extend(s.iter().zip(&p).zip(&o).map(|((&s, &p), &o)| IdTriple::from((s, p, o))));
+            seen += len as u64;
+            f(&chunk);
+        }
+        if seen != declared {
+            return corrupt(format!("triple section declared {declared}, found {seen}"));
+        }
+        self.check_section_end(section_end)?;
+        Ok(seen)
+    }
+
+    /// Collects the `TRPL` section into a vector of encoded triples.
+    pub fn triples(&mut self) -> Result<Vec<IdTriple>> {
+        let (_, section_len) = self.seek_section(TAG_TRPL)?;
+        let declared = checked_len(r_u64(&mut self.r)?, "triple")?;
+        if (declared as u64).checked_mul(12).is_none_or(|bytes| bytes > section_len) {
+            return corrupt("triple count exceeds section size");
+        }
+        let mut out = Vec::with_capacity(declared);
+        self.for_each_triple_chunk(|chunk| out.extend_from_slice(chunk))?;
+        Ok(out)
+    }
+
+    /// Reads the `FROZ` section into a query-ready [`FrozenHexastore`] —
+    /// contiguous column reads, no index rebuild. Errors if the section
+    /// is absent (check [`Reader::has_frozen`]) or inconsistent.
+    pub fn frozen(&mut self) -> Result<FrozenHexastore> {
+        let (section_end, section_len) = self.seek_section(TAG_FROZ)?;
+        let fits = |count: usize, width: u64| {
+            (count as u64).checked_mul(width).is_some_and(|bytes| bytes <= section_len)
+        };
+        let len = checked_len(r_u64(&mut self.r)?, "triple")?;
+        let mut arenas = Vec::with_capacity(3);
+        for _ in 0..3 {
+            let n_lists = r_u32(&mut self.r)? as usize;
+            let n_items = checked_len(r_u64(&mut self.r)?, "arena item")?;
+            if !fits(n_lists, 8) || !fits(n_items, 4) {
+                return corrupt("arena counts exceed section size");
+            }
+            let raw_spans = r_u32_run(&mut self.r, n_lists * 2)?;
+            let spans: Vec<Span> =
+                raw_spans.chunks_exact(2).map(|c| Span { off: c[0], len: c[1] }).collect();
+            let items = r_id_run(&mut self.r, n_items)?;
+            match FlatArena::from_raw_parts(items, spans) {
+                Some(a) => arenas.push(a),
+                None => return corrupt("arena spans out of range"),
+            }
+        }
+        let arenas: [FlatArena; 3] = arenas.try_into().expect("exactly three arenas read");
+        // Each ordering validates against its pair's arena: spo/pso share
+        // arena 0, sop/osp arena 1, pos/ops arena 2.
+        let arena_of = [0usize, 1, 0, 2, 1, 2];
+        let mut orderings = Vec::with_capacity(6);
+        for which in 0..6 {
+            let h = r_u32(&mut self.r)? as usize;
+            if !fits(h, 12) {
+                return corrupt("header count exceeds section size");
+            }
+            let keys = r_id_run(&mut self.r, h)?;
+            let raw_spans = r_u32_run(&mut self.r, h * 2)?;
+            let spans: Vec<Span> =
+                raw_spans.chunks_exact(2).map(|c| Span { off: c[0], len: c[1] }).collect();
+            let Some(k1) = FlatVecMap::from_raw_parts(keys, spans) else {
+                return corrupt("ordering header keys not strictly ascending");
+            };
+            let m = r_u32(&mut self.r)? as usize;
+            if !fits(m, 8) {
+                return corrupt("vector entry count exceeds section size");
+            }
+            let k2 = r_id_run(&mut self.r, m)?;
+            let lists = r_u32_run(&mut self.r, m)?;
+            let arena_lists = arenas[arena_of[which]].list_count();
+            match FrozenIndex::from_raw_parts(k1, k2, lists, arena_lists) {
+                Some(ix) => orderings.push(ix),
+                None => return corrupt("ordering columns are inconsistent"),
+            }
+        }
+        let orderings: [FrozenIndex; 6] = orderings.try_into().expect("exactly six orderings");
+        self.check_section_end(section_end)?;
+        // Every triple contributes exactly one entry to each pair's item
+        // column, so the declared length must match all three arenas.
+        if arenas.iter().any(|a| a.total_items() != len) {
+            return corrupt("declared triple count disagrees with slab columns");
+        }
+        // Pair consistency: within each index pair, primary and mirror
+        // must reference the same (k1, k2) → list associations, each
+        // exactly once. Per-ordering checks alone would accept a mirror
+        // that silently disagrees with its primary.
+        for (primary, mirror, arena) in [(0usize, 2usize, 0usize), (1, 4, 1), (3, 5, 2)]
+            .map(|(p, m, a)| (&orderings[p], &orderings[m], &arenas[a]))
+        {
+            if !pair_consistent(primary, mirror, arena.list_count()) {
+                return corrupt("index pair orderings disagree");
+            }
+        }
+        Ok(FrozenHexastore::from_raw_parts(orderings, arenas, len))
+    }
+}
+
+fn tag_name(tag: [u8; 4]) -> String {
+    String::from_utf8_lossy(&tag).into_owned()
+}
+
+/// True when `primary` and `mirror` encode the same `(k1, k2) → list`
+/// associations (mirror key-reversed), each of the pair's `lists`
+/// terminal lists referenced exactly once by each ordering. `O(pairs)`
+/// with one side table.
+fn pair_consistent(primary: &FrozenIndex, mirror: &FrozenIndex, lists: usize) -> bool {
+    if primary.k2.len() != lists || mirror.k2.len() != lists {
+        return false;
+    }
+    // First walk: record each list's unique (k1, k2) owner in the primary.
+    let mut owner: Vec<Option<(Id, Id)>> = vec![None; lists];
+    for (k1, span) in primary.k1.iter() {
+        for i in span.range() {
+            let slot = &mut owner[primary.lists[i] as usize];
+            if slot.is_some() {
+                return false;
+            }
+            *slot = Some((k1, primary.k2[i]));
+        }
+    }
+    // Second walk: every mirror leaf must reference its list under the
+    // reversed key pair, exactly once.
+    let mut seen = vec![false; lists];
+    for (k2, span) in mirror.k1.iter() {
+        for i in span.range() {
+            let l = mirror.lists[i] as usize;
+            if seen[l] || owner[l] != Some((mirror.k2[i], k2)) {
+                return false;
+            }
+            seen[l] = true;
+        }
+    }
+    true
+}
+
+// ---------------------------------------------------------------------
+// Whole-file convenience entry points.
+// ---------------------------------------------------------------------
+
+/// Saves a dictionary and store as dictionary + triple columns (compact;
+/// restore rebuilds indices through the bulk loader).
+pub fn save(path: impl AsRef<Path>, dict: &Dictionary, store: &dyn TripleStore) -> Result<()> {
+    let mut w = Writer::new(BufWriter::new(File::create(path)?))?;
+    w.dictionary(dict)?;
+    w.triples(store.len() as u64, store.iter_matching(IdPattern::ALL))?;
+    w.finish()?;
+    Ok(())
+}
+
+/// Saves a dictionary and frozen store *with* prebuilt slab sections, so
+/// [`load_frozen`] opens query-ready without rebuilding indices.
+pub fn save_frozen(
+    path: impl AsRef<Path>,
+    dict: &Dictionary,
+    store: &FrozenHexastore,
+) -> Result<()> {
+    let mut w = Writer::new(BufWriter::new(File::create(path)?))?;
+    w.dictionary(dict)?;
+    w.triples(store.len() as u64, store.iter_matching(IdPattern::ALL))?;
+    w.frozen(store)?;
+    w.finish()?;
+    Ok(())
+}
+
+/// Rejects id columns referencing terms the dictionary does not hold —
+/// without this, a corrupt id would surface later as a panic inside
+/// string-level decoding instead of an open-time error.
+fn check_ids_in_dict(max_id: Option<Id>, dict: &Dictionary) -> Result<()> {
+    if max_id.is_some_and(|m| m.index() >= dict.len()) {
+        return corrupt("triple ids reference terms beyond the dictionary");
+    }
+    Ok(())
+}
+
+/// Loads a snapshot into a mutable [`GraphStore`], streaming the triple
+/// column into the bulk loader.
+pub fn load(path: impl AsRef<Path>) -> Result<GraphStore> {
+    let mut r = Reader::new(BufReader::new(File::open(path)?))?;
+    let dict = r.dictionary()?;
+    let triples = r.triples()?;
+    let max_id = triples.iter().map(|t| t.s.max(t.p).max(t.o)).max();
+    check_ids_in_dict(max_id, &dict)?;
+    Ok(GraphStore::from_parts(dict, crate::bulk::build(triples)))
+}
+
+/// Loads a snapshot into a query-ready [`FrozenHexastore`]: a direct
+/// slab read when the file carries `FROZ` sections, otherwise a frozen
+/// bulk build from the streamed triple column.
+///
+/// The `FROZ` slabs are validated structurally (spans, sortedness, pair
+/// consistency, ids within the dictionary); that the slabs and the
+/// `TRPL` column describe the *same* triples is checked only by count —
+/// files from untrusted writers should be opened via [`load`] instead.
+pub fn load_frozen(path: impl AsRef<Path>) -> Result<(Dictionary, FrozenHexastore)> {
+    let mut r = Reader::new(BufReader::new(File::open(path)?))?;
+    let dict = r.dictionary()?;
+    let store = if r.has_frozen() {
+        let store = r.frozen()?;
+        // Cheap TRPL/FROZ agreement check: the declared triple counts
+        // must match (full content equality would cost a rebuild).
+        let (_, _) = r.seek_section(TAG_TRPL)?;
+        let declared = r_u64(&mut r.r)?;
+        if declared != store.len() as u64 {
+            return corrupt("TRPL and FROZ sections disagree on the triple count");
+        }
+        store
+    } else {
+        crate::bulk::build_frozen(r.triples()?)
+    };
+    check_ids_in_dict(store.max_id(), &dict)?;
+    Ok((dict, store))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn sample_dict_and_store() -> (Dictionary, crate::store::Hexastore) {
+        let mut dict = Dictionary::new();
+        let mut triples = Vec::new();
+        for i in 0..40u32 {
+            let s = dict.encode(&Term::iri(format!("http://x/s{}", i % 7)));
+            let p = dict.encode(&Term::iri(format!("http://x/p{}", i % 3)));
+            let o = if i % 4 == 0 {
+                dict.encode(&Term::literal(format!("plain {i}\nline")))
+            } else if i % 4 == 1 {
+                dict.encode(&Term::lang_literal(format!("chat{i}"), "fr"))
+            } else if i % 4 == 2 {
+                dict.encode(&Term::typed_literal(
+                    format!("{i}"),
+                    "http://www.w3.org/2001/XMLSchema#integer",
+                ))
+            } else {
+                dict.encode(&Term::blank(format!("b{i}")))
+            };
+            triples.push(IdTriple::new(s, p, o));
+        }
+        (dict, crate::store::Hexastore::from_triples(triples))
+    }
+
+    fn snapshot_bytes(frozen_section: bool) -> Vec<u8> {
+        let (dict, store) = sample_dict_and_store();
+        let mut w = Writer::new(Cursor::new(Vec::new())).unwrap();
+        w.dictionary(&dict).unwrap();
+        w.triples(store.len() as u64, store.iter_matching(IdPattern::ALL)).unwrap();
+        if frozen_section {
+            w.frozen(&store.freeze()).unwrap();
+        }
+        w.finish().unwrap().into_inner()
+    }
+
+    #[test]
+    fn roundtrip_preserves_dictionary_and_triples() {
+        let (dict, store) = sample_dict_and_store();
+        let bytes = snapshot_bytes(false);
+        let mut r = Reader::new(Cursor::new(&bytes)).unwrap();
+        assert!(!r.has_frozen());
+        let dict2 = r.dictionary().unwrap();
+        assert_eq!(dict2.len(), dict.len());
+        for (id, term) in dict.iter() {
+            assert_eq!(dict2.decode(id), Some(term), "term {id:?}");
+            assert_eq!(dict2.id_of(term), Some(id));
+        }
+        let triples = r.triples().unwrap();
+        assert_eq!(triples, store.matching(IdPattern::ALL));
+    }
+
+    #[test]
+    fn frozen_section_reads_back_identical_slabs() {
+        let (_, store) = sample_dict_and_store();
+        let frozen = store.freeze();
+        let bytes = snapshot_bytes(true);
+        let mut r = Reader::new(Cursor::new(&bytes)).unwrap();
+        assert!(r.has_frozen());
+        let read_back = r.frozen().unwrap();
+        assert_eq!(read_back, frozen);
+    }
+
+    #[test]
+    fn chunked_streaming_sees_every_triple_once() {
+        let bytes = snapshot_bytes(false);
+        let mut r = Reader::new(Cursor::new(&bytes)).unwrap();
+        let mut total = 0usize;
+        let n = r.for_each_triple_chunk(|chunk| total += chunk.len()).unwrap();
+        assert_eq!(total as u64, n);
+        let (_, store) = sample_dict_and_store();
+        assert_eq!(total, store.len());
+    }
+
+    #[test]
+    fn zero_section_file_roundtrips() {
+        // Writer::new + finish with no sections is a valid (if useless)
+        // snapshot; the reader must accept it and report sections absent.
+        let bytes = Writer::new(Cursor::new(Vec::new())).unwrap().finish().unwrap().into_inner();
+        assert_eq!(bytes.len(), 32);
+        let mut r = Reader::new(Cursor::new(&bytes)).unwrap();
+        assert!(!r.has_frozen());
+        assert!(matches!(r.dictionary(), Err(Error::Corrupt(why)) if why.contains("missing")));
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = snapshot_bytes(false);
+        bytes[0] ^= 0xFF;
+        match Reader::new(Cursor::new(&bytes)) {
+            Err(Error::Corrupt(why)) => assert!(why.contains("magic"), "{why}"),
+            other => panic!("expected corrupt error, got {other:?}", other = other.err()),
+        }
+    }
+
+    #[test]
+    fn unsupported_version_is_rejected() {
+        let mut bytes = snapshot_bytes(false);
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(Reader::new(Cursor::new(&bytes)), Err(Error::Version(99))));
+    }
+
+    #[test]
+    fn truncation_is_rejected_at_open() {
+        let bytes = snapshot_bytes(true);
+        for cut in [1, 8, 13, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                matches!(Reader::new(Cursor::new(&bytes[..cut])), Err(Error::Corrupt(_))),
+                "truncation at {cut} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_section_extent_is_rejected() {
+        let bytes = snapshot_bytes(false);
+        // The table sits 16 bytes before the trailer; corrupt the first
+        // section's length field (tag 4 + offset 8 bytes in).
+        let table_pos =
+            u64::from_le_bytes(bytes[bytes.len() - 16..bytes.len() - 8].try_into().unwrap())
+                as usize;
+        let mut corrupted = bytes.clone();
+        corrupted[table_pos + 4 + 4 + 8..table_pos + 4 + 4 + 16]
+            .copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(Reader::new(Cursor::new(&corrupted)), Err(Error::Corrupt(_))));
+    }
+
+    #[test]
+    fn ids_beyond_the_dictionary_are_rejected_at_load() {
+        // A snapshot whose id columns reference terms the dictionary
+        // lacks must fail at open, not panic on the first decode.
+        let store = crate::store::Hexastore::from_triples([IdTriple::from((0, 1, 2))]);
+        let path = std::env::temp_dir()
+            .join(format!("hexsnap_test_badids_{}.hexsnap", std::process::id()));
+        save(&path, &Dictionary::new(), &store).unwrap();
+        assert!(matches!(load(&path), Err(Error::Corrupt(_))));
+        save_frozen(&path, &Dictionary::new(), &store.freeze()).unwrap();
+        assert!(matches!(load_frozen(&path), Err(Error::Corrupt(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn disagreeing_index_pairs_are_detected() {
+        use crate::frozen::FrozenIndex;
+        // A consistent two-triple pair: (1, 2) → list 0, (3, 4) → list 1.
+        let build = |leaves: [(u32, u32, u32); 2]| {
+            let mut ix = FrozenIndex::with_capacity(2, 2);
+            for (k1, k2, l) in leaves {
+                let start = ix.begin_k1();
+                ix.push_leaf(Id(k2), l);
+                ix.end_k1(Id(k1), start);
+            }
+            ix
+        };
+        let primary = build([(1, 2, 0), (3, 4, 1)]);
+        let mirror = build([(2, 1, 0), (4, 3, 1)]);
+        assert!(pair_consistent(&primary, &mirror, 2));
+        // Mirror referencing the wrong list per key pair is rejected.
+        let bad_lists = build([(2, 1, 1), (4, 3, 0)]);
+        assert!(!pair_consistent(&primary, &bad_lists, 2));
+        // Mirror with a key that reverses to a pair the primary lacks.
+        let bad_keys = build([(2, 3, 0), (4, 3, 1)]);
+        assert!(!pair_consistent(&primary, &bad_keys, 2));
+        // A primary that references one list twice is rejected.
+        let dup = build([(1, 2, 0), (3, 4, 0)]);
+        assert!(!pair_consistent(&dup, &mirror, 2));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = Error::Corrupt("bad magic".into());
+        assert!(e.to_string().contains("bad magic"));
+        assert!(Error::Version(7).to_string().contains('7'));
+        let io_err = Error::from(io::Error::new(io::ErrorKind::NotFound, "gone"));
+        assert!(io_err.to_string().contains("gone"));
+    }
+}

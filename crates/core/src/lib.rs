@@ -44,12 +44,15 @@
 //! | [`sorted`] | linear-time merge-join primitives on sorted id sets |
 //! | [`vecmap`] | the sorted-vector association map backing every index level |
 //! | [`arena`] | shared terminal-list storage (the paper's single-copy lists) |
+//! | [`slab`] | flat offset-addressed columns ([`FlatArena`], [`FlatVecMap`]) |
 //! | [`store`] | [`Hexastore`]: the six indices over [`hex_dict::IdTriple`]s |
+//! | [`frozen`] | [`FrozenHexastore`]: zero-copy read-only stores over slabs |
 //! | [`bulk`] | sort-based bulk loader, serial or parallel ([`bulk::Config`]) |
 //! | [`graph`] | [`GraphStore`]: Hexastore + dictionary, string-level API |
 //! | [`pattern`] | [`IdPattern`]: the eight access shapes |
 //! | [`traits`] | [`TripleStore`]: the interface shared with the baselines |
-//! | `snapshot` | serde snapshots (feature `serde`) |
+//! | [`hexsnap`] | the `hexsnap` binary on-disk snapshot format |
+//! | `snapshot` | serde (JSON) snapshots (feature `serde`) |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -57,9 +60,12 @@
 pub mod advisor;
 pub mod arena;
 pub mod bulk;
+pub mod frozen;
 pub mod graph;
+pub mod hexsnap;
 pub mod partial;
 pub mod pattern;
+pub mod slab;
 pub mod sorted;
 pub mod stats;
 pub mod store;
@@ -71,9 +77,11 @@ pub mod snapshot;
 
 pub use advisor::{recommend, serving_indices, IndexKind, IndexSet, WorkloadProfile};
 pub use arena::{ListArena, ListId};
+pub use frozen::{FrozenHexastore, FrozenPartialHexastore};
 pub use graph::GraphStore;
 pub use partial::PartialHexastore;
 pub use pattern::{IdPattern, Shape};
+pub use slab::{FlatArena, FlatVecMap, Span};
 pub use stats::DatasetStats;
 pub use store::{Hexastore, SpaceStats};
 pub use traits::{extend_store, TripleIter, TripleStore};

@@ -20,10 +20,14 @@ use crate::traits::TripleStore;
 use crate::vecmap::VecMap;
 use hex_dict::{Id, IdTriple};
 
+/// One ordering's three-level map: header → sorted vector → owned list.
+/// Shared with the freezer, which flattens and rebuilds these levels.
+pub(crate) type OrderingMap = VecMap<Id, VecMap<Id, Vec<Id>>>;
+
 /// One ordering materialized as an owned three-level structure.
 #[derive(Clone, Default, Debug)]
 struct OwnedIndex {
-    map: VecMap<Id, VecMap<Id, Vec<Id>>>,
+    map: OrderingMap,
 }
 
 impl OwnedIndex {
@@ -101,7 +105,8 @@ impl OwnedIndex {
 }
 
 /// Projects a triple into an ordering's `(k1, k2, item)` key order.
-fn project(kind: IndexKind, t: IdTriple) -> (Id, Id, Id) {
+/// Shared with the frozen partial store, which probes the same way.
+pub(crate) fn project(kind: IndexKind, t: IdTriple) -> (Id, Id, Id) {
     match kind {
         IndexKind::Spo => (t.s, t.p, t.o),
         IndexKind::Sop => (t.s, t.o, t.p),
@@ -113,7 +118,7 @@ fn project(kind: IndexKind, t: IdTriple) -> (Id, Id, Id) {
 }
 
 /// Reassembles a triple from an ordering's `(k1, k2, item)`.
-fn unproject(kind: IndexKind, k1: Id, k2: Id, item: Id) -> IdTriple {
+pub(crate) fn unproject(kind: IndexKind, k1: Id, k2: Id, item: Id) -> IdTriple {
     match kind {
         IndexKind::Spo => IdTriple::new(k1, k2, item),
         IndexKind::Sop => IdTriple::new(k1, item, k2),
@@ -241,7 +246,7 @@ impl PartialHexastore {
     /// Whether the shape is answered by a direct probe (vs a fallback
     /// scan-and-filter).
     pub fn serves_directly(&self, shape: Shape) -> bool {
-        crate::advisor::serving_indices(shape).iter().any(|k| self.keep.contains(k))
+        crate::advisor::serving_indices(shape).intersects(self.keep)
     }
 
     fn index(&self, kind: IndexKind) -> Option<&OwnedIndex> {
@@ -259,6 +264,23 @@ impl PartialHexastore {
     fn any_index(&self) -> (IndexKind, &OwnedIndex) {
         let (k, ix) = &self.indices[0];
         (*k, ix)
+    }
+
+    /// The kept orderings and their three-level maps, in kept order — the
+    /// walk [`PartialHexastore::freeze`] flattens.
+    pub(crate) fn parts(&self) -> impl Iterator<Item = (IndexKind, &OrderingMap)> {
+        self.indices.iter().map(|(kind, ix)| (*kind, &ix.map))
+    }
+
+    /// Reassembles a partial store from already-built ordering maps (the
+    /// thaw path). Caller guarantees the maps hold the same `len` triples.
+    pub(crate) fn from_raw_parts(
+        keep: IndexSet,
+        indices: Vec<(IndexKind, OrderingMap)>,
+        len: usize,
+    ) -> Self {
+        let indices = indices.into_iter().map(|(kind, map)| (kind, OwnedIndex { map })).collect();
+        PartialHexastore { keep, indices, len }
     }
 }
 

@@ -1,12 +1,11 @@
 //! Serializable snapshots (requires the `serde` feature).
 //!
-//! The paper's prototype is an in-memory store; its Section 7 names a
-//! "fully operational disk-based Hexastore" as future work. This module is
-//! the pragmatic middle ground: a compact, serializable snapshot of a
-//! [`GraphStore`] (dictionary terms + encoded triples) that can be written
-//! to disk with any serde format and rebuilt with the bulk loader on read.
-//! Storing triples once rather than the six indices keeps snapshots near
-//! triples-table size; the sextuple redundancy is reconstructed on load.
+//! This is the legacy *text* snapshot shim: a serde-serializable image of
+//! a [`GraphStore`] (dictionary terms + encoded triples) usable with any
+//! serde format, rebuilt with the bulk loader on read. The compact binary
+//! format with zero-rebuild frozen open lives in [`crate::hexsnap`] and
+//! needs no feature flag; prefer it for anything performance-sensitive —
+//! the `snapshot` benchmark figure measures the gap.
 
 #![cfg(feature = "serde")]
 
@@ -34,17 +33,40 @@ impl Snapshot {
         Snapshot { terms, triples }
     }
 
-    /// Rebuilds the graph store (bulk-loading the six indices).
+    /// Rebuilds the graph store (bulk-loading the six indices), cloning
+    /// the snapshot's contents. Prefer [`Snapshot::into_restore`] when
+    /// the snapshot is no longer needed afterwards.
     ///
     /// The dictionary ids are exactly the snapshot's term indices, so the
     /// bulk-built store pairs with the repopulated dictionary.
+    ///
+    /// # Panics
+    ///
+    /// If the term column contains duplicates (a malformed snapshot) —
+    /// use [`Snapshot::try_into_restore`] for untrusted input.
     pub fn restore(&self) -> GraphStore {
-        let mut dict = hex_dict::Dictionary::with_capacity(self.terms.len());
-        for term in &self.terms {
-            dict.encode(term);
-        }
-        let store = crate::bulk::build(self.triples.clone());
-        GraphStore::from_parts(dict, store)
+        self.clone().into_restore()
+    }
+
+    /// Rebuilds the graph store, consuming the snapshot — move-only: the
+    /// term column and the triple batch are handed straight to the
+    /// dictionary constructor and the bulk loader without a copy.
+    ///
+    /// # Panics
+    ///
+    /// If the term column contains duplicates (a malformed snapshot) —
+    /// use [`Snapshot::try_into_restore`] for untrusted input.
+    pub fn into_restore(self) -> GraphStore {
+        self.try_into_restore().expect("malformed snapshot: duplicate dictionary term")
+    }
+
+    /// Like [`Snapshot::into_restore`], but returns `None` when the term
+    /// column contains duplicates instead of panicking — the right entry
+    /// point for snapshots deserialized from untrusted bytes.
+    pub fn try_into_restore(self) -> Option<GraphStore> {
+        let dict = hex_dict::Dictionary::try_from_id_ordered_terms(self.terms)?;
+        let store = crate::bulk::build(self.triples);
+        Some(GraphStore::from_parts(dict, store))
     }
 }
 
@@ -71,5 +93,40 @@ mod tests {
         a.sort();
         b.sort();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn into_restore_consumes_and_matches_restore() {
+        let mut g = GraphStore::new();
+        for i in 0..30 {
+            g.insert(&Triple::new(
+                Term::iri(format!("http://x/s{}", i % 5)),
+                Term::iri("http://x/p"),
+                Term::literal(format!("o{i}")),
+            ));
+        }
+        let snap = Snapshot::capture(&g);
+        let by_ref = snap.restore();
+        let by_move = snap.into_restore();
+        assert_eq!(by_move.len(), by_ref.len());
+        let mut a = by_ref.triples();
+        let mut b = by_move.triples();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        // Ids survive: the moved dictionary answers the same lookups.
+        for (id, term) in g.dict().iter() {
+            assert_eq!(by_move.dict().id_of(term), Some(id));
+        }
+    }
+
+    #[test]
+    fn malformed_duplicate_terms_are_rejected_not_misrestored() {
+        let term = Term::iri("http://x/dup");
+        let snap = Snapshot {
+            terms: vec![term.clone(), term],
+            triples: vec![hex_dict::IdTriple::from((0, 1, 0))],
+        };
+        assert!(snap.try_into_restore().is_none());
     }
 }

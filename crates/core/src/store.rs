@@ -15,7 +15,9 @@ use crate::vecmap::VecMap;
 use hex_dict::{Id, IdTriple};
 
 /// One of the six index orderings: header → sorted vector → terminal list.
-type TwoLevel = VecMap<Id, VecMap<Id, ListId>>;
+/// Shared with the bulk loader and the freezer, which build/flatten these
+/// levels directly.
+pub(crate) type TwoLevel = VecMap<Id, VecMap<Id, ListId>>;
 
 /// Space-accounting breakdown of a Hexastore (see
 /// [`Hexastore::space_stats`]).
@@ -365,6 +367,16 @@ impl Hexastore {
         let (sop, osp, p_lists) = sop_pair;
         let (pos, ops, s_lists) = pos_pair;
         Hexastore { spo, sop, pso, pos, osp, ops, o_lists, p_lists, s_lists, len }
+    }
+
+    /// The three index pairs as `(primary, mirror, shared arena)` — the
+    /// walk order of [`Hexastore::freeze`].
+    pub(crate) fn pair_refs(&self) -> [(&TwoLevel, &TwoLevel, &ListArena); 3] {
+        [
+            (&self.spo, &self.pso, &self.o_lists),
+            (&self.sop, &self.osp, &self.p_lists),
+            (&self.pos, &self.ops, &self.s_lists),
+        ]
     }
 }
 

@@ -1,0 +1,181 @@
+//! Property-based validation of the `hexsnap` binary snapshot: a random
+//! graph saved and re-opened (both the rebuild path and the frozen
+//! zero-rebuild path) must answer all eight access patterns exactly like
+//! the original, and damaged files must be *rejected*, never
+//! misinterpreted.
+
+use hex_dict::{Id, IdTriple};
+use hexastore::{hexsnap, FrozenHexastore, GraphStore, Hexastore, IdPattern, TripleStore};
+use proptest::prelude::*;
+use rdf_model::{Term, Triple};
+use std::io::Cursor;
+
+fn term(i: u32) -> Term {
+    match i % 4 {
+        0 => Term::iri(format!("http://x/r{i}")),
+        1 => Term::literal(format!("plain {i} with \"quotes\"\nand newlines")),
+        2 => Term::lang_literal(format!("étiquette {i}"), "fr"),
+        _ => Term::typed_literal(format!("{i}"), "http://www.w3.org/2001/XMLSchema#integer"),
+    }
+}
+
+fn graph_from(picks: &[(u32, u32, u32)]) -> GraphStore {
+    let mut g = GraphStore::new();
+    for &(s, p, o) in picks {
+        g.insert(&Triple::new(
+            Term::iri(format!("http://x/s{s}")),
+            Term::iri(format!("http://x/p{p}")),
+            term(o),
+        ));
+    }
+    g
+}
+
+/// In-memory save with and without the frozen slab sections.
+fn snapshot_bytes(g: &GraphStore, frozen: bool) -> Vec<u8> {
+    let mut w = hexsnap::Writer::new(Cursor::new(Vec::new())).unwrap();
+    w.dictionary(g.dict()).unwrap();
+    w.triples(g.len() as u64, g.store().iter_matching(IdPattern::ALL)).unwrap();
+    if frozen {
+        w.frozen(&g.store().freeze()).unwrap();
+    }
+    w.finish().unwrap().into_inner()
+}
+
+fn all_patterns(store: &Hexastore) -> Vec<IdPattern> {
+    let mut pats = vec![IdPattern::ALL];
+    for tr in store.matching(IdPattern::ALL) {
+        pats.extend([
+            IdPattern::spo(tr),
+            IdPattern::sp(tr.s, tr.p),
+            IdPattern::so(tr.s, tr.o),
+            IdPattern::po(tr.p, tr.o),
+            IdPattern::s(tr.s),
+            IdPattern::p(tr.p),
+            IdPattern::o(tr.o),
+        ]);
+    }
+    pats
+}
+
+fn assert_store_equivalent(original: &Hexastore, restored: &dyn TripleStore) {
+    assert_eq!(restored.len(), original.len());
+    for pat in all_patterns(original) {
+        assert_eq!(restored.matching(pat), original.matching(pat), "{pat:?}");
+        assert_eq!(restored.count_matching(pat), original.count_matching(pat), "{pat:?}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Save → load round-trips through both open paths: the streamed
+    /// bulk rebuild and the zero-rebuild frozen read agree with the
+    /// original on all eight access patterns.
+    #[test]
+    fn binary_roundtrip_preserves_all_patterns(
+        picks in proptest::collection::vec((0u32..9, 0u32..5, 0u32..9), 0..60),
+        frozen_bit in 0u32..2,
+    ) {
+        let with_frozen = frozen_bit == 1;
+        let g = graph_from(&picks);
+        let bytes = snapshot_bytes(&g, with_frozen);
+
+        let mut r = hexsnap::Reader::new(Cursor::new(&bytes)).unwrap();
+        prop_assert_eq!(r.has_frozen(), with_frozen);
+        let dict = r.dictionary().unwrap();
+        prop_assert_eq!(dict.len(), g.dict().len());
+        for (id, t) in g.dict().iter() {
+            prop_assert_eq!(dict.decode(id), Some(t));
+        }
+
+        // Rebuild path: streamed triple chunks into the bulk loader.
+        let rebuilt = hexastore::bulk::build(r.triples().unwrap());
+        assert_store_equivalent(g.store(), &rebuilt);
+
+        // Frozen path: direct slab read when present, else frozen build.
+        let frozen: FrozenHexastore = if with_frozen {
+            r.frozen().unwrap()
+        } else {
+            FrozenHexastore::from_triples(r.triples().unwrap())
+        };
+        assert_store_equivalent(g.store(), &frozen);
+        prop_assert_eq!(frozen.space_stats(), g.store().space_stats());
+    }
+
+    /// Any truncation of a valid snapshot is rejected at open — the
+    /// trailer magic can never survive a shortened file.
+    #[test]
+    fn truncated_snapshots_are_rejected(
+        picks in proptest::collection::vec((0u32..6, 0u32..3, 0u32..6), 1..20),
+        cut_permille in 0usize..1000,
+    ) {
+        let g = graph_from(&picks);
+        let bytes = snapshot_bytes(&g, true);
+        let cut = (bytes.len() - 1) * cut_permille / 1000;
+        prop_assert!(
+            hexsnap::Reader::new(Cursor::new(&bytes[..cut])).is_err(),
+            "truncation to {cut}/{} bytes must not open",
+            bytes.len()
+        );
+    }
+
+    /// Corrupting any single header/trailer byte is rejected at open.
+    #[test]
+    fn flipped_header_bytes_are_rejected(
+        picks in proptest::collection::vec((0u32..6, 0u32..3, 0u32..6), 1..10),
+        header_byte in 0usize..12,
+    ) {
+        let g = graph_from(&picks);
+        let mut bytes = snapshot_bytes(&g, false);
+        bytes[header_byte] ^= 0x5A;
+        prop_assert!(hexsnap::Reader::new(Cursor::new(&bytes)).is_err());
+        // And the trailer magic too.
+        let mut bytes = snapshot_bytes(&g, false);
+        let n = bytes.len();
+        bytes[n - 8 + header_byte % 8] ^= 0x5A;
+        prop_assert!(hexsnap::Reader::new(Cursor::new(&bytes)).is_err());
+    }
+}
+
+#[test]
+fn file_level_save_and_load_roundtrip() {
+    let g = graph_from(&[(0, 0, 0), (0, 1, 2), (3, 1, 2), (4, 2, 7), (4, 2, 1)]);
+    let dir = std::env::temp_dir();
+    let plain = dir.join(format!("hexsnap_test_plain_{}.hexsnap", std::process::id()));
+    let frozen = dir.join(format!("hexsnap_test_frozen_{}.hexsnap", std::process::id()));
+
+    hexsnap::save(&plain, g.dict(), g.store()).unwrap();
+    hexsnap::save_frozen(&frozen, g.dict(), &g.store().freeze()).unwrap();
+
+    let loaded = hexsnap::load(&plain).unwrap();
+    assert_store_equivalent(g.store(), loaded.store());
+
+    // Both files open to a query-ready frozen store; the slab-backed file
+    // without any rebuild, the plain one via the frozen bulk loader.
+    for path in [&frozen, &plain] {
+        let (dict, store) = hexsnap::load_frozen(path).unwrap();
+        assert_eq!(dict.len(), g.dict().len());
+        assert_store_equivalent(g.store(), &store);
+    }
+
+    // A frozen-opened store thaws into a fully updatable Hexastore.
+    let (_, store) = hexsnap::load_frozen(&frozen).unwrap();
+    let mut thawed = store.thaw();
+    assert!(thawed.insert(IdTriple::new(Id(0), Id(1), Id(999))));
+
+    std::fs::remove_file(&plain).ok();
+    std::fs::remove_file(&frozen).ok();
+}
+
+#[test]
+fn empty_graph_roundtrip() {
+    let g = GraphStore::new();
+    let bytes = snapshot_bytes(&g, true);
+    let mut r = hexsnap::Reader::new(Cursor::new(&bytes)).unwrap();
+    assert_eq!(r.dictionary().unwrap().len(), 0);
+    assert_eq!(r.triples().unwrap(), Vec::new());
+    let frozen = r.frozen().unwrap();
+    assert!(frozen.is_empty());
+    assert_eq!(frozen.matching(IdPattern::ALL), Vec::new());
+}

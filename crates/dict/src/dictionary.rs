@@ -93,6 +93,42 @@ impl Dictionary {
         self.terms.iter().enumerate().map(|(i, t)| (Id(i as u32), t))
     }
 
+    /// The interned terms in id order: `terms()[i]` is the term of
+    /// `Id(i)`. Snapshot writers serialize this column directly instead
+    /// of cloning per-term values.
+    pub fn terms(&self) -> &[Term] {
+        &self.terms
+    }
+
+    /// Rebuilds a dictionary from terms already in id order (index `i`
+    /// becomes `Id(i)`) — the snapshot-restore constructor. The reverse
+    /// map is built in one pre-sized pass; term payloads are `Arc`-shared
+    /// with the input, not re-copied.
+    ///
+    /// # Panics
+    ///
+    /// If the input contains duplicate terms (a corrupt snapshot — use
+    /// [`Self::try_from_id_ordered_terms`] for untrusted input).
+    pub fn from_id_ordered_terms(terms: Vec<Term>) -> Self {
+        Self::try_from_id_ordered_terms(terms).expect("duplicate term in id-ordered input")
+    }
+
+    /// Like [`Self::from_id_ordered_terms`], but returns `None` when the
+    /// input contains duplicate terms instead of panicking — snapshot
+    /// readers turn that into a corruption error. Distinctness falls out
+    /// of the reverse-map build itself, so validation costs no extra
+    /// hashing pass.
+    pub fn try_from_id_ordered_terms(terms: Vec<Term>) -> Option<Self> {
+        let mut ids = HashMap::with_capacity(terms.len());
+        for (i, term) in terms.iter().enumerate() {
+            let id = Id(u32::try_from(i).expect("dictionary overflow: more than 2^32 terms"));
+            if ids.insert(term.clone(), id).is_some() {
+                return None;
+            }
+        }
+        Some(Dictionary { terms, ids })
+    }
+
     /// Approximate heap footprint of the dictionary in bytes: the id-to-term
     /// vector, the hash table, and each term's string payload (counted once —
     /// the two directions share `Arc<str>` buffers).
@@ -205,6 +241,24 @@ mod tests {
         assert_eq!(pairs[0].0, Id(0));
         assert_eq!(pairs[1].0, Id(1));
         assert!(pairs[0].1.contains("/a"));
+    }
+
+    #[test]
+    fn from_id_ordered_terms_matches_incremental_encode() {
+        let mut d = Dictionary::new();
+        let terms =
+            [iri("a"), Term::literal("lit"), Term::blank("b0"), Term::lang_literal("x", "en")];
+        for t in &terms {
+            d.encode(t);
+        }
+        let rebuilt = Dictionary::from_id_ordered_terms(d.terms().to_vec());
+        assert_eq!(rebuilt.len(), d.len());
+        for (id, term) in d.iter() {
+            assert_eq!(rebuilt.decode(id), Some(term));
+            assert_eq!(rebuilt.id_of(term), Some(id));
+        }
+        // Duplicate input is rejected by the fallible constructor.
+        assert!(Dictionary::try_from_id_ordered_terms(vec![iri("a"), iri("a")]).is_none());
     }
 
     #[test]

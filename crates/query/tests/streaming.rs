@@ -3,14 +3,18 @@
 //! assignment of store triples to patterns, consistency-checked) across
 //! random BGPs on all four stores — Hexastore, TriplesTable, COVP1,
 //! COVP2 — plus `PartialHexastore` instances keeping random index
-//! subsets. A counting-store wrapper additionally pins down the early
-//! termination claims: ASK and LIMIT stop pulling triples as soon as the
-//! consumer has enough rows.
+//! subsets and the frozen (flat-slab, read-only) forms of both Hexastore
+//! flavors, so the planner demonstrably works off frozen
+//! `capabilities()`. A counting-store wrapper additionally pins down the
+//! early termination claims: ASK and LIMIT stop pulling triples as soon
+//! as the consumer has enough rows.
 
 use hex_baselines::{Covp1, Covp2, TriplesTable};
 use hex_dict::{Dictionary, Id, IdTriple};
 use hex_query::{Bgp, CompiledQuery, Pattern, PatternTerm, Plan, VarId};
-use hexastore::{Hexastore, IdPattern, IndexKind, IndexSet, PartialHexastore, TripleStore};
+use hexastore::{
+    FrozenHexastore, Hexastore, IdPattern, IndexKind, IndexSet, PartialHexastore, TripleStore,
+};
 use proptest::prelude::*;
 use rdf_model::Term;
 use std::cell::Cell;
@@ -183,9 +187,17 @@ proptest! {
         let covp2 = Covp2::from_triples(triples.iter().copied());
         let partial =
             PartialHexastore::from_triples(subset_from_bits(subset_bits), triples.iter().copied());
-        for store in
-            [&hexa as &dyn TripleStore, &table, &covp1, &covp2, &partial]
-        {
+        let frozen = FrozenHexastore::from_triples(triples.iter().copied());
+        let frozen_partial = partial.freeze();
+        for store in [
+            &hexa as &dyn TripleStore,
+            &table,
+            &covp1,
+            &covp2,
+            &partial,
+            &frozen,
+            &frozen_partial,
+        ] {
             prop_assert_eq!(
                 collected_solutions(store, &dict, &q),
                 expected.clone(),

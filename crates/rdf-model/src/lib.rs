@@ -37,6 +37,6 @@ mod turtle;
 
 pub use ntriples::{parse_document, parse_line, write_document, NtParseError};
 pub use pattern::{TermPattern, TriplePattern};
-pub use term::{BlankNode, Iri, Literal, Term, TermKind};
+pub use term::{BlankNode, Iri, Literal, Term, TermKind, XSD_STRING};
 pub use triple::Triple;
 pub use turtle::{parse_turtle, write_turtle, TurtleParseError, RDF_TYPE};

@@ -1,14 +1,15 @@
-//! Persist a `GraphStore` to JSON and rebuild it through the bulk loader.
+//! Persist a `GraphStore` two ways and compare the cold-start paths:
 //!
-//! The paper's prototype is in-memory; §7 names a disk-based Hexastore as
-//! future work. The `serde`-gated snapshot is the middle ground: store the
-//! dictionary terms and encoded triples once (near triples-table size) and
-//! reconstruct the sextuple redundancy on load.
+//! 1. the legacy serde shim — JSON text, parsed back and rebuilt through
+//!    the bulk loader (`Snapshot::into_restore`, move-only);
+//! 2. the binary `hexsnap` format — a columnar file whose optional slab
+//!    sections open straight into a query-ready `FrozenHexastore`, no
+//!    index rebuild at all.
 //!
 //! Run with: `cargo run --features serde --example snapshot_persistence`
 
 use hexastore::snapshot::Snapshot;
-use hexastore::GraphStore;
+use hexastore::{hexsnap, GraphStore};
 use rdf_model::{Term, TermPattern, TriplePattern};
 
 fn main() {
@@ -23,25 +24,49 @@ fn main() {
     .expect("valid N-Triples");
     println!("loaded {} triples", g.len());
 
-    let snap = Snapshot::capture(&g);
-    let json = serde_json::to_string(&snap).expect("snapshot serializes");
-    println!("snapshot is {} bytes of JSON", json.len());
-
-    let path = std::env::temp_dir().join("hexastore_snapshot_demo.json");
-    std::fs::write(&path, &json).expect("write snapshot");
-    let text = std::fs::read_to_string(&path).expect("read snapshot");
-    std::fs::remove_file(&path).ok();
-
-    let restored: Snapshot = serde_json::from_str(&text).expect("snapshot parses");
-    let g2 = restored.restore();
-    println!("restored {} triples from {}", g2.len(), path.display());
-
     let pat = TriplePattern::new(
         TermPattern::var("student"),
         TermPattern::Bound(Term::iri("http://ex/advisor")),
         TermPattern::Bound(Term::iri("http://ex/ID2")),
     );
-    let (before, after) = (g.matching(&pat), g2.matching(&pat));
-    assert_eq!(before, after, "restored store answers identically");
-    println!("advisor query agrees before/after: {} students of ID2", after.len());
+    let before = g.matching(&pat);
+
+    // --- Path 1: JSON text via the serde shim, rebuilt on load. -------
+    let snap = Snapshot::capture(&g);
+    let json = serde_json::to_string(&snap).expect("snapshot serializes");
+    println!("JSON snapshot is {} bytes of text", json.len());
+    let json_path = std::env::temp_dir().join("hexastore_snapshot_demo.json");
+    std::fs::write(&json_path, &json).expect("write snapshot");
+    let text = std::fs::read_to_string(&json_path).expect("read snapshot");
+    std::fs::remove_file(&json_path).ok();
+    let parsed: Snapshot = serde_json::from_str(&text).expect("snapshot parses");
+    // into_restore is move-only: terms and triples go straight to the
+    // dictionary and the bulk loader, no clone.
+    let from_json = parsed.into_restore();
+    assert_eq!(from_json.matching(&pat), before, "JSON restore answers identically");
+    println!("JSON restore rebuilt {} triples (six indices re-sorted)", from_json.len());
+
+    // --- Path 2: binary hexsnap with prebuilt slabs, zero rebuild. ----
+    let bin_path = std::env::temp_dir().join("hexastore_snapshot_demo.hexsnap");
+    let frozen = g.store().freeze();
+    hexsnap::save_frozen(&bin_path, g.dict(), &frozen).expect("write binary snapshot");
+    let bytes = std::fs::metadata(&bin_path).expect("stat snapshot").len();
+    println!("binary snapshot is {bytes} bytes (dictionary arena + triple column + slabs)");
+
+    let (dict, store) = hexsnap::load_frozen(&bin_path).expect("open binary snapshot");
+    std::fs::remove_file(&bin_path).ok();
+    println!("frozen open: {} triples query-ready without rebuilding indices", store.len());
+
+    // The frozen store serves the same query through its slab columns —
+    // the loaded dictionary encodes the pattern's bound terms directly.
+    let advisor = dict.id_of(&Term::iri("http://ex/advisor")).expect("term interned");
+    let id2 = dict.id_of(&Term::iri("http://ex/ID2")).expect("term interned");
+    use hexastore::TripleStore;
+    assert_eq!(store.count_matching(hexastore::IdPattern::po(advisor, id2)), before.len());
+    println!("advisor query agrees across all paths: {} students of ID2", before.len());
+
+    // Need updates again? Thaw back to a mutable Hexastore, loss-free.
+    let mut thawed = store.thaw();
+    assert!(thawed.insert(hex_dict::IdTriple::from((100, 100, 100))));
+    println!("thawed store accepts updates again ({} triples)", thawed.len());
 }

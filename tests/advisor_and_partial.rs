@@ -8,7 +8,7 @@ use hex_bench_queries::lubm::LubmIds;
 use hex_bench_queries::Suite;
 use hex_datagen::lubm::{generate, LubmConfig, Vocab};
 use hexastore::advisor::{estimate_savings, recommend, IndexKind, WorkloadProfile};
-use hexastore::{IdPattern, PartialHexastore, TripleStore};
+use hexastore::{IdPattern, IndexSet, PartialHexastore, Shape, TripleStore};
 
 fn paper_workload(ids: &LubmIds) -> Vec<IdPattern> {
     vec![
@@ -114,6 +114,136 @@ fn partial_store_queries_plan_automatically_from_capabilities() {
         expected.sort();
         assert_eq!(got, expected, "{query}");
     }
+}
+
+/// The access shapes of the twelve paper queries (BQ1–BQ7, LQ1–LQ5), as
+/// the hand-written physical plans in `hex_bench_queries` probe them.
+fn twelve_paper_query_shapes() -> Vec<(&'static str, Vec<Shape>)> {
+    vec![
+        ("BQ1", vec![Shape::P]),
+        ("BQ2", vec![Shape::Po, Shape::S]),
+        ("BQ3", vec![Shape::Po, Shape::S, Shape::P]),
+        ("BQ4", vec![Shape::Po, Shape::Po, Shape::S, Shape::P]),
+        ("BQ5", vec![Shape::Po, Shape::Sp, Shape::P]),
+        ("BQ6", vec![Shape::Po, Shape::Po, Shape::Sp, Shape::Sp]),
+        ("BQ7", vec![Shape::Po, Shape::P]),
+        ("LQ1", vec![Shape::O]),
+        ("LQ2", vec![Shape::S, Shape::O]),
+        ("LQ3", vec![Shape::Sp, Shape::O]),
+        ("LQ4", vec![Shape::Po, Shape::Po]),
+        ("LQ5", vec![Shape::Po, Shape::Po]),
+    ]
+}
+
+fn pattern_for(shape: Shape) -> IdPattern {
+    let (a, b) = (hex_dict::Id(0), hex_dict::Id(1));
+    match shape {
+        Shape::Sp => IdPattern::sp(a, b),
+        Shape::So => IdPattern::so(a, b),
+        Shape::Po => IdPattern::po(a, b),
+        Shape::S => IdPattern::s(a),
+        Shape::P => IdPattern::p(a),
+        Shape::O => IdPattern::o(a),
+        Shape::Spo => IdPattern::spo(hex_dict::IdTriple::from((0, 1, 2))),
+        Shape::None_ => IdPattern::ALL,
+    }
+}
+
+/// The pre-extension advisor, reimplemented as the oracle: two-bound
+/// shapes servable only by their pair's *primary* ordering, single-server
+/// shapes forced, flexible shapes reusing a chosen index when possible.
+fn recommend_primary_only(shapes: &[Shape]) -> IndexSet {
+    use hexastore::IndexSet as S;
+    let servers = |shape: Shape| -> S {
+        match shape {
+            Shape::Sp => S::EMPTY.with(IndexKind::Spo),
+            Shape::So => S::EMPTY.with(IndexKind::Sop),
+            Shape::Po => S::EMPTY.with(IndexKind::Pos),
+            Shape::S => S::EMPTY.with(IndexKind::Spo).with(IndexKind::Sop),
+            Shape::P => S::EMPTY.with(IndexKind::Pso).with(IndexKind::Pos),
+            Shape::O => S::EMPTY.with(IndexKind::Osp).with(IndexKind::Ops),
+            Shape::Spo | Shape::None_ => IndexSet::all(),
+        }
+    };
+    let mut chosen = S::EMPTY;
+    for &shape in shapes {
+        let s = servers(shape);
+        if s.len() == 1 {
+            chosen = chosen.with(s.iter().next().unwrap());
+        }
+    }
+    for &shape in shapes {
+        let s = servers(shape);
+        if s.len() == 1 || s == IndexSet::all() {
+            continue;
+        }
+        if !s.iter().any(|k| chosen.contains(k)) {
+            chosen = chosen.with(s.iter().next().unwrap());
+        }
+    }
+    chosen
+}
+
+#[test]
+fn pair_aware_serving_shrinks_or_preserves_recommendations_on_paper_queries() {
+    // Satellite check for the extended `serving_indices`: with two-bound
+    // shapes servable by either ordering of their pair, the advisor's
+    // recommended sets must shrink or stay equal on the twelve paper
+    // queries — and still serve every shape with a single probe.
+    for (name, shapes) in twelve_paper_query_shapes() {
+        let patterns: Vec<IdPattern> = shapes.iter().map(|&s| pattern_for(s)).collect();
+        let profile = WorkloadProfile::from_patterns(&patterns);
+        let extended = recommend(&profile);
+        let primary_only = recommend_primary_only(&shapes);
+        assert!(
+            extended.len() <= primary_only.len(),
+            "{name}: extended {extended:?} larger than primary-only {primary_only:?}"
+        );
+        for &shape in &shapes {
+            assert!(extended.serves(shape), "{name}: {shape:?} unserved by {extended:?}");
+        }
+    }
+    // The union workload of all twelve queries shrinks-or-equals too.
+    let all: Vec<IdPattern> = twelve_paper_query_shapes()
+        .iter()
+        .flat_map(|(_, shapes)| shapes.iter().map(|&s| pattern_for(s)))
+        .collect();
+    let all_shapes: Vec<Shape> = all.iter().map(|p| p.shape()).collect();
+    let extended = recommend(&WorkloadProfile::from_patterns(&all));
+    assert!(extended.len() <= recommend_primary_only(&all_shapes).len());
+    // And a COVP1-shaped workload demonstrates a strict shrink: one pso
+    // index now covers both (s, p, ?) and (?, p, ?).
+    let covp = [pattern_for(Shape::Sp), pattern_for(Shape::P)];
+    let covp_shapes = [Shape::Sp, Shape::P];
+    let extended = recommend(&WorkloadProfile::from_patterns(&covp));
+    assert!(extended.len() < recommend_primary_only(&covp_shapes).len());
+    assert_eq!(extended, IndexSet::EMPTY.with(IndexKind::Pso));
+}
+
+#[test]
+fn mirror_ordering_serves_two_bound_shapes_in_partial_stores() {
+    // A pso-only partial store must answer (s, p, ?) with a direct probe
+    // (its pso[p][s] list), not a fallback scan — and correctly.
+    let triples = generate(&LubmConfig::tiny());
+    let suite = Suite::build(&triples);
+    let pso_only = PartialHexastore::from_triples(
+        hexastore::IndexSet::EMPTY.with(IndexKind::Pso),
+        suite.triples.iter().copied(),
+    );
+    assert!(pso_only.serves_directly(Shape::Sp));
+    let ids = LubmIds::resolve(&suite.dict).unwrap();
+    let pat = IdPattern::sp(ids.assoc_prof10, ids.p_teacher_of);
+    let mut expected = suite.hexastore.matching(pat);
+    expected.sort();
+    let mut got = pso_only.matching(pat);
+    got.sort();
+    assert_eq!(got, expected);
+    // The frozen form serves it identically.
+    let frozen = pso_only.freeze();
+    assert!(frozen.serves_directly(Shape::Sp));
+    let mut got = frozen.matching(pat);
+    got.sort();
+    assert_eq!(got, expected);
 }
 
 #[test]

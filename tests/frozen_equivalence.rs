@@ -1,0 +1,145 @@
+//! Cross-crate equivalence of the frozen slab stores: a
+//! [`FrozenHexastore`] (built directly, via `freeze()`, and via a binary
+//! `hexsnap` save → load round-trip) must answer all eight access
+//! patterns exactly like the mutable store *and* the [`TriplesTable`]
+//! oracle — and corrupted snapshots must be rejected, never
+//! misinterpreted.
+
+use hex_baselines::TriplesTable;
+use hex_dict::IdTriple;
+use hexastore::{
+    bulk, hexsnap, FrozenHexastore, Hexastore, IdPattern, IndexKind, IndexSet, PartialHexastore,
+    TripleStore,
+};
+use proptest::prelude::*;
+use std::io::Cursor;
+
+fn arb_triple() -> impl Strategy<Value = IdTriple> {
+    (0u32..10, 0u32..5, 0u32..10).prop_map(IdTriple::from)
+}
+
+/// The eight access shapes, probed for every stored triple plus misses.
+fn probe_patterns(triples: &[IdTriple]) -> Vec<IdPattern> {
+    let mut pats = vec![IdPattern::ALL, IdPattern::spo(IdTriple::from((99, 99, 99)))];
+    for &t in triples {
+        pats.extend([
+            IdPattern::spo(t),
+            IdPattern::sp(t.s, t.p),
+            IdPattern::so(t.s, t.o),
+            IdPattern::po(t.p, t.o),
+            IdPattern::s(t.s),
+            IdPattern::p(t.p),
+            IdPattern::o(t.o),
+        ]);
+    }
+    pats
+}
+
+fn assert_matches_oracle(store: &dyn TripleStore, oracle: &TriplesTable, pat: IdPattern) {
+    let mut got = store.matching(pat);
+    got.sort();
+    let mut expected = oracle.matching(pat);
+    expected.sort();
+    assert_eq!(got, expected, "{} vs oracle on {pat:?}", store.name());
+    assert_eq!(store.count_matching(pat), expected.len(), "{} count {pat:?}", store.name());
+}
+
+/// Round-trips a frozen store through an in-memory `hexsnap` image with
+/// prebuilt slab sections, using ids only (no dictionary section needed
+/// for the id-level equivalence check).
+fn hexsnap_roundtrip(frozen: &FrozenHexastore) -> FrozenHexastore {
+    let mut w = hexsnap::Writer::new(Cursor::new(Vec::new())).unwrap();
+    w.dictionary(&hex_dict::Dictionary::new()).unwrap();
+    w.triples(frozen.len() as u64, frozen.iter_matching(IdPattern::ALL)).unwrap();
+    w.frozen(frozen).unwrap();
+    let bytes = w.finish().unwrap().into_inner();
+    let mut r = hexsnap::Reader::new(Cursor::new(bytes)).unwrap();
+    assert!(r.has_frozen());
+    r.frozen().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Direct frozen builds, freeze() conversions and binary round-trips
+    /// all agree with the mutable store and the triples-table oracle on
+    /// every access pattern.
+    #[test]
+    fn frozen_stores_match_mutable_and_oracle(
+        triples in proptest::collection::vec(arb_triple(), 0..120),
+        threads in 1usize..5,
+    ) {
+        let oracle = TriplesTable::from_triples(triples.iter().copied());
+        let mutable = Hexastore::from_triples(triples.iter().copied());
+        let direct = bulk::build_frozen_with(
+            triples.clone(),
+            bulk::Config { threads, presize: true },
+        );
+        let via_freeze = mutable.freeze();
+        let reloaded = hexsnap_roundtrip(&via_freeze);
+
+        prop_assert_eq!(direct.len(), oracle.len());
+        prop_assert_eq!(via_freeze.len(), oracle.len());
+        prop_assert_eq!(reloaded.len(), oracle.len());
+        for pat in probe_patterns(&triples) {
+            assert_matches_oracle(&mutable, &oracle, pat);
+            assert_matches_oracle(&direct, &oracle, pat);
+            assert_matches_oracle(&via_freeze, &oracle, pat);
+            assert_matches_oracle(&reloaded, &oracle, pat);
+        }
+        // Thawing the reloaded snapshot recovers the mutable store.
+        let thawed = reloaded.thaw();
+        prop_assert_eq!(thawed.matching(IdPattern::ALL), mutable.matching(IdPattern::ALL));
+        prop_assert_eq!(thawed.space_stats(), mutable.space_stats());
+    }
+
+    /// Frozen partial stores answer every pattern like the oracle for
+    /// random kept-index subsets — including shapes that fall back to a
+    /// filtered scan.
+    #[test]
+    fn frozen_partial_matches_oracle(
+        triples in proptest::collection::vec(arb_triple(), 0..80),
+        subset_bits in 1u8..64,
+    ) {
+        let mut keep = IndexSet::EMPTY;
+        for (i, kind) in IndexKind::ALL.into_iter().enumerate() {
+            if subset_bits & (1 << i) != 0 {
+                keep = keep.with(kind);
+            }
+        }
+        let oracle = TriplesTable::from_triples(triples.iter().copied());
+        let frozen = PartialHexastore::from_triples(keep, triples.iter().copied()).freeze();
+        prop_assert_eq!(frozen.kept(), keep);
+        for pat in probe_patterns(&triples) {
+            assert_matches_oracle(&frozen, &oracle, pat);
+        }
+    }
+
+    /// Snapshot bytes with a corrupted interior still open only if the
+    /// section table stays intact — and then every section read either
+    /// succeeds with consistent data or errors; it must never panic.
+    #[test]
+    fn corrupted_snapshot_bytes_never_panic(
+        triples in proptest::collection::vec(arb_triple(), 1..40),
+        corrupt_at in 12usize..4096,
+        xor in 1u8..=255,
+    ) {
+        let frozen = bulk::build_frozen(triples);
+        let mut w = hexsnap::Writer::new(Cursor::new(Vec::new())).unwrap();
+        w.dictionary(&hex_dict::Dictionary::new()).unwrap();
+        w.triples(frozen.len() as u64, frozen.iter_matching(IdPattern::ALL)).unwrap();
+        w.frozen(&frozen).unwrap();
+        let mut bytes = w.finish().unwrap().into_inner();
+        let pos = corrupt_at % bytes.len();
+        bytes[pos] ^= xor;
+        if let Ok(mut r) = hexsnap::Reader::new(Cursor::new(bytes)) {
+            // Reads may fail with a corruption error or, if the flip hit
+            // id payload bytes, succeed with different ids — both fine.
+            let _ = r.dictionary();
+            let _ = r.triples();
+            if r.has_frozen() {
+                let _ = r.frozen();
+            }
+        }
+    }
+}
