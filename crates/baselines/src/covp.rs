@@ -44,6 +44,10 @@ impl Covp1 {
     }
 }
 
+impl hexastore::traits::MutableStore for Covp1 {}
+
+impl hexastore::StatsSource for Covp1 {}
+
 impl TripleStore for Covp1 {
     fn name(&self) -> &'static str {
         "COVP1"
@@ -137,6 +141,10 @@ impl Covp2 {
         self.pos.items(p, o)
     }
 }
+
+impl hexastore::traits::MutableStore for Covp2 {}
+
+impl hexastore::StatsSource for Covp2 {}
 
 impl TripleStore for Covp2 {
     fn name(&self) -> &'static str {

@@ -50,6 +50,10 @@ impl TriplesTable {
     }
 }
 
+impl hexastore::traits::MutableStore for TriplesTable {}
+
+impl hexastore::StatsSource for TriplesTable {}
+
 impl TripleStore for TriplesTable {
     fn name(&self) -> &'static str {
         "TriplesTable"

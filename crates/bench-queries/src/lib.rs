@@ -18,6 +18,8 @@
 
 pub mod barton;
 pub mod lubm;
+pub mod sparql;
 mod suite;
 
+pub use sparql::{barton_queries, lubm_queries, PaperQuery};
 pub use suite::Suite;

@@ -3,7 +3,7 @@
 
 use hex_baselines::{Covp1, Covp2, TriplesTable};
 use hex_dict::{Dictionary, IdTriple};
-use hexastore::{Hexastore, TripleStore};
+use hexastore::{Dataset, DatasetStats, FrozenGraphStore, GraphStore, Hexastore, TripleStore};
 use rdf_model::Triple;
 
 /// All four stores over the same dictionary-encoded triples.
@@ -45,6 +45,25 @@ impl Suite {
     /// True if the suite holds no triples.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// The string-level facade over the suite's Hexastore — the unit the
+    /// planner-chosen query paths run on. Clones the dictionary (term
+    /// storage is shared) and the store.
+    pub fn dataset(&self) -> GraphStore {
+        Dataset::from_parts(self.dict.clone(), self.hexastore.clone())
+    }
+
+    /// The read-only slab-backed facade over the same data: every paper
+    /// query must answer byte-identically here and on [`Suite::dataset`].
+    pub fn frozen_dataset(&self) -> FrozenGraphStore {
+        Dataset::from_parts(self.dict.clone(), self.hexastore.freeze())
+    }
+
+    /// Summary statistics of the loaded data, for the statistics-driven
+    /// planner mode (one pass over the Hexastore).
+    pub fn stats(&self) -> DatasetStats {
+        DatasetStats::compute(&self.hexastore)
     }
 }
 

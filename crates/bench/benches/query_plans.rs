@@ -1,18 +1,21 @@
-//! Planner ablation: the selectivity-ordered BGP executor against fixed
-//! good and bad join orders, plus the generic engine against the
-//! hand-written physical plan for the same logical query.
+//! Planner ablation: the prepared-plan surface against fixed join orders
+//! and the paper's hand-written physical plans, with the statistics mode
+//! on and off.
 //!
-//! This quantifies two DESIGN.md call-outs: (a) how much the greedy
-//! fewest-matches-first ordering buys over a naive left-to-right
-//! evaluation, and (b) what the declarative engine costs over the paper's
-//! hand-tuned plans.
+//! This quantifies (a) how much the greedy fewest-matches-first ordering
+//! buys over a naive left-to-right evaluation, (b) what the
+//! bound-variable fan-out refinement adds on a star join whose good
+//! order the constants-only estimates cannot see, and (c) what the
+//! declarative engine costs over the paper's hand-tuned plans. The
+//! twelve-query sweep lives in `plans_figure` (`figures --figure plans`,
+//! `BENCH_ci.json` `query_plans`); this bench is the statistically
+//! careful fixed-scale complement.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use hex_bench::lubm_dataset;
 use hex_bench_queries::lubm::{self, LubmIds};
-use hex_bench_queries::Suite;
-use hex_datagen::lubm::Vocab;
-use hex_query::{execute_bgp, execute_bgp_with_order, Bgp, Pattern, PatternTerm, VarId};
+use hex_bench_queries::{lubm_queries, Suite};
+use hex_query::{execute_bgp_with_order, DatasetQuery};
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -22,62 +25,53 @@ fn bench_plans(c: &mut Criterion) {
     let data = lubm_dataset(SCALE);
     let suite = Suite::build(&data);
     let ids = LubmIds::resolve(&suite.dict).expect("dataset resolves all query terms");
-    let id = |name: &str| suite.dict.id_of(&Vocab::predicate(name)).expect("predicate exists");
-    let advisor = id("advisor");
-    let works_for = id("worksFor");
+    let graph = suite.dataset();
+    let stats = suite.stats();
+    let queries = lubm_queries(&suite.dict).expect("dataset resolves all query terms");
+    let lq4 = &queries.iter().find(|q| q.name == "LQ4").unwrap().text;
 
-    // "Students advised by someone working in AssociateProfessor10's
-    // department": ?student advisor ?prof . ?prof worksFor ?dept .
-    // AssociateProfessor10 worksFor ?dept .
-    let c_ = PatternTerm::Const;
-    let v = |i| PatternTerm::Var(VarId(i));
-    let bgp = Bgp::new(vec![
-        Pattern::new(v(0), c_(advisor), v(1)),
-        Pattern::new(v(1), c_(works_for), v(2)),
-        Pattern::new(c_(ids.assoc_prof10), c_(works_for), v(2)),
-    ]);
-
-    // Sanity: all orders agree.
+    // Sanity: the planner modes agree on LQ4's rows.
+    let plain = graph.prepare(lq4).unwrap();
+    let refined = graph.prepare_with_stats(lq4, Some(&stats)).unwrap();
     let reference = {
-        let mut r = execute_bgp(&suite.hexastore, &bgp);
-        r.sort();
-        r
+        let mut rows: Vec<_> = plain.solutions().collect();
+        rows.sort();
+        rows
     };
-    for order in [[2, 1, 0], [0, 1, 2]] {
-        let mut rows = execute_bgp_with_order(&suite.hexastore, &bgp, &order);
+    {
+        let mut rows: Vec<_> = refined.solutions().collect();
         rows.sort();
         assert_eq!(rows, reference);
     }
-    println!("# planner ablation: {} result rows", reference.len());
+    println!("# planner ablation: {} LQ4 result rows", reference.len());
 
-    let mut g = c.benchmark_group("bgp_join_order");
+    // (a) + (b): the star join under the three join-order regimes. The
+    // worst fixed order runs the open (?s ?p ?c) pattern dead last after
+    // a cross product, which is what the constants-only greedy also
+    // falls into on this shape.
+    let mut g = c.benchmark_group("lq4_join_order");
     g.sample_size(10)
         .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_millis(800));
-    g.bench_function("planned", |b| b.iter(|| black_box(execute_bgp(&suite.hexastore, &bgp))));
-    g.bench_function("best_fixed_order", |b| {
-        b.iter(|| black_box(execute_bgp_with_order(&suite.hexastore, &bgp, &[2, 1, 0])))
-    });
+    g.bench_function("planned_constants_only", |b| b.iter(|| black_box(plain.solutions().count())));
+    g.bench_function("planned_with_stats", |b| b.iter(|| black_box(refined.solutions().count())));
     g.bench_function("worst_fixed_order", |b| {
-        b.iter(|| black_box(execute_bgp_with_order(&suite.hexastore, &bgp, &[0, 1, 2])))
+        let q = plain.query();
+        let bgp = q.bgp.as_ref().unwrap();
+        b.iter(|| black_box(execute_bgp_with_order(&suite.hexastore, bgp, &[0, 2, 1]).len()))
     });
     g.finish();
 
-    // Declarative engine vs hand-written plan for LQ1.
-    let course_term = suite.dict.decode(ids.course10).unwrap().clone();
-    let lq1_text = format!("SELECT ?who ?how WHERE {{ ?who ?how {course_term} . }}");
-    let parsed = hex_query::parse_query(&lq1_text).unwrap();
-    let compiled = hex_query::compile(&parsed, &suite.dict).unwrap();
-
+    // (c): declarative engine vs hand-written plan for LQ1.
+    let lq1 = &queries.iter().find(|q| q.name == "LQ1").unwrap().text;
+    let lq1_plan = graph.prepare(lq1).unwrap();
     let mut g = c.benchmark_group("engine_vs_hand_plan");
     g.sample_size(10)
         .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_millis(800));
-    g.bench_function("lq1_engine_compiled", |b| {
-        b.iter(|| black_box(hex_query::execute_compiled(&suite.hexastore, &suite.dict, &compiled)))
-    });
-    g.bench_function("lq1_engine_parse_and_run", |b| {
-        b.iter(|| black_box(hex_query::execute_on(&suite.hexastore, &suite.dict, &lq1_text)))
+    g.bench_function("lq1_prepared", |b| b.iter(|| black_box(lq1_plan.solutions().count())));
+    g.bench_function("lq1_prepare_and_run", |b| {
+        b.iter(|| black_box(graph.query(lq1).unwrap().len()))
     });
     g.bench_function("lq1_hand_plan", |b| {
         b.iter(|| black_box(lubm::lq1_hexastore(&suite.hexastore, &ids)))

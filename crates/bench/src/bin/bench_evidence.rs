@@ -16,8 +16,8 @@
 
 use hex_bench::{
     ask_early_exit, ask_to_csv, cli, load_figure, load_to_csv, memory_figure, memory_to_csv,
-    path_report, run_figure, snapshot_figure, snapshot_to_csv, space_report, AskRow, Figure,
-    LoadRow, SnapshotRow, FIGURES,
+    path_report, plans_figure, plans_to_csv, run_figure, snapshot_figure, snapshot_to_csv,
+    space_report, AskRow, Figure, LoadRow, PlanRow, SnapshotRow, FIGURES,
 };
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -127,7 +127,7 @@ fn main() {
             }
             "space" => write_file(&args.out, "space.csv", &space_report(args.triples)),
             "path" => write_file(&args.out, "path.csv", &path_report(args.triples)),
-            "load" | "snapshot" => {} // measured separately below, at --load-triples scale
+            "load" | "snapshot" | "plans" => {} // measured separately below
             timing => {
                 let fig = run_figure(timing, args.triples, args.points, args.reps);
                 write_file(&args.out, &format!("figure_{timing}.csv"), &fig.to_csv());
@@ -155,6 +155,18 @@ fn main() {
     let snap: SnapshotRow = snapshot_figure(args.load_triples, args.reps);
     write_file(&args.out, "snapshot.csv", &snapshot_to_csv(&snap));
 
+    // Planner ablation at figure scale: the twelve paper queries through
+    // prepare — hand-written plan vs planner, statistics off/on. The
+    // acceptance signals: stats is never slower than 1.2x the
+    // constants-only order and improves at least one query.
+    let plan_rows: Vec<PlanRow> = plans_figure(args.triples, args.reps);
+    write_file(&args.out, "query_plans.csv", &plans_to_csv(&plan_rows));
+    let stats_improved = plan_rows.iter().filter(|r| r.stats_speedup() > 1.1).count();
+    let max_stats_slowdown = plan_rows
+        .iter()
+        .map(|r| 1.0 / r.stats_speedup().max(f64::MIN_POSITIVE))
+        .fold(0.0, f64::max);
+
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"schema\": 1,");
     let _ = writeln!(json, "  \"figures_triples\": {},", args.triples);
@@ -163,6 +175,8 @@ fn main() {
     let _ = writeln!(json, "    \"dataset\": \"lubm\",");
     let _ = writeln!(json, "    \"triples\": {},", load.triples);
     let _ = writeln!(json, "    \"threads\": {},", load.threads);
+    let _ = writeln!(json, "    \"encode_seconds\": {},", num(load.encode.as_secs_f64()));
+    let _ = writeln!(json, "    \"encode_share\": {},", num(load.encode_share()));
     let _ = writeln!(json, "    \"serial_seconds\": {},", num(load.serial.as_secs_f64()));
     let _ = writeln!(json, "    \"parallel_seconds\": {},", num(load.parallel.as_secs_f64()));
     let _ = writeln!(json, "    \"speedup\": {},", num(load.speedup()));
@@ -209,6 +223,31 @@ fn main() {
     let _ = writeln!(json, "    \"open_speedup_vs_json\": {},", num(snap.open_speedup()));
     let _ = writeln!(json, "    \"size_ratio_vs_json\": {}", num(snap.size_ratio()));
     let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"query_plans\": {{");
+    let _ = writeln!(json, "    \"triples\": {},", args.triples);
+    let _ = writeln!(json, "    \"stats_improved_queries\": {stats_improved},");
+    let _ = writeln!(json, "    \"max_stats_slowdown\": {},", num(max_stats_slowdown));
+    let _ = writeln!(json, "    \"queries\": [");
+    let query_entries: Vec<String> = plan_rows
+        .iter()
+        .map(|r| {
+            format!(
+                "      {{\"name\": \"{}\", \"dataset\": \"{}\", \"rows\": {}, \
+                 \"hand_seconds\": {}, \"planned_seconds\": {}, \"planned_stats_seconds\": {}, \
+                 \"stats_speedup\": {}}}",
+                r.name,
+                r.dataset,
+                r.rows,
+                num(r.hand.as_secs_f64()),
+                num(r.planned.as_secs_f64()),
+                num(r.planned_stats.as_secs_f64()),
+                num(r.stats_speedup()),
+            )
+        })
+        .collect();
+    let _ = writeln!(json, "{}", query_entries.join(",\n"));
+    let _ = writeln!(json, "    ]");
+    let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"figures\": [");
     let _ = writeln!(json, "{}", figure_entries.join(",\n"));
     let _ = writeln!(json, "  ]");
@@ -216,12 +255,19 @@ fn main() {
     write_file(&args.out, "BENCH_ci.json", &json);
 
     println!(
-        "load {} triples: serial {:.3}s, parallel({}) {:.3}s, speedup {:.2}x",
+        "load {} triples: encode {:.3}s ({:.0}% of end-to-end), serial {:.3}s, parallel({}) \
+         {:.3}s, speedup {:.2}x",
         load.triples,
+        load.encode.as_secs_f64(),
+        load.encode_share() * 100.0,
         load.serial.as_secs_f64(),
         load.threads,
         load.parallel.as_secs_f64(),
         load.speedup()
+    );
+    println!(
+        "query plans over twelve paper queries: stats improved {stats_improved} (>1.1x), max \
+         stats slowdown {max_stats_slowdown:.2}x"
     );
     println!(
         "ask early exit over {} matches: streamed {:.3e}s, materialized {:.3e}s, speedup {:.1}x",

@@ -1,8 +1,8 @@
 //! Regenerates the paper's figures as CSV tables on stdout.
 //!
 //! ```text
-//! figures [--figure <3..15|space|path|load|all>] [--triples N] [--points K]
-//!         [--reps R] [--threads T]
+//! figures [--figure <3..15|space|path|load|snapshot|plans|all>] [--triples N]
+//!         [--points K] [--reps R] [--threads T]
 //! ```
 //!
 //! Examples:
@@ -18,8 +18,8 @@
 //! permits.
 
 use hex_bench::{
-    cli, load_figure, load_to_csv, memory_figure, memory_to_csv, path_report, run_figure,
-    snapshot_figure, snapshot_to_csv, space_report, FIGURES,
+    cli, load_figure, load_to_csv, memory_figure, memory_to_csv, path_report, plans_figure,
+    plans_to_csv, run_figure, snapshot_figure, snapshot_to_csv, space_report, FIGURES,
 };
 
 struct Args {
@@ -90,6 +90,10 @@ fn emit(figure: &str, triples: usize, points: usize, reps: usize, threads: usize
         }
         "snapshot" => {
             print!("{}", snapshot_to_csv(&snapshot_figure(triples, reps)));
+            println!();
+        }
+        "plans" => {
+            print!("{}", plans_to_csv(&plans_figure(triples, reps)));
             println!();
         }
         timing => {

@@ -150,7 +150,7 @@ impl Figure {
 }
 
 /// Which figures exist and what they measure.
-pub const FIGURES: [(&str, &str); 17] = [
+pub const FIGURES: [(&str, &str); 18] = [
     ("3", "Barton Query 1"),
     ("4", "Barton Query 2 (full + 28-property)"),
     ("5", "Barton Query 3 (full + 28-property)"),
@@ -168,6 +168,7 @@ pub const FIGURES: [(&str, &str); 17] = [
     ("path", "§4.3 path expressions: merge vs sort-merge joins"),
     ("load", "Bulk-load throughput: serial vs parallel loader"),
     ("snapshot", "Snapshot formats: binary hexsnap vs JSON (size, save, open)"),
+    ("plans", "Twelve paper queries through prepare: hand plan vs planner, stats off/on"),
 ];
 
 type BartonQueryFns = Vec<(&'static str, Box<dyn Fn(&Suite, &BartonIds)>)>;
@@ -509,6 +510,11 @@ pub fn memory_to_csv(dataset: &str, rows: &[MemoryRow]) -> String {
 pub struct LoadRow {
     /// Number of (possibly duplicated) input triples in this prefix.
     pub triples: usize,
+    /// Wall-clock to dictionary-encode the string-level prefix (a fresh
+    /// dictionary per measurement) — the first half of `Suite::build`'s
+    /// end-to-end load, measured so the string-arena batching decision
+    /// can be data-driven.
+    pub encode: Duration,
     /// Wall-clock build time with `bulk::Config::serial()`.
     pub serial: Duration,
     /// Wall-clock build time with `bulk::Config::parallel(threads)`.
@@ -521,6 +527,18 @@ impl LoadRow {
     /// Serial time over parallel time (>1 means the parallel loader won).
     pub fn speedup(&self) -> f64 {
         self.serial.as_secs_f64() / self.parallel.as_secs_f64().max(f64::MIN_POSITIVE)
+    }
+
+    /// Dictionary encoding's share of the end-to-end serial load
+    /// (`encode / (encode + serial build)`), in `[0, 1]`.
+    pub fn encode_share(&self) -> f64 {
+        let encode = self.encode.as_secs_f64();
+        let total = encode + self.serial.as_secs_f64();
+        if total <= 0.0 {
+            0.0
+        } else {
+            encode / total
+        }
     }
 
     /// Load throughput in million triples per second for a measured time.
@@ -571,8 +589,21 @@ pub fn load_figure(
         .into_iter()
         .map(|prefix| {
             let slice = &encoded[..prefix];
+            // Encoding is timed against a fresh dictionary each rep, the
+            // way Suite::build pays it (string interning included).
+            let strings = &data[..prefix];
+            let encode = time_op(reps, || {
+                let mut d = hex_dict::Dictionary::new();
+                let mut count = 0usize;
+                for t in strings {
+                    d.encode_triple(t);
+                    count += 1;
+                }
+                count
+            });
             LoadRow {
                 triples: prefix,
+                encode,
                 serial: time_bulk_build(reps, slice, hexastore::bulk::Config::serial()),
                 parallel: time_bulk_build(reps, slice, hexastore::bulk::Config::parallel(threads)),
                 threads,
@@ -588,14 +619,19 @@ pub fn load_to_csv(dataset: &str, rows: &[LoadRow]) -> String {
     let mut out = format!(
         "# Figure load — Bulk-load throughput, {dataset} dataset (serial vs parallel, threads={threads})\n"
     );
-    out.push_str("triples,serial_s,parallel_s,speedup,serial_mtriples_s,parallel_mtriples_s\n");
+    out.push_str(
+        "triples,encode_s,serial_s,parallel_s,speedup,encode_share,serial_mtriples_s,\
+         parallel_mtriples_s\n",
+    );
     for row in rows {
         out.push_str(&format!(
-            "{},{:.6},{:.6},{:.3},{:.3},{:.3}\n",
+            "{},{:.6},{:.6},{:.6},{:.3},{:.3},{:.3},{:.3}\n",
             row.triples,
+            row.encode.as_secs_f64(),
             row.serial.as_secs_f64(),
             row.parallel.as_secs_f64(),
             row.speedup(),
+            row.encode_share(),
             LoadRow::mtriples_per_sec(row.triples, row.serial),
             LoadRow::mtriples_per_sec(row.triples, row.parallel),
         ));
@@ -815,6 +851,159 @@ pub fn snapshot_to_csv(row: &SnapshotRow) -> String {
     )
 }
 
+/// One planner-ablation measurement: the same paper query answered by
+/// the hand-written per-store plan, by the planner's constants-only
+/// order, and by the statistics-refined order.
+#[derive(Clone, Debug)]
+pub struct PlanRow {
+    /// Paper query name ("BQ1" … "LQ5").
+    pub name: String,
+    /// Dataset the query runs on ("barton" or "lubm").
+    pub dataset: String,
+    /// Solution rows the planned query returns (identical for both
+    /// planner modes; the hand plan's aggregated result differs in shape).
+    pub rows: usize,
+    /// Wall-clock of the hand-written Hexastore plan.
+    pub hand: Duration,
+    /// Wall-clock of `prepare` + collect with constants-only estimates.
+    pub planned: Duration,
+    /// Wall-clock of `prepare` + collect with [`hexastore::DatasetStats`].
+    pub planned_stats: Duration,
+}
+
+impl PlanRow {
+    /// Constants-only time over stats-refined time (>1: stats won).
+    pub fn stats_speedup(&self) -> f64 {
+        self.planned.as_secs_f64() / self.planned_stats.as_secs_f64().max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Times the twelve paper queries through `prepare` on both datasets at
+/// `scale` triples each: the planner's constants-only order, the
+/// statistics-refined order (one [`hexastore::DatasetStats`] pass per
+/// dataset, computed outside the timed region), and the paper's
+/// hand-written Hexastore plan as the reference. Plans are prepared once
+/// and re-run, so the measurement compares join *orders*, not parsing.
+pub fn plans_figure(scale: usize, reps: usize) -> Vec<PlanRow> {
+    use hex_bench_queries::{barton_queries, lubm_queries, PaperQuery};
+    use hex_query::DatasetQuery;
+
+    // The planner-mode comparison decides an acceptance bar (stats never
+    // >1.2x slower), and most of these queries run in microseconds, so a
+    // single measurement window is noise-bound: take the min over at
+    // least three windows regardless of the caller's figure-wide reps.
+    let reps = reps.max(3);
+    let mut out = Vec::new();
+    for (dataset, queries) in [
+        ("barton", barton_queries as fn(&hex_dict::Dictionary) -> Option<Vec<PaperQuery>>),
+        ("lubm", lubm_queries),
+    ] {
+        let data = match dataset {
+            "barton" => barton_dataset(scale),
+            _ => lubm_dataset(scale),
+        };
+        let suite = Suite::build(&data);
+        let Some(queries) = queries(&suite.dict) else {
+            // An incomplete sweep would silently shrink the "twelve paper
+            // queries" evidence object, so say so loudly.
+            eprintln!(
+                "# WARNING: {dataset} dataset at {scale} triples does not bind all paper-query \
+                 constants; its queries are MISSING from the plans figure"
+            );
+            continue;
+        };
+        let graph = suite.dataset();
+        let stats = suite.stats();
+        let hands = hand_plans(&suite, dataset);
+        for query in queries {
+            let plain = graph.prepare(&query.text).expect("paper query compiles");
+            let refined =
+                graph.prepare_with_stats(&query.text, Some(&stats)).expect("paper query compiles");
+            let rows = plain.run().len();
+            let hand_fn = &hands[query.name];
+            out.push(PlanRow {
+                name: query.name.to_string(),
+                dataset: dataset.to_string(),
+                rows,
+                hand: time_query(reps, || hand_fn(&suite)),
+                planned: time_query(reps, || plain.solutions().count()),
+                planned_stats: time_query(reps, || refined.solutions().count()),
+            });
+        }
+    }
+    out
+}
+
+type HandPlan = Box<dyn Fn(&Suite)>;
+
+/// The hand-written Hexastore plan for each paper query, keyed by name.
+fn hand_plans(suite: &Suite, dataset: &str) -> std::collections::HashMap<&'static str, HandPlan> {
+    let mut map: std::collections::HashMap<&'static str, HandPlan> =
+        std::collections::HashMap::new();
+    if dataset == "barton" {
+        let ids = BartonIds::resolve(&suite.dict).expect("barton constants resolve");
+        macro_rules! hand {
+            ($name:expr, $ids:ident, $body:expr) => {{
+                let $ids = ids.clone();
+                map.insert(
+                    $name,
+                    Box::new(move |s: &Suite| {
+                        std::hint::black_box($body(s, &$ids));
+                    }),
+                );
+            }};
+        }
+        hand!("BQ1", i, |s: &Suite, i| barton::bq1_hexastore(&s.hexastore, i));
+        hand!("BQ2", i, |s: &Suite, i| barton::bq2_hexastore(&s.hexastore, i, None));
+        hand!("BQ3", i, |s: &Suite, i| barton::bq3_hexastore(&s.hexastore, i, None));
+        hand!("BQ4", i, |s: &Suite, i| barton::bq4_hexastore(&s.hexastore, i, None));
+        hand!("BQ5", i, |s: &Suite, i| barton::bq5_hexastore(&s.hexastore, i));
+        hand!("BQ6", i, |s: &Suite, i| barton::bq6_hexastore(&s.hexastore, i, None));
+        hand!("BQ7", i, |s: &Suite, i| barton::bq7_hexastore(&s.hexastore, i));
+    } else {
+        let ids = LubmIds::resolve(&suite.dict).expect("lubm constants resolve");
+        macro_rules! hand {
+            ($name:expr, $ids:ident, $body:expr) => {{
+                let $ids = ids.clone();
+                map.insert(
+                    $name,
+                    Box::new(move |s: &Suite| {
+                        std::hint::black_box($body(s, &$ids));
+                    }),
+                );
+            }};
+        }
+        hand!("LQ1", i, |s: &Suite, i| lubm::lq1_hexastore(&s.hexastore, i));
+        hand!("LQ2", i, |s: &Suite, i| lubm::lq2_hexastore(&s.hexastore, i));
+        hand!("LQ3", i, |s: &Suite, i| lubm::lq3_hexastore(&s.hexastore, i));
+        hand!("LQ4", i, |s: &Suite, i| lubm::lq4_hexastore(&s.hexastore, i));
+        hand!("LQ5", i, |s: &Suite, i| lubm::lq5_hexastore(&s.hexastore, i));
+    }
+    map
+}
+
+/// Renders the planner-ablation rows as CSV.
+pub fn plans_to_csv(rows: &[PlanRow]) -> String {
+    let mut out = String::from(
+        "# Figure plans — twelve paper queries through prepare (hand-written plan vs planner, \
+         statistics off/on)\n",
+    );
+    out.push_str("query,dataset,rows,hand_s,planned_s,planned_stats_s,stats_speedup\n");
+    for row in rows {
+        out.push_str(&format!(
+            "{},{},{},{:.6},{:.6},{:.6},{:.3}\n",
+            row.name,
+            row.dataset,
+            row.rows,
+            row.hand.as_secs_f64(),
+            row.planned.as_secs_f64(),
+            row.planned_stats.as_secs_f64(),
+            row.stats_speedup(),
+        ));
+    }
+    out
+}
+
 /// The §4.1 space-bound experiment: blowup of Hexastore key entries vs a
 /// triples table, on both datasets plus the adversarial all-distinct case.
 pub fn space_report(scale: usize) -> String {
@@ -954,14 +1143,39 @@ mod tests {
         assert_eq!(rows.len(), 2);
         assert_eq!(rows.last().unwrap().triples, 5_000);
         for row in &rows {
+            assert!(row.encode > Duration::ZERO);
             assert!(row.serial > Duration::ZERO);
             assert!(row.parallel > Duration::ZERO);
             assert!(row.speedup() > 0.0);
+            let share = row.encode_share();
+            assert!((0.0..=1.0).contains(&share), "encode share {share}");
         }
         let csv = load_to_csv("lubm", &rows);
         assert!(csv.contains("Figure load"));
-        assert!(csv.contains("triples,serial_s,parallel_s,speedup"));
+        assert!(csv.contains("triples,encode_s,serial_s,parallel_s,speedup,encode_share"));
         assert_eq!(csv.lines().count(), 2 + rows.len());
+    }
+
+    #[test]
+    fn plans_figure_times_all_twelve_queries() {
+        let rows = plans_figure(8_000, 1);
+        assert_eq!(rows.len(), 12, "seven Barton + five LUBM queries");
+        for row in &rows {
+            assert!(row.rows > 0, "{} returned no rows", row.name);
+            assert!(row.hand > Duration::ZERO);
+            assert!(row.planned > Duration::ZERO);
+            assert!(row.planned_stats > Duration::ZERO);
+        }
+        let csv = plans_to_csv(&rows);
+        assert!(csv.contains("query,dataset,rows,hand_s,planned_s,planned_stats_s"));
+        assert_eq!(csv.lines().count(), 2 + rows.len());
+        // The star-join query is the one the statistics mode exists for.
+        let lq4 = rows.iter().find(|r| r.name == "LQ4").unwrap();
+        assert!(
+            lq4.stats_speedup() > 1.0,
+            "stats must improve LQ4's order (got {:.2}x)",
+            lq4.stats_speedup()
+        );
     }
 
     #[test]

@@ -15,10 +15,13 @@
 //! 1. **Index pairs are independent.** Each pair owns disjoint parts of the
 //!    store, so with [`Config::threads`] > 1 the three pairs build
 //!    concurrently under [`std::thread::scope`].
-//! 2. **Runs share work.** The batch is sorted (and deduplicated) once in
-//!    spo order; the sop run is that run *re-permuted within each subject
-//!    group* (an `(o,p)` sort of short ranges, much cheaper than a full
-//!    re-sort), and only the pos run pays a full re-sort.
+//! 2. **Runs share work — and the batch is never copied.** The batch is
+//!    sorted (and deduplicated) once in spo order and then shared
+//!    immutably; the sop and pos pairs each view it through a
+//!    4-byte-per-triple `u32` *permutation* (the sop permutation is an
+//!    `(o,p)` sort of short subject-group ranges, much cheaper than a
+//!    full re-sort; only pos pays one) — zero extra
+//!    12-byte-per-triple batch copies on every path, mutable or frozen.
 //! 3. **Sizes are knowable up front.** With [`Config::presize`], a
 //!    [`SpaceStats`](crate::SpaceStats)-style counting pass over each run
 //!    computes the exact number of headers and terminal lists, so every
@@ -120,6 +123,12 @@ pub fn build(triples: Vec<IdTriple>) -> Hexastore {
 
 /// Builds a Hexastore from an arbitrary triple batch with explicit
 /// [`Config`] knobs.
+///
+/// Mirrors [`build_frozen_with`]'s copy discipline: the one canonical
+/// spo-sorted run is shared immutably, and the sop/pos pairs each view it
+/// through a 4-byte-per-triple `u32` *permutation* (positions re-sorted
+/// into the pair's order) instead of cloning the 12-byte-per-triple batch
+/// — zero extra batch copies on every path, serial or parallel.
 pub fn build_with(mut triples: Vec<IdTriple>, config: Config) -> Hexastore {
     let threads = config.effective_threads(triples.len()).max(1);
     sort_dedup(&mut triples, threads);
@@ -127,49 +136,51 @@ pub fn build_with(mut triples: Vec<IdTriple>, config: Config) -> Hexastore {
     let presize = config.presize;
 
     let (spo_pair, sop_pair, pos_pair) = if threads <= 1 {
-        let spo_pair = build_pair(&triples, key_spo, presize);
-        // Reuse the spo run as scratch: re-permute it for sop, then
-        // re-sort it for pos — no second batch copy on the serial path.
-        let mut run = triples;
-        repermute_sop(&mut run);
-        let sop_pair = build_pair(&run, key_sop, presize);
-        run.sort_unstable_by_key(key_pos);
-        let pos_pair = build_pair(&run, key_pos, presize);
+        let spo_pair = build_pair(&triples, None, key_spo, presize);
+        // One u32 permutation, reused: re-permute within subject groups
+        // for sop, then fully re-sort it for pos.
+        let mut perm = identity_perm(n);
+        permute_sop(&triples, &mut perm);
+        let sop_pair = build_pair(&triples, Some(&perm), key_sop, presize);
+        perm.sort_unstable_by_key(|&i| key_pos(&triples[i as usize]));
+        let pos_pair = build_pair(&triples, Some(&perm), key_pos, presize);
         (spo_pair, sop_pair, pos_pair)
     } else if threads == 2 {
         // Exactly two workers: the spawned task takes pos (the only order
         // needing a full re-sort, the heaviest), the caller thread builds
         // spo then sop.
+        let run = &triples;
         std::thread::scope(|s| {
-            let pos_task = s.spawn(|| {
-                let mut run = triples.clone();
-                run.sort_unstable_by_key(key_pos);
-                build_pair(&run, key_pos, presize)
+            let pos_task = s.spawn(move || {
+                let mut perm = identity_perm(n);
+                perm.sort_unstable_by_key(|&i| key_pos(&run[i as usize]));
+                build_pair(run, Some(&perm), key_pos, presize)
             });
-            let spo_pair = build_pair(&triples, key_spo, presize);
-            let mut run = triples.clone();
-            repermute_sop(&mut run);
-            let sop_pair = build_pair(&run, key_sop, presize);
+            let spo_pair = build_pair(run, None, key_spo, presize);
+            let mut perm = identity_perm(n);
+            permute_sop(run, &mut perm);
+            let sop_pair = build_pair(run, Some(&perm), key_sop, presize);
             (spo_pair, sop_pair, pos_task.join().expect("pos build task panicked"))
         })
     } else {
-        // One task per index pair. The shared spo run is only borrowed by
-        // the spo task; the other two re-permute their own copy. Any
-        // thread budget beyond the three tasks accelerates the pos task's
-        // full re-sort, the most expensive of the three.
+        // One task per index pair; every task borrows the shared run and
+        // sorts only its own u32 permutation. Any thread budget beyond
+        // the three tasks accelerates the pos permutation's full re-sort,
+        // the critical path.
+        let run = &triples;
         let spare = threads.saturating_sub(2);
         std::thread::scope(|s| {
-            let sop_task = s.spawn(|| {
-                let mut run = triples.clone();
-                repermute_sop(&mut run);
-                build_pair(&run, key_sop, presize)
+            let sop_task = s.spawn(move || {
+                let mut perm = identity_perm(n);
+                permute_sop(run, &mut perm);
+                build_pair(run, Some(&perm), key_sop, presize)
             });
-            let pos_task = s.spawn(|| {
-                let mut run = triples.clone();
-                par_sort(&mut run, spare, key_pos);
-                build_pair(&run, key_pos, presize)
+            let pos_task = s.spawn(move || {
+                let mut perm = identity_perm(n);
+                par_sort(&mut perm, spare, |&i: &u32| key_pos(&run[i as usize]));
+                build_pair(run, Some(&perm), key_pos, presize)
             });
-            let spo_pair = build_pair(&triples, key_spo, presize);
+            let spo_pair = build_pair(run, None, key_spo, presize);
             let sop_pair = sop_task.join().expect("sop build task panicked");
             let pos_pair = pos_task.join().expect("pos build task panicked");
             (spo_pair, sop_pair, pos_pair)
@@ -229,6 +240,7 @@ pub fn build_frozen_with(mut triples: Vec<IdTriple>, config: Config) -> FrozenHe
         })
     } else {
         let run = &triples;
+        let spare = threads.saturating_sub(2);
         std::thread::scope(|s| {
             let sop_task = s.spawn(move || {
                 let mut perm = identity_perm(n);
@@ -237,7 +249,7 @@ pub fn build_frozen_with(mut triples: Vec<IdTriple>, config: Config) -> FrozenHe
             });
             let pos_task = s.spawn(move || {
                 let mut perm = identity_perm(n);
-                perm.sort_unstable_by_key(|&i| key_pos(&run[i as usize]));
+                par_sort(&mut perm, spare, |&i: &u32| key_pos(&run[i as usize]));
                 build_pair_frozen(run, Some(&perm), key_pos, presize)
             });
             let spo_pair = build_pair_frozen(run, None, key_spo, presize);
@@ -258,8 +270,8 @@ fn identity_perm(n: usize) -> Vec<u32> {
 
 /// Turns the identity permutation over an spo-sorted run into the sop
 /// permutation: subject groups are contiguous, so an `(o, p)` sort of
-/// each group's positions suffices — the permutation counterpart of
-/// [`repermute_sop`].
+/// each group's positions suffices — much cheaper than the full re-sort
+/// the pos permutation pays.
 fn permute_sop(run: &[IdTriple], perm: &mut [u32]) {
     let n = run.len();
     let mut i = 0;
@@ -288,27 +300,10 @@ fn build_pair_frozen(
     presize: bool,
 ) -> FrozenPair {
     let n = run.len();
-    let at = |i: usize| -> (Id, Id, Id) {
-        match perm {
-            Some(p) => key(&run[p[i] as usize]),
-            None => key(&run[i]),
-        }
-    };
+    let at = at_fn(run, perm, key);
 
     let (mut primary, mut arena, mut mirror_entries) = if presize {
-        let mut headers = 0;
-        let mut pairs = 0;
-        let mut prev: Option<(Id, Id)> = None;
-        for i in 0..n {
-            let (k1, k2, _) = at(i);
-            if prev.is_none_or(|(p1, _)| p1 != k1) {
-                headers += 1;
-            }
-            if prev != Some((k1, k2)) {
-                pairs += 1;
-            }
-            prev = Some((k1, k2));
-        }
+        let (headers, pairs) = count_groups(n, &at);
         (
             FrozenIndex::with_capacity(headers, pairs),
             FlatArena::with_capacity(pairs, n),
@@ -318,37 +313,23 @@ fn build_pair_frozen(
         (FrozenIndex::default(), FlatArena::new(), Vec::new())
     };
 
-    // Emission walk; `at` is the hot projection (a perm indirection plus
-    // a key gather), so each position's key is computed once per boundary
-    // test rather than per comparison.
-    let mut i = 0;
-    while i < n {
-        let (k1, mut k2, _) = at(i);
-        let start = primary.begin_k1();
-        let mut g = i;
-        loop {
-            let mut h = g + 1;
-            let mut next = None;
-            while h < n {
-                let (a, b, _) = at(h);
-                if a != k1 || b != k2 {
-                    next = (a == k1).then_some(b);
-                    break;
-                }
-                h += 1;
-            }
-            let lid = arena.push_list((g..h).map(|x| at(x).2));
-            primary.push_leaf(k2, lid);
-            mirror_entries.push((k2, k1, lid));
-            g = h;
-            match next {
-                Some(b) => k2 = b,
-                None => break,
-            }
+    // Emission walk: every slab append is driven by the shared grouping
+    // pass; `at` is the hot projection (a perm indirection plus a key
+    // gather).
+    let mut current_k1 = Id(0);
+    let mut start = 0u32;
+    scan_groups(n, &at, |event| match event {
+        GroupEvent::Header { k1, .. } => {
+            current_k1 = k1;
+            start = primary.begin_k1();
         }
-        primary.end_k1(k1, start);
-        i = g;
-    }
+        GroupEvent::Leaf { k2, range } => {
+            let lid = arena.push_list(range.map(|x| at(x).2));
+            primary.push_leaf(k2, lid);
+            mirror_entries.push((k2, current_k1, lid));
+        }
+        GroupEvent::EndHeader { k1 } => primary.end_k1(k1, start),
+    });
 
     // Mirror: group by k2, referencing the already-emitted shared lists.
     mirror_entries.sort_unstable_by_key(|e| (e.0, e.1));
@@ -384,8 +365,13 @@ pub(crate) fn sort_dedup(triples: &mut Vec<IdTriple>, threads: usize) {
 
 /// Sorts `v` by `key` across `threads` scoped threads: sort equal chunks
 /// concurrently, then merge runs pairwise (also concurrently) through one
-/// scratch buffer.
-fn par_sort(v: &mut Vec<IdTriple>, threads: usize, key: KeyFn) {
+/// scratch buffer. Generic over the element so the same machinery sorts
+/// the triple batch and the `u32` permutations viewing it.
+fn par_sort<T, K>(v: &mut Vec<T>, threads: usize, key: K)
+where
+    T: Copy + Send + Sync,
+    K: Fn(&T) -> (Id, Id, Id) + Copy + Send + Sync,
+{
     let n = v.len();
     if threads <= 1 || n < 2 * threads {
         v.sort_unstable_by_key(key);
@@ -409,8 +395,8 @@ fn par_sort(v: &mut Vec<IdTriple>, threads: usize, key: KeyFn) {
         let mut new_bounds = vec![0];
         {
             // Give each pair merge its own disjoint output region.
-            let mut regions: Vec<(&[IdTriple], &[IdTriple], &mut [IdTriple])> = Vec::new();
-            let mut rest: &mut [IdTriple] = &mut dst;
+            let mut regions: Vec<(&[T], &[T], &mut [T])> = Vec::new();
+            let mut rest: &mut [T] = &mut dst;
             let mut i = 0;
             while i + 2 < bounds.len() {
                 let (a, b) = (&src[bounds[i]..bounds[i + 1]], &src[bounds[i + 1]..bounds[i + 2]]);
@@ -441,7 +427,7 @@ fn par_sort(v: &mut Vec<IdTriple>, threads: usize, key: KeyFn) {
 
 /// Merges two `key`-sorted slices into `out` (`out.len() == a.len() +
 /// b.len()`).
-fn merge_into(a: &[IdTriple], b: &[IdTriple], out: &mut [IdTriple], key: KeyFn) {
+fn merge_into<T: Copy>(a: &[T], b: &[T], out: &mut [T], key: impl Fn(&T) -> (Id, Id, Id)) {
     let (mut i, mut j) = (0, 0);
     for slot in out.iter_mut() {
         *slot = if i < a.len() && (j >= b.len() || key(&a[i]) <= key(&b[j])) {
@@ -454,53 +440,71 @@ fn merge_into(a: &[IdTriple], b: &[IdTriple], out: &mut [IdTriple], key: KeyFn) 
     }
 }
 
-/// Turns an spo-sorted run into the sop run in place: subject groups are
-/// already contiguous, so an `(o, p)` sort of each group suffices — the
-/// "shared run re-permuted" trick that replaces a full second sort.
-fn repermute_sop(run: &mut [IdTriple]) {
-    let n = run.len();
-    let mut i = 0;
-    while i < n {
-        let s = run[i].s;
-        let mut j = i + 1;
-        while j < n && run[j].s == s {
-            j += 1;
-        }
-        run[i..j].sort_unstable_by_key(|t| (t.o, t.p));
-        i = j;
+/// The positional key view of a run, optionally through a permutation —
+/// the one projection the grouped walks below share.
+pub(crate) fn at_fn<'a>(
+    run: &'a [IdTriple],
+    perm: Option<&'a [u32]>,
+    key: impl Fn(&IdTriple) -> (Id, Id, Id) + 'a,
+) -> impl Fn(usize) -> (Id, Id, Id) + 'a {
+    move |i| match perm {
+        Some(p) => key(&run[p[i] as usize]),
+        None => key(&run[i]),
     }
 }
 
+/// Exact `(headers, pairs)` counts of a run viewed through `at` — the
+/// same header/vector/list accounting as
+/// [`SpaceStats`](crate::SpaceStats), but *before* building, so every
+/// allocation in the pair builders can be exact.
+fn count_groups(n: usize, at: impl Fn(usize) -> (Id, Id, Id)) -> (usize, usize) {
+    let mut headers = 0;
+    let mut pairs = 0;
+    let mut prev: Option<(Id, Id)> = None;
+    for i in 0..n {
+        let (k1, k2, _) = at(i);
+        if prev.is_none_or(|(p1, _)| p1 != k1) {
+            headers += 1;
+        }
+        if prev != Some((k1, k2)) {
+            pairs += 1;
+        }
+        prev = Some((k1, k2));
+    }
+    (headers, pairs)
+}
+
 /// One step of a grouped walk over a sorted run — see [`scan_groups`].
-pub(crate) enum GroupEvent<'a> {
+pub(crate) enum GroupEvent {
     /// A new `k1` group starts; `distinct_k2` is its exact vector length.
     Header { k1: Id, distinct_k2: usize },
-    /// One `(k1, k2)` group's contiguous triples, in sorted order.
-    Leaf { k2: Id, items: &'a [IdTriple] },
+    /// One `(k1, k2)` group's contiguous positions, in sorted order
+    /// (resolve items through the same `at` view the walk was given).
+    Leaf { k2: Id, range: std::ops::Range<usize> },
     /// The current `k1` group is complete.
     EndHeader { k1: Id },
 }
 
-/// Walks a run sorted by `key`, emitting `Header` / `Leaf`* / `EndHeader`
-/// per first-level group. Both the full loader's pair build and the
-/// partial store's index build drive their append-only fills from this
-/// one grouping pass, so the boundary logic lives in exactly one place.
+/// Walks `n` positions sorted under `at`, emitting `Header` / `Leaf`* /
+/// `EndHeader` per first-level group. The full loader's pair build, the
+/// frozen slab build and the partial store's index build all drive their
+/// append-only fills from this one grouping pass, so the boundary logic
+/// lives in exactly one place.
 pub(crate) fn scan_groups(
-    run: &[IdTriple],
-    key: impl Fn(&IdTriple) -> (Id, Id, Id),
-    mut emit: impl FnMut(GroupEvent<'_>),
+    n: usize,
+    at: impl Fn(usize) -> (Id, Id, Id),
+    mut emit: impl FnMut(GroupEvent),
 ) {
-    let n = run.len();
     let mut i = 0;
     while i < n {
-        let k1 = key(&run[i]).0;
+        let k1 = at(i).0;
         // First scan: find the group's end and its distinct-k2 count, so
         // the receiver can allocate its vector exactly.
         let mut j = i;
         let mut distinct_k2 = 0;
         let mut prev_k2: Option<Id> = None;
         while j < n {
-            let (a, b, _) = key(&run[j]);
+            let (a, b, _) = at(j);
             if a != k1 {
                 break;
             }
@@ -511,15 +515,15 @@ pub(crate) fn scan_groups(
             j += 1;
         }
         emit(GroupEvent::Header { k1, distinct_k2 });
-        // Second scan: emit each (k1, k2) group's contiguous items.
+        // Second scan: emit each (k1, k2) group's contiguous positions.
         let mut g = i;
         while g < j {
-            let k2 = key(&run[g]).1;
+            let k2 = at(g).1;
             let mut h = g + 1;
-            while h < j && key(&run[h]).1 == k2 {
+            while h < j && at(h).1 == k2 {
                 h += 1;
             }
-            emit(GroupEvent::Leaf { k2, items: &run[g..h] });
+            emit(GroupEvent::Leaf { k2, range: g..h });
             g = h;
         }
         emit(GroupEvent::EndHeader { k1 });
@@ -545,60 +549,39 @@ pub(crate) fn count_distinct_adjacent<T, K: PartialEq>(
     count
 }
 
-/// Exact sizes of one index pair, computed by a linear counting pass over
-/// its sorted run — the same header/vector/list accounting as
-/// [`SpaceStats`](crate::SpaceStats), but *before* building, so every
-/// allocation below can be exact.
-struct RunCounts {
-    /// Distinct `k1` values: primary header entries.
-    headers: usize,
-    /// Distinct `(k1, k2)` pairs: vector entries and terminal lists.
-    pairs: usize,
-}
+/// Builds one index pair plus its shared arena from a strict-ascending
+/// run, viewed through `perm` when the pair's order differs from the
+/// run's physical (spo) order — the same permutation-gather walk as
+/// [`build_pair_frozen`], emitting the nested `VecMap`/[`ListArena`]
+/// form. With `presize`, all containers are allocated at their exact
+/// final size before the append-only fill.
+fn build_pair(run: &[IdTriple], perm: Option<&[u32]>, key: KeyFn, presize: bool) -> Pair {
+    let n = run.len();
+    let at = at_fn(run, perm, key);
 
-fn count_run(run: &[IdTriple], key: KeyFn) -> RunCounts {
-    let mut headers = 0;
-    let mut pairs = 0;
-    let mut prev: Option<(Id, Id)> = None;
-    for t in run {
-        let (k1, k2, _) = key(t);
-        if prev.is_none_or(|(p1, _)| p1 != k1) {
-            headers += 1;
-        }
-        if prev != Some((k1, k2)) {
-            pairs += 1;
-        }
-        prev = Some((k1, k2));
-    }
-    RunCounts { headers, pairs }
-}
-
-/// Builds one index pair plus its shared arena from a run sorted by
-/// `(k1, k2, item)` under `key`. With `presize`, all containers are
-/// allocated at their exact final size before the append-only fill.
-fn build_pair(run: &[IdTriple], key: KeyFn, presize: bool) -> Pair {
     let (mut primary, mut arena, mut mirror_entries) = if presize {
-        let counts = count_run(run, key);
+        let (headers, pairs) = count_groups(n, &at);
         (
-            TwoLevel::with_capacity(counts.headers),
-            ListArena::with_capacity(counts.pairs),
-            Vec::with_capacity(counts.pairs),
+            TwoLevel::with_capacity(headers),
+            ListArena::with_capacity(pairs),
+            Vec::with_capacity(pairs),
         )
     } else {
         (TwoLevel::new(), ListArena::new(), Vec::new())
     };
 
+    // Emission walk: the same shared grouping pass as the frozen builder;
+    // each `(k1, k2)` leaf gathers its exact-size terminal list through
+    // the permutation.
     let mut inner: VecMap<Id, ListId> = VecMap::new();
     let mut current_k1 = Id(0);
-    scan_groups(run, key, |event| match event {
+    scan_groups(n, &at, |event| match event {
         GroupEvent::Header { k1, distinct_k2 } => {
             inner = VecMap::with_capacity(distinct_k2);
             current_k1 = k1;
         }
-        GroupEvent::Leaf { k2, items } => {
-            // The group's items are contiguous and already sorted: one
-            // exact-size terminal list per leaf.
-            let list: Vec<Id> = items.iter().map(|t| key(t).2).collect();
+        GroupEvent::Leaf { k2, range } => {
+            let list: Vec<Id> = range.map(|x| at(x).2).collect();
             let lid = arena.alloc_sorted(list);
             inner.push_sorted(k2, lid);
             mirror_entries.push((k2, current_k1, lid));
@@ -755,6 +738,26 @@ mod tests {
             assert_eq!(h.len(), 2);
             assert!(h.contains(t(0, 0, 0)));
             assert!(!h.contains(t(4, 5, 6)));
+        }
+    }
+
+    #[test]
+    fn parallel_mutable_build_equals_serial_and_frozen_thaw() {
+        // The permutation-gather mutable path must agree byte-for-byte
+        // with the serial build AND with the frozen builder's view of
+        // the same batch (build_frozen + thaw).
+        let triples: Vec<IdTriple> = (0..900u32).map(|i| t(i % 31, i % 11, i % 37)).collect();
+        let serial = build_with(triples.clone(), Config::serial());
+        for threads in [2, 3, 4, 8] {
+            let cfg = Config { threads, presize: true };
+            let parallel = build_with(triples.clone(), cfg);
+            assert_eq!(parallel.len(), serial.len(), "{cfg:?}");
+            assert_eq!(parallel.matching(IdPattern::ALL), serial.matching(IdPattern::ALL));
+            assert_eq!(parallel.space_stats(), serial.space_stats(), "{cfg:?}");
+            assert_eq!(parallel.heap_bytes(), serial.heap_bytes(), "{cfg:?}");
+            let thawed = build_frozen_with(triples.clone(), cfg).thaw();
+            assert_eq!(thawed.matching(IdPattern::ALL), parallel.matching(IdPattern::ALL));
+            assert_eq!(thawed.space_stats(), parallel.space_stats(), "{cfg:?}");
         }
     }
 

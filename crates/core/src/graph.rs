@@ -1,21 +1,35 @@
-//! String-level convenience facade: a [`Hexastore`] bundled with its
+//! String-level convenience facade: any [`TripleStore`] bundled with its
 //! [`Dictionary`].
 //!
 //! The paper's architecture is "six indices using identifiers (i.e., keys)
 //! … plus a mapping table that maps these keys to their corresponding
-//! strings" (§4.1). [`GraphStore`] is exactly that bundle, so applications
-//! can work with [`Triple`]s and [`TriplePattern`]s directly.
+//! strings" (§4.1). [`Dataset`] is exactly that bundle, generically: the
+//! mapping table travels with *whatever* physical store holds the ids, so
+//! applications work with [`Triple`]s and [`TriplePattern`]s directly —
+//! against the mutable [`Hexastore`], the zero-copy
+//! [`FrozenHexastore`], or their reduced-index partial forms.
+//!
+//! [`GraphStore`] (= `Dataset<Hexastore>`) is the read-write default;
+//! [`FrozenGraphStore`] (= `Dataset<FrozenHexastore>`) is its read-only,
+//! slab-backed counterpart. [`Dataset::freeze`]/[`Dataset::thaw`] convert
+//! between them *at the facade level* (the dictionary rides along), and
+//! the `hexsnap` on-disk format is reachable directly through
+//! [`Dataset::save`]/[`Dataset::load`] without touching id-level APIs.
 
+use crate::frozen::{FrozenHexastore, FrozenPartialHexastore};
+use crate::partial::PartialHexastore;
 use crate::pattern::IdPattern;
+use crate::stats::DatasetStats;
 use crate::store::Hexastore;
-use crate::traits::TripleStore;
+use crate::traits::{MutableStore, TripleStore};
 use hex_dict::Dictionary;
 use rdf_model::{NtParseError, Term, TermPattern, Triple, TriplePattern};
 
-/// A Hexastore together with its dictionary — the full paper architecture.
+/// A triple store together with its dictionary — the full paper
+/// architecture, generic over the physical store.
 ///
 /// ```
-/// use hexastore::GraphStore;
+/// use hexastore::{Dataset, GraphStore};
 /// use rdf_model::{Term, Triple, TriplePattern, TermPattern};
 ///
 /// let mut g = GraphStore::new();
@@ -27,29 +41,48 @@ use rdf_model::{NtParseError, Term, TermPattern, Triple, TriplePattern};
 ///
 /// // "What relationship does ID2 have to MIT?" — an (s, ?, o) probe,
 /// // the query Figure 1(b) of the paper poses.
-/// let hits = g.matching(&TriplePattern::new(
+/// let pattern = TriplePattern::new(
 ///     Term::iri("http://ex/ID2"),
 ///     TermPattern::var("rel"),
 ///     Term::literal("MIT"),
-/// ));
-/// assert_eq!(hits.len(), 1);
+/// );
+/// assert_eq!(g.matching(&pattern).len(), 1);
+///
+/// // The same question answered by the read-only slab form — the
+/// // dictionary rides along through `freeze`.
+/// let frozen = g.freeze();
+/// assert_eq!(frozen.matching(&pattern).len(), 1);
 /// ```
 #[derive(Default, Debug, Clone)]
-pub struct GraphStore {
+pub struct Dataset<S> {
     dict: Dictionary,
-    store: Hexastore,
+    store: S,
 }
 
-impl GraphStore {
-    /// Creates an empty store.
-    pub fn new() -> Self {
-        GraphStore::default()
+/// The read-write default: a mutable [`Hexastore`] with its dictionary.
+pub type GraphStore = Dataset<Hexastore>;
+
+/// The read-only slab-backed form: a [`FrozenHexastore`] with its
+/// dictionary. Produced by [`Dataset::freeze`] or
+/// [`FrozenGraphStore::load`]; convert back with [`Dataset::thaw`].
+pub type FrozenGraphStore = Dataset<FrozenHexastore>;
+
+/// A reduced-index [`PartialHexastore`] with its dictionary.
+pub type PartialGraphStore = Dataset<PartialHexastore>;
+
+/// The read-only form of a reduced-index store with its dictionary.
+pub type FrozenPartialGraphStore = Dataset<FrozenPartialHexastore>;
+
+impl<S: TripleStore> Dataset<S> {
+    /// Reassembles a dataset from a dictionary and an id-level store.
+    /// Every id in the store must already be interned in the dictionary.
+    pub fn from_parts(dict: Dictionary, store: S) -> Self {
+        Dataset { dict, store }
     }
 
-    /// Reassembles a graph store from a dictionary and an id-level store.
-    /// Every id in the store must already be interned in the dictionary.
-    pub fn from_parts(dict: Dictionary, store: Hexastore) -> Self {
-        GraphStore { dict, store }
+    /// Splits the dataset back into its dictionary and id-level store.
+    pub fn into_parts(self) -> (Dictionary, S) {
+        (self.dict, self.store)
     }
 
     /// Number of triples stored.
@@ -67,28 +100,9 @@ impl GraphStore {
         &self.dict
     }
 
-    /// Mutable access to the dictionary, for pre-interning terms.
-    pub fn dict_mut(&mut self) -> &mut Dictionary {
-        &mut self.dict
-    }
-
-    /// The underlying id-level Hexastore.
-    pub fn store(&self) -> &Hexastore {
+    /// The underlying id-level store.
+    pub fn store(&self) -> &S {
         &self.store
-    }
-
-    /// Inserts a triple, interning its terms. Returns `true` if new.
-    pub fn insert(&mut self, t: &Triple) -> bool {
-        let enc = self.dict.encode_triple(t);
-        self.store.insert(enc)
-    }
-
-    /// Removes a triple. Returns `true` if it was present.
-    pub fn remove(&mut self, t: &Triple) -> bool {
-        match self.dict.triple_ids(t) {
-            Some(enc) => self.store.remove(enc),
-            None => false,
-        }
     }
 
     /// Membership test.
@@ -132,33 +146,6 @@ impl GraphStore {
         }
     }
 
-    /// Loads an N-Triples document, returning how many *new* triples were
-    /// added (duplicates in the document are deduplicated, as in the
-    /// paper's data cleaning).
-    pub fn load_ntriples(&mut self, doc: &str) -> Result<usize, NtParseError> {
-        let triples = rdf_model::parse_document(doc)?;
-        let mut added = 0;
-        for t in &triples {
-            if self.insert(t) {
-                added += 1;
-            }
-        }
-        Ok(added)
-    }
-
-    /// Loads a Turtle document (see [`rdf_model::parse_turtle`] for the
-    /// supported subset), returning how many new triples were added.
-    pub fn load_turtle(&mut self, doc: &str) -> Result<usize, rdf_model::TurtleParseError> {
-        let triples = rdf_model::parse_turtle(doc)?;
-        let mut added = 0;
-        for t in &triples {
-            if self.insert(t) {
-                added += 1;
-            }
-        }
-        Ok(added)
-    }
-
     /// Serializes the whole store as an N-Triples document in spo id order.
     pub fn to_ntriples(&self) -> String {
         let mut out = String::new();
@@ -190,9 +177,132 @@ impl GraphStore {
     }
 }
 
+impl<S: crate::stats::StatsSource> Dataset<S> {
+    /// Summary statistics of the stored dataset (degree distributions,
+    /// per-property counts) — the input of the statistics-driven query
+    /// planner. Derived the cheapest way the store allows: a
+    /// [`Hexastore`] reads its already-built indices, other forms pay
+    /// one linear pass (see [`crate::stats::StatsSource`]).
+    pub fn stats(&self) -> DatasetStats {
+        self.store.dataset_stats()
+    }
+}
+
+impl<S: TripleStore + Default> Dataset<S> {
+    /// Creates an empty dataset.
+    pub fn new() -> Self {
+        Dataset::default()
+    }
+}
+
+impl<S: MutableStore> Dataset<S> {
+    /// Mutable access to the dictionary, for pre-interning terms.
+    pub fn dict_mut(&mut self) -> &mut Dictionary {
+        &mut self.dict
+    }
+
+    /// Inserts a triple, interning its terms. Returns `true` if new.
+    pub fn insert(&mut self, t: &Triple) -> bool {
+        let enc = self.dict.encode_triple(t);
+        self.store.insert(enc)
+    }
+
+    /// Removes a triple. Returns `true` if it was present.
+    pub fn remove(&mut self, t: &Triple) -> bool {
+        match self.dict.triple_ids(t) {
+            Some(enc) => self.store.remove(enc),
+            None => false,
+        }
+    }
+
+    /// Loads an N-Triples document, returning how many *new* triples were
+    /// added (duplicates in the document are deduplicated, as in the
+    /// paper's data cleaning).
+    pub fn load_ntriples(&mut self, doc: &str) -> Result<usize, NtParseError> {
+        let triples = rdf_model::parse_document(doc)?;
+        let mut added = 0;
+        for t in &triples {
+            if self.insert(t) {
+                added += 1;
+            }
+        }
+        Ok(added)
+    }
+
+    /// Loads a Turtle document (see [`rdf_model::parse_turtle`] for the
+    /// supported subset), returning how many new triples were added.
+    pub fn load_turtle(&mut self, doc: &str) -> Result<usize, rdf_model::TurtleParseError> {
+        let triples = rdf_model::parse_turtle(doc)?;
+        let mut added = 0;
+        for t in &triples {
+            if self.insert(t) {
+                added += 1;
+            }
+        }
+        Ok(added)
+    }
+}
+
+impl Dataset<Hexastore> {
+    /// Freezes the dataset into its read-only slab-backed form. The
+    /// store flattens into a [`FrozenHexastore`]; the dictionary is
+    /// cloned (cheap: terms are shared, not copied).
+    pub fn freeze(&self) -> FrozenGraphStore {
+        Dataset { dict: self.dict.clone(), store: self.store.freeze() }
+    }
+
+    /// Saves the dataset as a compact `hexsnap` file (dictionary + triple
+    /// column; indices are rebuilt on [`GraphStore::load`]).
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> crate::hexsnap::Result<()> {
+        crate::hexsnap::save(path, &self.dict, &self.store)
+    }
+
+    /// Loads a compact `hexsnap` file, bulk-rebuilding the six indices.
+    pub fn load(path: impl AsRef<std::path::Path>) -> crate::hexsnap::Result<GraphStore> {
+        crate::hexsnap::load(path)
+    }
+}
+
+impl Dataset<FrozenHexastore> {
+    /// Converts back into a mutable [`GraphStore`], loss-free.
+    pub fn thaw(self) -> GraphStore {
+        Dataset { dict: self.dict, store: self.store.thaw() }
+    }
+
+    /// Saves the dataset as a query-ready `hexsnap` file *with* prebuilt
+    /// slab sections, so [`FrozenGraphStore::load`] opens without
+    /// rebuilding any index.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> crate::hexsnap::Result<()> {
+        crate::hexsnap::save_frozen(path, &self.dict, &self.store)
+    }
+
+    /// Opens a `hexsnap` file straight into a query-ready read-only
+    /// dataset: a direct slab read when the file carries `FROZ`
+    /// sections, otherwise a frozen bulk build from the triple column.
+    pub fn load(path: impl AsRef<std::path::Path>) -> crate::hexsnap::Result<FrozenGraphStore> {
+        let (dict, store) = crate::hexsnap::load_frozen(path)?;
+        Ok(Dataset { dict, store })
+    }
+}
+
+impl Dataset<PartialHexastore> {
+    /// Freezes the reduced-index dataset into its read-only form.
+    pub fn freeze(&self) -> FrozenPartialGraphStore {
+        Dataset { dict: self.dict.clone(), store: self.store.freeze() }
+    }
+}
+
+impl Dataset<FrozenPartialHexastore> {
+    /// Converts back into a mutable [`PartialGraphStore`], loss-free.
+    pub fn thaw(self) -> PartialGraphStore {
+        Dataset { dict: self.dict, store: self.store.thaw() }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::advisor::{IndexKind, IndexSet};
 
     fn iri(s: &str) -> Term {
         Term::iri(format!("http://x/{s}"))
@@ -288,5 +398,85 @@ mod tests {
         }
         assert!(g.heap_bytes() > g.store().heap_bytes());
         assert!(g.heap_bytes() > g.dict().heap_bytes());
+    }
+
+    fn sample_graph() -> GraphStore {
+        let mut g = GraphStore::new();
+        for i in 0..40 {
+            g.insert(&triple(&format!("s{}", i % 7), &format!("p{}", i % 3), &format!("o{i}")));
+        }
+        g
+    }
+
+    #[test]
+    fn facade_freeze_and_thaw_are_loss_free() {
+        let g = sample_graph();
+        let frozen = g.freeze();
+        assert_eq!(frozen.len(), g.len());
+        // String-level queries answer identically on both forms.
+        let pat = TriplePattern::new(iri("s1"), TermPattern::var("p"), TermPattern::var("o"));
+        assert_eq!(frozen.matching(&pat), g.matching(&pat));
+        assert_eq!(frozen.to_ntriples(), g.to_ntriples());
+        let thawed = frozen.thaw();
+        assert_eq!(thawed.to_ntriples(), g.to_ntriples());
+        assert_eq!(thawed.dict().len(), g.dict().len());
+    }
+
+    #[test]
+    fn facade_partial_freeze_and_thaw() {
+        let g = sample_graph();
+        let keep = IndexSet::EMPTY.with(IndexKind::Spo).with(IndexKind::Pos);
+        let partial = PartialGraphStore::from_parts(
+            g.dict().clone(),
+            PartialHexastore::from_triples(keep, g.store().matching(IdPattern::ALL)),
+        );
+        let frozen = partial.freeze();
+        assert_eq!(frozen.store().kept(), keep);
+        let pat = TriplePattern::new(TermPattern::var("s"), iri("p1"), TermPattern::var("o"));
+        assert_eq!(frozen.matching(&pat), partial.matching(&pat));
+        let thawed = frozen.thaw();
+        assert_eq!(thawed.matching(&pat), partial.matching(&pat));
+    }
+
+    #[test]
+    fn facade_save_and_load_both_forms() {
+        let g = sample_graph();
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let compact = dir.join(format!("dataset_facade_{pid}.hexsnap"));
+        let frozen_path = dir.join(format!("dataset_facade_{pid}_frozen.hexsnap"));
+
+        g.save(&compact).unwrap();
+        let reloaded = GraphStore::load(&compact).unwrap();
+        assert_eq!(reloaded.to_ntriples(), g.to_ntriples());
+
+        g.freeze().save(&frozen_path).unwrap();
+        let frozen = FrozenGraphStore::load(&frozen_path).unwrap();
+        assert_eq!(frozen.to_ntriples(), g.to_ntriples());
+        // Loss-free all the way around: thaw the loaded snapshot and
+        // compare against the original mutable store.
+        assert_eq!(frozen.thaw().to_ntriples(), g.to_ntriples());
+
+        std::fs::remove_file(&compact).ok();
+        std::fs::remove_file(&frozen_path).ok();
+    }
+
+    #[test]
+    fn into_parts_roundtrips() {
+        let g = sample_graph();
+        let ntriples = g.to_ntriples();
+        let (dict, store) = g.into_parts();
+        let rebuilt = GraphStore::from_parts(dict, store);
+        assert_eq!(rebuilt.to_ntriples(), ntriples);
+    }
+
+    #[test]
+    fn stats_reflect_the_store() {
+        let g = sample_graph();
+        let stats = g.stats();
+        assert_eq!(stats.triples, g.len());
+        assert_eq!(stats.distinct.1, 3, "three properties inserted");
+        // The frozen form reports identical statistics.
+        assert_eq!(g.freeze().stats(), stats);
     }
 }

@@ -48,7 +48,7 @@
 //! | [`store`] | [`Hexastore`]: the six indices over [`hex_dict::IdTriple`]s |
 //! | [`frozen`] | [`FrozenHexastore`]: zero-copy read-only stores over slabs |
 //! | [`bulk`] | sort-based bulk loader, serial or parallel ([`bulk::Config`]) |
-//! | [`graph`] | [`GraphStore`]: Hexastore + dictionary, string-level API |
+//! | [`graph`] | [`Dataset`]: any store + dictionary, string-level API |
 //! | [`pattern`] | [`IdPattern`]: the eight access shapes |
 //! | [`traits`] | [`TripleStore`]: the interface shared with the baselines |
 //! | [`hexsnap`] | the `hexsnap` binary on-disk snapshot format |
@@ -78,13 +78,15 @@ pub mod snapshot;
 pub use advisor::{recommend, serving_indices, IndexKind, IndexSet, WorkloadProfile};
 pub use arena::{ListArena, ListId};
 pub use frozen::{FrozenHexastore, FrozenPartialHexastore};
-pub use graph::GraphStore;
+pub use graph::{
+    Dataset, FrozenGraphStore, FrozenPartialGraphStore, GraphStore, PartialGraphStore,
+};
 pub use partial::PartialHexastore;
 pub use pattern::{IdPattern, Shape};
 pub use slab::{FlatArena, FlatVecMap, Span};
-pub use stats::DatasetStats;
+pub use stats::{DatasetStats, StatsSource};
 pub use store::{Hexastore, SpaceStats};
-pub use traits::{extend_store, TripleIter, TripleStore};
+pub use traits::{extend_store, MutableStore, TripleIter, TripleStore};
 pub use vecmap::VecMap;
 
 #[cfg(feature = "serde")]

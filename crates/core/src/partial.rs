@@ -85,18 +85,18 @@ impl OwnedIndex {
     /// ([`crate::bulk::scan_groups`]). With `presize`, headers and inner
     /// vectors are allocated at their exact final sizes.
     fn build_from_run(run: &[IdTriple], kind: IndexKind, presize: bool) -> OwnedIndex {
-        use crate::bulk::{count_distinct_adjacent, scan_groups, GroupEvent};
-        let key = |t: &IdTriple| project(kind, *t);
+        use crate::bulk::{at_fn, count_distinct_adjacent, scan_groups, GroupEvent};
+        let at = at_fn(run, None, move |t| project(kind, *t));
         let mut map: VecMap<Id, VecMap<Id, Vec<Id>>> = if presize {
-            VecMap::with_capacity(count_distinct_adjacent(run, |t| key(t).0))
+            VecMap::with_capacity(count_distinct_adjacent(run, |t| project(kind, *t).0))
         } else {
             VecMap::new()
         };
         let mut inner: VecMap<Id, Vec<Id>> = VecMap::new();
-        scan_groups(run, key, |event| match event {
+        scan_groups(run.len(), &at, |event| match event {
             GroupEvent::Header { distinct_k2, .. } => inner = VecMap::with_capacity(distinct_k2),
-            GroupEvent::Leaf { k2, items } => {
-                inner.push_sorted(k2, items.iter().map(|t| key(t).2).collect())
+            GroupEvent::Leaf { k2, range } => {
+                inner.push_sorted(k2, range.map(|i| at(i).2).collect())
             }
             GroupEvent::EndHeader { k1 } => map.push_sorted(k1, std::mem::take(&mut inner)),
         });
@@ -283,6 +283,8 @@ impl PartialHexastore {
         PartialHexastore { keep, indices, len }
     }
 }
+
+impl crate::traits::MutableStore for PartialHexastore {}
 
 impl TripleStore for PartialHexastore {
     fn name(&self) -> &'static str {

@@ -5,12 +5,17 @@
 //! *shape* analysis the paper leans on — "The vast majority of properties
 //! appear infrequently" (§5.1.1 on Barton), degree skew, and the
 //! multi-valued resources that §4.2 argues the Hexastore handles
-//! concisely. Everything here reads the six indices; nothing scans raw
-//! triples twice.
+//! concisely. [`DatasetStats::compute`] reads the six indices directly;
+//! [`DatasetStats::from_store`] is the store-agnostic fallback (one
+//! hashed triple scan) for stores without them, and [`StatsSource`]
+//! picks the cheapest path per store so the [`crate::Dataset`] facade
+//! never hashes what an index already knows.
 
+use crate::pattern::IdPattern;
 use crate::store::Hexastore;
 use crate::traits::TripleStore;
 use hex_dict::Id;
+use std::collections::{HashMap, HashSet};
 
 /// Summary statistics of a stored dataset.
 #[derive(Clone, Debug, PartialEq)]
@@ -65,6 +70,54 @@ impl DatasetStats {
         }
     }
 
+    /// Computes statistics from *any* [`TripleStore`] with one linear
+    /// pass over its triples — the entry point for stores without the
+    /// Hexastore's per-index accessors (the frozen slab stores, the
+    /// baselines). Produces exactly the same numbers as
+    /// [`DatasetStats::compute`] does on a full Hexastore.
+    pub fn from_store(store: &dyn TripleStore) -> DatasetStats {
+        let triples = store.len();
+        let mut subjects: HashSet<Id> = HashSet::new();
+        let mut objects: HashSet<Id> = HashSet::new();
+        let mut prop_counts: HashMap<Id, usize> = HashMap::new();
+        let mut sp_counts: HashMap<(Id, Id), usize> = HashMap::new();
+        store.for_each_matching(IdPattern::ALL, &mut |t| {
+            subjects.insert(t.s);
+            objects.insert(t.o);
+            *prop_counts.entry(t.p).or_insert(0) += 1;
+            *sp_counts.entry((t.s, t.p)).or_insert(0) += 1;
+        });
+
+        let mut property_cardinalities: Vec<(Id, usize)> = prop_counts.into_iter().collect();
+        property_cardinalities.sort_by_key(|&(p, n)| (std::cmp::Reverse(n), p));
+
+        let sp_pairs = sp_counts.len();
+        let multi_valued = sp_counts.values().filter(|&&n| n > 1).count();
+        let distinct = (subjects.len(), property_cardinalities.len(), objects.len());
+        DatasetStats {
+            triples,
+            distinct,
+            mean_out_degree: if distinct.0 == 0 { 0.0 } else { triples as f64 / distinct.0 as f64 },
+            mean_in_degree: if distinct.2 == 0 { 0.0 } else { triples as f64 / distinct.2 as f64 },
+            multi_valued_sp_fraction: if sp_pairs == 0 {
+                0.0
+            } else {
+                multi_valued as f64 / sp_pairs as f64
+            },
+            property_cardinalities,
+        }
+    }
+
+    /// Triple count of one property, if it occurs in the dataset.
+    ///
+    /// A linear scan of the frequency-sorted table (which cannot be
+    /// binary-searched by id) — fine for occasional lookups; callers
+    /// needing one probe per pattern per planning round should build an
+    /// id-keyed map from [`DatasetStats::property_cardinalities`] first.
+    pub fn property_cardinality(&self, p: Id) -> Option<usize> {
+        self.property_cardinalities.iter().find(|&&(q, _)| q == p).map(|&(_, n)| n)
+    }
+
     /// The `k` most frequent properties — the head the Abadi et al. study
     /// restricted itself to (the "28 interesting properties").
     pub fn top_properties(&self, k: usize) -> Vec<Id> {
@@ -92,6 +145,34 @@ impl DatasetStats {
         1.0 - 2.0 * area
     }
 }
+
+/// A store that can produce its own [`DatasetStats`], choosing the
+/// cheapest derivation its physical design allows.
+///
+/// [`crate::Dataset::stats`] is bound on this trait: the mutable
+/// [`Hexastore`] answers from its already-built indices
+/// ([`DatasetStats::compute`]); the other store forms fall back to the
+/// generic one-pass scan ([`DatasetStats::from_store`]). External store
+/// types can implement it the same way (the default body is the scan).
+pub trait StatsSource: TripleStore {
+    /// Summary statistics of this store's triples.
+    fn dataset_stats(&self) -> DatasetStats
+    where
+        Self: Sized,
+    {
+        DatasetStats::from_store(self)
+    }
+}
+
+impl StatsSource for Hexastore {
+    fn dataset_stats(&self) -> DatasetStats {
+        DatasetStats::compute(self)
+    }
+}
+
+impl StatsSource for crate::frozen::FrozenHexastore {}
+impl StatsSource for crate::frozen::FrozenPartialHexastore {}
+impl StatsSource for crate::partial::PartialHexastore {}
 
 #[cfg(test)]
 mod tests {
@@ -127,6 +208,18 @@ mod tests {
         assert_eq!(stats.property_cardinalities[1], (Id(11), 1));
         assert_eq!(stats.top_properties(1), vec![Id(10)]);
         assert_eq!(stats.top_properties(5).len(), 2);
+    }
+
+    #[test]
+    fn from_store_matches_compute_on_every_form() {
+        let triples: Vec<IdTriple> = (0..300u32).map(|i| t(i % 23, i % 7, i % 41)).collect();
+        let h = Hexastore::from_triples(triples.iter().copied());
+        let reference = DatasetStats::compute(&h);
+        assert_eq!(DatasetStats::from_store(&h), reference);
+        let frozen = h.freeze();
+        assert_eq!(DatasetStats::from_store(&frozen), reference);
+        assert_eq!(reference.property_cardinality(Id(3)), Some(h.property_cardinality(Id(3))));
+        assert_eq!(reference.property_cardinality(Id(99)), None);
     }
 
     #[test]

@@ -380,6 +380,8 @@ impl Hexastore {
     }
 }
 
+impl crate::traits::MutableStore for Hexastore {}
+
 impl TripleStore for Hexastore {
     fn name(&self) -> &'static str {
         "Hexastore"

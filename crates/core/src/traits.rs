@@ -91,6 +91,14 @@ pub trait TripleStore {
     fn heap_bytes(&self) -> usize;
 }
 
+/// Marker for stores whose [`TripleStore::insert`]/[`TripleStore::remove`]
+/// actually mutate (rather than panic, as the frozen slab stores do).
+///
+/// The string-level [`crate::Dataset`] facade bounds its mutating methods
+/// on this trait, so "insert into a frozen dataset" is a compile error
+/// instead of a runtime panic.
+pub trait MutableStore: TripleStore {}
+
 /// Extends a store from an iterator of triples, returning how many were new.
 pub fn extend_store<S: TripleStore + ?Sized>(
     store: &mut S,

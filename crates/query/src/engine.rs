@@ -15,7 +15,7 @@ use crate::algebra::{Bgp, Pattern, PatternTerm, VarId};
 use crate::exec::{self, PlanStep};
 use crate::parser::{parse_query, FilterOp, FilterOperand, ParseError, ParsedQuery};
 use hex_dict::Dictionary;
-use hexastore::{GraphStore, Shape, TripleStore};
+use hexastore::{Dataset, DatasetStats, Shape, TripleStore};
 use rdf_model::{Term, TermPattern};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
@@ -275,6 +275,8 @@ pub struct Plan<'a> {
     step_filters: Vec<Vec<CompiledFilter>>,
     /// Why no solutions can exist, decided at prepare time.
     empty_reason: Option<&'static str>,
+    /// Whether the join order was refined with [`DatasetStats`].
+    stats_mode: bool,
 }
 
 /// Compiles and plans a parsed query against a dictionary and a store.
@@ -289,6 +291,20 @@ pub fn prepare<'a>(
     Ok(Plan::from_compiled(compile(parsed, dict)?, dict, store))
 }
 
+/// Like [`prepare`], but refines the join order with dataset statistics
+/// when `stats` is provided: each greedy round scales a pattern's
+/// constants-only estimate by the fan-out of variables bound by earlier
+/// steps (mean out-/in-degree, per-property counts). With `stats = None`
+/// the plan is identical to [`prepare`]'s.
+pub fn prepare_with_stats<'a>(
+    parsed: &ParsedQuery,
+    dict: &'a Dictionary,
+    store: &'a dyn TripleStore,
+    stats: Option<&DatasetStats>,
+) -> Result<Plan<'a>, QueryError> {
+    Ok(Plan::from_compiled_with_stats(compile(parsed, dict)?, dict, store, stats))
+}
+
 /// Parses, compiles and plans query text against a store + dictionary
 /// pair (the text-level counterpart of [`prepare`]).
 pub fn prepare_on<'a>(
@@ -298,6 +314,17 @@ pub fn prepare_on<'a>(
 ) -> Result<Plan<'a>, QueryError> {
     let parsed = parse_query(query_text)?;
     prepare(&parsed, dict, store)
+}
+
+/// The text-level counterpart of [`prepare_with_stats`].
+pub fn prepare_on_with_stats<'a>(
+    store: &'a dyn TripleStore,
+    dict: &'a Dictionary,
+    query_text: &str,
+    stats: Option<&DatasetStats>,
+) -> Result<Plan<'a>, QueryError> {
+    let parsed = parse_query(query_text)?;
+    prepare_with_stats(&parsed, dict, store, stats)
 }
 
 fn shape_name(shape: Shape) -> &'static str {
@@ -322,10 +349,21 @@ impl<'a> Plan<'a> {
         dict: &'a Dictionary,
         store: &'a dyn TripleStore,
     ) -> Plan<'a> {
+        Plan::from_compiled_with_stats(query, dict, store, None)
+    }
+
+    /// Plans an already-compiled query, refining the join order with
+    /// dataset statistics when provided — see [`prepare_with_stats`].
+    pub fn from_compiled_with_stats(
+        query: CompiledQuery,
+        dict: &'a Dictionary,
+        store: &'a dyn TripleStore,
+        stats: Option<&DatasetStats>,
+    ) -> Plan<'a> {
         let mut empty_reason =
             query.bgp.is_none().then_some("a constant does not occur in the dictionary");
         let steps = match &query.bgp {
-            Some(bgp) => exec::plan_steps(store, bgp),
+            Some(bgp) => exec::plan_steps_with(store, bgp, stats),
             None => Vec::new(),
         };
         let mut step_filters: Vec<Vec<CompiledFilter>> = steps.iter().map(|_| Vec::new()).collect();
@@ -369,7 +407,7 @@ impl<'a> Plan<'a> {
                 }
             }
         }
-        Plan { store, dict, query, steps, step_filters, empty_reason }
+        Plan { store, dict, query, steps, step_filters, empty_reason, stats_mode: stats.is_some() }
     }
 
     /// The compiled query this plan runs.
@@ -438,6 +476,9 @@ impl<'a> Plan<'a> {
         let _ = writeln!(out, "query: {goal}");
         let caps: Vec<&str> = self.store.capabilities().iter().map(|k| k.name()).collect();
         let _ = writeln!(out, "store: {} capabilities={{{}}}", self.store.name(), caps.join(","));
+        if self.stats_mode {
+            let _ = writeln!(out, "planner: statistics-driven (bound-variable fan-out)");
+        }
         if let Some(reason) = self.empty_reason {
             let _ = writeln!(out, "  statically empty: {reason}");
             return out;
@@ -449,9 +490,11 @@ impl<'a> Plan<'a> {
                 Some(kind) => format!("index {}", kind.name()),
                 None => "scan".to_string(),
             };
+            let refined =
+                if self.stats_mode { format!(" cost={:.2}", step.cost) } else { String::new() };
             let _ = writeln!(
                 out,
-                "  step {}: ({}, {}, {}) shape={} est={} via {}",
+                "  step {}: ({}, {}, {}) shape={} est={}{refined} via {}",
                 i + 1,
                 self.render_term(pat.s),
                 self.render_term(pat.p),
@@ -487,6 +530,30 @@ impl<'a> Plan<'a> {
                 for (depth, filters) in self.step_filters.iter().enumerate() {
                     for &f in filters {
                         cursor.add_check(depth, Box::new(move |row| f.accepts(row)));
+                    }
+                }
+                // LIMIT pushdown: when every cursor row becomes exactly
+                // one emitted solution — non-DISTINCT, filter-free, no
+                // projected slot that could come back unbound — the walk
+                // itself can stop after `offset + limit` rows, so deeper
+                // levels never expand past the downstream demand.
+                if !self.query.ask && !self.query.distinct {
+                    let filter_free = self.step_filters.iter().all(Vec::is_empty);
+                    let mut pattern_bound = vec![false; bgp.var_count as usize];
+                    for pat in &bgp.patterns {
+                        for v in pat.vars() {
+                            pattern_bound[v.index()] = true;
+                        }
+                    }
+                    let projection_total = self
+                        .query
+                        .slots
+                        .iter()
+                        .all(|v| pattern_bound.get(v.index()).copied().unwrap_or(false));
+                    if let (true, true, Some(limit)) =
+                        (filter_free, projection_total, self.query.limit)
+                    {
+                        cursor.set_demand(Some(self.query.offset.saturating_add(limit)));
                     }
                 }
                 Some(cursor)
@@ -606,21 +673,91 @@ pub fn execute_on(
     Ok(prepare_on(store, dict, query_text)?.run())
 }
 
-/// Parses and runs a query against a [`GraphStore`] (the common case).
-pub fn execute(graph: &GraphStore, query_text: &str) -> Result<ResultSet, QueryError> {
+/// Parses and runs a query against any string-level [`Dataset`] (the
+/// common case; `GraphStore`, `FrozenGraphStore` and the partial facades
+/// all qualify).
+pub fn execute<S: TripleStore>(
+    graph: &Dataset<S>,
+    query_text: &str,
+) -> Result<ResultSet, QueryError> {
     execute_on(graph.store(), graph.dict(), query_text)
 }
 
 /// Parses and runs an ASK query, returning its boolean answer. SELECT
 /// queries are answered by non-emptiness. Streams: evaluation stops at
 /// the first solution.
-pub fn execute_ask(graph: &GraphStore, query_text: &str) -> Result<bool, QueryError> {
+pub fn execute_ask<S: TripleStore>(
+    graph: &Dataset<S>,
+    query_text: &str,
+) -> Result<bool, QueryError> {
     Ok(prepare_on(graph.store(), graph.dict(), query_text)?.solutions().next().is_some())
+}
+
+/// String-level query surface for [`Dataset`]: every store variant —
+/// mutable, frozen, partial — is queryable through `prepare` without
+/// touching id-level APIs.
+///
+/// ```
+/// use hexastore::GraphStore;
+/// use hex_query::DatasetQuery;
+///
+/// let mut g = GraphStore::new();
+/// g.load_ntriples(r#"<http://x/ID3> <http://x/advisor> <http://x/ID2> ."#).unwrap();
+///
+/// // The same text works on the frozen form — and with statistics.
+/// let frozen = g.freeze();
+/// let stats = frozen.stats();
+/// let plan = frozen
+///     .prepare_with_stats("SELECT ?s WHERE { ?s <http://x/advisor> ?a . }", Some(&stats))
+///     .unwrap();
+/// assert_eq!(plan.solutions().count(), 1);
+/// assert!(g.ask("ASK { ?s <http://x/advisor> ?a . }").unwrap());
+/// ```
+pub trait DatasetQuery {
+    /// Parses, compiles and plans query text against this dataset.
+    fn prepare(&self, query_text: &str) -> Result<Plan<'_>, QueryError>;
+
+    /// Like [`DatasetQuery::prepare`], refining the join order with
+    /// dataset statistics (e.g. from [`Dataset::stats`]) when provided.
+    fn prepare_with_stats(
+        &self,
+        query_text: &str,
+        stats: Option<&DatasetStats>,
+    ) -> Result<Plan<'_>, QueryError>;
+
+    /// One-shot: prepare and collect the full [`ResultSet`].
+    fn query(&self, query_text: &str) -> Result<ResultSet, QueryError>;
+
+    /// One-shot existence check: stops at the first solution.
+    fn ask(&self, query_text: &str) -> Result<bool, QueryError>;
+}
+
+impl<S: TripleStore> DatasetQuery for Dataset<S> {
+    fn prepare(&self, query_text: &str) -> Result<Plan<'_>, QueryError> {
+        prepare_on(self.store(), self.dict(), query_text)
+    }
+
+    fn prepare_with_stats(
+        &self,
+        query_text: &str,
+        stats: Option<&DatasetStats>,
+    ) -> Result<Plan<'_>, QueryError> {
+        prepare_on_with_stats(self.store(), self.dict(), query_text, stats)
+    }
+
+    fn query(&self, query_text: &str) -> Result<ResultSet, QueryError> {
+        Ok(self.prepare(query_text)?.run())
+    }
+
+    fn ask(&self, query_text: &str) -> Result<bool, QueryError> {
+        Ok(self.prepare(query_text)?.solutions().next().is_some())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hexastore::GraphStore;
     use rdf_model::Triple;
 
     fn iri(s: &str) -> Term {
@@ -926,6 +1063,39 @@ mod tests {
         assert!(plan.is_statically_empty());
         assert!(plan.explain().contains("bound by no pattern"), "{}", plan.explain());
         assert!(plan.run().is_empty());
+    }
+
+    #[test]
+    fn stats_mode_is_visible_in_explain_and_changes_nothing_semantically() {
+        let g = figure1_graph();
+        let text = r#"SELECT ?who WHERE {
+            ?who <http://x/type> <http://x/GradStudent> .
+            ?who <http://x/advisor> ?adv .
+        }"#;
+        let stats = g.stats();
+        let plain = g.prepare(text).unwrap();
+        let refined = g.prepare_with_stats(text, Some(&stats)).unwrap();
+        assert!(!plain.explain().contains("planner: statistics-driven"));
+        assert!(refined.explain().contains("planner: statistics-driven"), "{}", refined.explain());
+        assert!(refined.explain().contains("cost="), "{}", refined.explain());
+        let mut a: Vec<Vec<Term>> = plain.solutions().collect();
+        let mut b: Vec<Vec<Term>> = refined.solutions().collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dataset_query_trait_runs_on_every_facade() {
+        let g = figure1_graph();
+        let text = r#"SELECT ?p WHERE { <http://x/ID2> ?p "MIT" . }"#;
+        let reference = g.query(text).unwrap();
+        assert_eq!(reference.rows, vec![vec![iri("worksFor")]]);
+        let frozen = g.freeze();
+        assert_eq!(frozen.query(text).unwrap(), reference);
+        assert!(frozen.ask(r#"ASK { <http://x/ID3> <http://x/advisor> ?a . }"#).unwrap());
+        // TSV renderings are byte-identical across the two facades.
+        assert_eq!(frozen.query(text).unwrap().to_tsv(), reference.to_tsv());
     }
 
     #[test]

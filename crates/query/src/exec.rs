@@ -20,7 +20,8 @@
 
 use crate::algebra::{Bgp, Pattern, PatternTerm};
 use hex_dict::Id;
-use hexastore::{advisor, IndexKind, Shape, TripleIter, TripleStore};
+use hexastore::{advisor, DatasetStats, IndexKind, Shape, TripleIter, TripleStore};
+use std::cmp::Ordering;
 
 /// A set of binding rows; `None` marks an unbound slot.
 pub type Rows = Vec<Vec<Option<Id>>>;
@@ -36,6 +37,11 @@ pub struct PlanStep {
     pub shape: Shape,
     /// Constants-only cardinality estimate (one `count_matching` probe).
     pub estimate: usize,
+    /// The cost that ordered this step: `estimate` refined by the fan-out
+    /// of variables bound by earlier steps when planning with
+    /// [`DatasetStats`] (see [`plan_steps_with`]); exactly
+    /// `estimate as f64` when planning without statistics.
+    pub cost: f64,
     /// The index ordering that serves `shape` with a single probe, if the
     /// store's [`TripleStore::capabilities`] contain one; `None` means the
     /// store must fall back to a filtered scan for this step.
@@ -49,15 +55,61 @@ impl PlanStep {
     }
 }
 
+/// Chooses the evaluation order and annotates each step, planning from
+/// constants-only estimates (no statistics). See [`plan_steps_with`].
+pub fn plan_steps(store: &dyn TripleStore, bgp: &Bgp) -> Vec<PlanStep> {
+    plan_steps_with(store, bgp, None)
+}
+
+/// The cost of running `pat` next: its constants-only estimate, refined —
+/// when statistics are available — by the fan-out of each variable
+/// position that earlier steps have already bound. A bound subject slices
+/// the match set to one subject's share (÷ distinct subjects, i.e. down
+/// to the mean out-degree for an otherwise-open pattern), a bound object
+/// to one object's share (mean in-degree), a bound predicate variable to
+/// one property's share; per-property counts enter through the estimate
+/// itself, which `count_matching` probed with the pattern's constants.
+fn refined_cost(est: usize, pat: &Pattern, bound: &[bool], stats: Option<&DatasetStats>) -> f64 {
+    let mut cost = est as f64;
+    let Some(stats) = stats else { return cost };
+    let (ds, dp, do_) = stats.distinct;
+    for (term, distinct) in [(pat.s, ds), (pat.p, dp), (pat.o, do_)] {
+        if let PatternTerm::Var(v) = term {
+            if bound.get(v.index()).copied().unwrap_or(false) {
+                cost /= distinct.max(1) as f64;
+            }
+        }
+    }
+    cost
+}
+
+/// Greedy selection key: servability first, then cost, then bound count.
+/// With statistics absent, `cost` is the exact constants-only estimate
+/// (every `usize` estimate is exactly representable as `f64` far beyond
+/// realistic store sizes), so the order is identical to the pre-stats
+/// planner.
+fn key_cmp(a: (bool, f64, usize), b: (bool, f64, usize)) -> Ordering {
+    a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)).then(a.2.cmp(&b.2))
+}
+
 /// Chooses the evaluation order and annotates each step.
 ///
 /// Greedy strategy: repeatedly pick the pattern whose access shape under
 /// the current variable knowledge (a) is servable by one of the store's
-/// surviving indices, (b) has the smallest constants-only estimate, and
-/// (c) binds the most positions — in that priority. The constants-only
-/// estimate of a pattern never changes between greedy rounds, so it is
-/// probed exactly once per pattern.
-pub fn plan_steps(store: &dyn TripleStore, bgp: &Bgp) -> Vec<PlanStep> {
+/// surviving indices, (b) has the smallest cost, and (c) binds the most
+/// positions — in that priority. The constants-only estimate of a pattern
+/// never changes between greedy rounds, so it is probed exactly once per
+/// pattern; with `stats`, each round *refines* that estimate by
+/// bound-variable fan-out (see [`PlanStep::cost`]), which is what lets the
+/// planner run a large-cardinality pattern early once a previous step has
+/// pinned one of its variables (the star-join order the paper's plans
+/// pick by hand). Without `stats` the order is exactly the constants-only
+/// greedy order.
+pub fn plan_steps_with(
+    store: &dyn TripleStore,
+    bgp: &Bgp,
+    stats: Option<&DatasetStats>,
+) -> Vec<PlanStep> {
     let caps = store.capabilities();
     let n = bgp.patterns.len();
     let const_row = vec![None; bgp.var_count as usize];
@@ -74,22 +126,26 @@ pub fn plan_steps(store: &dyn TripleStore, bgp: &Bgp) -> Vec<PlanStep> {
         // placeholder: shape computation only needs bound-ness.
         let shape_row: Vec<Option<Id>> =
             bound.iter().map(|&b| if b { Some(Id(0)) } else { None }).collect();
-        let mut best: Option<(usize, (bool, usize, usize), Shape)> = None;
+        let mut best: Option<(usize, (bool, f64, usize), Shape)> = None;
         for (pos, &pi) in remaining.iter().enumerate() {
             let pat = &bgp.patterns[pi];
             let shape = pat.access(&shape_row).shape();
-            let key = (!caps.serves(shape), estimates[pi], 3 - pat.bound_count(&shape_row));
-            if best.as_ref().is_none_or(|&(_, best_key, _)| key < best_key) {
+            let cost = refined_cost(estimates[pi], pat, &bound, stats);
+            let key = (!caps.serves(shape), cost, 3 - pat.bound_count(&shape_row));
+            if best
+                .as_ref()
+                .is_none_or(|&(_, best_key, _)| key_cmp(key, best_key) == Ordering::Less)
+            {
                 best = Some((pos, key, shape));
             }
         }
-        let (pos, _, shape) = best.expect("remaining is non-empty");
+        let (pos, (_, cost, _), shape) = best.expect("remaining is non-empty");
         let pi = remaining.swap_remove(pos);
         for v in bgp.patterns[pi].vars() {
             bound[v.index()] = true;
         }
         let index = advisor::serving_indices(shape).iter().find(|&k| caps.contains(k));
-        steps.push(PlanStep { pattern: pi, shape, estimate: estimates[pi], index });
+        steps.push(PlanStep { pattern: pi, shape, estimate: estimates[pi], cost, index });
     }
     steps
 }
@@ -139,6 +195,10 @@ pub struct BgpCursor<'a> {
     stack: Vec<Level<'a>>,
     /// The pre-first-step row; `Some` until iteration starts.
     start: Option<Vec<Option<Id>>>,
+    /// LIMIT pushdown: stop the whole walk after this many rows.
+    demand: Option<usize>,
+    /// Rows produced so far (tracked only to honor `demand`).
+    produced: usize,
 }
 
 impl<'a> BgpCursor<'a> {
@@ -147,7 +207,15 @@ impl<'a> BgpCursor<'a> {
         assert_eq!(order.len(), bgp.patterns.len(), "order must cover every pattern");
         let patterns: Vec<Pattern> = order.iter().map(|&i| bgp.patterns[i]).collect();
         let checks = patterns.iter().map(|_| Vec::new()).collect();
-        BgpCursor { store, patterns, checks, stack: Vec::new(), start: Some(bgp.empty_row()) }
+        BgpCursor {
+            store,
+            patterns,
+            checks,
+            stack: Vec::new(),
+            start: Some(bgp.empty_row()),
+            demand: None,
+            produced: 0,
+        }
     }
 
     /// Attaches a predicate to the step at `depth` (0-based, execution
@@ -155,16 +223,35 @@ impl<'a> BgpCursor<'a> {
     pub fn add_check(&mut self, depth: usize, check: RowCheck<'a>) {
         self.checks[depth].push(check);
     }
+
+    /// Pushes a LIMIT into the join walk: once `demand` rows have been
+    /// produced, the cursor stops expanding levels, drops its in-flight
+    /// store iterators and answers `None` forever — so `LIMIT k` visits
+    /// `O(k)` triples regardless of how many the BGP matches. Callers
+    /// must only push a demand when every produced row will be consumed
+    /// as-is (no downstream DISTINCT or filtering that would re-pull).
+    pub fn set_demand(&mut self, demand: Option<usize>) {
+        self.demand = demand;
+    }
 }
 
 impl Iterator for BgpCursor<'_> {
     type Item = Vec<Option<Id>>;
 
     fn next(&mut self) -> Option<Self::Item> {
+        if self.demand.is_some_and(|d| self.produced >= d) {
+            // Demand met: abandon the walk eagerly (free the iterators).
+            self.stack.clear();
+            self.start = None;
+            return None;
+        }
         if let Some(row) = self.start.take() {
             match self.patterns.first() {
                 // An empty BGP has exactly one solution: the empty row.
-                None => return Some(row),
+                None => {
+                    self.produced += 1;
+                    return Some(row);
+                }
                 Some(first) => {
                     let iter = self.store.iter_matching(first.access(&row));
                     self.stack.push(Level { iter, row });
@@ -184,7 +271,10 @@ impl Iterator for BgpCursor<'_> {
                 continue;
             }
             match self.patterns.get(depth + 1) {
-                None => return Some(extended),
+                None => {
+                    self.produced += 1;
+                    return Some(extended);
+                }
                 Some(next_pat) => {
                     let iter = self.store.iter_matching(next_pat.access(&extended));
                     self.stack.push(Level { iter, row: extended });
@@ -394,6 +484,76 @@ mod tests {
         assert_eq!(got, expected);
     }
 
+    /// A star-join where the constants-only greedy order is wrong: after
+    /// the tiny professor-type step binds `?y`, the advisor pattern is
+    /// the cheap continuation (its object is pinned), but its raw
+    /// estimate is the largest of the three, so the stats-free planner
+    /// defers it and pays a cross-product with the student-type pattern.
+    fn star_join() -> (Hexastore, Bgp) {
+        let mut triples = Vec::new();
+        for s in 0..50u32 {
+            triples.push(t(s, 102, 60)); // students typed 60
+            triples.push(t(s, 100, 1000 + s % 5)); // advisor edges
+            triples.push(t(s, 101, 2000 + s)); // extra advisor-prop fanout
+        }
+        for prof in 1000..1005u32 {
+            triples.push(t(prof, 102, 61)); // professors typed 61
+        }
+        let store = Hexastore::from_triples(triples);
+        let bgp = Bgp::new(vec![
+            Pattern::new(v(0), c(102), c(60)), // ?s type Student  (est 50)
+            Pattern::new(v(0), c(100), v(1)),  // ?s advisor ?y    (est 50)
+            Pattern::new(v(1), c(102), c(61)), // ?y type Prof     (est 5)
+        ]);
+        (store, bgp)
+    }
+
+    #[test]
+    fn stats_refine_flips_the_star_join_order() {
+        let (store, bgp) = star_join();
+        let stats = hexastore::DatasetStats::compute(&store);
+
+        let plain = plan_steps(&store, &bgp);
+        let refined = plan_steps_with(&store, &bgp, Some(&stats));
+        // Both start with the most selective pattern (?y type Prof).
+        assert_eq!(plain[0].pattern, 2);
+        assert_eq!(refined[0].pattern, 2);
+        // Constants-only continues with the student-type pattern (est 50
+        // equals the advisor estimate, and neither is refined); stats
+        // sees the advisor pattern's bound object and runs it second.
+        assert_eq!(plain[1].pattern, 0, "{plain:?}");
+        assert_eq!(refined[1].pattern, 1, "{refined:?}");
+        assert!(refined[1].cost < refined[1].estimate as f64);
+        // Without stats, cost mirrors the estimate exactly.
+        for step in &plain {
+            assert_eq!(step.cost, step.estimate as f64);
+        }
+        // Both orders produce the same rows.
+        let mut a = execute_bgp_with_order(
+            &store,
+            &bgp,
+            &plain.iter().map(|s| s.pattern).collect::<Vec<_>>(),
+        );
+        let mut b = execute_bgp_with_order(
+            &store,
+            &bgp,
+            &refined.iter().map(|s| s.pattern).collect::<Vec<_>>(),
+        );
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stats_none_is_identical_to_plain_planning() {
+        let (store, bgp) = star_join();
+        let plain = plan_steps(&store, &bgp);
+        let with_none = plan_steps_with(&store, &bgp, None);
+        let a: Vec<usize> = plain.iter().map(|s| s.pattern).collect();
+        let b: Vec<usize> = with_none.iter().map(|s| s.pattern).collect();
+        assert_eq!(a, b);
+    }
+
     /// A store wrapper counting how many triples its cursors yield — the
     /// probe for early-termination claims.
     struct Counting<'a> {
@@ -452,6 +612,23 @@ mod tests {
         assert!(yielded.get() <= 2, "one row pulled, {} triples visited", yielded.get());
         drop(cursor);
         assert!(yielded.get() <= 2);
+    }
+
+    #[test]
+    fn demand_stops_the_walk_and_frees_iterators() {
+        let store = Hexastore::from_triples((0..1000).map(|i| t(i, 100, i + 1000)));
+        let yielded = Cell::new(0);
+        let counting = Counting { inner: &store, yielded: &yielded };
+        let bgp = Bgp::new(vec![Pattern::new(v(0), c(100), v(1))]);
+        let mut cursor = BgpCursor::new(&counting, &bgp, &[0]);
+        cursor.set_demand(Some(3));
+        let rows: Rows = cursor.collect();
+        assert_eq!(rows.len(), 3, "demand caps the row count");
+        assert!(
+            yielded.get() <= 4,
+            "demand 3 visited {} of 1000 triples; must be O(demand)",
+            yielded.get()
+        );
     }
 
     #[test]

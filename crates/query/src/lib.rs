@@ -21,8 +21,14 @@
 //! with its access shape, cardinality estimate and serving index —
 //! rendered by [`Plan::explain`]. [`Plan::solutions`] streams decoded
 //! rows lazily, so ASK stops at the first solution and `LIMIT k` after
-//! `offset + k` rows. The one-call [`execute`]/[`execute_on`]/
-//! [`execute_ask`] functions are thin shims over the same machinery.
+//! `offset + k` rows (for non-DISTINCT filter-free queries the limit is
+//! pushed into the join walk itself, bounding visited triples by the
+//! demand). The [`DatasetQuery`] trait puts the same surface on every
+//! string-level [`hexastore::Dataset`] facade — mutable, frozen or
+//! partial — and [`prepare_with_stats`] refines the join order with
+//! [`hexastore::DatasetStats`] bound-variable fan-out. The one-call
+//! [`execute`]/[`execute_on`]/[`execute_ask`] functions are thin shims
+//! over the same machinery.
 //!
 //! ## Example
 //!
@@ -59,10 +65,12 @@ pub mod path;
 pub use algebra::{Bgp, Pattern, PatternTerm, VarId};
 pub use engine::{
     compile, execute, execute_ask, execute_compiled, execute_on, prepare, prepare_on,
-    CompiledFilter, CompiledQuery, FilterSide, Plan, QueryError, ResultSet, Solutions,
+    prepare_on_with_stats, prepare_with_stats, CompiledFilter, CompiledQuery, DatasetQuery,
+    FilterSide, Plan, QueryError, ResultSet, Solutions,
 };
 pub use exec::{
-    execute_bgp, execute_bgp_with_order, plan_order, plan_steps, BgpCursor, PlanStep, RowCheck,
+    execute_bgp, execute_bgp_with_order, plan_order, plan_steps, plan_steps_with, BgpCursor,
+    PlanStep, RowCheck,
 };
 pub use parser::{parse_query, FilterExpr, FilterOp, FilterOperand, ParseError, ParsedQuery};
 pub use path::{

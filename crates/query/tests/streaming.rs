@@ -330,6 +330,51 @@ fn limit_stops_after_offset_plus_limit_rows() {
     );
 }
 
+/// 10k two-hop chain: subject i → (p0) → mid i → (p2-const object), so a
+/// two-pattern join has 10k full solutions.
+fn chain_store_and_dict() -> (Hexastore, Dictionary) {
+    let mut dict = Dictionary::new();
+    for i in 0..4 {
+        dict.encode(&term_for(i));
+    }
+    let mut triples = Vec::new();
+    for i in 0..10_000u32 {
+        let s = dict.encode(&Term::iri(format!("http://t/subject/{i}")));
+        let m = dict.encode(&Term::iri(format!("http://t/mid/{i}")));
+        triples.push(IdTriple::new(s, Id(0), m));
+        triples.push(IdTriple::new(m, Id(2), Id(3)));
+    }
+    (Hexastore::from_triples(triples), dict)
+}
+
+#[test]
+fn limit_pushdown_visits_o_k_triples_across_join_levels() {
+    // The demand (offset + limit) is pushed into the BgpCursor stack for
+    // this non-DISTINCT, filter-free query, so a two-level join over 10k
+    // matching chains visits O(k) triples for LIMIT k.
+    let (store, dict) = chain_store_and_dict();
+    let yielded = Cell::new(0);
+    let counting = Counting { inner: &store, yielded: &yielded };
+    let plan = hex_query::prepare_on(
+        &counting,
+        &dict,
+        &format!(
+            "SELECT ?x ?m WHERE {{ ?x {} ?m . ?m {} {} . }} LIMIT 7",
+            term_for(0),
+            term_for(2),
+            term_for(3)
+        ),
+    )
+    .unwrap();
+    let rows: Vec<Vec<Term>> = plan.solutions().collect();
+    assert_eq!(rows.len(), 7);
+    assert!(
+        yielded.get() <= 2 * 7 + 2,
+        "LIMIT 7 over 10k chains visited {} triples; must be O(limit)",
+        yielded.get()
+    );
+}
+
 #[test]
 fn materializing_shim_still_agrees_with_streaming() {
     // The retained execute* shims and the Plan surface answer identically.

@@ -3,15 +3,17 @@
 //! Prepares queries instead of running them in one shot: the returned
 //! `Plan` shows its cost-annotated, index-aware join order (`explain`),
 //! and streams rows lazily (`solutions`), so ASK stops at the first
-//! answer and LIMIT after `offset + limit` rows — on the full sextuple
-//! store *and* on an advisor-reduced `PartialHexastore`, whose
-//! `capabilities()` the planner consults automatically.
+//! answer and LIMIT after `offset + limit` rows. The same `prepare`
+//! surface now runs on *every* string-level facade — the mutable
+//! `GraphStore`, the read-only `FrozenGraphStore` it freezes into, and
+//! an advisor-reduced `PartialGraphStore` — and can refine its join
+//! order with dataset statistics (`prepare_with_stats`).
 //!
 //! Run with: `cargo run --example prepared_queries`
 
-use hex_query::prepare_on;
+use hex_query::DatasetQuery;
 use hexastore::advisor::{recommend, WorkloadProfile};
-use hexastore::{GraphStore, IdPattern, PartialHexastore, TripleStore};
+use hexastore::{Dataset, GraphStore, IdPattern, PartialHexastore, TripleStore};
 
 const EX: &str = "http://example.org/";
 
@@ -46,7 +48,7 @@ fn main() {
             FILTER(?prof != <{EX}ID1>)
         }}"#
     );
-    let plan = prepare_on(g.store(), g.dict(), &query).expect("query compiles");
+    let plan = g.prepare(&query).expect("query compiles");
     println!("=== plan on the full Hexastore ===");
     print!("{}", plan.explain());
     println!("--- solutions (streamed) ---");
@@ -55,15 +57,23 @@ fn main() {
         println!("  {}", cells.join("  "));
     }
 
-    // 2. ASK terminates at the first matching row.
-    let ask = format!("ASK {{ ?who <{EX}worksFor> \"MIT\" . }}");
-    let plan = prepare_on(g.store(), g.dict(), &ask).expect("query compiles");
-    println!("\n=== {ask} ===");
-    println!("answer: {}", plan.solutions().next().is_some());
+    // 2. The statistics mode refines join estimates by bound-variable
+    //    fan-out; explain() shows the refined per-step costs.
+    let stats = g.stats();
+    let refined = g.prepare_with_stats(&query, Some(&stats)).expect("query compiles");
+    println!("\n=== same query, statistics-driven planner ===");
+    print!("{}", refined.explain());
 
-    // 3. The same surface plans automatically on a reduced store: profile
-    //    the workload, keep only the recommended orderings, and let the
-    //    planner route every step through a surviving index.
+    // 3. The identical surface runs on the frozen (read-only, slab-backed)
+    //    facade — freeze carries the dictionary along.
+    let frozen = g.freeze();
+    let ask = format!("ASK {{ ?who <{EX}worksFor> \"MIT\" . }}");
+    println!("\n=== {ask} on the FrozenGraphStore ===");
+    println!("answer: {}", frozen.ask(&ask).expect("query compiles"));
+
+    // 4. And on a reduced store: profile the workload, keep only the
+    //    recommended orderings, and let the planner route every step
+    //    through a surviving index.
     let workload = [
         IdPattern::po(
             g.id_of(&rdf_model::Term::iri(format!("{EX}type"))).unwrap(),
@@ -72,11 +82,14 @@ fn main() {
         IdPattern::s(g.id_of(&rdf_model::Term::iri(format!("{EX}ID3"))).unwrap()),
     ];
     let keep = recommend(&WorkloadProfile::from_patterns(&workload));
-    let partial = PartialHexastore::from_triples(keep, g.store().matching(IdPattern::ALL));
+    let partial = Dataset::from_parts(
+        g.dict().clone(),
+        PartialHexastore::from_triples(keep, g.store().matching(IdPattern::ALL)),
+    );
     println!(
-        "\n=== same query on a PartialHexastore keeping {:?} ({} of 6 orderings) ===",
-        partial.kept(),
-        partial.kept().len()
+        "\n=== same surface on a PartialGraphStore keeping {:?} ({} of 6 orderings) ===",
+        partial.store().kept(),
+        partial.store().kept().len()
     );
     let reduced_query = format!(
         r#"SELECT ?s WHERE {{
@@ -84,11 +97,15 @@ fn main() {
             ?s <{EX}teachingAssist> "AI" .
         }}"#
     );
-    let plan = prepare_on(&partial, g.dict(), &reduced_query).expect("query compiles");
+    let plan = partial.prepare(&reduced_query).expect("query compiles");
     print!("{}", plan.explain());
     println!("--- solutions ---");
     for row in plan.solutions() {
         println!("  {}", row[0]);
     }
-    println!("\nmemory: partial {} B vs full {} B", partial.heap_bytes(), g.store().heap_bytes());
+    println!(
+        "\nmemory: partial {} B vs full {} B",
+        partial.store().heap_bytes(),
+        g.store().heap_bytes()
+    );
 }

@@ -2,14 +2,15 @@
 //!
 //! 1. the legacy serde shim — JSON text, parsed back and rebuilt through
 //!    the bulk loader (`Snapshot::into_restore`, move-only);
-//! 2. the binary `hexsnap` format — a columnar file whose optional slab
-//!    sections open straight into a query-ready `FrozenHexastore`, no
-//!    index rebuild at all.
+//! 2. the binary `hexsnap` format through the `Dataset` facade —
+//!    `graph.freeze().save(path)` writes a columnar file whose slab
+//!    sections open straight into a query-ready `FrozenGraphStore`
+//!    (`FrozenGraphStore::load`), no index rebuild and no id-level code.
 //!
 //! Run with: `cargo run --features serde --example snapshot_persistence`
 
 use hexastore::snapshot::Snapshot;
-use hexastore::{hexsnap, GraphStore};
+use hexastore::{FrozenGraphStore, GraphStore};
 use rdf_model::{Term, TermPattern, TriplePattern};
 
 fn main() {
@@ -46,27 +47,27 @@ fn main() {
     assert_eq!(from_json.matching(&pat), before, "JSON restore answers identically");
     println!("JSON restore rebuilt {} triples (six indices re-sorted)", from_json.len());
 
-    // --- Path 2: binary hexsnap with prebuilt slabs, zero rebuild. ----
+    // --- Path 2: binary hexsnap through the facade, zero rebuild. -----
     let bin_path = std::env::temp_dir().join("hexastore_snapshot_demo.hexsnap");
-    let frozen = g.store().freeze();
-    hexsnap::save_frozen(&bin_path, g.dict(), &frozen).expect("write binary snapshot");
+    g.freeze().save(&bin_path).expect("write binary snapshot");
     let bytes = std::fs::metadata(&bin_path).expect("stat snapshot").len();
     println!("binary snapshot is {bytes} bytes (dictionary arena + triple column + slabs)");
 
-    let (dict, store) = hexsnap::load_frozen(&bin_path).expect("open binary snapshot");
+    let frozen = FrozenGraphStore::load(&bin_path).expect("open binary snapshot");
     std::fs::remove_file(&bin_path).ok();
-    println!("frozen open: {} triples query-ready without rebuilding indices", store.len());
+    println!("frozen open: {} triples query-ready without rebuilding indices", frozen.len());
 
-    // The frozen store serves the same query through its slab columns —
-    // the loaded dictionary encodes the pattern's bound terms directly.
-    let advisor = dict.id_of(&Term::iri("http://ex/advisor")).expect("term interned");
-    let id2 = dict.id_of(&Term::iri("http://ex/ID2")).expect("term interned");
-    use hexastore::TripleStore;
-    assert_eq!(store.count_matching(hexastore::IdPattern::po(advisor, id2)), before.len());
+    // The frozen dataset answers the same string-level query through its
+    // slab columns — no manual dictionary plumbing.
+    assert_eq!(frozen.matching(&pat), before);
     println!("advisor query agrees across all paths: {} students of ID2", before.len());
 
-    // Need updates again? Thaw back to a mutable Hexastore, loss-free.
-    let mut thawed = store.thaw();
-    assert!(thawed.insert(hex_dict::IdTriple::from((100, 100, 100))));
+    // Need updates again? Thaw back to a mutable GraphStore, loss-free.
+    let mut thawed = frozen.thaw();
+    assert!(thawed.insert(&rdf_model::Triple::new(
+        Term::iri("http://ex/ID4"),
+        Term::iri("http://ex/advisor"),
+        Term::iri("http://ex/ID2"),
+    )));
     println!("thawed store accepts updates again ({} triples)", thawed.len());
 }

@@ -9,10 +9,15 @@
 //! - [`rdf_model`] — RDF terms, triples, N-Triples I/O
 //! - [`hex_dict`] — dictionary encoding of terms to integer ids
 //! - [`hexastore`] — the sextuple-index store (the paper's contribution)
+//!   and the generic string-level [`hexastore::Dataset`] facade
+//!   (`GraphStore`, `FrozenGraphStore`, partial aliases)
 //! - [`hex_baselines`] — TriplesTable, COVP1 and COVP2 comparators
-//! - [`hex_query`] — BGP query engine with merge-join execution
+//! - [`hex_query`] — BGP query engine with merge-join execution; the
+//!   [`hex_query::DatasetQuery`] trait plans query text on any facade,
+//!   optionally refined by dataset statistics
 //! - [`hex_datagen`] — LUBM-like and Barton-like workload generators
-//! - [`hex_bench_queries`] — the paper's twelve benchmark queries
+//! - [`hex_bench_queries`] — the paper's twelve benchmark queries, both
+//!   as hand-written per-store plans and as planner-ready SPARQL text
 
 pub use hex_baselines;
 pub use hex_bench_queries;
