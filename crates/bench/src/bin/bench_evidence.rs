@@ -15,9 +15,10 @@
 //! artifact; see `.github/workflows/ci.yml`.
 
 use hex_bench::{
-    ask_early_exit, ask_to_csv, cli, load_figure, load_to_csv, memory_figure, memory_to_csv,
-    path_report, plans_figure, plans_to_csv, run_figure, snapshot_figure, snapshot_to_csv,
-    space_report, AskRow, Figure, LoadRow, PlanRow, SnapshotRow, FIGURES,
+    ask_early_exit, ask_to_csv, cli, live_write_figure, live_write_to_csv, load_figure,
+    load_to_csv, memory_figure, memory_to_csv, path_report, plans_figure, plans_to_csv, run_figure,
+    snapshot_figure, snapshot_to_csv, space_report, AskRow, Figure, LiveWriteRow, LoadRow, PlanRow,
+    SnapshotRow, FIGURES,
 };
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -127,7 +128,7 @@ fn main() {
             }
             "space" => write_file(&args.out, "space.csv", &space_report(args.triples)),
             "path" => write_file(&args.out, "path.csv", &path_report(args.triples)),
-            "load" | "snapshot" | "plans" => {} // measured separately below
+            "load" | "snapshot" | "plans" | "live_write" => {} // measured separately below
             timing => {
                 let fig = run_figure(timing, args.triples, args.points, args.reps);
                 write_file(&args.out, &format!("figure_{timing}.csv"), &fig.to_csv());
@@ -154,6 +155,12 @@ fn main() {
     // for the binary hexsnap format (frozen open vs JSON rebuild).
     let snap: SnapshotRow = snapshot_figure(args.load_triples, args.reps);
     write_file(&args.out, "snapshot.csv", &snapshot_to_csv(&snap));
+
+    // Live write path at the same large scale: the acceptance signal for
+    // the WAL + overlay write path (sustained inserts while replaying
+    // paper queries, WAL recovery, compaction into a new generation).
+    let live: LiveWriteRow = live_write_figure(args.load_triples, args.reps);
+    write_file(&args.out, "live_write.csv", &live_write_to_csv(&live));
 
     // Planner ablation at figure scale: the twelve paper queries through
     // prepare — hand-written plan vs planner, statistics off/on. The
@@ -223,6 +230,17 @@ fn main() {
     let _ = writeln!(json, "    \"open_speedup_vs_json\": {},", num(snap.open_speedup()));
     let _ = writeln!(json, "    \"size_ratio_vs_json\": {}", num(snap.size_ratio()));
     let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"live_write\": {{");
+    let _ = writeln!(json, "    \"dataset\": \"lubm\",");
+    let _ = writeln!(json, "    \"triples\": {},", live.triples);
+    let _ = writeln!(json, "    \"base_triples\": {},", live.base_triples);
+    let _ = writeln!(json, "    \"inserts\": {},", live.inserts);
+    let _ = writeln!(json, "    \"queries_run\": {},", live.queries_run);
+    let _ = writeln!(json, "    \"insert_seconds\": {},", num(live.insert.as_secs_f64()));
+    let _ = writeln!(json, "    \"inserts_per_second\": {},", num(live.inserts_per_sec()));
+    let _ = writeln!(json, "    \"recovery_seconds\": {},", num(live.recovery.as_secs_f64()));
+    let _ = writeln!(json, "    \"compact_seconds\": {}", num(live.compact.as_secs_f64()));
+    let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"query_plans\": {{");
     let _ = writeln!(json, "    \"triples\": {},", args.triples);
     let _ = writeln!(json, "    \"stats_improved_queries\": {stats_improved},");
@@ -275,6 +293,17 @@ fn main() {
         ask.streamed.as_secs_f64(),
         ask.materialized.as_secs_f64(),
         ask.speedup()
+    );
+    println!(
+        "live write over {} inserts (+{} queries) on a {}-triple base: {:.3}s ({:.0} inserts/s), \
+         WAL recovery {:.3}s, compaction {:.3}s",
+        live.inserts,
+        live.queries_run,
+        live.base_triples,
+        live.insert.as_secs_f64(),
+        live.inserts_per_sec(),
+        live.recovery.as_secs_f64(),
+        live.compact.as_secs_f64()
     );
     println!(
         "snapshot {} triples: compact binary {} B vs JSON {} B ({:.1}x smaller, query-ready \

@@ -18,8 +18,9 @@
 //! permits.
 
 use hex_bench::{
-    cli, load_figure, load_to_csv, memory_figure, memory_to_csv, path_report, plans_figure,
-    plans_to_csv, run_figure, snapshot_figure, snapshot_to_csv, space_report, FIGURES,
+    cli, live_write_figure, live_write_to_csv, load_figure, load_to_csv, memory_figure,
+    memory_to_csv, path_report, plans_figure, plans_to_csv, run_figure, snapshot_figure,
+    snapshot_to_csv, space_report, FIGURES,
 };
 
 struct Args {
@@ -94,6 +95,10 @@ fn emit(figure: &str, triples: usize, points: usize, reps: usize, threads: usize
         }
         "plans" => {
             print!("{}", plans_to_csv(&plans_figure(triples, reps)));
+            println!();
+        }
+        "live_write" => {
+            print!("{}", live_write_to_csv(&live_write_figure(triples, reps)));
             println!();
         }
         timing => {

@@ -150,7 +150,7 @@ impl Figure {
 }
 
 /// Which figures exist and what they measure.
-pub const FIGURES: [(&str, &str); 18] = [
+pub const FIGURES: [(&str, &str); 19] = [
     ("3", "Barton Query 1"),
     ("4", "Barton Query 2 (full + 28-property)"),
     ("5", "Barton Query 3 (full + 28-property)"),
@@ -169,6 +169,7 @@ pub const FIGURES: [(&str, &str); 18] = [
     ("load", "Bulk-load throughput: serial vs parallel loader"),
     ("snapshot", "Snapshot formats: binary hexsnap vs JSON (size, save, open)"),
     ("plans", "Twelve paper queries through prepare: hand plan vs planner, stats off/on"),
+    ("live_write", "Live write path: sustained WAL inserts while querying + recovery + compaction"),
 ];
 
 type BartonQueryFns = Vec<(&'static str, Box<dyn Fn(&Suite, &BartonIds)>)>;
@@ -851,6 +852,140 @@ pub fn snapshot_to_csv(row: &SnapshotRow) -> String {
     )
 }
 
+/// One live-write-path measurement: sustained insert throughput into a
+/// [`hexastore::LiveGraphStore`] (WAL append + overlay delta) while the
+/// LUBM paper queries are replayed against the same store, plus the cost
+/// of recovering from the write-ahead log and of compacting the overlay
+/// into the next frozen generation.
+#[derive(Clone, Debug)]
+pub struct LiveWriteRow {
+    /// Total dataset size (frozen base + live inserts).
+    pub triples: usize,
+    /// Triples in the pre-built frozen generation the store opens on.
+    pub base_triples: usize,
+    /// WAL-logged inserts performed by the timed loop.
+    pub inserts: usize,
+    /// Paper queries replayed between inserts inside the timed loop.
+    pub queries_run: usize,
+    /// Wall-clock of the interleaved insert + query loop, including the
+    /// final WAL fsync.
+    pub insert: Duration,
+    /// Wall-clock of `LiveGraphStore::open` replaying the full WAL over
+    /// the frozen generation (the crash-recovery path).
+    pub recovery: Duration,
+    /// Wall-clock of folding the overlay into a new frozen generation
+    /// and truncating the WAL.
+    pub compact: Duration,
+}
+
+impl LiveWriteRow {
+    /// Sustained insert throughput of the timed loop (queries included).
+    pub fn inserts_per_sec(&self) -> f64 {
+        self.inserts as f64 / self.insert.as_secs_f64().max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Measures the live write path on a LUBM dataset of `scale` triples:
+/// the first 80% is bulk-built into a frozen generation on disk, then
+/// the remaining 20% is inserted one by one through the WAL + overlay,
+/// with one paper query replayed (through a [`hex_query::PlanCache`])
+/// every thousand inserts so the figure reflects insert-while-query
+/// service, not a write-only burst. The store is then dropped *without*
+/// compacting, recovery (`open` replaying the whole WAL) is timed, and
+/// finally one compaction into the next generation. Files go through the
+/// real filesystem (temp dir) so the numbers include I/O.
+pub fn live_write_figure(scale: usize, reps: usize) -> LiveWriteRow {
+    use hex_bench_queries::lubm_queries;
+    use hexastore::{hexsnap, LiveGraphStore};
+
+    const QUERY_EVERY: usize = 1_000;
+
+    let data = lubm_dataset(scale);
+    let split = data.len() * 4 / 5;
+    let mut dict = hex_dict::Dictionary::new();
+    let base_ids: Vec<hex_dict::IdTriple> =
+        data[..split].iter().map(|t| dict.encode_triple(t)).collect();
+    let base_triples = {
+        let mut sorted = base_ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        sorted.len()
+    };
+    let frozen = hexastore::bulk::build_frozen(base_ids);
+    // The paper queries' constants live in the base 80%; tiny unit-test
+    // scales may not bind them all — then the loop is insert-only.
+    let queries = lubm_queries(&dict);
+
+    let dir = std::env::temp_dir().join(format!("hexlive_bench_{}_{scale}", std::process::id()));
+    let mut insert = Duration::MAX;
+    let mut queries_run = 0usize;
+    for _ in 0..reps.max(1) {
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).expect("create live bench dir");
+        hexsnap::save_frozen(hexsnap::generation_path(&dir, 0), &dict, &frozen)
+            .expect("write base generation");
+        let mut live = LiveGraphStore::open(&dir).expect("open live store");
+        let mut cache = hex_query::PlanCache::new();
+        queries_run = 0;
+        let start = Instant::now();
+        for (i, t) in data[split..].iter().enumerate() {
+            live.insert(t).expect("WAL append");
+            if (i + 1) % QUERY_EVERY == 0 {
+                if let Some(qs) = &queries {
+                    let q = &qs[(i / QUERY_EVERY) % qs.len()];
+                    let plan = cache
+                        .prepare(live.dataset(), &q.text)
+                        .expect("paper query compiles on the live store");
+                    std::hint::black_box(plan.solutions().count());
+                    queries_run += 1;
+                }
+            }
+        }
+        live.sync().expect("WAL fsync");
+        insert = insert.min(start.elapsed());
+        // Dropped without compacting: the WAL carries every insert into
+        // the recovery measurement below.
+    }
+
+    let recovery = time_op(reps, || LiveGraphStore::open(&dir).expect("recover live store").len());
+
+    let mut live = LiveGraphStore::open(&dir).expect("recover live store");
+    let start = Instant::now();
+    live.compact().expect("compact live store");
+    let compact = start.elapsed();
+    let triples = live.len();
+    drop(live);
+    std::fs::remove_dir_all(&dir).ok();
+
+    LiveWriteRow {
+        triples,
+        base_triples,
+        inserts: data.len() - split,
+        queries_run,
+        insert,
+        recovery,
+        compact,
+    }
+}
+
+/// Renders the live-write measurement as a one-row CSV.
+pub fn live_write_to_csv(row: &LiveWriteRow) -> String {
+    format!(
+        "# Live write path — WAL + overlay inserts while replaying paper queries, lubm dataset\n\
+         triples,base_triples,inserts,queries_run,insert_s,inserts_per_second,recovery_s,\
+         compact_s\n\
+         {},{},{},{},{:.6},{:.1},{:.6},{:.6}\n",
+        row.triples,
+        row.base_triples,
+        row.inserts,
+        row.queries_run,
+        row.insert.as_secs_f64(),
+        row.inserts_per_sec(),
+        row.recovery.as_secs_f64(),
+        row.compact.as_secs_f64(),
+    )
+}
+
 /// One planner-ablation measurement: the same paper query answered by
 /// the hand-written per-store plan, by the planner's constants-only
 /// order, and by the statistics-refined order.
@@ -1204,6 +1339,21 @@ mod tests {
         }
         let csv = snapshot_to_csv(&row);
         assert!(csv.contains("triples,json_bytes,binary_bytes"));
+        assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    fn live_write_figure_measures_the_full_lifecycle() {
+        let row = live_write_figure(5_000, 1);
+        assert!(row.triples > 0 && row.triples <= 5_000);
+        assert!(row.base_triples > 0);
+        assert_eq!(row.inserts, lubm_dataset(5_000).len().div_ceil(5));
+        for d in [row.insert, row.recovery, row.compact] {
+            assert!(d > Duration::ZERO);
+        }
+        assert!(row.inserts_per_sec() > 0.0);
+        let csv = live_write_to_csv(&row);
+        assert!(csv.contains("triples,base_triples,inserts,queries_run,insert_s"));
         assert_eq!(csv.lines().count(), 3);
     }
 

@@ -34,6 +34,7 @@ use crate::arena::{ListArena, ListId};
 use crate::frozen::{FrozenHexastore, FrozenIndex, FrozenPair};
 use crate::slab::FlatArena;
 use crate::store::Hexastore;
+use crate::traits::TripleStore as _;
 use crate::vecmap::VecMap;
 use hex_dict::{Id, IdTriple};
 
@@ -193,6 +194,28 @@ pub fn build_with(mut triples: Vec<IdTriple>, config: Config) -> Hexastore {
 /// default [`Config`] — see [`build_frozen_with`].
 pub fn build_frozen(triples: Vec<IdTriple>) -> FrozenHexastore {
     build_frozen_with(triples, Config::default())
+}
+
+/// Folds an [`OverlayHexastore`](crate::OverlayHexastore)'s merged view
+/// (base minus tombstones, plus delta) into a new frozen generation —
+/// the compaction entry point of the live write path.
+///
+/// The overlay's full-scan cursor already yields distinct triples in
+/// `(s, p, o)` order, so the builder's sort-dedup pass runs over
+/// presorted input and the cost is dominated by the same
+/// permutation-gather emission as any other frozen build.
+pub fn compact_frozen(overlay: &crate::overlay::OverlayHexastore) -> FrozenHexastore {
+    compact_frozen_with(overlay, Config::default())
+}
+
+/// [`compact_frozen`] with an explicit build [`Config`].
+pub fn compact_frozen_with(
+    overlay: &crate::overlay::OverlayHexastore,
+    config: Config,
+) -> FrozenHexastore {
+    let mut triples = Vec::with_capacity(overlay.len());
+    triples.extend(overlay.iter_matching(crate::pattern::IdPattern::ALL));
+    build_frozen_with(triples, config)
 }
 
 /// Builds a [`FrozenHexastore`] from an arbitrary triple batch, emitting

@@ -17,13 +17,16 @@
 //! [`Dataset::save`]/[`Dataset::load`] without touching id-level APIs.
 
 use crate::frozen::{FrozenHexastore, FrozenPartialHexastore};
+use crate::overlay::OverlayHexastore;
 use crate::partial::PartialHexastore;
 use crate::pattern::IdPattern;
 use crate::stats::DatasetStats;
 use crate::store::Hexastore;
 use crate::traits::{MutableStore, TripleStore};
+use crate::wal::{Wal, WalOp};
 use hex_dict::Dictionary;
 use rdf_model::{NtParseError, Term, TermPattern, Triple, TriplePattern};
+use std::path::{Path, PathBuf};
 
 /// A triple store together with its dictionary — the full paper
 /// architecture, generic over the physical store.
@@ -57,6 +60,10 @@ use rdf_model::{NtParseError, Term, TermPattern, Triple, TriplePattern};
 pub struct Dataset<S> {
     dict: Dictionary,
     store: S,
+    /// Monotonic mutation counter — bumped by every path that can
+    /// change the stored triples or the dictionary, so derived caches
+    /// (e.g. a query-plan cache) can detect staleness cheaply.
+    version: u64,
 }
 
 /// The read-write default: a mutable [`Hexastore`] with its dictionary.
@@ -73,11 +80,16 @@ pub type PartialGraphStore = Dataset<PartialHexastore>;
 /// The read-only form of a reduced-index store with its dictionary.
 pub type FrozenPartialGraphStore = Dataset<FrozenPartialHexastore>;
 
+/// A live-writable overlay on a frozen base with its dictionary — the
+/// in-memory half of [`LiveGraphStore`], usable standalone when
+/// durability is not needed.
+pub type OverlayGraphStore = Dataset<OverlayHexastore>;
+
 impl<S: TripleStore> Dataset<S> {
     /// Reassembles a dataset from a dictionary and an id-level store.
     /// Every id in the store must already be interned in the dictionary.
     pub fn from_parts(dict: Dictionary, store: S) -> Self {
-        Dataset { dict, store }
+        Dataset { dict, store, version: 0 }
     }
 
     /// Splits the dataset back into its dictionary and id-level store.
@@ -175,6 +187,13 @@ impl<S: TripleStore> Dataset<S> {
     pub fn heap_bytes(&self) -> usize {
         self.store.heap_bytes() + self.dict.heap_bytes()
     }
+
+    /// Monotonic mutation counter: two equal readings with no
+    /// intervening `&mut self` access mean the stored triples and the
+    /// dictionary are unchanged. Plan caches key their validity on it.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
 }
 
 impl<S: crate::stats::StatsSource> Dataset<S> {
@@ -197,12 +216,16 @@ impl<S: TripleStore + Default> Dataset<S> {
 
 impl<S: MutableStore> Dataset<S> {
     /// Mutable access to the dictionary, for pre-interning terms.
+    /// Counts as a mutation for [`Dataset::version`]: new interned
+    /// terms can turn a statically-empty cached plan live.
     pub fn dict_mut(&mut self) -> &mut Dictionary {
+        self.version += 1;
         &mut self.dict
     }
 
     /// Inserts a triple, interning its terms. Returns `true` if new.
     pub fn insert(&mut self, t: &Triple) -> bool {
+        self.version += 1;
         let enc = self.dict.encode_triple(t);
         self.store.insert(enc)
     }
@@ -210,7 +233,10 @@ impl<S: MutableStore> Dataset<S> {
     /// Removes a triple. Returns `true` if it was present.
     pub fn remove(&mut self, t: &Triple) -> bool {
         match self.dict.triple_ids(t) {
-            Some(enc) => self.store.remove(enc),
+            Some(enc) => {
+                self.version += 1;
+                self.store.remove(enc)
+            }
             None => false,
         }
     }
@@ -248,7 +274,7 @@ impl Dataset<Hexastore> {
     /// store flattens into a [`FrozenHexastore`]; the dictionary is
     /// cloned (cheap: terms are shared, not copied).
     pub fn freeze(&self) -> FrozenGraphStore {
-        Dataset { dict: self.dict.clone(), store: self.store.freeze() }
+        Dataset { dict: self.dict.clone(), store: self.store.freeze(), version: self.version }
     }
 
     /// Saves the dataset as a compact `hexsnap` file (dictionary + triple
@@ -266,7 +292,7 @@ impl Dataset<Hexastore> {
 impl Dataset<FrozenHexastore> {
     /// Converts back into a mutable [`GraphStore`], loss-free.
     pub fn thaw(self) -> GraphStore {
-        Dataset { dict: self.dict, store: self.store.thaw() }
+        Dataset { dict: self.dict, store: self.store.thaw(), version: self.version }
     }
 
     /// Saves the dataset as a query-ready `hexsnap` file *with* prebuilt
@@ -281,21 +307,206 @@ impl Dataset<FrozenHexastore> {
     /// sections, otherwise a frozen bulk build from the triple column.
     pub fn load(path: impl AsRef<std::path::Path>) -> crate::hexsnap::Result<FrozenGraphStore> {
         let (dict, store) = crate::hexsnap::load_frozen(path)?;
-        Ok(Dataset { dict, store })
+        Ok(Dataset { dict, store, version: 0 })
+    }
+}
+
+impl Dataset<OverlayHexastore> {
+    /// Wraps a frozen dataset in a clean overlay, making it writable
+    /// again without thawing the slabs.
+    pub fn from_frozen(frozen: FrozenGraphStore) -> OverlayGraphStore {
+        let (dict, store) = frozen.into_parts();
+        Dataset::from_parts(dict, OverlayHexastore::new(store))
+    }
+
+    /// Folds the overlay's delta and tombstones into a new frozen base
+    /// generation (see [`OverlayHexastore::compact`]). Query results
+    /// are unchanged, so the [`Dataset::version`] reading stays valid.
+    pub fn compact(&mut self) {
+        self.store.compact();
+    }
+
+    /// [`compact`](Self::compact) with an explicit bulk-build config.
+    pub fn compact_with(&mut self, config: crate::bulk::Config) {
+        self.store.compact_with(config);
     }
 }
 
 impl Dataset<PartialHexastore> {
     /// Freezes the reduced-index dataset into its read-only form.
     pub fn freeze(&self) -> FrozenPartialGraphStore {
-        Dataset { dict: self.dict.clone(), store: self.store.freeze() }
+        Dataset { dict: self.dict.clone(), store: self.store.freeze(), version: self.version }
     }
 }
 
 impl Dataset<FrozenPartialHexastore> {
     /// Converts back into a mutable [`PartialGraphStore`], loss-free.
     pub fn thaw(self) -> PartialGraphStore {
-        Dataset { dict: self.dict, store: self.store.thaw() }
+        Dataset { dict: self.dict, store: self.store.thaw(), version: self.version }
+    }
+}
+
+/// File name of the write-ahead log inside a live store directory.
+const WAL_FILE: &str = "wal.hexwal";
+
+/// A durable, live-writable dataset: an [`OverlayGraphStore`] backed by
+/// a directory of frozen snapshot *generations* plus a write-ahead log.
+///
+/// Every mutation is appended to the WAL before it touches the overlay,
+/// so a crash at any byte loses at most the unsynced log tail.
+/// [`LiveGraphStore::open`] (and its alias [`LiveGraphStore::recover`])
+/// rebuilds the pre-crash state by loading the newest
+/// `gen-NNNNNN.hexsnap` generation and replaying the WAL's clean prefix
+/// over it. [`LiveGraphStore::compact`] folds the overlay into the next
+/// frozen generation on disk, prunes older generations, and truncates
+/// the log.
+///
+/// ```text
+///  insert/remove ──► WAL append ──► overlay (delta / tombstones)
+///                                      │ compact()
+///                                      ▼
+///               gen-000042.hexsnap (frozen slabs)   WAL truncated
+/// ```
+#[derive(Debug)]
+pub struct LiveGraphStore {
+    data: OverlayGraphStore,
+    wal: Wal,
+    dir: PathBuf,
+    generation: u64,
+}
+
+impl LiveGraphStore {
+    /// Opens (or creates) a live store directory, replaying the WAL's
+    /// clean prefix over the newest snapshot generation. A torn WAL
+    /// tail is truncated away; a missing directory starts empty.
+    pub fn open(dir: impl AsRef<Path>) -> crate::hexsnap::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let (generation, mut data) = match crate::hexsnap::newest_generation(&dir)? {
+            Some((gen, path)) => {
+                let (dict, frozen) = crate::hexsnap::load_frozen(path)?;
+                (gen, Dataset::from_parts(dict, OverlayHexastore::new(frozen)))
+            }
+            None => (0, OverlayGraphStore::new()),
+        };
+        let (wal, ops) = Wal::open(dir.join(WAL_FILE))?;
+        for op in &ops {
+            // String-level replay re-interns terms first seen after the
+            // snapshot was written; id-level records could not.
+            match op {
+                WalOp::Insert(t) => {
+                    data.insert(t);
+                }
+                WalOp::Remove(t) => {
+                    data.remove(t);
+                }
+            }
+        }
+        Ok(LiveGraphStore { data, wal, dir, generation })
+    }
+
+    /// Crash recovery is the normal open path — provided as an explicit
+    /// alias so call sites can say what they mean.
+    pub fn recover(dir: impl AsRef<Path>) -> crate::hexsnap::Result<Self> {
+        Self::open(dir)
+    }
+
+    /// The queryable dataset view (dictionary + overlay store). Use it
+    /// with any read API — `matching`, the query engine, statistics.
+    pub fn dataset(&self) -> &OverlayGraphStore {
+        &self.data
+    }
+
+    /// The directory holding the snapshot generations and the WAL.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The generation number of the frozen base currently serving
+    /// reads (0 before the first compaction of a fresh store).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Number of triples stored.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if no triples are stored.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, t: &Triple) -> bool {
+        self.data.contains(t)
+    }
+
+    /// Bytes currently in the WAL (header included) — the replay debt
+    /// the next [`LiveGraphStore::open`] would pay.
+    pub fn wal_bytes(&self) -> u64 {
+        self.wal.len_bytes()
+    }
+
+    /// Inserts a triple durably: WAL append first, then the overlay.
+    /// Returns `true` if the triple was new. Call
+    /// [`LiveGraphStore::sync`] to force the log to stable storage.
+    pub fn insert(&mut self, t: &Triple) -> crate::hexsnap::Result<bool> {
+        if self.data.contains(t) {
+            return Ok(false); // no-ops are not logged
+        }
+        self.wal.append(&WalOp::Insert(t.clone()))?;
+        Ok(self.data.insert(t))
+    }
+
+    /// Removes a triple durably: WAL append first, then the overlay.
+    /// Returns `true` if the triple was present.
+    pub fn remove(&mut self, t: &Triple) -> crate::hexsnap::Result<bool> {
+        if !self.data.contains(t) {
+            return Ok(false);
+        }
+        self.wal.append(&WalOp::Remove(t.clone()))?;
+        Ok(self.data.remove(t))
+    }
+
+    /// Forces all appended WAL records to stable storage.
+    pub fn sync(&mut self) -> crate::hexsnap::Result<()> {
+        self.wal.sync()
+    }
+
+    /// Folds the overlay into the next frozen generation on disk, then
+    /// prunes older generations and truncates the WAL.
+    ///
+    /// The new generation is written to a temporary file and renamed
+    /// into place before the log is touched, so a crash at any point
+    /// leaves either the old generation + full WAL or the new
+    /// generation (+ a WAL whose replay is a no-op) — never a torn
+    /// snapshot.
+    pub fn compact(&mut self) -> crate::hexsnap::Result<()> {
+        self.compact_with(crate::bulk::Config::default())
+    }
+
+    /// [`compact`](Self::compact) with an explicit bulk-build config.
+    pub fn compact_with(&mut self, config: crate::bulk::Config) -> crate::hexsnap::Result<()> {
+        if self.data.store().is_dirty() {
+            let next = self.generation + 1;
+            self.data.compact_with(config);
+            let path = crate::hexsnap::generation_path(&self.dir, next);
+            let tmp = self.dir.join(format!("gen-{next:06}.tmp"));
+            crate::hexsnap::save_frozen(&tmp, self.data.dict(), self.data.store().base())?;
+            std::fs::rename(&tmp, &path)?;
+            self.generation = next;
+        }
+        // The snapshot now owns every logged mutation (or the log's net
+        // effect was empty): reset the log, then drop stale generations.
+        self.wal.truncate()?;
+        for (gen, path) in crate::hexsnap::generations(&self.dir)? {
+            if gen < self.generation {
+                std::fs::remove_file(path).ok(); // best-effort prune
+            }
+        }
+        Ok(())
     }
 }
 
@@ -478,5 +689,158 @@ mod tests {
         assert_eq!(stats.distinct.1, 3, "three properties inserted");
         // The frozen form reports identical statistics.
         assert_eq!(g.freeze().stats(), stats);
+    }
+
+    #[test]
+    fn version_counts_mutations_and_survives_form_changes() {
+        let mut g = GraphStore::new();
+        assert_eq!(g.version(), 0);
+        g.insert(&triple("a", "b", "c"));
+        let after_insert = g.version();
+        assert!(after_insert > 0);
+        // Reads leave the version alone.
+        g.matching(&TriplePattern::new(iri("a"), TermPattern::var("p"), TermPattern::var("o")));
+        assert_eq!(g.version(), after_insert);
+        // A miss remove is not a mutation; a hit is.
+        assert!(!g.remove(&triple("x", "y", "z")));
+        assert_eq!(g.version(), after_insert);
+        assert!(g.remove(&triple("a", "b", "c")));
+        assert!(g.version() > after_insert);
+        let v = g.version();
+        g.dict_mut();
+        assert!(g.version() > v, "dictionary access may intern new terms");
+        // The version rides through freeze so caches stay comparable.
+        assert_eq!(g.freeze().version(), g.version());
+    }
+
+    #[test]
+    fn overlay_dataset_mutates_over_a_frozen_base() {
+        let g = sample_graph();
+        let ntriples = g.to_ntriples();
+        let mut live = OverlayGraphStore::from_frozen(g.freeze());
+        assert_eq!(live.to_ntriples(), ntriples);
+        let extra = triple("new-s", "new-p", "new-o");
+        assert!(live.insert(&extra));
+        assert!(live.remove(&triple("s1", "p1", "o1")));
+        assert!(live.contains(&extra));
+        assert!(!live.contains(&triple("s1", "p1", "o1")));
+        let before = live.to_ntriples();
+        live.compact();
+        assert!(!live.store().is_dirty());
+        assert_eq!(live.to_ntriples(), before, "compaction must not change results");
+    }
+
+    fn live_dir(tag: &str) -> PathBuf {
+        static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        std::env::temp_dir().join(format!("hexlive-test-{}-{tag}-{n}", std::process::id()))
+    }
+
+    #[test]
+    fn live_store_recovers_from_wal_after_crash() {
+        let dir = live_dir("crash");
+        let t1 = triple("ID1", "advisor", "ID2");
+        let t2 = triple("ID2", "worksFor", "MIT");
+        let t3 = triple("ID3", "takesCourse", "Course10");
+        {
+            let mut live = LiveGraphStore::open(&dir).unwrap();
+            assert!(live.is_empty());
+            assert!(live.insert(&t1).unwrap());
+            assert!(live.insert(&t2).unwrap());
+            assert!(live.insert(&t3).unwrap());
+            assert!(live.remove(&t2).unwrap());
+            assert!(!live.insert(&t1).unwrap(), "duplicate insert is a logged no-op");
+            live.sync().unwrap();
+            // Dropped without compacting: the WAL is the only record.
+        }
+        let recovered = LiveGraphStore::recover(&dir).unwrap();
+        assert_eq!(recovered.len(), 2);
+        assert!(recovered.contains(&t1));
+        assert!(!recovered.contains(&t2));
+        assert!(recovered.contains(&t3));
+        assert_eq!(recovered.generation(), 0, "no snapshot was ever written");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn live_store_compaction_rolls_generations_and_truncates_the_wal() {
+        let dir = live_dir("compact");
+        let mut live = LiveGraphStore::open(&dir).unwrap();
+        for i in 0..25 {
+            live.insert(&triple(&format!("s{i}"), "p", &format!("o{i}"))).unwrap();
+        }
+        live.compact().unwrap();
+        assert_eq!(live.generation(), 1);
+        assert!(live.wal_bytes() == crate::wal::HEADER_LEN, "WAL reset after compaction");
+        assert!(crate::hexsnap::generation_path(&dir, 1).exists());
+
+        // Write more, compact again: generation 2 replaces generation 1.
+        live.remove(&triple("s0", "p", "o0")).unwrap();
+        live.insert(&triple("s99", "p", "o99")).unwrap();
+        live.compact().unwrap();
+        assert_eq!(live.generation(), 2);
+        assert!(!crate::hexsnap::generation_path(&dir, 1).exists(), "old generation pruned");
+        drop(live);
+
+        // Reopening from the snapshot alone restores the full state.
+        let reopened = LiveGraphStore::open(&dir).unwrap();
+        assert_eq!(reopened.generation(), 2);
+        assert_eq!(reopened.len(), 25);
+        assert!(!reopened.contains(&triple("s0", "p", "o0")));
+        assert!(reopened.contains(&triple("s99", "p", "o99")));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn live_store_replays_wal_over_the_newest_generation() {
+        let dir = live_dir("mixed");
+        let kept = triple("base", "p", "kept");
+        let masked = triple("base", "p", "masked");
+        let fresh = triple("delta", "p", "fresh");
+        {
+            let mut live = LiveGraphStore::open(&dir).unwrap();
+            live.insert(&kept).unwrap();
+            live.insert(&masked).unwrap();
+            live.compact().unwrap(); // generation 1 holds kept + masked
+            live.remove(&masked).unwrap(); // WAL-only tombstone
+            live.insert(&fresh).unwrap(); // WAL-only insert, new terms
+            live.sync().unwrap();
+        }
+        let recovered = LiveGraphStore::open(&dir).unwrap();
+        assert_eq!(recovered.generation(), 1);
+        assert_eq!(recovered.len(), 2);
+        assert!(recovered.contains(&kept));
+        assert!(!recovered.contains(&masked));
+        assert!(recovered.contains(&fresh), "new terms re-interned from the string-level WAL");
+        assert_eq!(recovered.dataset().store().tombstone_len(), 1);
+        assert_eq!(recovered.dataset().store().delta_len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn live_store_survives_a_torn_wal_tail() {
+        let dir = live_dir("torn");
+        let t1 = triple("a", "p", "b");
+        let t2 = triple("c", "p", "d");
+        {
+            let mut live = LiveGraphStore::open(&dir).unwrap();
+            live.insert(&t1).unwrap();
+            live.insert(&t2).unwrap();
+            live.sync().unwrap();
+        }
+        // Tear the last record mid-body, as an interrupted write would.
+        let wal_path = dir.join(super::WAL_FILE);
+        let bytes = std::fs::read(&wal_path).unwrap();
+        std::fs::write(&wal_path, &bytes[..bytes.len() - 3]).unwrap();
+        let recovered = LiveGraphStore::recover(&dir).unwrap();
+        assert!(recovered.contains(&t1));
+        assert!(!recovered.contains(&t2), "torn record rolls back to the clean prefix");
+        // The store stays writable after recovery.
+        let mut recovered = recovered;
+        assert!(recovered.insert(&t2).unwrap());
+        drop(recovered);
+        let reopened = LiveGraphStore::open(&dir).unwrap();
+        assert_eq!(reopened.len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

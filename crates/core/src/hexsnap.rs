@@ -771,6 +771,56 @@ pub fn load_frozen(path: impl AsRef<Path>) -> Result<(Dictionary, FrozenHexastor
     Ok((dict, store))
 }
 
+// ---------------------------------------------------------------------
+// Snapshot generations (live write path).
+// ---------------------------------------------------------------------
+
+/// File-name prefix of snapshot generations in a live store directory.
+const GENERATION_PREFIX: &str = "gen-";
+/// File-name suffix of snapshot generations in a live store directory.
+const GENERATION_SUFFIX: &str = ".hexsnap";
+
+/// The snapshot path for generation `n` inside a live store directory:
+/// `gen-NNNNNN.hexsnap` (zero-padded so lexical order is numeric order).
+pub fn generation_path(dir: impl AsRef<Path>, generation: u64) -> std::path::PathBuf {
+    dir.as_ref().join(format!("{GENERATION_PREFIX}{generation:06}{GENERATION_SUFFIX}"))
+}
+
+/// Parses a directory-entry file name as a snapshot generation number.
+fn parse_generation(name: &str) -> Option<u64> {
+    let digits = name.strip_prefix(GENERATION_PREFIX)?.strip_suffix(GENERATION_SUFFIX)?;
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// Every snapshot generation present in a live store directory, in no
+/// particular order. Non-generation files (the WAL, temp files) are
+/// ignored; a missing directory reads as empty.
+pub(crate) fn generations(dir: impl AsRef<Path>) -> Result<Vec<(u64, std::path::PathBuf)>> {
+    let entries = match std::fs::read_dir(dir.as_ref()) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e.into()),
+    };
+    let mut found = Vec::new();
+    for entry in entries {
+        let entry = entry?;
+        let name = entry.file_name();
+        if let Some(gen) = name.to_str().and_then(parse_generation) {
+            found.push((gen, entry.path()));
+        }
+    }
+    Ok(found)
+}
+
+/// Finds the newest snapshot generation in a live store directory, if
+/// any — see [`generation_path`] for the naming scheme.
+pub fn newest_generation(dir: impl AsRef<Path>) -> Result<Option<(u64, std::path::PathBuf)>> {
+    Ok(generations(dir)?.into_iter().max_by_key(|&(gen, _)| gen))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

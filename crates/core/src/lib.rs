@@ -52,6 +52,8 @@
 //! | [`pattern`] | [`IdPattern`]: the eight access shapes |
 //! | [`traits`] | [`TripleStore`]: the interface shared with the baselines |
 //! | [`hexsnap`] | the `hexsnap` binary on-disk snapshot format |
+//! | [`overlay`] | [`OverlayHexastore`]: mutable delta + tombstones on a frozen base |
+//! | [`wal`] | append-only write-ahead log behind [`LiveGraphStore`] |
 //! | `snapshot` | serde (JSON) snapshots (feature `serde`) |
 
 #![forbid(unsafe_code)]
@@ -63,6 +65,7 @@ pub mod bulk;
 pub mod frozen;
 pub mod graph;
 pub mod hexsnap;
+pub mod overlay;
 pub mod partial;
 pub mod pattern;
 pub mod slab;
@@ -71,6 +74,7 @@ pub mod stats;
 pub mod store;
 pub mod traits;
 pub mod vecmap;
+pub mod wal;
 
 #[cfg(feature = "serde")]
 pub mod snapshot;
@@ -79,8 +83,10 @@ pub use advisor::{recommend, serving_indices, IndexKind, IndexSet, WorkloadProfi
 pub use arena::{ListArena, ListId};
 pub use frozen::{FrozenHexastore, FrozenPartialHexastore};
 pub use graph::{
-    Dataset, FrozenGraphStore, FrozenPartialGraphStore, GraphStore, PartialGraphStore,
+    Dataset, FrozenGraphStore, FrozenPartialGraphStore, GraphStore, LiveGraphStore,
+    OverlayGraphStore, PartialGraphStore,
 };
+pub use overlay::OverlayHexastore;
 pub use partial::PartialHexastore;
 pub use pattern::{IdPattern, Shape};
 pub use slab::{FlatArena, FlatVecMap, Span};
@@ -88,6 +94,7 @@ pub use stats::{DatasetStats, StatsSource};
 pub use store::{Hexastore, SpaceStats};
 pub use traits::{extend_store, MutableStore, TripleIter, TripleStore};
 pub use vecmap::VecMap;
+pub use wal::{Wal, WalOp};
 
 #[cfg(feature = "serde")]
 pub use snapshot::Snapshot;

@@ -26,6 +26,12 @@ pub struct DatasetStats {
     pub distinct: (usize, usize, usize),
     /// Per-property triple counts, sorted descending.
     pub property_cardinalities: Vec<(Id, usize)>,
+    /// Per-property `(distinct subjects, distinct objects)`, sorted
+    /// ascending by property id so [`DatasetStats::property_shape`] can
+    /// binary-search. Global distinct counts over-divide skewed
+    /// properties in planner fan-out estimates; these are the exact
+    /// per-predicate values.
+    pub property_shapes: Vec<(Id, usize, usize)>,
     /// Mean triples per subject (out-degree).
     pub mean_out_degree: f64,
     /// Mean triples per object (in-degree).
@@ -44,6 +50,13 @@ impl DatasetStats {
         let mut property_cardinalities: Vec<(Id, usize)> =
             store.properties().map(|p| (p, store.property_cardinality(p))).collect();
         property_cardinalities.sort_by_key(|&(p, n)| (std::cmp::Reverse(n), p));
+
+        // properties() walks the pso index in ascending id order, so the
+        // shape table comes out binary-searchable for free.
+        let property_shapes: Vec<(Id, usize, usize)> = store
+            .properties()
+            .map(|p| (p, store.pso_vector(p).count(), store.pos_vector(p).count()))
+            .collect();
 
         let mut sp_pairs = 0usize;
         let mut multi_valued = 0usize;
@@ -67,6 +80,7 @@ impl DatasetStats {
                 multi_valued as f64 / sp_pairs as f64
             },
             property_cardinalities,
+            property_shapes,
         }
     }
 
@@ -81,15 +95,23 @@ impl DatasetStats {
         let mut objects: HashSet<Id> = HashSet::new();
         let mut prop_counts: HashMap<Id, usize> = HashMap::new();
         let mut sp_counts: HashMap<(Id, Id), usize> = HashMap::new();
+        let mut prop_members: HashMap<Id, (HashSet<Id>, HashSet<Id>)> = HashMap::new();
         store.for_each_matching(IdPattern::ALL, &mut |t| {
             subjects.insert(t.s);
             objects.insert(t.o);
             *prop_counts.entry(t.p).or_insert(0) += 1;
             *sp_counts.entry((t.s, t.p)).or_insert(0) += 1;
+            let (subs, objs) = prop_members.entry(t.p).or_default();
+            subs.insert(t.s);
+            objs.insert(t.o);
         });
 
         let mut property_cardinalities: Vec<(Id, usize)> = prop_counts.into_iter().collect();
         property_cardinalities.sort_by_key(|&(p, n)| (std::cmp::Reverse(n), p));
+
+        let mut property_shapes: Vec<(Id, usize, usize)> =
+            prop_members.into_iter().map(|(p, (subs, objs))| (p, subs.len(), objs.len())).collect();
+        property_shapes.sort_unstable_by_key(|&(p, _, _)| p);
 
         let sp_pairs = sp_counts.len();
         let multi_valued = sp_counts.values().filter(|&&n| n > 1).count();
@@ -105,6 +127,7 @@ impl DatasetStats {
                 multi_valued as f64 / sp_pairs as f64
             },
             property_cardinalities,
+            property_shapes,
         }
     }
 
@@ -116,6 +139,20 @@ impl DatasetStats {
     /// id-keyed map from [`DatasetStats::property_cardinalities`] first.
     pub fn property_cardinality(&self, p: Id) -> Option<usize> {
         self.property_cardinalities.iter().find(|&&(q, _)| q == p).map(|&(_, n)| n)
+    }
+
+    /// The `(distinct subjects, distinct objects)` of one property, if
+    /// it occurs in the dataset — one binary search.
+    ///
+    /// This is the planner's sharpened fan-out input: dividing a bound
+    /// position by the *global* distinct count assumes every property
+    /// touches every resource, which over-divides skewed properties
+    /// (e.g. a `type` property reaching few distinct objects).
+    pub fn property_shape(&self, p: Id) -> Option<(usize, usize)> {
+        self.property_shapes
+            .binary_search_by_key(&p, |&(q, _, _)| q)
+            .ok()
+            .map(|i| (self.property_shapes[i].1, self.property_shapes[i].2))
     }
 
     /// The `k` most frequent properties — the head the Abadi et al. study
@@ -208,6 +245,28 @@ mod tests {
         assert_eq!(stats.property_cardinalities[1], (Id(11), 1));
         assert_eq!(stats.top_properties(1), vec![Id(10)]);
         assert_eq!(stats.top_properties(5).len(), 2);
+    }
+
+    #[test]
+    fn property_shapes_give_exact_per_property_distincts() {
+        let h = Hexastore::from_triples([
+            t(1, 10, 100),
+            t(1, 10, 101),
+            t(2, 10, 100),
+            t(3, 11, 100),
+            t(3, 11, 101),
+        ]);
+        let stats = DatasetStats::compute(&h);
+        // Property 10: subjects {1, 2}, objects {100, 101}.
+        assert_eq!(stats.property_shape(Id(10)), Some((2, 2)));
+        // Property 11: subject {3}, objects {100, 101}.
+        assert_eq!(stats.property_shape(Id(11)), Some((1, 2)));
+        assert_eq!(stats.property_shape(Id(99)), None);
+        // The table is sorted by id, as the binary search requires.
+        let ids: Vec<Id> = stats.property_shapes.iter().map(|&(p, _, _)| p).collect();
+        let mut sorted = ids.clone();
+        sorted.sort();
+        assert_eq!(ids, sorted);
     }
 
     #[test]

@@ -21,6 +21,14 @@ pub type TripleIter<'a> = Box<dyn Iterator<Item = IdTriple> + 'a>;
 /// Implementations must behave as *sets* of triples: duplicate inserts are
 /// no-ops, and `for_each_matching` visits each matching triple exactly once
 /// in (s, p, o)-sorted order of whatever index serves the pattern.
+///
+/// The ordering clause is load-bearing for layered stores: because every
+/// serving index lists the pattern's bound positions first, each
+/// per-shape cursor order coincides with plain `(s, p, o)` order
+/// restricted to the match set. [`crate::OverlayHexastore`] relies on
+/// exactly this to merge a mutable delta over a frozen base with one
+/// order-preserving two-way merge per cursor, keeping every query path
+/// (planner, joins, LIMIT pushdown) oblivious to the layering.
 pub trait TripleStore {
     /// A short human-readable name ("Hexastore", "COVP1", …).
     fn name(&self) -> &'static str;

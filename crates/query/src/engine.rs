@@ -754,6 +754,171 @@ impl<S: TripleStore> DatasetQuery for Dataset<S> {
     }
 }
 
+/// The reusable output of one `prepare`: everything a [`Plan`] holds
+/// except its store/dictionary borrows.
+#[derive(Clone, Debug)]
+struct CachedPlan {
+    query: CompiledQuery,
+    steps: Vec<PlanStep>,
+    step_filters: Vec<Vec<CompiledFilter>>,
+    empty_reason: Option<&'static str>,
+    stats_mode: bool,
+}
+
+impl CachedPlan {
+    fn of(plan: &Plan<'_>) -> CachedPlan {
+        CachedPlan {
+            query: plan.query.clone(),
+            steps: plan.steps.clone(),
+            step_filters: plan.step_filters.clone(),
+            empty_reason: plan.empty_reason,
+            stats_mode: plan.stats_mode,
+        }
+    }
+
+    fn rebind<'a>(&self, dict: &'a Dictionary, store: &'a dyn TripleStore) -> Plan<'a> {
+        Plan {
+            store,
+            dict,
+            query: self.query.clone(),
+            steps: self.steps.clone(),
+            step_filters: self.step_filters.clone(),
+            empty_reason: self.empty_reason,
+            stats_mode: self.stats_mode,
+        }
+    }
+}
+
+/// A memo of prepared plans, keyed by query text and planning mode, so a
+/// serving loop replaying a fixed query set stops re-parsing,
+/// re-compiling and re-planning (each plain `prepare` pays one
+/// `count_matching` probe *per pattern*; the stats mode additionally
+/// recomputes [`DatasetStats`] per call).
+///
+/// The cache keys its validity on [`Dataset::version`]: any mutation of
+/// the dataset (triples *or* dictionary — newly interned terms can turn
+/// a statically-empty plan live) clears it wholesale on the next
+/// lookup. It lives outside the [`Dataset`] because plans are
+/// query-layer values; hold one next to the dataset it serves.
+///
+/// ```
+/// use hexastore::GraphStore;
+/// use hex_query::PlanCache;
+///
+/// let mut g = GraphStore::new();
+/// g.load_ntriples(r#"<http://x/ID3> <http://x/advisor> <http://x/ID2> ."#).unwrap();
+/// let mut cache = PlanCache::new();
+/// let q = "SELECT ?s WHERE { ?s <http://x/advisor> ?a . }";
+/// assert_eq!(cache.prepare(&g, q).unwrap().solutions().count(), 1);
+/// assert_eq!(cache.prepare(&g, q).unwrap().solutions().count(), 1);
+/// assert_eq!((cache.hits(), cache.misses()), (1, 1));
+/// ```
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    /// Per query text, the plain and the stats-driven preparation —
+    /// cached independently, since the two can choose different orders.
+    entries: HashMap<String, [Option<CachedPlan>; 2]>,
+    /// The [`Dataset::version`] the entries were planned against.
+    version: Option<u64>,
+    hits: u64,
+    misses: u64,
+}
+
+/// Index into a [`PlanCache`] entry's mode slots.
+fn mode_slot(stats_mode: bool) -> usize {
+    usize::from(stats_mode)
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> PlanCache {
+        PlanCache::default()
+    }
+
+    /// Number of cached plans (a text planned in both modes counts
+    /// twice).
+    pub fn len(&self) -> usize {
+        self.entries.values().map(|slots| slots.iter().flatten().count()).sum()
+    }
+
+    /// True if no plans are cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lookups served from the cache since creation.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that had to parse, compile and plan since creation
+    /// (invalidation-forced repreparations included).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Drops every cached plan (the version gate does this
+    /// automatically when the dataset changes).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.version = None;
+    }
+
+    /// Drops the entries if `ds` has mutated since they were planned.
+    fn validate<S: TripleStore>(&mut self, ds: &Dataset<S>) {
+        if self.version != Some(ds.version()) {
+            self.entries.clear();
+            self.version = Some(ds.version());
+        }
+    }
+
+    /// [`prepare_on`] through the cache: returns a plan equivalent to a
+    /// fresh preparation, reusing the memoized compilation and join
+    /// order when `ds` is unchanged since it was cached.
+    pub fn prepare<'a, S: TripleStore>(
+        &mut self,
+        ds: &'a Dataset<S>,
+        query_text: &str,
+    ) -> Result<Plan<'a>, QueryError> {
+        self.validate(ds);
+        if let Some(cached) =
+            self.entries.get(query_text).and_then(|slots| slots[mode_slot(false)].as_ref())
+        {
+            self.hits += 1;
+            return Ok(cached.rebind(ds.dict(), ds.store()));
+        }
+        self.misses += 1;
+        let plan = prepare_on(ds.store(), ds.dict(), query_text)?;
+        self.entries.entry(query_text.to_string()).or_default()[mode_slot(false)] =
+            Some(CachedPlan::of(&plan));
+        Ok(plan)
+    }
+
+    /// The statistics-driven counterpart of [`PlanCache::prepare`]: a
+    /// miss computes the dataset's [`DatasetStats`] and plans with them;
+    /// a hit skips both. Cached separately from the plain mode, since
+    /// the two can legitimately choose different join orders.
+    pub fn prepare_with_stats<'a, S: hexastore::StatsSource>(
+        &mut self,
+        ds: &'a Dataset<S>,
+        query_text: &str,
+    ) -> Result<Plan<'a>, QueryError> {
+        self.validate(ds);
+        if let Some(cached) =
+            self.entries.get(query_text).and_then(|slots| slots[mode_slot(true)].as_ref())
+        {
+            self.hits += 1;
+            return Ok(cached.rebind(ds.dict(), ds.store()));
+        }
+        self.misses += 1;
+        let stats = ds.stats();
+        let plan = prepare_on_with_stats(ds.store(), ds.dict(), query_text, Some(&stats))?;
+        self.entries.entry(query_text.to_string()).or_default()[mode_slot(true)] =
+            Some(CachedPlan::of(&plan));
+        Ok(plan)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1083,6 +1248,125 @@ mod tests {
         a.sort();
         b.sort();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn plan_cache_reuses_plans_and_invalidates_on_mutation() {
+        let mut g = figure1_graph();
+        let text = r#"SELECT ?who WHERE {
+            ?who <http://x/type> <http://x/GradStudent> .
+            ?who <http://x/advisor> ?adv .
+        }"#;
+        let mut cache = PlanCache::new();
+        let fresh: Vec<Vec<Term>> = g.prepare(text).unwrap().solutions().collect();
+
+        let first: Vec<Vec<Term>> = cache.prepare(&g, text).unwrap().solutions().collect();
+        let second: Vec<Vec<Term>> = cache.prepare(&g, text).unwrap().solutions().collect();
+        assert_eq!(first, fresh, "cached preparation must match a fresh one");
+        assert_eq!(second, fresh);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cache.len(), 1);
+
+        // Stats mode is a distinct slot for the same text.
+        let refined: Vec<Vec<Term>> =
+            cache.prepare_with_stats(&g, text).unwrap().solutions().collect();
+        cache.prepare_with_stats(&g, text).unwrap();
+        let mut a = refined;
+        let mut b = fresh.clone();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        assert_eq!((cache.hits(), cache.misses()), (2, 2));
+        assert_eq!(cache.len(), 2);
+
+        // A mutation invalidates: the next lookup replans and sees the
+        // new triple.
+        g.insert(&Triple::new(iri("ID9"), iri("type"), iri("GradStudent")));
+        g.insert(&Triple::new(iri("ID9"), iri("advisor"), iri("ID1")));
+        let after: Vec<Vec<Term>> = cache.prepare(&g, text).unwrap().solutions().collect();
+        assert_eq!(after.len(), fresh.len() + 1);
+        assert_eq!(cache.misses(), 3, "mutation forces a re-preparation");
+        assert_eq!(cache.len(), 1, "stale entries dropped wholesale");
+    }
+
+    /// A store wrapper that counts `count_matching` probes — the
+    /// planner's per-pattern estimate cost a [`PlanCache`] hit must skip.
+    struct ProbeCounting {
+        inner: hexastore::Hexastore,
+        probes: std::cell::Cell<usize>,
+    }
+
+    impl TripleStore for ProbeCounting {
+        fn name(&self) -> &'static str {
+            "ProbeCounting"
+        }
+        fn len(&self) -> usize {
+            self.inner.len()
+        }
+        fn insert(&mut self, t: hex_dict::IdTriple) -> bool {
+            self.inner.insert(t)
+        }
+        fn remove(&mut self, t: hex_dict::IdTriple) -> bool {
+            self.inner.remove(t)
+        }
+        fn contains(&self, t: hex_dict::IdTriple) -> bool {
+            self.inner.contains(t)
+        }
+        fn for_each_matching(
+            &self,
+            pat: hexastore::IdPattern,
+            f: &mut dyn FnMut(hex_dict::IdTriple),
+        ) {
+            self.inner.for_each_matching(pat, f)
+        }
+        fn count_matching(&self, pat: hexastore::IdPattern) -> usize {
+            self.probes.set(self.probes.get() + 1);
+            self.inner.count_matching(pat)
+        }
+        fn heap_bytes(&self) -> usize {
+            self.inner.heap_bytes()
+        }
+    }
+
+    #[test]
+    fn plan_cache_hit_skips_store_probes_and_explains_identically() {
+        let g = figure1_graph();
+        let text = r#"SELECT ?who ?adv WHERE {
+            ?who <http://x/type> <http://x/GradStudent> .
+            ?who <http://x/advisor> ?adv .
+        }"#;
+        let counting = ProbeCounting { inner: g.store().clone(), probes: std::cell::Cell::new(0) };
+        let spy = Dataset::from_parts(g.dict().clone(), counting);
+        let mut cache = PlanCache::new();
+
+        let miss_explain = cache.prepare(&spy, text).unwrap().explain();
+        let after_miss = spy.store().probes.get();
+        assert!(after_miss >= 2, "planning probes each of the two patterns");
+
+        let hit_explain = cache.prepare(&spy, text).unwrap().explain();
+        assert_eq!(
+            spy.store().probes.get(),
+            after_miss,
+            "a cache hit must not touch the store at preparation time"
+        );
+        assert_eq!(hit_explain, miss_explain, "hit and miss render the same plan");
+    }
+
+    #[test]
+    fn plan_cache_invalidates_when_the_dictionary_learns_a_term() {
+        let mut g = figure1_graph();
+        // The constant is unknown, so the plan is statically empty.
+        let text = r#"SELECT ?s WHERE { ?s <http://x/advisor> <http://x/Newcomer> . }"#;
+        let mut cache = PlanCache::new();
+        let empty = cache.prepare(&g, text).unwrap();
+        assert!(empty.is_statically_empty());
+        assert_eq!(empty.solutions().count(), 0);
+        // Interning the term (via an insert) must invalidate the cached
+        // statically-empty plan.
+        g.insert(&Triple::new(iri("ID3"), iri("advisor"), iri("Newcomer")));
+        let live = cache.prepare(&g, text).unwrap();
+        assert!(!live.is_statically_empty());
+        assert_eq!(live.solutions().count(), 1);
     }
 
     #[test]

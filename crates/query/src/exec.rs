@@ -69,11 +69,25 @@ pub fn plan_steps(store: &dyn TripleStore, bgp: &Bgp) -> Vec<PlanStep> {
 /// to one object's share (mean in-degree), a bound predicate variable to
 /// one property's share; per-property counts enter through the estimate
 /// itself, which `count_matching` probed with the pattern's constants.
+///
+/// Patterns with a *constant* predicate divide by that property's own
+/// distinct subject/object counts ([`DatasetStats::property_shape`])
+/// rather than the global ones — the global divisor over-divides skewed
+/// properties, making every bound join look uniformly cheap.
 fn refined_cost(est: usize, pat: &Pattern, bound: &[bool], stats: Option<&DatasetStats>) -> f64 {
     let mut cost = est as f64;
     let Some(stats) = stats else { return cost };
     let (ds, dp, do_) = stats.distinct;
-    for (term, distinct) in [(pat.s, ds), (pat.p, dp), (pat.o, do_)] {
+    // When the predicate is a constant, divide by *its* distinct
+    // subject/object counts instead of the global ones: global distincts
+    // assume every property reaches every resource, which over-divides
+    // skewed properties (a near-functional property fans out by ~1 per
+    // bound subject, not by 1/|subjects|-th of its cardinality).
+    let (subj_distinct, obj_distinct) = match pat.p {
+        PatternTerm::Const(p) => stats.property_shape(p).unwrap_or((ds, do_)),
+        PatternTerm::Var(_) => (ds, do_),
+    };
+    for (term, distinct) in [(pat.s, subj_distinct), (pat.p, dp), (pat.o, obj_distinct)] {
         if let PatternTerm::Var(v) = term {
             if bound.get(v.index()).copied().unwrap_or(false) {
                 cost /= distinct.max(1) as f64;
@@ -542,6 +556,30 @@ mod tests {
         a.sort();
         b.sort();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn per_property_distincts_sharpen_the_refined_cost() {
+        let (store, _) = star_join();
+        let stats = hexastore::DatasetStats::compute(&store);
+        // The advisor property (100) reaches only 5 distinct objects
+        // (the professors), far fewer than the global distinct-object
+        // count, which also spans types and the 2000.. fanout objects.
+        let (_, advisor_objs) = stats.property_shape(hex_dict::Id(100)).unwrap();
+        assert_eq!(advisor_objs, 5);
+        assert!(stats.distinct.2 > advisor_objs);
+
+        // (?s advisor ?y) with ?y bound: the fan-in divisor must be the
+        // advisor property's 5 distinct objects, not the global count.
+        let pat = Pattern::new(v(0), c(100), v(1));
+        let bound = vec![false, true];
+        let cost = refined_cost(50, &pat, &bound, Some(&stats));
+        assert!((cost - 50.0 / 5.0).abs() < 1e-9, "got {cost}");
+
+        // A variable predicate still falls back to the global divisors.
+        let open = Pattern::new(v(0), v(2), v(1));
+        let open_cost = refined_cost(50, &open, &bound, Some(&stats));
+        assert!((open_cost - 50.0 / stats.distinct.2 as f64).abs() < 1e-9, "got {open_cost}");
     }
 
     #[test]

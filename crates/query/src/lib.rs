@@ -66,7 +66,7 @@ pub use algebra::{Bgp, Pattern, PatternTerm, VarId};
 pub use engine::{
     compile, execute, execute_ask, execute_compiled, execute_on, prepare, prepare_on,
     prepare_on_with_stats, prepare_with_stats, CompiledFilter, CompiledQuery, DatasetQuery,
-    FilterSide, Plan, QueryError, ResultSet, Solutions,
+    FilterSide, Plan, PlanCache, QueryError, ResultSet, Solutions,
 };
 pub use exec::{
     execute_bgp, execute_bgp_with_order, plan_order, plan_steps, plan_steps_with, BgpCursor,

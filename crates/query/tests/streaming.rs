@@ -3,9 +3,12 @@
 //! assignment of store triples to patterns, consistency-checked) across
 //! random BGPs on all four stores — Hexastore, TriplesTable, COVP1,
 //! COVP2 — plus `PartialHexastore` instances keeping random index
-//! subsets and the frozen (flat-slab, read-only) forms of both Hexastore
+//! subsets, the frozen (flat-slab, read-only) forms of both Hexastore
 //! flavors, so the planner demonstrably works off frozen
-//! `capabilities()`. A counting-store wrapper additionally pins down the
+//! `capabilities()`, and an `OverlayHexastore` whose frozen base,
+//! tombstones and mutable delta are all non-trivially populated, so the
+//! layered merge cursors face the same oracle as the flat stores. A
+//! counting-store wrapper additionally pins down the
 //! early termination claims: ASK and LIMIT stop pulling triples as soon
 //! as the consumer has enough rows.
 
@@ -13,7 +16,8 @@ use hex_baselines::{Covp1, Covp2, TriplesTable};
 use hex_dict::{Dictionary, Id, IdTriple};
 use hex_query::{Bgp, CompiledQuery, Pattern, PatternTerm, Plan, VarId};
 use hexastore::{
-    FrozenHexastore, Hexastore, IdPattern, IndexKind, IndexSet, PartialHexastore, TripleStore,
+    bulk, FrozenHexastore, Hexastore, IdPattern, IndexKind, IndexSet, OverlayHexastore,
+    PartialHexastore, TripleStore,
 };
 use proptest::prelude::*;
 use rdf_model::Term;
@@ -189,6 +193,22 @@ proptest! {
             PartialHexastore::from_triples(subset_from_bits(subset_bits), triples.iter().copied());
         let frozen = FrozenHexastore::from_triples(triples.iter().copied());
         let frozen_partial = partial.freeze();
+        // Overlay with every layer populated: the frozen base holds the
+        // first half of the triples plus out-of-range extras (ids >=
+        // MAX_ID, unreachable by any generated pattern) that are then
+        // removed through the overlay (tombstones); the second half is
+        // inserted afterwards (mutable delta). Net contents == `triples`.
+        let split = triples.len() / 2;
+        let extras = [IdTriple::from((8, 8, 8)), IdTriple::from((9, 8, 7))];
+        let mut base: Vec<IdTriple> = triples[..split].to_vec();
+        base.extend(extras);
+        let mut overlay = OverlayHexastore::new(bulk::build_frozen(base));
+        for t in extras {
+            overlay.remove(t);
+        }
+        for &t in &triples[split..] {
+            overlay.insert(t);
+        }
         for store in [
             &hexa as &dyn TripleStore,
             &table,
@@ -197,6 +217,7 @@ proptest! {
             &partial,
             &frozen,
             &frozen_partial,
+            &overlay,
         ] {
             prop_assert_eq!(
                 collected_solutions(store, &dict, &q),

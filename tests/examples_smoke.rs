@@ -7,13 +7,14 @@
 
 use std::process::Command;
 
-const EXAMPLES: [&str; 6] = [
+const EXAMPLES: [&str; 7] = [
     "quickstart",
     "social_network",
     "library_browse",
     "academic_queries",
     "index_advisor",
     "prepared_queries",
+    "live_updates",
 ];
 
 #[test]
