@@ -56,7 +56,7 @@ use std::path::{Path, PathBuf};
 /// let frozen = g.freeze();
 /// assert_eq!(frozen.matching(&pattern).len(), 1);
 /// ```
-#[derive(Default, Debug, Clone)]
+#[derive(Debug)]
 pub struct Dataset<S> {
     dict: Dictionary,
     store: S,
@@ -64,6 +64,43 @@ pub struct Dataset<S> {
     /// change the stored triples or the dictionary, so derived caches
     /// (e.g. a query-plan cache) can detect staleness cheaply.
     version: u64,
+    /// Process-unique identity, fresh for every constructed (or cloned)
+    /// dataset. The version counter alone cannot key a cache: two
+    /// independently loaded datasets both report version 0, so a cache
+    /// validated on the number alone would serve one dataset's plans —
+    /// with its interned ids baked in — against the other's dictionary.
+    identity: u64,
+}
+
+/// Allocates the next process-unique [`Dataset::identity`].
+fn next_identity() -> u64 {
+    static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+}
+
+impl<S: Default> Default for Dataset<S> {
+    fn default() -> Self {
+        Dataset {
+            dict: Dictionary::default(),
+            store: S::default(),
+            version: 0,
+            identity: next_identity(),
+        }
+    }
+}
+
+impl<S: Clone> Clone for Dataset<S> {
+    /// The clone gets a fresh [`identity`](Dataset::identity): it can
+    /// mutate independently of the original, so the two must never
+    /// alias an (identity, version) pair.
+    fn clone(&self) -> Self {
+        Dataset {
+            dict: self.dict.clone(),
+            store: self.store.clone(),
+            version: self.version,
+            identity: next_identity(),
+        }
+    }
 }
 
 /// The read-write default: a mutable [`Hexastore`] with its dictionary.
@@ -89,7 +126,7 @@ impl<S: TripleStore> Dataset<S> {
     /// Reassembles a dataset from a dictionary and an id-level store.
     /// Every id in the store must already be interned in the dictionary.
     pub fn from_parts(dict: Dictionary, store: S) -> Self {
-        Dataset { dict, store, version: 0 }
+        Dataset { dict, store, version: 0, identity: next_identity() }
     }
 
     /// Splits the dataset back into its dictionary and id-level store.
@@ -194,6 +231,16 @@ impl<S: TripleStore> Dataset<S> {
     pub fn version(&self) -> u64 {
         self.version
     }
+
+    /// Process-unique identity of this dataset value, distinct for
+    /// every construction *and* every clone. Caches that key on
+    /// [`Dataset::version`] must pair it with this identity: version
+    /// numbers coincide across independently created datasets (any two
+    /// freshly loaded snapshots are both version 0), identities never
+    /// do.
+    pub fn identity(&self) -> u64 {
+        self.identity
+    }
 }
 
 impl<S: crate::stats::StatsSource> Dataset<S> {
@@ -274,7 +321,12 @@ impl Dataset<Hexastore> {
     /// store flattens into a [`FrozenHexastore`]; the dictionary is
     /// cloned (cheap: terms are shared, not copied).
     pub fn freeze(&self) -> FrozenGraphStore {
-        Dataset { dict: self.dict.clone(), store: self.store.freeze(), version: self.version }
+        Dataset {
+            dict: self.dict.clone(),
+            store: self.store.freeze(),
+            version: self.version,
+            identity: next_identity(),
+        }
     }
 
     /// Saves the dataset as a compact `hexsnap` file (dictionary + triple
@@ -292,7 +344,12 @@ impl Dataset<Hexastore> {
 impl Dataset<FrozenHexastore> {
     /// Converts back into a mutable [`GraphStore`], loss-free.
     pub fn thaw(self) -> GraphStore {
-        Dataset { dict: self.dict, store: self.store.thaw(), version: self.version }
+        Dataset {
+            dict: self.dict,
+            store: self.store.thaw(),
+            version: self.version,
+            identity: next_identity(),
+        }
     }
 
     /// Saves the dataset as a query-ready `hexsnap` file *with* prebuilt
@@ -307,7 +364,7 @@ impl Dataset<FrozenHexastore> {
     /// sections, otherwise a frozen bulk build from the triple column.
     pub fn load(path: impl AsRef<std::path::Path>) -> crate::hexsnap::Result<FrozenGraphStore> {
         let (dict, store) = crate::hexsnap::load_frozen(path)?;
-        Ok(Dataset { dict, store, version: 0 })
+        Ok(Dataset { dict, store, version: 0, identity: next_identity() })
     }
 }
 
@@ -335,19 +392,40 @@ impl Dataset<OverlayHexastore> {
 impl Dataset<PartialHexastore> {
     /// Freezes the reduced-index dataset into its read-only form.
     pub fn freeze(&self) -> FrozenPartialGraphStore {
-        Dataset { dict: self.dict.clone(), store: self.store.freeze(), version: self.version }
+        Dataset {
+            dict: self.dict.clone(),
+            store: self.store.freeze(),
+            version: self.version,
+            identity: next_identity(),
+        }
     }
 }
 
 impl Dataset<FrozenPartialHexastore> {
     /// Converts back into a mutable [`PartialGraphStore`], loss-free.
     pub fn thaw(self) -> PartialGraphStore {
-        Dataset { dict: self.dict, store: self.store.thaw(), version: self.version }
+        Dataset {
+            dict: self.dict,
+            store: self.store.thaw(),
+            version: self.version,
+            identity: next_identity(),
+        }
     }
 }
 
 /// File name of the write-ahead log inside a live store directory.
 const WAL_FILE: &str = "wal.hexwal";
+
+/// Fsyncs a directory so a just-renamed entry survives power loss. On
+/// platforms where directories cannot be opened as files this is a
+/// no-op — rename atomicity is the best available there.
+fn fsync_dir(dir: &Path) -> std::io::Result<()> {
+    #[cfg(unix)]
+    std::fs::File::open(dir)?.sync_all()?;
+    #[cfg(not(unix))]
+    let _ = dir;
+    Ok(())
+}
 
 /// A durable, live-writable dataset: an [`OverlayGraphStore`] backed by
 /// a directory of frozen snapshot *generations* plus a write-ahead log.
@@ -382,6 +460,16 @@ impl LiveGraphStore {
     pub fn open(dir: impl AsRef<Path>) -> crate::hexsnap::Result<Self> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
+        // A crash between snapshot write and rename strands a
+        // `gen-*.tmp`; it holds nothing the WAL replay cannot rebuild,
+        // and left in place stale temp files would accumulate forever.
+        for entry in std::fs::read_dir(&dir)? {
+            let path = entry?.path();
+            let name = path.file_name().and_then(|n| n.to_str());
+            if name.is_some_and(|n| n.starts_with("gen-") && n.ends_with(".tmp")) {
+                std::fs::remove_file(&path).ok();
+            }
+        }
         let (generation, mut data) = match crate::hexsnap::newest_generation(&dir)? {
             Some((gen, path)) => {
                 let (dict, frozen) = crate::hexsnap::load_frozen(path)?;
@@ -478,11 +566,13 @@ impl LiveGraphStore {
     /// Folds the overlay into the next frozen generation on disk, then
     /// prunes older generations and truncates the WAL.
     ///
-    /// The new generation is written to a temporary file and renamed
-    /// into place before the log is touched, so a crash at any point
-    /// leaves either the old generation + full WAL or the new
+    /// The new generation is written to a temporary file, fsynced,
+    /// renamed into place, and the directory entry fsynced — all before
+    /// the log is touched — so a crash (power loss included) at any
+    /// point leaves either the old generation + full WAL or the new
     /// generation (+ a WAL whose replay is a no-op) — never a torn
-    /// snapshot.
+    /// snapshot, and never a durable truncation ahead of the snapshot
+    /// that supersedes it.
     pub fn compact(&mut self) -> crate::hexsnap::Result<()> {
         self.compact_with(crate::bulk::Config::default())
     }
@@ -495,7 +585,14 @@ impl LiveGraphStore {
             let path = crate::hexsnap::generation_path(&self.dir, next);
             let tmp = self.dir.join(format!("gen-{next:06}.tmp"));
             crate::hexsnap::save_frozen(&tmp, self.data.dict(), self.data.store().base())?;
+            // Durability order: snapshot bytes, then the rename's
+            // directory entry, and only then (below) the WAL
+            // truncation. Skipping either fsync lets the kernel make
+            // the truncation durable before the snapshot it supersedes,
+            // losing synced records on power loss.
+            std::fs::File::open(&tmp)?.sync_all()?;
             std::fs::rename(&tmp, &path)?;
+            fsync_dir(&self.dir)?;
             self.generation = next;
         }
         // The snapshot now owns every logged mutation (or the log's net
@@ -841,6 +938,26 @@ mod tests {
         drop(recovered);
         let reopened = LiveGraphStore::open(&dir).unwrap();
         assert_eq!(reopened.len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn live_store_open_sweeps_stale_snapshot_temp_files() {
+        let dir = live_dir("tmp-sweep");
+        let t1 = triple("a", "p", "b");
+        {
+            let mut live = LiveGraphStore::open(&dir).unwrap();
+            live.insert(&t1).unwrap();
+            live.compact().unwrap();
+        }
+        // Simulate a crash between snapshot write and rename: a stale
+        // temp file for a generation that will never be reused.
+        let stale = dir.join("gen-000099.tmp");
+        std::fs::write(&stale, b"half a snapshot").unwrap();
+        let reopened = LiveGraphStore::open(&dir).unwrap();
+        assert!(!stale.exists(), "stale temp file swept on open");
+        assert!(reopened.contains(&t1));
+        assert_eq!(reopened.generation(), 1);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -96,9 +96,10 @@ impl Wal {
     ///
     /// A missing or empty file becomes a fresh log. A torn tail (torn
     /// header included) is truncated away so the returned [`Wal`]
-    /// appends after the last intact record. Only a *complete* header
-    /// with the wrong magic or an unsupported version is an error —
-    /// that file was never ours to rewrite.
+    /// appends after the last intact record. A file whose bytes are
+    /// *not* a prefix of a well-formed header — wrong magic or an
+    /// unsupported version, complete or cut short — is an error: that
+    /// file was never ours to rewrite.
     pub fn open(path: impl AsRef<Path>) -> Result<(Self, Vec<WalOp>)> {
         let path = path.as_ref().to_path_buf();
         // truncate(false): an existing log is replayed, never clobbered.
@@ -106,6 +107,23 @@ impl Wal {
             OpenOptions::new().read(true).write(true).create(true).truncate(false).open(&path)?;
         let file_len = file.seek(SeekFrom::End(0))?;
         if file_len < HEADER_LEN {
+            // A short file is rewritten only if it is a torn prefix of
+            // our own header — same stance as the complete-header check
+            // below: anything else was never ours to clobber.
+            if file_len > 0 {
+                let mut header = [0u8; HEADER_LEN as usize];
+                header[..8].copy_from_slice(&MAGIC);
+                header[8..].copy_from_slice(&VERSION.to_le_bytes());
+                let mut present = vec![0u8; file_len as usize];
+                file.seek(SeekFrom::Start(0))?;
+                file.read_exact(&mut present)?;
+                if present != header[..file_len as usize] {
+                    return Err(Error::Corrupt(format!(
+                        "short non-WAL file at {}",
+                        path.display()
+                    )));
+                }
+            }
             // Missing or torn header: nothing to replay, start fresh.
             file.set_len(0)?;
             file.seek(SeekFrom::Start(0))?;
@@ -393,6 +411,33 @@ mod tests {
         assert!(matches!(Wal::replay(&path), Err(Error::Corrupt(_))));
         assert!(matches!(Wal::open(&path), Err(Error::Corrupt(_))));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn short_foreign_file_is_an_error_not_a_reset() {
+        let path = temp_path("short-foreign");
+        // Shorter than the header, but not a prefix of it: some other
+        // program's file, never ours to clobber.
+        std::fs::write(&path, b"junk").unwrap();
+        assert!(matches!(Wal::open(&path), Err(Error::Corrupt(_))));
+        assert_eq!(std::fs::read(&path).unwrap(), b"junk", "file left untouched");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_own_header_resets_to_a_fresh_log() {
+        for cut in 1..HEADER_LEN as usize {
+            let path = temp_path("short-own");
+            let mut header = Vec::new();
+            header.extend_from_slice(&MAGIC);
+            header.extend_from_slice(&VERSION.to_le_bytes());
+            std::fs::write(&path, &header[..cut]).unwrap();
+            let (wal, ops) = Wal::open(&path).unwrap();
+            assert!(ops.is_empty(), "cut at {cut}");
+            assert!(wal.is_empty(), "cut at {cut}");
+            drop(wal);
+            std::fs::remove_file(&path).ok();
+        }
     }
 
     #[test]

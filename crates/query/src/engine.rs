@@ -795,11 +795,16 @@ impl CachedPlan {
 /// `count_matching` probe *per pattern*; the stats mode additionally
 /// recomputes [`DatasetStats`] per call).
 ///
-/// The cache keys its validity on [`Dataset::version`]: any mutation of
-/// the dataset (triples *or* dictionary — newly interned terms can turn
-/// a statically-empty plan live) clears it wholesale on the next
-/// lookup. It lives outside the [`Dataset`] because plans are
-/// query-layer values; hold one next to the dataset it serves.
+/// The cache keys its validity on the ([`Dataset::identity`],
+/// [`Dataset::version`]) pair: any mutation of the dataset (triples
+/// *or* dictionary — newly interned terms can turn a statically-empty
+/// plan live) clears it wholesale on the next lookup, and so does
+/// pointing the cache at a *different* dataset, even one whose version
+/// number coincides (any two freshly loaded snapshots are both
+/// version 0 — cached plans embed interned ids, which mean something
+/// else under another dictionary). It lives outside the [`Dataset`]
+/// because plans are query-layer values; hold one next to the dataset
+/// it serves.
 ///
 /// ```
 /// use hexastore::GraphStore;
@@ -818,8 +823,9 @@ pub struct PlanCache {
     /// Per query text, the plain and the stats-driven preparation —
     /// cached independently, since the two can choose different orders.
     entries: HashMap<String, [Option<CachedPlan>; 2]>,
-    /// The [`Dataset::version`] the entries were planned against.
-    version: Option<u64>,
+    /// The ([`Dataset::identity`], [`Dataset::version`]) pair the
+    /// entries were planned against.
+    planned_for: Option<(u64, u64)>,
     hits: u64,
     misses: u64,
 }
@@ -857,18 +863,20 @@ impl PlanCache {
         self.misses
     }
 
-    /// Drops every cached plan (the version gate does this
+    /// Drops every cached plan (the identity/version gate does this
     /// automatically when the dataset changes).
     pub fn clear(&mut self) {
         self.entries.clear();
-        self.version = None;
+        self.planned_for = None;
     }
 
-    /// Drops the entries if `ds` has mutated since they were planned.
+    /// Drops the entries if `ds` is a different dataset than, or has
+    /// mutated since, the one they were planned against.
     fn validate<S: TripleStore>(&mut self, ds: &Dataset<S>) {
-        if self.version != Some(ds.version()) {
+        let key = (ds.identity(), ds.version());
+        if self.planned_for != Some(key) {
             self.entries.clear();
-            self.version = Some(ds.version());
+            self.planned_for = Some(key);
         }
     }
 
@@ -1367,6 +1375,28 @@ mod tests {
         let live = cache.prepare(&g, text).unwrap();
         assert!(!live.is_statically_empty());
         assert_eq!(live.solutions().count(), 1);
+    }
+
+    #[test]
+    fn plan_cache_distinguishes_datasets_with_equal_versions() {
+        // Two independently built datasets coincide on version (both
+        // paid one insert), but intern different terms — a cached
+        // plan's ids mean something else under the other dictionary.
+        let mut g1 = GraphStore::new();
+        g1.insert(&Triple::new(iri("ID1"), iri("advisor"), iri("Elder")));
+        let mut g2 = GraphStore::new();
+        g2.insert(&Triple::new(iri("ID2"), iri("advisor"), iri("Newcomer")));
+        assert_eq!(g1.version(), g2.version());
+
+        let text = r#"SELECT ?s WHERE { ?s <http://x/advisor> <http://x/Newcomer> . }"#;
+        let mut cache = PlanCache::new();
+        // Against g1 the constant is unknown: statically empty, cached.
+        assert_eq!(cache.prepare(&g1, text).unwrap().solutions().count(), 0);
+        // Against g2 — same version number — the cache must re-plan
+        // rather than serve g1's statically-empty plan.
+        let rows: Vec<Vec<Term>> = cache.prepare(&g2, text).unwrap().solutions().collect();
+        assert_eq!(rows, vec![vec![iri("ID2")]]);
+        assert_eq!(cache.misses(), 2, "a different dataset is a miss, whatever its version");
     }
 
     #[test]
