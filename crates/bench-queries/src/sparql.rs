@@ -203,4 +203,33 @@ mod tests {
             }
         }
     }
+
+    /// The acceptance bar of the parallel executor: on every one of the
+    /// twelve paper queries, sharded execution over the frozen dataset is
+    /// byte-identical (TSV rendering included) to the single-threaded
+    /// walk — at several worker counts, including more workers than
+    /// first-step candidates.
+    #[test]
+    fn parallel_execution_answers_all_twelve_byte_identically() {
+        for (suite, queries) in [
+            (barton_suite(), barton_queries as fn(&Dictionary) -> Option<Vec<PaperQuery>>),
+            (lubm_suite(), lubm_queries),
+        ] {
+            let frozen = suite.frozen_dataset();
+            for query in queries(&suite.dict).expect("constants resolve") {
+                let plan = frozen.prepare(&query.text).expect("query compiles");
+                let reference = plan.run();
+                assert!(!reference.is_empty(), "{} returned no rows", query.name);
+                for threads in [2, 4, 13] {
+                    let parallel = plan.run_parallel(frozen.store(), threads);
+                    assert_eq!(
+                        parallel.to_tsv(),
+                        reference.to_tsv(),
+                        "{} differs under parallel execution with {threads} threads",
+                        query.name
+                    );
+                }
+            }
+        }
+    }
 }

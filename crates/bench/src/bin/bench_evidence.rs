@@ -16,9 +16,9 @@
 
 use hex_bench::{
     ask_early_exit, ask_to_csv, cli, live_write_figure, live_write_to_csv, load_figure,
-    load_to_csv, memory_figure, memory_to_csv, path_report, plans_figure, plans_to_csv, run_figure,
-    snapshot_figure, snapshot_to_csv, space_report, AskRow, Figure, LiveWriteRow, LoadRow, PlanRow,
-    SnapshotRow, FIGURES,
+    load_to_csv, memory_figure, memory_to_csv, path_report, plans_figure, plans_to_csv, qps_figure,
+    qps_to_csv, run_figure, snapshot_figure, snapshot_to_csv, space_report, AskRow, Figure,
+    LiveWriteRow, LoadRow, PlanRow, QpsRow, SnapshotRow, FIGURES,
 };
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -128,7 +128,7 @@ fn main() {
             }
             "space" => write_file(&args.out, "space.csv", &space_report(args.triples)),
             "path" => write_file(&args.out, "path.csv", &path_report(args.triples)),
-            "load" | "snapshot" | "plans" | "live_write" => {} // measured separately below
+            "load" | "snapshot" | "plans" | "live_write" | "qps" => {} // measured separately below
             timing => {
                 let fig = run_figure(timing, args.triples, args.points, args.reps);
                 write_file(&args.out, &format!("figure_{timing}.csv"), &fig.to_csv());
@@ -161,6 +161,12 @@ fn main() {
     // paper queries, WAL recovery, compaction into a new generation).
     let live: LiveWriteRow = live_write_figure(args.load_triples, args.reps);
     write_file(&args.out, "live_write.csv", &live_write_to_csv(&live));
+
+    // Concurrent serving at figure scale: the acceptance signal for the
+    // snapshot-handoff read path (N client threads over published
+    // snapshots vs one client, under the same concurrent write load).
+    let qps: QpsRow = qps_figure(args.triples, args.threads, args.reps);
+    write_file(&args.out, "qps.csv", &qps_to_csv(&qps));
 
     // Planner ablation at figure scale: the twelve paper queries through
     // prepare — hand-written plan vs planner, statistics off/on. The
@@ -241,6 +247,23 @@ fn main() {
     let _ = writeln!(json, "    \"recovery_seconds\": {},", num(live.recovery.as_secs_f64()));
     let _ = writeln!(json, "    \"compact_seconds\": {}", num(live.compact.as_secs_f64()));
     let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"qps\": {{");
+    let _ = writeln!(json, "    \"dataset\": \"barton+lubm\",");
+    let _ = writeln!(json, "    \"triples\": {},", qps.triples);
+    let _ = writeln!(json, "    \"base_triples\": {},", qps.base_triples);
+    let _ = writeln!(json, "    \"clients\": {},", qps.clients);
+    let _ = writeln!(json, "    \"queries\": {},", qps.queries);
+    let _ = writeln!(json, "    \"seconds\": {},", num(qps.elapsed.as_secs_f64()));
+    let _ = writeln!(json, "    \"qps\": {},", num(qps.qps()));
+    let _ = writeln!(json, "    \"single_seconds\": {},", num(qps.single_elapsed.as_secs_f64()));
+    let _ = writeln!(json, "    \"single_qps\": {},", num(qps.single_qps()));
+    let _ = writeln!(json, "    \"speedup\": {},", num(qps.speedup()));
+    let _ = writeln!(json, "    \"writes\": {},", qps.writes);
+    let _ = writeln!(json, "    \"compactions\": {},", qps.compactions);
+    let _ = writeln!(json, "    \"p50_seconds\": {},", num(qps.p50.as_secs_f64()));
+    let _ = writeln!(json, "    \"p95_seconds\": {},", num(qps.p95.as_secs_f64()));
+    let _ = writeln!(json, "    \"p99_seconds\": {}", num(qps.p99.as_secs_f64()));
+    let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"query_plans\": {{");
     let _ = writeln!(json, "    \"triples\": {},", args.triples);
     let _ = writeln!(json, "    \"stats_improved_queries\": {stats_improved},");
@@ -304,6 +327,22 @@ fn main() {
         live.inserts_per_sec(),
         live.recovery.as_secs_f64(),
         live.compact.as_secs_f64()
+    );
+    println!(
+        "concurrent serving: {} clients answered {} queries in {:.3}s ({:.1} qps) vs {:.1} qps \
+         single ({:.2}x), p50 {:.3e}s p95 {:.3e}s p99 {:.3e}s, {} writes + {} compactions \
+         underneath",
+        qps.clients,
+        qps.queries,
+        qps.elapsed.as_secs_f64(),
+        qps.qps(),
+        qps.single_qps(),
+        qps.speedup(),
+        qps.p50.as_secs_f64(),
+        qps.p95.as_secs_f64(),
+        qps.p99.as_secs_f64(),
+        qps.writes,
+        qps.compactions
     );
     println!(
         "snapshot {} triples: compact binary {} B vs JSON {} B ({:.1}x smaller, query-ready \

@@ -1,0 +1,77 @@
+//! Files a `BENCH_ci.json` run into the committed benchmark history and
+//! re-renders the cross-run trajectory CSV.
+//!
+//! ```text
+//! bench_history [--json PATH] [--history DIR] [--label LABEL]
+//! ```
+//!
+//! Typical use, after a `bench_evidence` run:
+//!
+//! ```text
+//! cargo run --release -p hex-bench --bin bench_evidence -- --out bench-artifacts
+//! cargo run --release -p hex-bench --bin bench_history -- --label pr7
+//! ```
+//!
+//! The history directory (`bench_evidence/history/` by default) is meant
+//! to be committed: each entry is one run's full `BENCH_ci.json`, and
+//! `trajectory.csv` holds the headline metrics of every run, one row
+//! each, so performance over the repository's life is diffable in
+//! review.
+
+use hex_bench::cli;
+use hex_bench::history::{append_run, trajectory_csv};
+use std::path::PathBuf;
+
+struct Args {
+    json: PathBuf,
+    history: PathBuf,
+    label: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        json: PathBuf::from("bench-artifacts/BENCH_ci.json"),
+        history: PathBuf::from("bench_evidence/history"),
+        label: "run".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--json" | "-j" => args.json = PathBuf::from(cli::value(&mut it, "--json")?),
+            "--history" => args.history = PathBuf::from(cli::value(&mut it, "--history")?),
+            "--label" | "-l" => args.label = cli::value(&mut it, "--label")?,
+            "--help" | "-h" => {
+                println!(
+                    "bench_history — file a BENCH_ci.json run into the benchmark history and \
+                     re-render trajectory.csv\n\nusage: bench_history [--json PATH] \
+                     [--history DIR] [--label LABEL]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let json = std::fs::read_to_string(&args.json)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", args.json.display()));
+    let entry = append_run(&args.history, &json, &args.label)
+        .unwrap_or_else(|e| panic!("cannot append to {}: {e}", args.history.display()));
+    eprintln!("# filed {}", entry.display());
+    let csv = trajectory_csv(&args.history)
+        .unwrap_or_else(|e| panic!("cannot render {}: {e}", args.history.display()));
+    let csv_path = args.history.join("trajectory.csv");
+    std::fs::write(&csv_path, &csv)
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", csv_path.display()));
+    eprintln!("# wrote {}", csv_path.display());
+    print!("{csv}");
+}

@@ -1,8 +1,8 @@
 //! Regenerates the paper's figures as CSV tables on stdout.
 //!
 //! ```text
-//! figures [--figure <3..15|space|path|load|snapshot|plans|all>] [--triples N]
-//!         [--points K] [--reps R] [--threads T]
+//! figures [--figure <3..15|space|path|load|snapshot|plans|live_write|qps|all>]
+//!         [--triples N] [--points K] [--reps R] [--threads T]
 //! ```
 //!
 //! Examples:
@@ -19,8 +19,8 @@
 
 use hex_bench::{
     cli, live_write_figure, live_write_to_csv, load_figure, load_to_csv, memory_figure,
-    memory_to_csv, path_report, plans_figure, plans_to_csv, run_figure, snapshot_figure,
-    snapshot_to_csv, space_report, FIGURES,
+    memory_to_csv, path_report, plans_figure, plans_to_csv, qps_figure, qps_to_csv, run_figure,
+    snapshot_figure, snapshot_to_csv, space_report, FIGURES,
 };
 
 struct Args {
@@ -57,7 +57,10 @@ fn parse_args() -> Result<Args, String> {
 fn print_help() {
     println!("figures — regenerate the Hexastore paper's evaluation figures\n");
     println!("usage: figures [--figure F] [--triples N] [--points K] [--reps R] [--threads T]\n");
-    println!("  --threads applies to the 'load' figure's parallel loader (default 4)\n");
+    println!(
+        "  --threads applies to the 'load' figure's parallel loader and is the 'qps' \
+         figure's client count (default 4)\n"
+    );
     println!("figures:");
     for (id, title) in FIGURES {
         println!("  {id:>6}  {title}");
@@ -99,6 +102,10 @@ fn emit(figure: &str, triples: usize, points: usize, reps: usize, threads: usize
         }
         "live_write" => {
             print!("{}", live_write_to_csv(&live_write_figure(triples, reps)));
+            println!();
+        }
+        "qps" => {
+            print!("{}", qps_to_csv(&qps_figure(triples, threads, reps)));
             println!();
         }
         timing => {

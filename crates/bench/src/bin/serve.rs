@@ -1,0 +1,79 @@
+//! Concurrent-serving demonstrator: answers the twelve paper queries
+//! from N client threads against a live store that is taking writes and
+//! compacting underneath, then prints the measured throughput.
+//!
+//! ```text
+//! serve [--triples N] [--clients C] [--reps R]
+//! ```
+//!
+//! Each client thread holds a [`hexastore::SnapshotHandle`] and a
+//! [`hex_query::PlanCache`]; every query loads the latest published
+//! snapshot, so clients always see a consistent frozen generation while
+//! the writer inserts/removes triples and folds them into the next
+//! generation. The qps CSV goes to stdout; a human summary (throughput,
+//! speedup over one client, p50/p95/p99 latency) to stderr.
+//!
+//! ```text
+//! cargo run --release -p hex-bench --bin serve -- --triples 200000 --clients 4
+//! ```
+
+use hex_bench::{cli, qps_figure, qps_to_csv};
+
+struct Args {
+    triples: usize,
+    clients: usize,
+    reps: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { triples: 200_000, clients: 4, reps: 1 };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--triples" | "-n" => args.triples = cli::parse_usize(&mut it, "--triples")?,
+            "--clients" | "-c" => args.clients = cli::parse_usize(&mut it, "--clients")?,
+            "--reps" | "-r" => args.reps = cli::parse_usize(&mut it, "--reps")?,
+            "--help" | "-h" => {
+                println!(
+                    "serve — answer the twelve paper queries from N client threads against a \
+                     live store taking concurrent writes\n\nusage: serve [--triples N] \
+                     [--clients C] [--reps R]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.triples < 1000 || args.clients == 0 {
+        return Err("need --triples >= 1000 and --clients >= 1".into());
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    eprintln!("# serve: triples={} clients={} reps={}", args.triples, args.clients, args.reps);
+    let row = qps_figure(args.triples, args.clients, args.reps);
+    print!("{}", qps_to_csv(&row));
+    eprintln!(
+        "# {} queries in {:.3}s -> {:.1} qps with {} clients, {:.1} qps with one ({:.2}x); \
+         p50 {:.6}s p95 {:.6}s p99 {:.6}s; {} writes, {} compactions underneath",
+        row.queries,
+        row.elapsed.as_secs_f64(),
+        row.qps(),
+        row.clients,
+        row.single_qps(),
+        row.speedup(),
+        row.p50.as_secs_f64(),
+        row.p95.as_secs_f64(),
+        row.p99.as_secs_f64(),
+        row.writes,
+        row.compactions,
+    );
+}

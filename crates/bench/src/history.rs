@@ -1,0 +1,163 @@
+//! Benchmark-evidence history: a committed trajectory of `BENCH_ci.json`
+//! runs plus a cross-run CSV rendering.
+//!
+//! The CI regression gate compares one PR against its base branch; this
+//! module keeps the *long-run* perspective. [`append_run`] files a
+//! `BENCH_ci.json` under `bench_evidence/history/` as the next numbered
+//! entry, and [`trajectory_csv`] renders every entry's headline metrics
+//! (load speedup, snapshot open speedup, live-write throughput,
+//! concurrent-serving qps, …) as one CSV row per run, so the
+//! repository's performance trajectory is readable at a glance and
+//! diffable in review.
+
+use serde::Value;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The headline metrics a trajectory row carries, as (column, JSON
+/// path) pairs into `BENCH_ci.json`. Entries predating a metric render
+/// as empty cells, so the schema can grow without rewriting history.
+pub const TRAJECTORY_COLUMNS: [(&str, &[&str]); 9] = [
+    ("figures_triples", &["figures_triples"]),
+    ("load_speedup", &["load", "speedup"]),
+    ("load_parallel_triples_per_second", &["load", "parallel_triples_per_second"]),
+    ("ask_speedup", &["ask_early_exit", "speedup"]),
+    ("snapshot_open_speedup", &["snapshot", "open_speedup_vs_json"]),
+    ("live_write_inserts_per_second", &["live_write", "inserts_per_second"]),
+    ("qps", &["qps", "qps"]),
+    ("qps_speedup", &["qps", "speedup"]),
+    ("qps_p95_seconds", &["qps", "p95_seconds"]),
+];
+
+/// Walks a `.`-free key path through nested JSON objects.
+fn lookup<'v>(value: &'v Value, path: &[&str]) -> Option<&'v Value> {
+    path.iter().try_fold(value, |v, key| match v {
+        Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+        _ => None,
+    })
+}
+
+/// Numeric view of a JSON scalar.
+fn number(value: &Value) -> Option<f64> {
+    match value {
+        Value::F64(v) => Some(*v),
+        Value::U64(v) => Some(*v as f64),
+        Value::I64(v) => Some(*v as f64),
+        _ => None,
+    }
+}
+
+/// Keeps labels filesystem- and CSV-safe.
+fn sanitize(label: &str) -> String {
+    let cleaned: String = label
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') { c } else { '-' })
+        .collect();
+    if cleaned.is_empty() {
+        "run".to_string()
+    } else {
+        cleaned
+    }
+}
+
+/// The numbered history entries (`NNNN-label.json`), in run order.
+fn entries(history_dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut found = Vec::new();
+    for entry in std::fs::read_dir(history_dir)? {
+        let path = entry?.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        let numbered = name.len() > 5
+            && name[..4].bytes().all(|b| b.is_ascii_digit())
+            && name.as_bytes()[4] == b'-'
+            && name.ends_with(".json");
+        if numbered {
+            found.push(path);
+        }
+    }
+    found.sort();
+    Ok(found)
+}
+
+/// Files `json_text` (a `BENCH_ci.json` document — validated by parsing
+/// it) as the next numbered entry `NNNN-<label>.json` of `history_dir`,
+/// creating the directory if needed. Returns the new entry's path.
+pub fn append_run(history_dir: &Path, json_text: &str, label: &str) -> io::Result<PathBuf> {
+    serde_json::from_str::<Value>(json_text)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("invalid JSON: {e}")))?;
+    std::fs::create_dir_all(history_dir)?;
+    let next = entries(history_dir)?.len() + 1;
+    let path = history_dir.join(format!("{next:04}-{}.json", sanitize(label)));
+    std::fs::write(&path, json_text)?;
+    Ok(path)
+}
+
+/// Renders every history entry's headline metrics as CSV, one row per
+/// run in entry order. A metric absent from an entry (recorded before
+/// that figure existed) renders as an empty cell.
+pub fn trajectory_csv(history_dir: &Path) -> io::Result<String> {
+    let mut out = String::from("# Benchmark-evidence trajectory — one row per recorded run\nrun");
+    for (column, _) in TRAJECTORY_COLUMNS {
+        out.push(',');
+        out.push_str(column);
+    }
+    out.push('\n');
+    for path in entries(history_dir)? {
+        let text = std::fs::read_to_string(&path)?;
+        let value = serde_json::from_str::<Value>(&text).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}: invalid JSON: {e}", path.display()),
+            )
+        })?;
+        let run = path.file_stem().and_then(|n| n.to_str()).unwrap_or("?").to_string();
+        out.push_str(&run);
+        for (_, json_path) in TRAJECTORY_COLUMNS {
+            out.push(',');
+            if let Some(v) = lookup(&value, json_path).and_then(number) {
+                out.push_str(&format!("{v:.6}"));
+            }
+        }
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_history(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("hexhist-{name}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn runs_append_in_order_and_render_as_rows() {
+        let dir = temp_history("append");
+        let old = r#"{"figures_triples": 20000, "load": {"speedup": 1.5}}"#;
+        let new = r#"{"figures_triples": 20000, "load": {"speedup": 1.8},
+                      "qps": {"qps": 1700.0, "speedup": 2.1, "p95_seconds": 0.017}}"#;
+        let first = append_run(&dir, old, "seed").unwrap();
+        let second = append_run(&dir, new, "with qps!").unwrap();
+        assert!(first.ends_with("0001-seed.json"));
+        assert!(second.ends_with("0002-with-qps-.json"), "{}", second.display());
+
+        let csv = trajectory_csv(&dir).unwrap();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 4, "header comment + column row + two runs");
+        assert!(lines[1].starts_with("run,figures_triples,load_speedup,"));
+        // The pre-qps entry renders empty qps cells, not garbage.
+        assert!(lines[2].starts_with("0001-seed,20000.000000,1.500000,"));
+        assert!(lines[2].ends_with(",,,"), "missing metrics must be empty: {}", lines[2]);
+        assert!(lines[3].contains("1700.000000"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn malformed_json_is_rejected_not_filed() {
+        let dir = temp_history("reject");
+        assert!(append_run(&dir, "{not json", "bad").is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

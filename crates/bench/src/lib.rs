@@ -18,6 +18,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod history;
+
 use hex_bench_queries::barton::{self, BartonIds};
 use hex_bench_queries::lubm::{self, LubmIds};
 use hex_bench_queries::Suite;
@@ -150,7 +152,7 @@ impl Figure {
 }
 
 /// Which figures exist and what they measure.
-pub const FIGURES: [(&str, &str); 19] = [
+pub const FIGURES: [(&str, &str); 20] = [
     ("3", "Barton Query 1"),
     ("4", "Barton Query 2 (full + 28-property)"),
     ("5", "Barton Query 3 (full + 28-property)"),
@@ -170,6 +172,7 @@ pub const FIGURES: [(&str, &str); 19] = [
     ("snapshot", "Snapshot formats: binary hexsnap vs JSON (size, save, open)"),
     ("plans", "Twelve paper queries through prepare: hand plan vs planner, stats off/on"),
     ("live_write", "Live write path: sustained WAL inserts while querying + recovery + compaction"),
+    ("qps", "Concurrent serving: client threads over published snapshots vs one client (qps)"),
 ];
 
 type BartonQueryFns = Vec<(&'static str, Box<dyn Fn(&Suite, &BartonIds)>)>;
@@ -986,6 +989,258 @@ pub fn live_write_to_csv(row: &LiveWriteRow) -> String {
     )
 }
 
+/// One concurrent-serving measurement: reader threads answering the
+/// paper queries against published snapshots while a writer mutates and
+/// compacts the same live store underneath.
+#[derive(Clone, Debug)]
+pub struct QpsRow {
+    /// Total dataset size (frozen base + the writer's churn window).
+    pub triples: usize,
+    /// Triples in the pre-built frozen generation the store opens on.
+    pub base_triples: usize,
+    /// Reader threads in the concurrent pass.
+    pub clients: usize,
+    /// Queries answered by the concurrent pass.
+    pub queries: usize,
+    /// Wall-clock of the concurrent pass.
+    pub elapsed: Duration,
+    /// Queries answered by the one-client baseline pass.
+    pub single_queries: usize,
+    /// Wall-clock of the one-client baseline pass.
+    pub single_elapsed: Duration,
+    /// Writer mutations (inserts + removes) during the concurrent pass.
+    pub writes: usize,
+    /// Compactions — snapshot handoffs — during the concurrent pass.
+    pub compactions: usize,
+    /// Median query latency of the concurrent pass.
+    pub p50: Duration,
+    /// 95th-percentile query latency of the concurrent pass.
+    pub p95: Duration,
+    /// 99th-percentile query latency of the concurrent pass.
+    pub p99: Duration,
+}
+
+impl QpsRow {
+    /// Queries per second of the concurrent pass.
+    pub fn qps(&self) -> f64 {
+        self.queries as f64 / self.elapsed.as_secs_f64().max(f64::MIN_POSITIVE)
+    }
+
+    /// Queries per second of the one-client baseline.
+    pub fn single_qps(&self) -> f64 {
+        self.single_queries as f64 / self.single_elapsed.as_secs_f64().max(f64::MIN_POSITIVE)
+    }
+
+    /// Concurrent throughput over the one-client baseline (>1: the
+    /// snapshot handoff scales reads across cores).
+    pub fn speedup(&self) -> f64 {
+        self.qps() / self.single_qps().max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Raw output of one [`serve_pass`] run.
+struct ServePass {
+    queries: usize,
+    elapsed: Duration,
+    latencies: Vec<Duration>,
+    writes: usize,
+    compactions: usize,
+}
+
+/// Nearest-rank percentile of an ascending latency slice.
+fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    match sorted.len() {
+        0 => Duration::ZERO,
+        n => sorted[(((n - 1) as f64) * q).round() as usize],
+    }
+}
+
+/// One timed serving pass for [`qps_figure`]: opens the store on the
+/// saved base generation, spawns a writer thread cycling the churn
+/// window (an insert pass, then a remove pass, compacting every
+/// `compact_every` mutations — each compaction publishing the next
+/// snapshot generation) and `clients` reader threads answering
+/// `per_client` queries each against [`hexastore::SnapshotHandle`]
+/// snapshots, through a per-client [`hex_query::PlanCache`].
+#[allow(clippy::too_many_arguments)]
+fn serve_pass(
+    dir: &std::path::Path,
+    dict: &hex_dict::Dictionary,
+    frozen: &hexastore::FrozenHexastore,
+    tail: &[Triple],
+    queries: &[hex_bench_queries::PaperQuery],
+    clients: usize,
+    per_client: usize,
+    compact_every: usize,
+) -> ServePass {
+    use hexastore::{hexsnap, LiveGraphStore};
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    std::fs::remove_dir_all(dir).ok();
+    std::fs::create_dir_all(dir).expect("create serve bench dir");
+    hexsnap::save_frozen(hexsnap::generation_path(dir, 0), dict, frozen)
+        .expect("write base generation");
+    let mut live = LiveGraphStore::open(dir).expect("open live store");
+    let handles: Vec<_> = (0..clients).map(|_| live.subscribe()).collect();
+    let stop = AtomicBool::new(false);
+    let stop = &stop;
+    std::thread::scope(|scope| {
+        let writer = scope.spawn(move || {
+            let (mut writes, mut compactions, mut since_compact) = (0usize, 0usize, 0usize);
+            let mut removing = false;
+            'serve: while !tail.is_empty() {
+                for t in tail {
+                    if stop.load(Ordering::Relaxed) {
+                        break 'serve;
+                    }
+                    let applied = if removing { live.remove(t) } else { live.insert(t) };
+                    applied.expect("WAL append");
+                    writes += 1;
+                    since_compact += 1;
+                    if since_compact >= compact_every {
+                        live.sync().expect("WAL fsync");
+                        live.compact().expect("compact under load");
+                        compactions += 1;
+                        since_compact = 0;
+                    }
+                }
+                removing = !removing;
+            }
+            live.sync().expect("WAL fsync");
+            (writes, compactions)
+        });
+        let start = Instant::now();
+        let readers: Vec<_> = handles
+            .into_iter()
+            .enumerate()
+            .map(|(c, handle)| {
+                scope.spawn(move || {
+                    let mut cache = hex_query::PlanCache::new();
+                    let mut latencies = Vec::with_capacity(per_client);
+                    for i in 0..per_client {
+                        let q = &queries[(c + i) % queries.len()];
+                        let t0 = Instant::now();
+                        let snapshot = handle.load();
+                        let plan = cache
+                            .prepare(snapshot.as_ref(), &q.text)
+                            .expect("paper query compiles on a published snapshot");
+                        std::hint::black_box(plan.run().len());
+                        latencies.push(t0.elapsed());
+                    }
+                    latencies
+                })
+            })
+            .collect();
+        let mut latencies = Vec::with_capacity(clients * per_client);
+        for r in readers {
+            latencies.extend(r.join().expect("reader thread panicked"));
+        }
+        let elapsed = start.elapsed();
+        stop.store(true, Ordering::Relaxed);
+        let (writes, compactions) = writer.join().expect("writer thread panicked");
+        ServePass { queries: latencies.len(), elapsed, latencies, writes, compactions }
+    })
+}
+
+/// Measures concurrent serving on a combined Barton + LUBM dataset of
+/// `scale` triples. The first 80% of both halves is bulk-built into a
+/// frozen generation under one shared dictionary — so all twelve paper
+/// queries resolve against a single live store — and the remaining 20%
+/// is the writer's churn window. One pass runs `clients` reader threads
+/// answering the twelve queries round-robin against published snapshots
+/// while the writer inserts/removes the window and compacts every
+/// quarter window; a second pass with one reader under the same write
+/// load is the throughput baseline. Best of `reps` passes each.
+pub fn qps_figure(scale: usize, clients: usize, reps: usize) -> QpsRow {
+    use hex_bench_queries::{barton_queries, lubm_queries};
+
+    const PER_CLIENT: usize = 200;
+
+    let mut data = barton_dataset(scale / 2);
+    data.extend(lubm_dataset(scale - scale / 2));
+    let split = data.len() * 4 / 5;
+    let mut dict = hex_dict::Dictionary::new();
+    let base_ids: Vec<hex_dict::IdTriple> =
+        data[..split].iter().map(|t| dict.encode_triple(t)).collect();
+    let base_triples = {
+        let mut sorted = base_ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        sorted.len()
+    };
+    let frozen = hexastore::bulk::build_frozen(base_ids);
+    let mut queries = Vec::new();
+    if let Some(qs) = barton_queries(&dict) {
+        queries.extend(qs);
+    }
+    if let Some(qs) = lubm_queries(&dict) {
+        queries.extend(qs);
+    }
+    assert!(
+        !queries.is_empty(),
+        "qps figure: no paper-query constants bound in the base 80% — raise the scale"
+    );
+    let tail = &data[split..];
+    let compact_every = (tail.len() / 4).max(250);
+
+    let dir = std::env::temp_dir().join(format!("hexserve_bench_{}_{scale}", std::process::id()));
+    let (mut multi, mut single): (Option<ServePass>, Option<ServePass>) = (None, None);
+    for _ in 0..reps.max(1) {
+        let pass =
+            serve_pass(&dir, &dict, &frozen, tail, &queries, clients, PER_CLIENT, compact_every);
+        if multi.as_ref().is_none_or(|best| pass.elapsed < best.elapsed) {
+            multi = Some(pass);
+        }
+        let pass = serve_pass(&dir, &dict, &frozen, tail, &queries, 1, PER_CLIENT, compact_every);
+        if single.as_ref().is_none_or(|best| pass.elapsed < best.elapsed) {
+            single = Some(pass);
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    let (multi, single) = (multi.expect("reps >= 1"), single.expect("reps >= 1"));
+    let mut sorted = multi.latencies;
+    sorted.sort_unstable();
+    QpsRow {
+        triples: data.len(),
+        base_triples,
+        clients,
+        queries: multi.queries,
+        elapsed: multi.elapsed,
+        single_queries: single.queries,
+        single_elapsed: single.elapsed,
+        writes: multi.writes,
+        compactions: multi.compactions,
+        p50: percentile(&sorted, 0.50),
+        p95: percentile(&sorted, 0.95),
+        p99: percentile(&sorted, 0.99),
+    }
+}
+
+/// Renders the concurrent-serving measurement as a one-row CSV.
+pub fn qps_to_csv(row: &QpsRow) -> String {
+    format!(
+        "# Concurrent serving — paper queries from client threads over published snapshots, \
+         writer compacting underneath, barton+lubm dataset\n\
+         triples,base_triples,clients,queries,seconds,qps,single_seconds,single_qps,speedup,\
+         writes,compactions,p50_s,p95_s,p99_s\n\
+         {},{},{},{},{:.6},{:.1},{:.6},{:.1},{:.3},{},{},{:.6},{:.6},{:.6}\n",
+        row.triples,
+        row.base_triples,
+        row.clients,
+        row.queries,
+        row.elapsed.as_secs_f64(),
+        row.qps(),
+        row.single_elapsed.as_secs_f64(),
+        row.single_qps(),
+        row.speedup(),
+        row.writes,
+        row.compactions,
+        row.p50.as_secs_f64(),
+        row.p95.as_secs_f64(),
+        row.p99.as_secs_f64(),
+    )
+}
+
 /// One planner-ablation measurement: the same paper query answered by
 /// the hand-written per-store plan, by the planner's constants-only
 /// order, and by the statistics-refined order.
@@ -1354,6 +1609,22 @@ mod tests {
         assert!(row.inserts_per_sec() > 0.0);
         let csv = live_write_to_csv(&row);
         assert!(csv.contains("triples,base_triples,inserts,queries_run,insert_s"));
+        assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    fn qps_figure_serves_under_concurrent_writes() {
+        let row = qps_figure(16_000, 2, 1);
+        assert_eq!(row.clients, 2);
+        assert_eq!(row.queries, 400, "two clients x 200 queries each");
+        assert_eq!(row.single_queries, 200);
+        assert!(row.base_triples > 0 && row.base_triples <= row.triples);
+        assert!(row.elapsed > Duration::ZERO && row.single_elapsed > Duration::ZERO);
+        assert!(row.writes > 0, "the writer must have mutated during serving");
+        assert!(row.p50 <= row.p95 && row.p95 <= row.p99);
+        assert!(row.qps() > 0.0 && row.single_qps() > 0.0 && row.speedup() > 0.0);
+        let csv = qps_to_csv(&row);
+        assert!(csv.contains("triples,base_triples,clients,queries,seconds,qps"));
         assert_eq!(csv.lines().count(), 3);
     }
 

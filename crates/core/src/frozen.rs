@@ -32,6 +32,7 @@ use crate::store::{Hexastore, SpaceStats, TwoLevel};
 use crate::traits::{TripleIter, TripleStore};
 use crate::vecmap::VecMap;
 use hex_dict::{Id, IdTriple};
+use std::sync::Arc;
 
 /// One frozen ordering: a flat two-level index. `k1` maps each header to
 /// a [`Span`] over the parallel `k2`/`lists` columns; `lists` holds the
@@ -157,6 +158,12 @@ pub(crate) type FrozenPair = (FrozenIndex, FrozenIndex, FlatArena);
 /// [`TripleStore::remove`] panic. Use [`FrozenHexastore::thaw`] to get an
 /// updatable [`Hexastore`] back (loss-free).
 ///
+/// The slabs live behind one shared allocation, so [`Clone`] is a
+/// reference-count bump, never a column copy — cloning a frozen store is
+/// how a snapshot is handed to another reader thread
+/// ([`crate::LiveGraphStore::subscribe`] publishes exactly such clones),
+/// and the store is [`Send`]`+`[`Sync`] because nothing in it mutates.
+///
 /// ```
 /// use hexastore::{FrozenHexastore, IdPattern, TripleStore};
 /// use hex_dict::IdTriple;
@@ -172,6 +179,14 @@ pub(crate) type FrozenPair = (FrozenIndex, FrozenIndex, FlatArena);
 /// ```
 #[derive(Clone, PartialEq, Eq)]
 pub struct FrozenHexastore {
+    inner: Arc<FrozenInner>,
+}
+
+/// The shared slab payload of a [`FrozenHexastore`]: six orderings over
+/// three paired terminal arenas. One allocation, arbitrarily many
+/// reader handles.
+#[derive(PartialEq, Eq)]
+struct FrozenInner {
     spo: FrozenIndex,
     sop: FrozenIndex,
     pso: FrozenIndex,
@@ -204,19 +219,39 @@ impl FrozenHexastore {
         let (spo, pso, o_lists) = spo_pair;
         let (sop, osp, p_lists) = sop_pair;
         let (pos, ops, s_lists) = pos_pair;
-        FrozenHexastore { spo, sop, pso, pos, osp, ops, o_lists, p_lists, s_lists, len }
+        FrozenHexastore {
+            inner: Arc::new(FrozenInner {
+                spo,
+                sop,
+                pso,
+                pos,
+                osp,
+                ops,
+                o_lists,
+                p_lists,
+                s_lists,
+                len,
+            }),
+        }
     }
 
     /// The six orderings in canonical order (spo, sop, pso, pos, osp,
     /// ops) — the serialization walk of the `hexsnap` format.
     pub(crate) fn orderings(&self) -> [&FrozenIndex; 6] {
-        [&self.spo, &self.sop, &self.pso, &self.pos, &self.osp, &self.ops]
+        [
+            &self.inner.spo,
+            &self.inner.sop,
+            &self.inner.pso,
+            &self.inner.pos,
+            &self.inner.osp,
+            &self.inner.ops,
+        ]
     }
 
     /// The three shared arenas in canonical order (object, property,
     /// subject lists).
     pub(crate) fn arenas(&self) -> [&FlatArena; 3] {
-        [&self.o_lists, &self.p_lists, &self.s_lists]
+        [&self.inner.o_lists, &self.inner.p_lists, &self.inner.s_lists]
     }
 
     pub(crate) fn from_raw_parts(
@@ -226,7 +261,20 @@ impl FrozenHexastore {
     ) -> Self {
         let [spo, sop, pso, pos, osp, ops] = orderings;
         let [o_lists, p_lists, s_lists] = arenas;
-        FrozenHexastore { spo, sop, pso, pos, osp, ops, o_lists, p_lists, s_lists, len }
+        FrozenHexastore {
+            inner: Arc::new(FrozenInner {
+                spo,
+                sop,
+                pso,
+                pos,
+                osp,
+                ops,
+                o_lists,
+                p_lists,
+                s_lists,
+                len,
+            }),
+        }
     }
 
     fn list<'a>(&self, ix: &'a FrozenIndex, arena: &'a FlatArena, k1: Id, k2: Id) -> &'a [Id] {
@@ -243,47 +291,47 @@ impl FrozenHexastore {
 
     /// Sorted objects o with (s, p, o) stored — the spo/pso shared list.
     pub fn objects_for(&self, s: Id, p: Id) -> &[Id] {
-        self.list(&self.spo, &self.o_lists, s, p)
+        self.list(&self.inner.spo, &self.inner.o_lists, s, p)
     }
 
     /// Sorted properties p with (s, p, o) stored — the sop/osp shared list.
     pub fn properties_for(&self, s: Id, o: Id) -> &[Id] {
-        self.list(&self.sop, &self.p_lists, s, o)
+        self.list(&self.inner.sop, &self.inner.p_lists, s, o)
     }
 
     /// Sorted subjects s with (s, p, o) stored — the pos/ops shared list.
     pub fn subjects_for(&self, p: Id, o: Id) -> &[Id] {
-        self.list(&self.pos, &self.s_lists, p, o)
+        self.list(&self.inner.pos, &self.inner.s_lists, p, o)
     }
 
     /// Sorted iterator over all distinct subjects.
     pub fn subjects(&self) -> impl Iterator<Item = Id> + '_ {
-        self.spo.k1.keys().iter().copied()
+        self.inner.spo.k1.keys().iter().copied()
     }
 
     /// Sorted iterator over all distinct properties.
     pub fn properties(&self) -> impl Iterator<Item = Id> + '_ {
-        self.pso.k1.keys().iter().copied()
+        self.inner.pso.k1.keys().iter().copied()
     }
 
     /// Sorted iterator over all distinct objects.
     pub fn objects(&self) -> impl Iterator<Item = Id> + '_ {
-        self.osp.k1.keys().iter().copied()
+        self.inner.osp.k1.keys().iter().copied()
     }
 
     /// Number of distinct subjects.
     pub fn subject_count(&self) -> usize {
-        self.spo.header_count()
+        self.inner.spo.header_count()
     }
 
     /// Number of distinct properties.
     pub fn property_count(&self) -> usize {
-        self.pso.header_count()
+        self.inner.pso.header_count()
     }
 
     /// Number of distinct objects.
     pub fn object_count(&self) -> usize {
-        self.osp.header_count()
+        self.inner.osp.header_count()
     }
 
     /// The largest id referenced anywhere in the slabs, if any — the
@@ -311,7 +359,7 @@ impl FrozenHexastore {
     /// §4.1 quantities, only how they are laid out.
     pub fn space_stats(&self) -> SpaceStats {
         SpaceStats {
-            triples: self.len,
+            triples: self.inner.len,
             header_entries: self.orderings().iter().map(|ix| ix.header_count()).sum(),
             vector_entries: self.orderings().iter().map(|ix| ix.pair_count()).sum(),
             list_entries: self.arenas().iter().map(|a| a.total_items()).sum(),
@@ -321,17 +369,17 @@ impl FrozenHexastore {
     /// Converts back into a mutable [`Hexastore`] (loss-free: the same
     /// triples, sharing structure, and space accounting).
     pub fn thaw(self) -> Hexastore {
-        let spo_pair = thaw_pair(&self.spo, &self.pso, &self.o_lists);
-        let sop_pair = thaw_pair(&self.sop, &self.osp, &self.p_lists);
-        let pos_pair = thaw_pair(&self.pos, &self.ops, &self.s_lists);
-        Hexastore::from_built_parts(spo_pair, sop_pair, pos_pair, self.len)
+        let spo_pair = thaw_pair(&self.inner.spo, &self.inner.pso, &self.inner.o_lists);
+        let sop_pair = thaw_pair(&self.inner.sop, &self.inner.osp, &self.inner.p_lists);
+        let pos_pair = thaw_pair(&self.inner.pos, &self.inner.ops, &self.inner.s_lists);
+        Hexastore::from_built_parts(spo_pair, sop_pair, pos_pair, self.inner.len)
     }
 }
 
 impl std::fmt::Debug for FrozenHexastore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("FrozenHexastore")
-            .field("triples", &self.len)
+            .field("triples", &self.inner.len)
             .field("subjects", &self.subject_count())
             .field("properties", &self.property_count())
             .field("objects", &self.object_count())
@@ -416,13 +464,41 @@ fn thaw_pair(
     (primary, mirror, arena)
 }
 
+/// Yields the `[start, start + len)` window of a concatenation of
+/// terminal lists without constructing the prefix: whole lists ahead of
+/// the window are skipped by length arithmetic alone, then at most one
+/// list is entered mid-way.
+fn window_lists<'a, K, I, F>(groups: I, make: F, start: usize, len: usize) -> TripleIter<'a>
+where
+    K: Copy + 'a,
+    I: Iterator<Item = (K, &'a [Id])> + 'a,
+    F: Fn(K, Id) -> IdTriple + Copy + 'a,
+{
+    let mut skip = start;
+    Box::new(
+        groups
+            .filter_map(move |(k, items)| {
+                if skip >= items.len() {
+                    skip -= items.len();
+                    None
+                } else {
+                    let from = skip;
+                    skip = 0;
+                    Some((k, &items[from..]))
+                }
+            })
+            .flat_map(move |(k, items)| items.iter().map(move |&item| make(k, item)))
+            .take(len),
+    )
+}
+
 impl TripleStore for FrozenHexastore {
     fn name(&self) -> &'static str {
         "FrozenHexastore"
     }
 
     fn len(&self) -> usize {
-        self.len
+        self.inner.len
     }
 
     /// # Panics
@@ -476,7 +552,7 @@ impl TripleStore for FrozenHexastore {
             }
             Shape::S => {
                 let s = pat.s.unwrap();
-                for (p, objs) in Self::division(&self.spo, &self.o_lists, s) {
+                for (p, objs) in Self::division(&self.inner.spo, &self.inner.o_lists, s) {
                     for &o in objs {
                         f(IdTriple::new(s, p, o));
                     }
@@ -484,7 +560,7 @@ impl TripleStore for FrozenHexastore {
             }
             Shape::P => {
                 let p = pat.p.unwrap();
-                for (s, objs) in Self::division(&self.pso, &self.o_lists, p) {
+                for (s, objs) in Self::division(&self.inner.pso, &self.inner.o_lists, p) {
                     for &o in objs {
                         f(IdTriple::new(s, p, o));
                     }
@@ -492,15 +568,15 @@ impl TripleStore for FrozenHexastore {
             }
             Shape::O => {
                 let o = pat.o.unwrap();
-                for (s, props) in Self::division(&self.osp, &self.p_lists, o) {
+                for (s, props) in Self::division(&self.inner.osp, &self.inner.p_lists, o) {
                     for &p in props {
                         f(IdTriple::new(s, p, o));
                     }
                 }
             }
             Shape::None_ => {
-                for (s, p, l) in self.spo.scan() {
-                    for &o in self.o_lists.get(l) {
+                for (s, p, l) in self.inner.spo.scan() {
+                    for &o in self.inner.o_lists.get(l) {
                         f(IdTriple::new(s, p, o));
                     }
                 }
@@ -529,30 +605,106 @@ impl TripleStore for FrozenHexastore {
             Shape::S => {
                 let s = pat.s.unwrap();
                 Box::new(
-                    Self::division(&self.spo, &self.o_lists, s).flat_map(move |(p, objs)| {
-                        objs.iter().map(move |&o| IdTriple::new(s, p, o))
-                    }),
+                    Self::division(&self.inner.spo, &self.inner.o_lists, s).flat_map(
+                        move |(p, objs)| objs.iter().map(move |&o| IdTriple::new(s, p, o)),
+                    ),
                 )
             }
             Shape::P => {
                 let p = pat.p.unwrap();
                 Box::new(
-                    Self::division(&self.pso, &self.o_lists, p).flat_map(move |(s, objs)| {
-                        objs.iter().map(move |&o| IdTriple::new(s, p, o))
-                    }),
+                    Self::division(&self.inner.pso, &self.inner.o_lists, p).flat_map(
+                        move |(s, objs)| objs.iter().map(move |&o| IdTriple::new(s, p, o)),
+                    ),
                 )
             }
             Shape::O => {
                 let o = pat.o.unwrap();
                 Box::new(
-                    Self::division(&self.osp, &self.p_lists, o).flat_map(move |(s, props)| {
-                        props.iter().map(move |&p| IdTriple::new(s, p, o))
-                    }),
+                    Self::division(&self.inner.osp, &self.inner.p_lists, o).flat_map(
+                        move |(s, props)| props.iter().map(move |&p| IdTriple::new(s, p, o)),
+                    ),
                 )
             }
-            Shape::None_ => Box::new(self.spo.scan().flat_map(move |(s, p, l)| {
-                self.o_lists.get(l).iter().map(move |&o| IdTriple::new(s, p, o))
+            Shape::None_ => Box::new(self.inner.spo.scan().flat_map(move |(s, p, l)| {
+                self.inner.o_lists.get(l).iter().map(move |&o| IdTriple::new(s, p, o))
             })),
+        }
+    }
+
+    /// The flat layout makes a range start an offset computation: bound
+    /// shapes slice their terminal list directly, and division/scan
+    /// shapes skip whole lists by length arithmetic before yielding a
+    /// single partial slice — no triple ahead of `start` is ever
+    /// constructed.
+    fn iter_matching_range(&self, pat: IdPattern, start: usize, end: usize) -> TripleIter<'_> {
+        let len = end.saturating_sub(start);
+        if len == 0 {
+            return Box::new(std::iter::empty());
+        }
+        fn slice(items: &[Id], start: usize, end: usize) -> &[Id] {
+            let hi = end.min(items.len());
+            &items[start.min(hi)..hi]
+        }
+        match pat.shape() {
+            Shape::Spo => Box::new(self.iter_matching(pat).skip(start).take(len)),
+            Shape::Sp => {
+                let (s, p) = (pat.s.unwrap(), pat.p.unwrap());
+                Box::new(
+                    slice(self.objects_for(s, p), start, end)
+                        .iter()
+                        .map(move |&o| IdTriple::new(s, p, o)),
+                )
+            }
+            Shape::So => {
+                let (s, o) = (pat.s.unwrap(), pat.o.unwrap());
+                Box::new(
+                    slice(self.properties_for(s, o), start, end)
+                        .iter()
+                        .map(move |&p| IdTriple::new(s, p, o)),
+                )
+            }
+            Shape::Po => {
+                let (p, o) = (pat.p.unwrap(), pat.o.unwrap());
+                Box::new(
+                    slice(self.subjects_for(p, o), start, end)
+                        .iter()
+                        .map(move |&s| IdTriple::new(s, p, o)),
+                )
+            }
+            Shape::S => {
+                let s = pat.s.unwrap();
+                window_lists(
+                    Self::division(&self.inner.spo, &self.inner.o_lists, s),
+                    move |p, o| IdTriple::new(s, p, o),
+                    start,
+                    len,
+                )
+            }
+            Shape::P => {
+                let p = pat.p.unwrap();
+                window_lists(
+                    Self::division(&self.inner.pso, &self.inner.o_lists, p),
+                    move |s, o| IdTriple::new(s, p, o),
+                    start,
+                    len,
+                )
+            }
+            Shape::O => {
+                let o = pat.o.unwrap();
+                window_lists(
+                    Self::division(&self.inner.osp, &self.inner.p_lists, o),
+                    move |s, p| IdTriple::new(s, p, o),
+                    start,
+                    len,
+                )
+            }
+            Shape::None_ => window_lists(
+                self.inner.spo.scan().map(|(s, p, l)| ((s, p), self.inner.o_lists.get(l))),
+                move |(s, p), o| IdTriple::new(s, p, o),
+                start,
+                len,
+            ),
         }
     }
 
@@ -570,16 +722,16 @@ impl TripleStore for FrozenHexastore {
             Shape::Sp => self.objects_for(pat.s.unwrap(), pat.p.unwrap()).len(),
             Shape::So => self.properties_for(pat.s.unwrap(), pat.o.unwrap()).len(),
             Shape::Po => self.subjects_for(pat.p.unwrap(), pat.o.unwrap()).len(),
-            Shape::S => {
-                Self::division(&self.spo, &self.o_lists, pat.s.unwrap()).map(|(_, l)| l.len()).sum()
-            }
-            Shape::P => {
-                Self::division(&self.pso, &self.o_lists, pat.p.unwrap()).map(|(_, l)| l.len()).sum()
-            }
-            Shape::O => {
-                Self::division(&self.osp, &self.p_lists, pat.o.unwrap()).map(|(_, l)| l.len()).sum()
-            }
-            Shape::None_ => self.len,
+            Shape::S => Self::division(&self.inner.spo, &self.inner.o_lists, pat.s.unwrap())
+                .map(|(_, l)| l.len())
+                .sum(),
+            Shape::P => Self::division(&self.inner.pso, &self.inner.o_lists, pat.p.unwrap())
+                .map(|(_, l)| l.len())
+                .sum(),
+            Shape::O => Self::division(&self.inner.osp, &self.inner.p_lists, pat.o.unwrap())
+                .map(|(_, l)| l.len())
+                .sum(),
+            Shape::None_ => self.inner.len,
         }
     }
 
@@ -845,12 +997,12 @@ mod tests {
         // (s=1, p=2) reachable via spo and pso is the same column window.
         let frozen = Hexastore::from_triples(sample()).freeze();
         let via_spo = frozen.objects_for(Id(1), Id(2));
-        let via_pso = frozen.spo.list_idx(Id(1), Id(2)).unwrap();
-        let mirror = frozen.pso.list_idx(Id(2), Id(1)).unwrap();
+        let via_pso = frozen.inner.spo.list_idx(Id(1), Id(2)).unwrap();
+        let mirror = frozen.inner.pso.list_idx(Id(2), Id(1)).unwrap();
         assert_eq!(via_spo, &[Id(3), Id(4)]);
         assert_eq!(via_pso, mirror, "pair orderings must reference one list");
         // Total items per pair equals the triple count, not double.
-        assert_eq!(frozen.o_lists.total_items(), frozen.len());
+        assert_eq!(frozen.inner.o_lists.total_items(), frozen.len());
     }
 
     #[test]
@@ -887,6 +1039,41 @@ mod tests {
             assert_eq!(thawed.matching(IdPattern::ALL), mutable.matching(IdPattern::ALL));
             assert!(thawed.insert(t(77, 77, 77)));
         }
+    }
+
+    #[test]
+    fn iter_matching_range_is_the_exact_subsequence() {
+        let frozen = Hexastore::from_triples(sample()).freeze();
+        for pat in all_patterns(&sample()) {
+            let full: Vec<IdTriple> = frozen.iter_matching(pat).collect();
+            let n = full.len();
+            for start in 0..=n + 1 {
+                for end in start..=n + 2 {
+                    let got: Vec<IdTriple> = frozen.iter_matching_range(pat, start, end).collect();
+                    let want: Vec<IdTriple> =
+                        full.iter().copied().skip(start).take(end - start).collect();
+                    assert_eq!(got, want, "{pat:?} [{start}, {end})");
+                }
+            }
+            // Contiguous shards reassemble the full cursor byte-identically.
+            let mid = n / 2;
+            let mut shards: Vec<IdTriple> = frozen.iter_matching_range(pat, 0, mid).collect();
+            shards.extend(frozen.iter_matching_range(pat, mid, n));
+            assert_eq!(shards, full, "{pat:?} sharded");
+        }
+    }
+
+    #[test]
+    fn clone_shares_the_slabs() {
+        let frozen = Hexastore::from_triples(sample()).freeze();
+        let clone = frozen.clone();
+        assert_eq!(clone, frozen);
+        // Same allocation, not a copy: the terminal columns are at the
+        // same address through both handles.
+        assert!(std::ptr::eq(
+            frozen.inner.o_lists.items_raw().as_ptr(),
+            clone.inner.o_lists.items_raw().as_ptr()
+        ));
     }
 
     #[test]

@@ -27,6 +27,7 @@ use crate::wal::{Wal, WalOp};
 use hex_dict::Dictionary;
 use rdf_model::{NtParseError, Term, TermPattern, Triple, TriplePattern};
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, RwLock};
 
 /// A triple store together with its dictionary — the full paper
 /// architecture, generic over the physical store.
@@ -445,18 +446,95 @@ fn fsync_dir(dir: &Path) -> std::io::Result<()> {
 ///                                      ▼
 ///               gen-000042.hexsnap (frozen slabs)   WAL truncated
 /// ```
+///
+/// For concurrent serving, the live store also *publishes* each frozen
+/// generation as an [`Arc<FrozenGraphStore>`] snapshot:
+/// [`LiveGraphStore::subscribe`] hands out a [`SnapshotHandle`] that any
+/// number of reader threads can [`SnapshotHandle::load`] from. Readers
+/// query a consistent generation while the writer keeps inserting, and
+/// [`LiveGraphStore::compact`] swaps the next generation into the slot
+/// after its durable rename — an epoch-style handoff in which writers
+/// never block readers and readers never observe a half-built store.
 #[derive(Debug)]
 pub struct LiveGraphStore {
     data: OverlayGraphStore,
     wal: Wal,
     dir: PathBuf,
     generation: u64,
+    published: SnapshotSlot,
+}
+
+/// The shared publication slot between a [`LiveGraphStore`] and its
+/// [`SnapshotHandle`]s: the generation number plus the snapshot serving
+/// it. The lock is held only for the pointer swap/clone — never during
+/// a query — so contention is a few nanoseconds per load.
+type SnapshotSlot = Arc<RwLock<(u64, Arc<FrozenGraphStore>)>>;
+
+/// A cloneable reader-side handle onto the snapshots a
+/// [`LiveGraphStore`] publishes.
+///
+/// Obtained from [`LiveGraphStore::subscribe`]; safe to send to any
+/// number of reader threads. Each [`SnapshotHandle::load`] returns the
+/// latest published [`FrozenGraphStore`] behind an [`Arc`] — a
+/// consistent, immutable generation the reader can query for as long as
+/// it likes (the `Arc` keeps the slabs alive even after the writer
+/// compacts past it), without ever blocking the writer.
+#[derive(Clone, Debug)]
+pub struct SnapshotHandle {
+    slot: SnapshotSlot,
+}
+
+impl SnapshotHandle {
+    /// The latest published snapshot. A reader that holds the returned
+    /// `Arc` across several queries sees one consistent generation
+    /// throughout; loading again observes any newer generation the
+    /// writer has compacted in the meantime.
+    pub fn load(&self) -> Arc<FrozenGraphStore> {
+        self.slot.read().expect("snapshot slot poisoned").1.clone()
+    }
+
+    /// Like [`SnapshotHandle::load`], tagged with the generation number
+    /// the snapshot was compacted into — the epoch a stress test (or a
+    /// cache) can key expected contents on.
+    pub fn load_tagged(&self) -> (u64, Arc<FrozenGraphStore>) {
+        let guard = self.slot.read().expect("snapshot slot poisoned");
+        (guard.0, guard.1.clone())
+    }
+}
+
+/// Builds the publishable snapshot of the overlay's current frozen
+/// base. Cheap: the slabs are Arc-shared by [`FrozenHexastore::clone`],
+/// and dictionary terms are shared, not copied.
+fn publishable(data: &OverlayGraphStore) -> Arc<FrozenGraphStore> {
+    Arc::new(Dataset::from_parts(data.dict().clone(), data.store().base().clone()))
 }
 
 impl LiveGraphStore {
     /// Opens (or creates) a live store directory, replaying the WAL's
     /// clean prefix over the newest snapshot generation. A torn WAL
     /// tail is truncated away; a missing directory starts empty.
+    ///
+    /// ```
+    /// use hexastore::LiveGraphStore;
+    /// use rdf_model::{Term, Triple};
+    ///
+    /// let dir = std::env::temp_dir().join(format!("hexlive-doc-open-{}", std::process::id()));
+    /// let t = Triple::new(
+    ///     Term::iri("http://x/ID1"),
+    ///     Term::iri("http://x/advisor"),
+    ///     Term::iri("http://x/ID2"),
+    /// );
+    /// let mut live = LiveGraphStore::open(&dir)?;
+    /// live.insert(&t)?; // appended to the WAL, then applied
+    /// live.sync()?; // durability point
+    /// drop(live); // "crash" without compacting
+    ///
+    /// // Reopening replays the WAL over the newest generation.
+    /// let recovered = LiveGraphStore::open(&dir)?;
+    /// assert!(recovered.contains(&t));
+    /// # std::fs::remove_dir_all(&dir).ok();
+    /// # Ok::<(), hexastore::hexsnap::Error>(())
+    /// ```
     pub fn open(dir: impl AsRef<Path>) -> crate::hexsnap::Result<Self> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
@@ -490,7 +568,8 @@ impl LiveGraphStore {
                 }
             }
         }
-        Ok(LiveGraphStore { data, wal, dir, generation })
+        let published = Arc::new(RwLock::new((generation, publishable(&data))));
+        Ok(LiveGraphStore { data, wal, dir, generation, published })
     }
 
     /// Crash recovery is the normal open path — provided as an explicit
@@ -514,6 +593,25 @@ impl LiveGraphStore {
     /// reads (0 before the first compaction of a fresh store).
     pub fn generation(&self) -> u64 {
         self.generation
+    }
+
+    /// A handle reader threads use to fetch the latest published frozen
+    /// snapshot — see the [type docs](LiveGraphStore) for the handoff
+    /// protocol. Handles stay valid (and keep observing new
+    /// generations) for the life of this store.
+    ///
+    /// The published snapshot is the newest durable frozen *generation*:
+    /// overlay writes that have not been [`compact`](Self::compact)ed
+    /// yet are visible through [`LiveGraphStore::dataset`] but not yet
+    /// through the snapshot — they join it at the next compaction.
+    pub fn subscribe(&self) -> SnapshotHandle {
+        SnapshotHandle { slot: Arc::clone(&self.published) }
+    }
+
+    /// The currently published snapshot — shorthand for
+    /// `subscribe().load()`.
+    pub fn snapshot(&self) -> Arc<FrozenGraphStore> {
+        self.published.read().expect("snapshot slot poisoned").1.clone()
     }
 
     /// Number of triples stored.
@@ -573,6 +671,34 @@ impl LiveGraphStore {
     /// generation (+ a WAL whose replay is a no-op) — never a torn
     /// snapshot, and never a durable truncation ahead of the snapshot
     /// that supersedes it.
+    ///
+    /// Once the new generation is durable it is also *published*:
+    /// [`SnapshotHandle::load`] returns it from then on, while readers
+    /// still holding the previous generation's `Arc` finish their
+    /// queries on it undisturbed.
+    ///
+    /// ```
+    /// use hexastore::LiveGraphStore;
+    /// use rdf_model::{Term, Triple};
+    ///
+    /// let dir = std::env::temp_dir().join(format!("hexlive-doc-compact-{}", std::process::id()));
+    /// let mut live = LiveGraphStore::open(&dir)?;
+    /// let readers = live.subscribe(); // cloneable; send to reader threads
+    ///
+    /// let t = Triple::new(
+    ///     Term::iri("http://x/ID2"),
+    ///     Term::iri("http://x/worksFor"),
+    ///     Term::literal("MIT"),
+    /// );
+    /// live.insert(&t)?;
+    /// assert_eq!(readers.load().len(), 0); // snapshot still generation 0
+    ///
+    /// live.compact()?; // fold into gen-000001.hexsnap, truncate the WAL
+    /// let snap = readers.load(); // now the published generation 1
+    /// assert!(snap.contains(&t));
+    /// # std::fs::remove_dir_all(&dir).ok();
+    /// # Ok::<(), hexastore::hexsnap::Error>(())
+    /// ```
     pub fn compact(&mut self) -> crate::hexsnap::Result<()> {
         self.compact_with(crate::bulk::Config::default())
     }
@@ -594,6 +720,11 @@ impl LiveGraphStore {
             std::fs::rename(&tmp, &path)?;
             fsync_dir(&self.dir)?;
             self.generation = next;
+            // Epoch handoff: only after the rename is durable does the
+            // new generation become the published snapshot. Readers on
+            // the previous Arc keep serving from it unharmed.
+            *self.published.write().expect("snapshot slot poisoned") =
+                (next, publishable(&self.data));
         }
         // The snapshot now owns every logged mutation (or the log's net
         // effect was empty): reset the log, then drop stale generations.
@@ -938,6 +1069,83 @@ mod tests {
         drop(recovered);
         let reopened = LiveGraphStore::open(&dir).unwrap();
         assert_eq!(reopened.len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_handoff_publishes_each_durable_generation() {
+        let dir = live_dir("handoff");
+        let mut live = LiveGraphStore::open(&dir).unwrap();
+        let readers = live.subscribe();
+
+        // Before any compaction the published snapshot is generation 0.
+        let (gen0, snap0) = readers.load_tagged();
+        assert_eq!(gen0, 0);
+        assert!(snap0.is_empty());
+
+        let t1 = triple("ID1", "advisor", "ID2");
+        live.insert(&t1).unwrap();
+        // Uncompacted writes are visible in the overlay, not the snapshot.
+        assert!(live.contains(&t1));
+        assert!(!readers.load().contains(&t1));
+
+        live.compact().unwrap();
+        let (gen1, snap1) = readers.load_tagged();
+        assert_eq!(gen1, 1);
+        assert!(snap1.contains(&t1));
+        // The old Arc stays valid and unchanged: epoch readers finish
+        // their queries on the generation they loaded.
+        assert!(snap0.is_empty());
+
+        // A clean compact publishes nothing new.
+        live.compact().unwrap();
+        assert_eq!(readers.load_tagged().0, 1);
+
+        // Handles are cloneable and all observe the same slot, as does
+        // the writer-side shorthand.
+        let t2 = triple("ID2", "worksFor", "MIT");
+        live.insert(&t2).unwrap();
+        live.compact().unwrap();
+        assert_eq!(readers.clone().load_tagged().0, 2);
+        assert_eq!(live.snapshot().len(), 2);
+
+        // Reopening restores the newest generation as the publication.
+        drop(live);
+        let reopened = LiveGraphStore::open(&dir).unwrap();
+        let (gen, snap) = reopened.subscribe().load_tagged();
+        assert_eq!(gen, 2);
+        assert_eq!(snap.len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_loads_share_the_slabs_across_threads() {
+        let dir = live_dir("share");
+        let mut live = LiveGraphStore::open(&dir).unwrap();
+        for i in 0..50 {
+            live.insert(&triple(&format!("s{i}"), "p", &format!("o{i}"))).unwrap();
+        }
+        live.compact().unwrap();
+        let handle = live.subscribe();
+        // Reader threads query concurrently through their own Arcs.
+        let counts: Vec<usize> = std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..4)
+                .map(|_| {
+                    let handle = handle.clone();
+                    scope.spawn(move || {
+                        let snap = handle.load();
+                        snap.matching(&TriplePattern::new(
+                            TermPattern::var("s"),
+                            iri("p"),
+                            TermPattern::var("o"),
+                        ))
+                        .len()
+                    })
+                })
+                .collect();
+            workers.into_iter().map(|w| w.join().unwrap()).collect()
+        });
+        assert_eq!(counts, vec![50; 4]);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -84,7 +84,7 @@ pub use arena::{ListArena, ListId};
 pub use frozen::{FrozenHexastore, FrozenPartialHexastore};
 pub use graph::{
     Dataset, FrozenGraphStore, FrozenPartialGraphStore, GraphStore, LiveGraphStore,
-    OverlayGraphStore, PartialGraphStore,
+    OverlayGraphStore, PartialGraphStore, SnapshotHandle,
 };
 pub use overlay::OverlayHexastore;
 pub use partial::PartialHexastore;

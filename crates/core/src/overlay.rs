@@ -32,20 +32,44 @@
 use crate::advisor::IndexSet;
 use crate::frozen::FrozenHexastore;
 use crate::pattern::IdPattern;
+use crate::stats::DatasetStats;
 use crate::store::Hexastore;
 use crate::traits::{MutableStore, TripleIter, TripleStore};
 use hex_dict::IdTriple;
+use std::sync::RwLock;
 
 /// A mutable delta + tombstone overlay on a frozen base store.
 ///
 /// See the [module docs](self) for the layering invariants. Construct
 /// one from a frozen base with [`OverlayHexastore::new`], or empty with
 /// [`OverlayHexastore::default`].
-#[derive(Clone)]
 pub struct OverlayHexastore {
     base: FrozenHexastore,
     delta: Hexastore,
     tombstones: Hexastore,
+    /// Bumped by every successful insert/remove. Keys the stats cache:
+    /// compaction does *not* bump it, because folding the layers leaves
+    /// the stored triple set (and thus the statistics) unchanged.
+    version: u64,
+    /// Memoized [`DatasetStats`] of [`Self::dataset_stats`], tagged with
+    /// the `version` it was computed at. A live serving loop re-plans
+    /// with statistics on every refresh; without this cache each refresh
+    /// pays a full hashed scan of the store.
+    stats_cache: RwLock<Option<(u64, DatasetStats)>>,
+}
+
+impl Clone for OverlayHexastore {
+    fn clone(&self) -> Self {
+        OverlayHexastore {
+            base: self.base.clone(),
+            delta: self.delta.clone(),
+            tombstones: self.tombstones.clone(),
+            version: self.version,
+            stats_cache: RwLock::new(
+                self.stats_cache.read().expect("stats cache poisoned").clone(),
+            ),
+        }
+    }
 }
 
 impl Default for OverlayHexastore {
@@ -73,7 +97,13 @@ impl From<FrozenHexastore> for OverlayHexastore {
 impl OverlayHexastore {
     /// Wraps a frozen base with empty delta and tombstone layers.
     pub fn new(base: FrozenHexastore) -> Self {
-        OverlayHexastore { base, delta: Hexastore::new(), tombstones: Hexastore::new() }
+        OverlayHexastore {
+            base,
+            delta: Hexastore::new(),
+            tombstones: Hexastore::new(),
+            version: 0,
+            stats_cache: RwLock::new(None),
+        }
     }
 
     /// The immutable base generation.
@@ -132,20 +162,26 @@ impl TripleStore for OverlayHexastore {
     fn insert(&mut self, t: IdTriple) -> bool {
         if self.tombstones.remove(t) {
             debug_assert!(self.base.contains(t));
+            self.version += 1;
             return true; // resurrect a masked base triple
         }
         if self.base.contains(t) {
             return false; // already present in the base
         }
-        self.delta.insert(t)
+        let added = self.delta.insert(t);
+        self.version += u64::from(added);
+        added
     }
 
     fn remove(&mut self, t: IdTriple) -> bool {
         if self.delta.remove(t) {
+            self.version += 1;
             return true;
         }
         if self.base.contains(t) {
-            return self.tombstones.insert(t); // false if already masked
+            let masked = self.tombstones.insert(t); // false if already masked
+            self.version += u64::from(masked);
+            return masked;
         }
         false
     }
@@ -214,7 +250,24 @@ impl TripleStore for OverlayHexastore {
 
 impl MutableStore for OverlayHexastore {}
 
-impl crate::stats::StatsSource for OverlayHexastore {}
+impl crate::stats::StatsSource for OverlayHexastore {
+    /// The generic one-pass scan, memoized on the overlay's mutation
+    /// counter: repeated calls between mutations return a clone of the
+    /// cached statistics instead of rescanning, and any successful
+    /// insert/remove invalidates the cache (compaction does not — it
+    /// leaves the triple set unchanged).
+    fn dataset_stats(&self) -> DatasetStats {
+        if let Some((at, stats)) = self.stats_cache.read().expect("stats cache poisoned").as_ref() {
+            if *at == self.version {
+                return stats.clone();
+            }
+        }
+        let stats = DatasetStats::from_store(self);
+        *self.stats_cache.write().expect("stats cache poisoned") =
+            Some((self.version, stats.clone()));
+        stats
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -303,6 +356,33 @@ mod tests {
         let before = ov.base().clone();
         ov.compact();
         assert!(before == *ov.base());
+    }
+
+    #[test]
+    fn dataset_stats_are_cached_until_the_next_mutation() {
+        use crate::stats::StatsSource;
+        let (mut ov, _) = layered();
+        assert!(ov.stats_cache.read().unwrap().is_none());
+        let first = ov.dataset_stats();
+        assert_eq!(first, DatasetStats::from_store(&ov));
+        let tagged_at = ov.stats_cache.read().unwrap().as_ref().unwrap().0;
+        assert_eq!(tagged_at, ov.version);
+        // Repeated calls (and compaction, which changes no triples) hit
+        // the cache: the version tag is untouched.
+        ov.compact();
+        assert_eq!(ov.dataset_stats(), first);
+        assert_eq!(ov.stats_cache.read().unwrap().as_ref().unwrap().0, tagged_at);
+        // A mutation invalidates: the next call recomputes and re-tags.
+        assert!(ov.insert(t(7, 7, 7)));
+        let second = ov.dataset_stats();
+        assert_ne!(second, first);
+        assert_eq!(second, DatasetStats::from_store(&ov));
+        assert!(ov.stats_cache.read().unwrap().as_ref().unwrap().0 > tagged_at);
+        // No-op mutations keep the cache valid.
+        let v = ov.version;
+        assert!(!ov.insert(t(7, 7, 7)));
+        assert!(!ov.remove(t(8, 8, 8)));
+        assert_eq!(ov.version, v);
     }
 
     #[test]

@@ -151,7 +151,7 @@ pub struct CompiledFilter {
 impl CompiledFilter {
     /// Evaluates against a binding row. Rows with an unbound filtered
     /// variable are rejected (SPARQL: an error, treated as false).
-    fn accepts(&self, row: &[Option<hex_dict::Id>]) -> bool {
+    pub(crate) fn accepts(&self, row: &[Option<hex_dict::Id>]) -> bool {
         let resolve = |side: FilterSide| -> Option<Option<hex_dict::Id>> {
             match side {
                 // Unbound slot → SPARQL error semantics → reject the row.
@@ -519,52 +519,80 @@ impl<'a> Plan<'a> {
         out
     }
 
+    /// The join order as pattern indices (execution order).
+    pub(crate) fn order(&self) -> Vec<usize> {
+        self.steps.iter().map(|s| s.pattern).collect()
+    }
+
+    /// The FILTERs pushed down to each step, aligned with [`Plan::steps`].
+    pub(crate) fn step_filters(&self) -> &[Vec<CompiledFilter>] {
+        &self.step_filters
+    }
+
+    /// The data pointer of the store this plan was prepared against —
+    /// lets the parallel executor assert it was handed the same store.
+    pub(crate) fn store_data_ptr(&self) -> *const () {
+        self.store as *const dyn TripleStore as *const ()
+    }
+
+    /// LIMIT pushdown: when every cursor row becomes exactly one emitted
+    /// solution — non-DISTINCT, filter-free, no projected slot that could
+    /// come back unbound — the join walk itself can stop after
+    /// `offset + limit` rows, so deeper levels never expand past the
+    /// downstream demand. Returns that cap, or `None` when the demand
+    /// cannot be pushed safely.
+    pub(crate) fn pushdown_demand(&self) -> Option<usize> {
+        let bgp = self.query.bgp.as_ref()?;
+        if self.query.ask || self.query.distinct {
+            return None;
+        }
+        if !self.step_filters.iter().all(Vec::is_empty) {
+            return None;
+        }
+        let mut pattern_bound = vec![false; bgp.var_count as usize];
+        for pat in &bgp.patterns {
+            for v in pat.vars() {
+                pattern_bound[v.index()] = true;
+            }
+        }
+        let projection_total =
+            self.query.slots.iter().all(|v| pattern_bound.get(v.index()).copied().unwrap_or(false));
+        if !projection_total {
+            return None;
+        }
+        self.query.limit.map(|limit| self.query.offset.saturating_add(limit))
+    }
+
     /// Streams the plan's solutions lazily: rows are produced on demand,
     /// ASK yields at most one (empty) row, and `OFFSET`/`LIMIT` stop the
     /// underlying join walk as soon as enough rows have been emitted.
     pub fn solutions(&self) -> Solutions<'_> {
-        let cursor = match (&self.query.bgp, self.empty_reason) {
+        let rows: Option<RowIter<'_>> = match (&self.query.bgp, self.empty_reason) {
             (Some(bgp), None) => {
-                let order: Vec<usize> = self.steps.iter().map(|s| s.pattern).collect();
-                let mut cursor = exec::BgpCursor::new(self.store, bgp, &order);
+                let mut cursor = exec::BgpCursor::new(self.store, bgp, &self.order());
                 for (depth, filters) in self.step_filters.iter().enumerate() {
                     for &f in filters {
                         cursor.add_check(depth, Box::new(move |row| f.accepts(row)));
                     }
                 }
-                // LIMIT pushdown: when every cursor row becomes exactly
-                // one emitted solution — non-DISTINCT, filter-free, no
-                // projected slot that could come back unbound — the walk
-                // itself can stop after `offset + limit` rows, so deeper
-                // levels never expand past the downstream demand.
-                if !self.query.ask && !self.query.distinct {
-                    let filter_free = self.step_filters.iter().all(Vec::is_empty);
-                    let mut pattern_bound = vec![false; bgp.var_count as usize];
-                    for pat in &bgp.patterns {
-                        for v in pat.vars() {
-                            pattern_bound[v.index()] = true;
-                        }
-                    }
-                    let projection_total = self
-                        .query
-                        .slots
-                        .iter()
-                        .all(|v| pattern_bound.get(v.index()).copied().unwrap_or(false));
-                    if let (true, true, Some(limit)) =
-                        (filter_free, projection_total, self.query.limit)
-                    {
-                        cursor.set_demand(Some(self.query.offset.saturating_add(limit)));
-                    }
-                }
-                Some(cursor)
+                cursor.set_demand(self.pushdown_demand());
+                Some(Box::new(cursor))
             }
             _ => None,
         };
+        self.solutions_over(rows)
+    }
+
+    /// Builds the solution-modifier pipeline (ASK / projection / DISTINCT
+    /// / OFFSET / LIMIT / decode) over an arbitrary binding-row source.
+    /// [`Plan::solutions`] feeds it the single-threaded cursor; the
+    /// parallel executor feeds it the concatenation of its shards.
+    pub(crate) fn solutions_over<'s>(&'s self, rows: Option<RowIter<'s>>) -> Solutions<'s> {
         Solutions {
             dict: self.dict,
             vars: &self.query.vars,
             slots: &self.query.slots,
-            cursor,
+            rows,
             ask: self.query.ask,
             distinct: self.query.distinct,
             seen: HashSet::new(),
@@ -582,6 +610,11 @@ impl<'a> Plan<'a> {
     }
 }
 
+/// A stream of binding rows feeding the solution-modifier pipeline:
+/// [`Plan::solutions`] boxes the lazy [`exec::BgpCursor`] here, the
+/// parallel executor the merged shard rows.
+pub(crate) type RowIter<'p> = Box<dyn Iterator<Item = Vec<Option<hex_dict::Id>>> + 'p>;
+
 /// A lazy iterator over a [`Plan`]'s decoded solution rows.
 ///
 /// Produced by [`Plan::solutions`]. Each `next()` resumes the join walk;
@@ -592,7 +625,7 @@ pub struct Solutions<'p> {
     vars: &'p [String],
     slots: &'p [VarId],
     /// `None` when the plan is statically empty.
-    cursor: Option<exec::BgpCursor<'p>>,
+    rows: Option<RowIter<'p>>,
     ask: bool,
     distinct: bool,
     seen: HashSet<Vec<hex_dict::Id>>,
@@ -621,8 +654,8 @@ impl Iterator for Solutions<'_> {
             self.done = true;
             return None;
         }
-        let cursor = self.cursor.as_mut()?;
-        for row in cursor {
+        let rows = self.rows.as_mut()?;
+        for row in rows {
             if self.ask {
                 // ASK: a single empty row signals "yes"; stop immediately.
                 self.done = true;
@@ -715,6 +748,23 @@ pub fn execute_ask<S: TripleStore>(
 /// ```
 pub trait DatasetQuery {
     /// Parses, compiles and plans query text against this dataset.
+    ///
+    /// The returned [`Plan`] borrows the dataset: inspect it with
+    /// [`Plan::explain`], stream rows with [`Plan::solutions`], or
+    /// collect them with [`Plan::run`]. Preparing once and re-running
+    /// amortizes parsing, compilation and planning across executions.
+    ///
+    /// ```
+    /// use hexastore::GraphStore;
+    /// use hex_query::DatasetQuery;
+    ///
+    /// let mut g = GraphStore::new();
+    /// g.load_ntriples(r#"<http://x/ID3> <http://x/advisor> <http://x/ID2> ."#).unwrap();
+    /// let plan = g.prepare("SELECT ?s WHERE { ?s <http://x/advisor> ?prof . }")?;
+    /// println!("{}", plan.explain()); // cost-annotated join steps
+    /// assert_eq!(plan.run().len(), 1);
+    /// # Ok::<(), hex_query::QueryError>(())
+    /// ```
     fn prepare(&self, query_text: &str) -> Result<Plan<'_>, QueryError>;
 
     /// Like [`DatasetQuery::prepare`], refining the join order with

@@ -209,6 +209,9 @@ pub struct BgpCursor<'a> {
     stack: Vec<Level<'a>>,
     /// The pre-first-step row; `Some` until iteration starts.
     start: Option<Vec<Option<Id>>>,
+    /// Restrict the first step to a `[start, end)` slice of its candidate
+    /// range — the shard boundary of parallel execution.
+    first_range: Option<(usize, usize)>,
     /// LIMIT pushdown: stop the whole walk after this many rows.
     demand: Option<usize>,
     /// Rows produced so far (tracked only to honor `demand`).
@@ -227,9 +230,25 @@ impl<'a> BgpCursor<'a> {
             checks,
             stack: Vec::new(),
             start: Some(bgp.empty_row()),
+            first_range: None,
             demand: None,
             produced: 0,
         }
+    }
+
+    /// Restricts the first step to the `[start, end)` slice of its
+    /// candidate sequence (positions in [`TripleStore::iter_matching`]
+    /// order), via [`TripleStore::iter_matching_range`].
+    ///
+    /// This is the sharding hook of parallel execution: cursors over
+    /// contiguous, non-overlapping slices that cover `[0, n)` (with `n`
+    /// the first pattern's `count_matching`) together produce — in slice
+    /// order — exactly the row sequence of an unrestricted cursor,
+    /// because only the *first* join level fans the walk out and deeper
+    /// levels depend on nothing outside their row. Must be called before
+    /// the first `next()`.
+    pub fn restrict_first(&mut self, start: usize, end: usize) {
+        self.first_range = Some((start, end));
     }
 
     /// Attaches a predicate to the step at `depth` (0-based, execution
@@ -267,7 +286,11 @@ impl Iterator for BgpCursor<'_> {
                     return Some(row);
                 }
                 Some(first) => {
-                    let iter = self.store.iter_matching(first.access(&row));
+                    let pat = first.access(&row);
+                    let iter = match self.first_range {
+                        Some((a, b)) => self.store.iter_matching_range(pat, a, b),
+                        None => self.store.iter_matching(pat),
+                    };
                     self.stack.push(Level { iter, row });
                 }
             }
@@ -667,6 +690,26 @@ mod tests {
             "demand 3 visited {} of 1000 triples; must be O(demand)",
             yielded.get()
         );
+    }
+
+    #[test]
+    fn restricted_shards_reassemble_the_full_cursor() {
+        let store = academic();
+        let bgp =
+            Bgp::new(vec![Pattern::new(v(0), c(100), v(1)), Pattern::new(v(1), c(101), v(2))]);
+        let order = plan_order(&store, &bgp);
+        let reference: Rows = BgpCursor::new(&store, &bgp, &order).collect();
+        let n = store.count_matching(bgp.patterns[order[0]].access(&bgp.empty_row()));
+        for shards in 1..=n + 2 {
+            let mut merged = Rows::new();
+            for w in 0..shards {
+                let (a, b) = (w * n / shards, (w + 1) * n / shards);
+                let mut cursor = BgpCursor::new(&store, &bgp, &order);
+                cursor.restrict_first(a, b);
+                merged.extend(cursor);
+            }
+            assert_eq!(merged, reference, "{shards} shards over {n} candidates");
+        }
     }
 
     #[test]

@@ -9,6 +9,9 @@
 //!   queries aggregate with;
 //! - [`path`] — path-expression evaluation with merge-join accounting
 //!   (paper §4.3), plus transitive closure;
+//! - [`parallel`] — parallel BGP execution: [`Plan::run_parallel`]
+//!   shards the first step's candidate range across worker threads and
+//!   merges in shard order, byte-identical to the single-threaded walk;
 //! - [`parser`] / [`engine`] — a small SPARQL-like language, compiled
 //!   against a dictionary and planned/executed on any store.
 //!
@@ -59,6 +62,7 @@ pub mod algebra;
 pub mod engine;
 pub mod exec;
 pub mod ops;
+pub mod parallel;
 pub mod parser;
 pub mod path;
 
