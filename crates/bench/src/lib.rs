@@ -71,14 +71,25 @@ pub fn prefix_points(total: usize, points: usize) -> Vec<usize> {
     (1..=points).map(|i| total * i / points).collect()
 }
 
-/// Times `f`, returning the minimum per-call duration over `reps`
+/// The median of a set of timing samples: the statistic every figure in
+/// this crate reports. Unlike the minimum it is robust in both
+/// directions — one descheduled outlier does not poison the number, and
+/// one improbably lucky run does not flatter it — which is what lets the
+/// CI regression gate compare runs instead of single best cases.
+pub fn median(mut samples: Vec<Duration>) -> Duration {
+    assert!(!samples.is_empty(), "median of no samples");
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Times `f`, returning the median per-call duration over `reps`
 /// measurement windows (after one warmup). Sub-microsecond queries (the
 /// Hexastore's single-probe plans reach 1e-7 s, as in the paper's
 /// log-scale plots) are batched until the window is long enough for the
 /// clock to resolve.
 pub fn time_query<R>(reps: usize, mut f: impl FnMut() -> R) -> Duration {
     std::hint::black_box(f());
-    let mut best = Duration::MAX;
+    let mut samples = Vec::with_capacity(reps.max(1));
     for _ in 0..reps.max(1) {
         let mut batch: u32 = 1;
         loop {
@@ -88,13 +99,13 @@ pub fn time_query<R>(reps: usize, mut f: impl FnMut() -> R) -> Duration {
             }
             let elapsed = start.elapsed();
             if elapsed >= Duration::from_millis(2) || batch >= 1 << 20 {
-                best = best.min(elapsed / batch);
+                samples.push(elapsed / batch);
                 break;
             }
             batch = batch.saturating_mul(4);
         }
     }
-    best
+    median(samples)
 }
 
 /// One measured point: a store label and its response time.
@@ -152,7 +163,7 @@ impl Figure {
 }
 
 /// Which figures exist and what they measure.
-pub const FIGURES: [(&str, &str); 20] = [
+pub const FIGURES: [(&str, &str); 21] = [
     ("3", "Barton Query 1"),
     ("4", "Barton Query 2 (full + 28-property)"),
     ("5", "Barton Query 3 (full + 28-property)"),
@@ -173,6 +184,7 @@ pub const FIGURES: [(&str, &str); 20] = [
     ("plans", "Twelve paper queries through prepare: hand plan vs planner, stats off/on"),
     ("live_write", "Live write path: sustained WAL inserts while querying + recovery + compaction"),
     ("qps", "Concurrent serving: client threads over published snapshots vs one client (qps)"),
+    ("cold_open", "Cold open: hex-disk mmap vs eager slab read vs compressed decode"),
 ];
 
 type BartonQueryFns = Vec<(&'static str, Box<dyn Fn(&Suite, &BartonIds)>)>;
@@ -551,7 +563,7 @@ impl LoadRow {
     }
 }
 
-/// Times one bulk build, minimum over `reps` runs after one untimed
+/// Times one bulk build, median over `reps` runs after one untimed
 /// warmup (so a single-rep measurement is not penalized by cold caches).
 /// The input copy happens outside the timed region (the loader takes
 /// ownership of its batch).
@@ -561,16 +573,16 @@ pub fn time_bulk_build(
     cfg: hexastore::bulk::Config,
 ) -> Duration {
     std::hint::black_box(hexastore::bulk::build_with(triples.to_vec(), cfg).len());
-    let mut best = Duration::MAX;
+    let mut samples = Vec::with_capacity(reps.max(1));
     for _ in 0..reps.max(1) {
         let batch = triples.to_vec();
         let start = Instant::now();
         let store = hexastore::bulk::build_with(batch, cfg);
         let elapsed = start.elapsed();
         std::hint::black_box(store.len());
-        best = best.min(elapsed);
+        samples.push(elapsed);
     }
-    best
+    median(samples)
 }
 
 /// The bulk-load throughput figure: prefix sweep of one dataset, loading
@@ -755,17 +767,17 @@ impl SnapshotRow {
     }
 }
 
-/// Times one operation like [`time_bulk_build`]: minimum over `reps`
+/// Times one operation like [`time_bulk_build`]: median over `reps`
 /// runs after one untimed warmup.
 fn time_op<R>(reps: usize, mut f: impl FnMut() -> R) -> Duration {
     std::hint::black_box(f());
-    let mut best = Duration::MAX;
+    let mut samples = Vec::with_capacity(reps.max(1));
     for _ in 0..reps.max(1) {
         let start = Instant::now();
         std::hint::black_box(f());
-        best = best.min(start.elapsed());
+        samples.push(start.elapsed());
     }
-    best
+    median(samples)
 }
 
 /// Measures the snapshot figure on a LUBM dataset of `scale` triples:
@@ -852,6 +864,218 @@ pub fn snapshot_to_csv(row: &SnapshotRow) -> String {
         row.binary_rebuild.as_secs_f64(),
         row.open_speedup(),
         row.size_ratio(),
+    )
+}
+
+/// One cold-open measurement: the same frozen snapshot opened three
+/// ways — eager slab read ([`hexastore::hexsnap::load_frozen`]),
+/// compressed-section decode (same loader on a
+/// [`hexastore::hexsnap::Compression::VarintDelta`] file), and the
+/// mmap-backed [`hex_disk::open`] — plus what each path costs at query
+/// time once open.
+#[derive(Clone, Debug)]
+pub struct ColdOpenRow {
+    /// Dataset size in triples (barton + lubm halves, as in the qps figure).
+    pub triples: usize,
+    /// Bytes on disk of the uncompressed frozen snapshot.
+    pub plain_bytes: usize,
+    /// Bytes on disk of the varint-delta compressed frozen snapshot.
+    pub compressed_bytes: usize,
+    /// Decoding the dictionary section — the eager, size-proportional
+    /// cost *every* open path pays identically (terms need owned
+    /// strings), reported separately so the slab comparisons below
+    /// measure exactly what the open paths do differently.
+    pub dict_open: Duration,
+    /// Eager slab open: read + validate every slab column into memory.
+    pub eager_open: Duration,
+    /// Compressed slab open: decode the varint-delta section into slabs.
+    pub compressed_open: Duration,
+    /// Mmap slab open: map the file and parse the section headers —
+    /// no column bytes are read ([`hex_disk::open_store`]).
+    pub mmap_open: Duration,
+    /// First paper query (BQ1) on a freshly eager-opened dataset.
+    pub eager_first_query: Duration,
+    /// First paper query (BQ1) on a freshly mapped dataset — includes
+    /// the page faults that pull in the columns the query walks.
+    pub mmap_first_query: Duration,
+    /// All twelve paper queries, warm, on the eager-opened dataset.
+    pub eager_warm: Duration,
+    /// All twelve paper queries, warm, on the mapped dataset.
+    pub mmap_warm: Duration,
+    /// Paper queries compared (twelve when both vocabularies resolve).
+    pub queries: usize,
+    /// True when the mapped store's answers are byte-identical (TSV
+    /// rendering included) to the eager store's on every paper query.
+    pub identical: bool,
+}
+
+impl ColdOpenRow {
+    /// Compressed bytes over uncompressed bytes (<1: compression wins).
+    pub fn size_ratio(&self) -> f64 {
+        self.compressed_bytes as f64 / (self.plain_bytes as f64).max(f64::MIN_POSITIVE)
+    }
+
+    /// Eager slab-open time over mmap slab-open time (>1: mapping is
+    /// faster). The shared dictionary decode is excluded from both
+    /// sides (see [`ColdOpenRow::dict_open`]).
+    pub fn open_speedup(&self) -> f64 {
+        self.eager_open.as_secs_f64() / self.mmap_open.as_secs_f64().max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Median time of the *first* paper query on a freshly opened dataset:
+/// each rep opens anew so the measurement includes whatever per-open
+/// work the store deferred (for the mapped store, the page faults on
+/// the columns the query touches — soft faults here, since the file was
+/// just written and is resident in the page cache; a true cold cache
+/// would add disk reads to the mmap path and to the eager read alike).
+fn time_first_query<S, D>(reps: usize, open: impl Fn() -> D, text: &str) -> Duration
+where
+    S: TripleStore,
+    D: std::ops::Deref<Target = hexastore::Dataset<S>>,
+{
+    use hex_query::DatasetQuery;
+    let mut samples = Vec::with_capacity(reps.max(1));
+    for _ in 0..reps.max(1) {
+        let ds = open();
+        let start = Instant::now();
+        std::hint::black_box(ds.query(text).expect("paper query compiles").rows.len());
+        samples.push(start.elapsed());
+    }
+    median(samples)
+}
+
+/// Measures the cold-open figure at `scale` triples: snapshot size
+/// compressed vs uncompressed, open time for the three open paths, and
+/// first/warm query latency for eager vs mapped stores, verifying along
+/// the way that the mapped store answers every paper query
+/// byte-identically to the eager one.
+pub fn cold_open_figure(scale: usize, reps: usize) -> ColdOpenRow {
+    use hex_bench_queries::{barton_queries, lubm_queries};
+    use hex_query::DatasetQuery;
+    use hexastore::{hexsnap, Dataset};
+
+    let mut data = barton_dataset(scale / 2);
+    data.extend(lubm_dataset(scale - scale / 2));
+    let mut dict = hex_dict::Dictionary::new();
+    let ids: Vec<hex_dict::IdTriple> = data.iter().map(|t| dict.encode_triple(t)).collect();
+    let frozen = hexastore::bulk::build_frozen(ids);
+    let triples = frozen.len();
+
+    let mut queries = barton_queries(&dict)
+        .expect("cold-open figure: barton constants must resolve — raise the scale");
+    queries.extend(
+        lubm_queries(&dict)
+            .expect("cold-open figure: lubm constants must resolve — raise the scale"),
+    );
+
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let plain_path = dir.join(format!("hexsnap_cold_{pid}.hexsnap"));
+    let comp_path = dir.join(format!("hexsnap_cold_{pid}_z.hexsnap"));
+    hexsnap::save_frozen(&plain_path, &dict, &frozen).expect("write uncompressed snapshot");
+    hexsnap::save_frozen_with(&comp_path, &dict, &frozen, hexsnap::Compression::VarintDelta)
+        .expect("write compressed snapshot");
+    let plain_bytes = std::fs::metadata(&plain_path).expect("snapshot written").len() as usize;
+    let compressed_bytes = std::fs::metadata(&comp_path).expect("snapshot written").len() as usize;
+
+    // Slab-only opens: a fresh Reader each rep, dictionary skipped, so
+    // the three numbers isolate exactly what the open paths do
+    // differently. The common dictionary decode is timed once apart.
+    let open_reader = |path: &std::path::Path| {
+        hexsnap::Reader::new(std::io::BufReader::new(
+            std::fs::File::open(path).expect("snapshot file"),
+        ))
+        .expect("snapshot container parses")
+    };
+    let dict_open = time_op(reps, || open_reader(&plain_path).dictionary().expect("dict").len());
+    let eager_open =
+        time_op(reps, || open_reader(&plain_path).frozen().expect("eager slab open").len());
+    let compressed_open =
+        time_op(reps, || open_reader(&comp_path).frozen().expect("compressed slab open").len());
+    let mmap_open =
+        time_op(reps, || hex_disk::open_store(&plain_path).expect("mmap slab open").len());
+
+    let open_eager = || {
+        let (d, s) = hexsnap::load_frozen(&plain_path).expect("eager open");
+        Box::new(Dataset::from_parts(d, s))
+    };
+    let open_mapped = || Box::new(hex_disk::open_dataset(&plain_path).expect("mmap open"));
+    let first_text = queries[0].text.clone();
+    let eager_first_query = time_first_query(reps, open_eager, &first_text);
+    let mmap_first_query = time_first_query(reps, open_mapped, &first_text);
+
+    // Warm comparison on long-lived datasets: correctness first (every
+    // answer byte-identical), then the timed sweep over all twelve.
+    let eager_ds = {
+        let (d, s) = hexsnap::load_frozen(&plain_path).expect("eager open");
+        Dataset::from_parts(d, s)
+    };
+    let mapped_ds = hex_disk::open_dataset(&plain_path).expect("mmap open");
+    let mut identical = true;
+    for query in &queries {
+        let want = eager_ds.query(&query.text).expect("paper query compiles").to_tsv();
+        let got = mapped_ds.query(&query.text).expect("paper query compiles").to_tsv();
+        identical &= want == got;
+    }
+    let sweep = |ds: &dyn Fn(&str) -> usize| {
+        let mut rows = 0usize;
+        for query in &queries {
+            rows += ds(&query.text);
+        }
+        rows
+    };
+    let eager_warm = time_op(reps, || {
+        sweep(&|text| eager_ds.query(text).expect("paper query compiles").rows.len())
+    });
+    let mmap_warm = time_op(reps, || {
+        sweep(&|text| mapped_ds.query(text).expect("paper query compiles").rows.len())
+    });
+
+    std::fs::remove_file(&plain_path).ok();
+    std::fs::remove_file(&comp_path).ok();
+
+    ColdOpenRow {
+        triples,
+        plain_bytes,
+        compressed_bytes,
+        dict_open,
+        eager_open,
+        compressed_open,
+        mmap_open,
+        eager_first_query,
+        mmap_first_query,
+        eager_warm,
+        mmap_warm,
+        queries: queries.len(),
+        identical,
+    }
+}
+
+/// Renders the cold-open measurement as a one-row CSV.
+pub fn cold_open_to_csv(row: &ColdOpenRow) -> String {
+    format!(
+        "# Cold open — mmap (hex-disk) vs eager slab read vs compressed decode, \
+         barton+lubm dataset; slab opens exclude the dictionary decode common to all paths\n\
+         triples,plain_bytes,compressed_bytes,size_ratio,dict_open_s,eager_open_s,\
+         compressed_open_s,mmap_open_s,open_speedup,eager_first_query_s,mmap_first_query_s,\
+         eager_warm_twelve_s,mmap_warm_twelve_s,queries,identical\n\
+         {},{},{},{:.3},{:.6},{:.6},{:.6},{:.6},{:.3},{:.6},{:.6},{:.6},{:.6},{},{}\n",
+        row.triples,
+        row.plain_bytes,
+        row.compressed_bytes,
+        row.size_ratio(),
+        row.dict_open.as_secs_f64(),
+        row.eager_open.as_secs_f64(),
+        row.compressed_open.as_secs_f64(),
+        row.mmap_open.as_secs_f64(),
+        row.open_speedup(),
+        row.eager_first_query.as_secs_f64(),
+        row.mmap_first_query.as_secs_f64(),
+        row.eager_warm.as_secs_f64(),
+        row.mmap_warm.as_secs_f64(),
+        row.queries,
+        row.identical,
     )
 }
 
@@ -1150,7 +1374,7 @@ fn serve_pass(
 /// answering the twelve queries round-robin against published snapshots
 /// while the writer inserts/removes the window and compacts every
 /// quarter window; a second pass with one reader under the same write
-/// load is the throughput baseline. Best of `reps` passes each.
+/// load is the throughput baseline. Median-elapsed pass of `reps` each.
 pub fn qps_figure(scale: usize, clients: usize, reps: usize) -> QpsRow {
     use hex_bench_queries::{barton_queries, lubm_queries};
 
@@ -1184,20 +1408,38 @@ pub fn qps_figure(scale: usize, clients: usize, reps: usize) -> QpsRow {
     let compact_every = (tail.len() / 4).max(250);
 
     let dir = std::env::temp_dir().join(format!("hexserve_bench_{}_{scale}", std::process::id()));
-    let (mut multi, mut single): (Option<ServePass>, Option<ServePass>) = (None, None);
+    let (mut multi_passes, mut single_passes) = (Vec::new(), Vec::new());
     for _ in 0..reps.max(1) {
-        let pass =
-            serve_pass(&dir, &dict, &frozen, tail, &queries, clients, PER_CLIENT, compact_every);
-        if multi.as_ref().is_none_or(|best| pass.elapsed < best.elapsed) {
-            multi = Some(pass);
-        }
-        let pass = serve_pass(&dir, &dict, &frozen, tail, &queries, 1, PER_CLIENT, compact_every);
-        if single.as_ref().is_none_or(|best| pass.elapsed < best.elapsed) {
-            single = Some(pass);
-        }
+        multi_passes.push(serve_pass(
+            &dir,
+            &dict,
+            &frozen,
+            tail,
+            &queries,
+            clients,
+            PER_CLIENT,
+            compact_every,
+        ));
+        single_passes.push(serve_pass(
+            &dir,
+            &dict,
+            &frozen,
+            tail,
+            &queries,
+            1,
+            PER_CLIENT,
+            compact_every,
+        ));
     }
     std::fs::remove_dir_all(&dir).ok();
-    let (multi, single) = (multi.expect("reps >= 1"), single.expect("reps >= 1"));
+    // Report the pass with the median elapsed time, for the same
+    // robustness reasons as [`median`].
+    let mid = |mut passes: Vec<ServePass>| {
+        passes.sort_by_key(|p| p.elapsed);
+        let n = passes.len();
+        passes.swap_remove(n / 2)
+    };
+    let (multi, single) = (mid(multi_passes), mid(single_passes));
     let mut sorted = multi.latencies;
     sorted.sort_unstable();
     QpsRow {

@@ -15,7 +15,7 @@
 //! ```text
 //! offset   size  field
 //! 0        8     magic "hexsnap\0"
-//! 8        4     format version (u32, currently 1)
+//! 8        4     format version (u32, currently 2)
 //! 12       …     section payloads, back to back
 //! …        var   section table: u32 count, then per section
 //!                [u8; 4] tag · u64 offset · u64 length
@@ -26,7 +26,22 @@
 //! The trailer lets the writer stream sections without back-patching and
 //! lets the reader detect truncation immediately. Unknown section tags
 //! are skipped (forward compatibility); a file holds at most
-//! [`MAX_SECTIONS`] sections. Defined sections:
+//! [`MAX_SECTIONS`] sections.
+//!
+//! # Version history
+//!
+//! - **v1** — `DICT`, `TRPL` and `FROZ` sections as below, no alignment
+//!   guarantee. [`Reader`] still opens v1 files, and
+//!   [`Writer::with_version`] can emit them for downgrade paths.
+//! - **v2** (current) — adds the compressed `FRZC` section
+//!   ([`Compression::VarintDelta`]) and guarantees the `FROZ` section
+//!   starts on a 4-byte file offset (zero padding *between* sections,
+//!   invisible to the table-driven reader). Every interior field of
+//!   `FROZ` is a 4-byte multiple, so the aligned start makes every slab
+//!   column 4-aligned in the file — the property the `hex-disk` crate
+//!   relies on to reinterpret mapped columns in place.
+//!
+//! Defined sections:
 //!
 //! - **`DICT`** — the dictionary as one contiguous UTF-8 string arena
 //!   plus offsets (not per-term values): `u32 n_terms`, one kind byte per
@@ -42,6 +57,16 @@
 //! - **`FROZ`** — optional prebuilt slabs: the [`FrozenHexastore`]'s
 //!   three shared arenas and six orderings as raw columns, in canonical
 //!   order. When present, [`load_frozen`] is query-ready on read.
+//! - **`FRZC`** (v2) — the same slabs varint-delta compressed
+//!   ([`crate::compress`]): `u64 n_triples`, `u64 payload_len`,
+//!   `u32` FNV-1a checksum of the payload, then the payload — per arena
+//!   a varint list/item count pair followed by per-list lengths and
+//!   delta-encoded runs; per ordering varint header/vector counts,
+//!   per-header group lengths (offsets are their running sum),
+//!   delta-encoded keys, delta-encoded per-group `k2` runs, and plain
+//!   varint list references. A file carries `FROZ` or `FRZC`, not both;
+//!   a v1 reader skips the unknown `FRZC` tag and falls back to the
+//!   `TRPL` rebuild path.
 //!
 //! `u32` offsets bound a single string arena and a single slab at 2^32
 //! entries — far above the paper's 61M-triple ceiling and identical to
@@ -61,8 +86,8 @@ use std::path::Path;
 /// The eight file-identifying bytes, also used as the trailer.
 pub const MAGIC: [u8; 8] = *b"hexsnap\0";
 
-/// The current format version.
-pub const VERSION: u32 = 1;
+/// The current format version. [`Reader`] accepts `1..=VERSION`.
+pub const VERSION: u32 = 2;
 
 /// Triples per chunk in the `TRPL` section (~768 KiB of ids).
 const TRIPLE_CHUNK: usize = 64 * 1024;
@@ -74,6 +99,32 @@ pub const MAX_SECTIONS: usize = 64;
 const TAG_DICT: [u8; 4] = *b"DICT";
 const TAG_TRPL: [u8; 4] = *b"TRPL";
 const TAG_FROZ: [u8; 4] = *b"FROZ";
+const TAG_FRZC: [u8; 4] = *b"FRZC";
+
+/// How [`Writer::frozen_with`] stores the prebuilt slab sections.
+///
+/// ```
+/// use hexastore::hexsnap::{Compression, Reader, Writer};
+/// use hexastore::Hexastore;
+/// use std::io::Cursor;
+///
+/// let store = Hexastore::from_triples([(0u32, 1, 2).into(), (0, 1, 3).into()]).freeze();
+/// let mut w = Writer::new(Cursor::new(Vec::new())).unwrap();
+/// w.frozen_with(&store, Compression::VarintDelta).unwrap();
+/// let bytes = w.finish().unwrap().into_inner();
+/// let mut r = Reader::new(Cursor::new(&bytes)).unwrap();
+/// assert_eq!(r.frozen().unwrap(), store);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Compression {
+    /// Raw `u32` columns (the `FROZ` section): largest on disk, but
+    /// readable by v1 and mappable in place by `hex-disk`.
+    #[default]
+    None,
+    /// Varint-delta encoded sorted runs (the `FRZC` section, v2 only):
+    /// smallest on disk, decoded through [`crate::compress`] on open.
+    VarintDelta,
+}
 
 /// Errors reading or writing a `hexsnap` file.
 #[derive(Debug)]
@@ -93,7 +144,7 @@ impl std::fmt::Display for Error {
             Error::Io(e) => write!(f, "hexsnap i/o error: {e}"),
             Error::Corrupt(why) => write!(f, "corrupt hexsnap file: {why}"),
             Error::Version(v) => {
-                write!(f, "unsupported hexsnap version {v} (supported: {VERSION})")
+                write!(f, "unsupported hexsnap version {v} (supported: 1..={VERSION})")
             }
         }
     }
@@ -195,15 +246,33 @@ fn checked_len(v: u64, what: &str) -> Result<usize> {
 /// convenience functions for the common whole-file cases.
 pub struct Writer<W: Write + Seek> {
     w: W,
+    version: u32,
     sections: Vec<([u8; 4], u64, u64)>,
 }
 
 impl<W: Write + Seek> Writer<W> {
-    /// Starts a snapshot: writes the header.
-    pub fn new(mut w: W) -> Result<Self> {
+    /// Starts a snapshot under the current format version.
+    pub fn new(w: W) -> Result<Self> {
+        Self::with_version(w, VERSION)
+    }
+
+    /// Starts a snapshot under an explicit format version — [`VERSION`]
+    /// for current files, `1` for a downgrade path feeding a version-1
+    /// reader (byte-for-byte the legacy layout: no alignment padding,
+    /// and [`Writer::frozen_with`] refuses compression). Versions
+    /// outside `1..=VERSION` are rejected.
+    pub fn with_version(mut w: W, version: u32) -> Result<Self> {
+        if !(1..=VERSION).contains(&version) {
+            return Err(Error::Version(version));
+        }
         w.write_all(&MAGIC)?;
-        w_u32(&mut w, VERSION)?;
-        Ok(Writer { w, sections: Vec::new() })
+        w_u32(&mut w, version)?;
+        Ok(Writer { w, version, sections: Vec::new() })
+    }
+
+    /// The format version this writer emits.
+    pub fn version(&self) -> u32 {
+        self.version
     }
 
     fn begin_section(&mut self) -> Result<u64> {
@@ -312,8 +381,34 @@ impl<W: Write + Seek> Writer<W> {
         self.end_section(TAG_TRPL, start)
     }
 
-    /// Writes the `FROZ` section: the store's slabs as raw columns.
+    /// Writes the prebuilt slab sections uncompressed — shorthand for
+    /// [`Writer::frozen_with`] with [`Compression::None`].
     pub fn frozen(&mut self, store: &FrozenHexastore) -> Result<()> {
+        self.frozen_with(store, Compression::None)
+    }
+
+    /// Writes the prebuilt slab sections under the chosen compression:
+    /// raw `FROZ` columns ([`Compression::None`]) or the varint-delta
+    /// `FRZC` section ([`Compression::VarintDelta`], v2 files only).
+    pub fn frozen_with(&mut self, store: &FrozenHexastore, compression: Compression) -> Result<()> {
+        match compression {
+            Compression::None => self.frozen_raw(store),
+            Compression::VarintDelta => self.frozen_compressed(store),
+        }
+    }
+
+    /// Writes the `FROZ` section: the store's slabs as raw columns.
+    fn frozen_raw(&mut self, store: &FrozenHexastore) -> Result<()> {
+        // v2 pads the stream to a 4-byte boundary *between* sections
+        // before FROZ begins — the table addresses sections explicitly,
+        // so the gap is invisible to every reader, and the aligned start
+        // is what lets hex-disk reinterpret mapped columns in place. v1
+        // output stays byte-for-byte the legacy layout.
+        if self.version >= 2 {
+            let pos = self.w.stream_position()?;
+            let pad = (4 - (pos % 4) as usize) % 4;
+            self.w.write_all(&[0u8; 3][..pad])?;
+        }
         let start = self.begin_section()?;
         w_u64(&mut self.w, store.len() as u64)?;
         for arena in store.arenas() {
@@ -345,6 +440,21 @@ impl<W: Write + Seek> Writer<W> {
         self.end_section(TAG_FROZ, start)
     }
 
+    /// Writes the `FRZC` section: the store's slabs varint-delta
+    /// compressed, sealed with an FNV-1a checksum.
+    fn frozen_compressed(&mut self, store: &FrozenHexastore) -> Result<()> {
+        if self.version < 2 {
+            return corrupt("compressed slab sections require format version 2");
+        }
+        let payload = encode_frozen_payload(store);
+        let start = self.begin_section()?;
+        w_u64(&mut self.w, store.len() as u64)?;
+        w_u64(&mut self.w, payload.len() as u64)?;
+        w_u32(&mut self.w, crate::compress::fnv1a(&payload))?;
+        self.w.write_all(&payload)?;
+        self.end_section(TAG_FRZC, start)
+    }
+
     /// Writes the section table and trailer, returning the sink.
     pub fn finish(mut self) -> Result<W> {
         let table_pos = self.w.stream_position()?;
@@ -373,6 +483,7 @@ impl<W: Write + Seek> Writer<W> {
 /// cases.
 pub struct Reader<R: Read + Seek> {
     r: R,
+    version: u32,
     sections: Vec<([u8; 4], u64, u64)>,
 }
 
@@ -392,7 +503,7 @@ impl<R: Read + Seek> Reader<R> {
             return corrupt("bad magic (not a hexsnap file)");
         }
         let version = r_u32(&mut r)?;
-        if version != VERSION {
+        if !(1..=VERSION).contains(&version) {
             return Err(Error::Version(version));
         }
         r.seek(SeekFrom::End(-16))?;
@@ -422,7 +533,20 @@ impl<R: Read + Seek> Reader<R> {
             }
             sections.push((tag, off, len));
         }
-        Ok(Reader { r, sections })
+        Ok(Reader { r, version, sections })
+    }
+
+    /// The format version the file declares (in `1..=`[`VERSION`]).
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Byte extent `(offset, length)` of the raw `FROZ` section, if the
+    /// file carries one — the region an mmap-backed opener (the
+    /// `hex-disk` crate) reinterprets in place. Compressed `FRZC`
+    /// sections have no mappable extent and report `None`.
+    pub fn frozen_section_extent(&self) -> Option<(u64, u64)> {
+        self.sections.iter().find(|(t, _, _)| *t == TAG_FROZ).map(|&(_, off, len)| (off, len))
     }
 
     /// Positions the reader at a section's start, returning `(end, len)`.
@@ -447,9 +571,10 @@ impl<R: Read + Seek> Reader<R> {
         Ok(())
     }
 
-    /// True if the snapshot carries prebuilt `FROZ` slab sections.
+    /// True if the snapshot carries prebuilt slab sections, raw (`FROZ`)
+    /// or compressed (`FRZC`).
     pub fn has_frozen(&self) -> bool {
-        self.sections.iter().any(|(t, _, _)| *t == TAG_FROZ)
+        self.sections.iter().any(|(t, _, _)| *t == TAG_FROZ || *t == TAG_FRZC)
     }
 
     /// Reads the `DICT` section into a [`Dictionary`] whose ids are the
@@ -579,10 +704,22 @@ impl<R: Read + Seek> Reader<R> {
         Ok(out)
     }
 
-    /// Reads the `FROZ` section into a query-ready [`FrozenHexastore`] —
-    /// contiguous column reads, no index rebuild. Errors if the section
-    /// is absent (check [`Reader::has_frozen`]) or inconsistent.
+    /// Reads the prebuilt slab sections into a query-ready
+    /// [`FrozenHexastore`], dispatching on kind: raw `FROZ` columns are
+    /// contiguous array reads, compressed `FRZC` payloads decode through
+    /// [`crate::compress`] — both land in the same validated slabs.
+    /// Errors if no slab section is present (check
+    /// [`Reader::has_frozen`]) or the section is inconsistent.
     pub fn frozen(&mut self) -> Result<FrozenHexastore> {
+        if self.sections.iter().any(|(t, _, _)| *t == TAG_FROZ) {
+            self.frozen_raw()
+        } else {
+            self.frozen_compressed()
+        }
+    }
+
+    /// Reads the raw `FROZ` section.
+    fn frozen_raw(&mut self) -> Result<FrozenHexastore> {
         let (section_end, section_len) = self.seek_section(TAG_FROZ)?;
         let fits = |count: usize, width: u64| {
             (count as u64).checked_mul(width).is_some_and(|bytes| bytes <= section_len)
@@ -635,24 +772,169 @@ impl<R: Read + Seek> Reader<R> {
         }
         let orderings: [FrozenIndex; 6] = orderings.try_into().expect("exactly six orderings");
         self.check_section_end(section_end)?;
-        // Every triple contributes exactly one entry to each pair's item
-        // column, so the declared length must match all three arenas.
-        if arenas.iter().any(|a| a.total_items() != len) {
-            return corrupt("declared triple count disagrees with slab columns");
+        assemble_frozen(orderings, arenas, len)
+    }
+
+    /// Reads the compressed `FRZC` section: checksum-verified varint
+    /// payload decoded into the same validated slabs as the raw path.
+    fn frozen_compressed(&mut self) -> Result<FrozenHexastore> {
+        use crate::compress::{decode_arena, decode_sorted_run, fnv1a, get_uvarint, get_uvarint32};
+        let (section_end, section_len) = self.seek_section(TAG_FRZC)?;
+        let len = checked_len(r_u64(&mut self.r)?, "triple")?;
+        let payload_len = checked_len(r_u64(&mut self.r)?, "compressed payload byte")?;
+        // Fixed prefix: n_triples(8) + payload_len(8) + checksum(4).
+        if (payload_len as u64).checked_add(20).is_none_or(|total| total > section_len) {
+            return corrupt("compressed payload exceeds section size");
         }
-        // Pair consistency: within each index pair, primary and mirror
-        // must reference the same (k1, k2) → list associations, each
-        // exactly once. Per-ordering checks alone would accept a mirror
-        // that silently disagrees with its primary.
-        for (primary, mirror, arena) in [(0usize, 2usize, 0usize), (1, 4, 1), (3, 5, 2)]
-            .map(|(p, m, a)| (&orderings[p], &orderings[m], &arenas[a]))
-        {
-            if !pair_consistent(primary, mirror, arena.list_count()) {
-                return corrupt("index pair orderings disagree");
+        let declared_sum = r_u32(&mut self.r)?;
+        let mut payload = vec![0u8; payload_len];
+        self.r.read_exact(&mut payload)?;
+        self.check_section_end(section_end)?;
+        // The checksum gate is what makes single-byte corruption a
+        // deterministic rejection: varint streams are dense enough that
+        // a flipped byte often still *parses* into a different-but-valid
+        // slab, which structural validation alone cannot catch.
+        if fnv1a(&payload) != declared_sum {
+            return corrupt("compressed slab payload checksum mismatch");
+        }
+        let buf = payload.as_slice();
+        let mut pos = 0usize;
+        // Every list, item, header and vector entry costs at least one
+        // payload byte, so bounding each count by the payload size caps
+        // allocations before they happen — the varint analogue of the
+        // raw path's `fits` checks.
+        let bounded = |v: Option<u64>, what: &str| -> Result<usize> {
+            let v = v.ok_or_else(|| Error::Corrupt(format!("truncated {what} count")))?;
+            let v = checked_len(v, what)?;
+            if v > payload_len {
+                return Err(Error::Corrupt(format!("{what} count exceeds payload size")));
+            }
+            Ok(v)
+        };
+        let mut arenas = Vec::with_capacity(3);
+        for _ in 0..3 {
+            let n_lists = bounded(get_uvarint(buf, &mut pos), "arena list")?;
+            let n_items = bounded(get_uvarint(buf, &mut pos), "arena item")?;
+            match decode_arena(buf, &mut pos, n_lists, n_items) {
+                Some(a) => arenas.push(a),
+                None => return corrupt("compressed arena does not decode"),
             }
         }
-        Ok(FrozenHexastore::from_raw_parts(orderings, arenas, len))
+        let arenas: [FlatArena; 3] = arenas.try_into().expect("exactly three arenas read");
+        let arena_of = [0usize, 1, 0, 2, 1, 2];
+        let mut orderings = Vec::with_capacity(6);
+        for which in 0..6 {
+            let h = bounded(get_uvarint(buf, &mut pos), "ordering header")?;
+            let m = bounded(get_uvarint(buf, &mut pos), "ordering vector entry")?;
+            let mut lens = Vec::with_capacity(h);
+            let mut total = 0usize;
+            for _ in 0..h {
+                let Some(l) = get_uvarint32(buf, &mut pos) else {
+                    return corrupt("truncated ordering group length");
+                };
+                total = match total.checked_add(l as usize) {
+                    Some(t) if t <= m => t,
+                    _ => return corrupt("ordering group lengths exceed the vector count"),
+                };
+                lens.push(l);
+            }
+            if total != m {
+                return corrupt("ordering group lengths disagree with the vector count");
+            }
+            let mut keys = Vec::with_capacity(h);
+            if decode_sorted_run(buf, &mut pos, h, &mut keys).is_none() {
+                return corrupt("ordering header keys do not decode");
+            }
+            let mut spans = Vec::with_capacity(h);
+            let mut off = 0u32;
+            for &l in &lens {
+                spans.push(Span { off, len: l });
+                off = match off.checked_add(l) {
+                    Some(next) => next,
+                    None => return corrupt("ordering group offsets overflow"),
+                };
+            }
+            let Some(k1) = FlatVecMap::from_raw_parts(keys, spans) else {
+                return corrupt("ordering header keys not strictly ascending");
+            };
+            let mut k2 = Vec::with_capacity(m);
+            for &l in &lens {
+                if decode_sorted_run(buf, &mut pos, l as usize, &mut k2).is_none() {
+                    return corrupt("ordering vector group does not decode");
+                }
+            }
+            let mut lists = Vec::with_capacity(m);
+            for _ in 0..m {
+                let Some(l) = get_uvarint32(buf, &mut pos) else {
+                    return corrupt("truncated ordering list reference");
+                };
+                lists.push(l);
+            }
+            let arena_lists = arenas[arena_of[which]].list_count();
+            match FrozenIndex::from_raw_parts(k1, k2, lists, arena_lists) {
+                Some(ix) => orderings.push(ix),
+                None => return corrupt("ordering columns are inconsistent"),
+            }
+        }
+        if pos != payload_len {
+            return corrupt("compressed payload has trailing bytes");
+        }
+        let orderings: [FrozenIndex; 6] = orderings.try_into().expect("exactly six orderings");
+        assemble_frozen(orderings, arenas, len)
     }
+}
+
+/// Encodes a store's slabs as the `FRZC` varint payload — the writer
+/// half of [`Reader::frozen_compressed`].
+fn encode_frozen_payload(store: &FrozenHexastore) -> Vec<u8> {
+    use crate::compress::{encode_arena, encode_sorted_run, put_uvarint};
+    let mut p = Vec::new();
+    for arena in store.arenas() {
+        put_uvarint(&mut p, arena.list_count() as u64);
+        put_uvarint(&mut p, arena.total_items() as u64);
+        encode_arena(&mut p, arena);
+    }
+    for ix in store.orderings() {
+        put_uvarint(&mut p, ix.k1.len() as u64);
+        put_uvarint(&mut p, ix.k2.len() as u64);
+        for (_, span) in ix.k1.iter() {
+            put_uvarint(&mut p, u64::from(span.len));
+        }
+        encode_sorted_run(&mut p, ix.k1.keys());
+        for (_, span) in ix.k1.iter() {
+            encode_sorted_run(&mut p, &ix.k2[span.range()]);
+        }
+        for &l in &ix.lists {
+            put_uvarint(&mut p, u64::from(l));
+        }
+    }
+    p
+}
+
+/// The shared tail of both slab-section readers: whole-store invariants
+/// that per-structure validation cannot see.
+fn assemble_frozen(
+    orderings: [FrozenIndex; 6],
+    arenas: [FlatArena; 3],
+    len: usize,
+) -> Result<FrozenHexastore> {
+    // Every triple contributes exactly one entry to each pair's item
+    // column, so the declared length must match all three arenas.
+    if arenas.iter().any(|a| a.total_items() != len) {
+        return corrupt("declared triple count disagrees with slab columns");
+    }
+    // Pair consistency: within each index pair, primary and mirror
+    // must reference the same (k1, k2) → list associations, each
+    // exactly once. Per-ordering checks alone would accept a mirror
+    // that silently disagrees with its primary.
+    for (primary, mirror, arena) in [(0usize, 2usize, 0usize), (1, 4, 1), (3, 5, 2)]
+        .map(|(p, m, a)| (&orderings[p], &orderings[m], &arenas[a]))
+    {
+        if !pair_consistent(primary, mirror, arena.list_count()) {
+            return corrupt("index pair orderings disagree");
+        }
+    }
+    Ok(FrozenHexastore::from_raw_parts(orderings, arenas, len))
 }
 
 fn tag_name(tag: [u8; 4]) -> String {
@@ -714,10 +996,35 @@ pub fn save_frozen(
     dict: &Dictionary,
     store: &FrozenHexastore,
 ) -> Result<()> {
+    save_frozen_with(path, dict, store, Compression::None)
+}
+
+/// [`save_frozen`] with an explicit [`Compression`] choice for the slab
+/// sections. [`Compression::VarintDelta`] trades open-time decoding for
+/// a substantially smaller file; [`load_frozen`] opens either
+/// transparently.
+///
+/// ```no_run
+/// use hexastore::hexsnap::{load_frozen, save_frozen_with, Compression};
+/// use hexastore::{GraphStore, TripleStore};
+///
+/// let mut g = GraphStore::new();
+/// g.load_ntriples("<http://x/s> <http://x/p> <http://x/o> .").unwrap();
+/// let frozen = g.store().freeze();
+/// save_frozen_with("graph.hexsnap", g.dict(), &frozen, Compression::VarintDelta).unwrap();
+/// let (_, back) = load_frozen("graph.hexsnap").unwrap();
+/// assert_eq!(back.len(), frozen.len());
+/// ```
+pub fn save_frozen_with(
+    path: impl AsRef<Path>,
+    dict: &Dictionary,
+    store: &FrozenHexastore,
+    compression: Compression,
+) -> Result<()> {
     let mut w = Writer::new(BufWriter::new(File::create(path)?))?;
     w.dictionary(dict)?;
     w.triples(store.len() as u64, store.iter_matching(IdPattern::ALL))?;
-    w.frozen(store)?;
+    w.frozen_with(store, compression)?;
     w.finish()?;
     Ok(())
 }
@@ -874,6 +1181,80 @@ mod tests {
         }
         let triples = r.triples().unwrap();
         assert_eq!(triples, store.matching(IdPattern::ALL));
+    }
+
+    #[test]
+    fn compressed_section_roundtrips_and_shrinks() {
+        let (dict, store) = sample_dict_and_store();
+        let frozen = store.freeze();
+        let mut raw = Writer::new(Cursor::new(Vec::new())).unwrap();
+        raw.frozen(&frozen).unwrap();
+        let raw_bytes = raw.finish().unwrap().into_inner();
+        let mut compact = Writer::new(Cursor::new(Vec::new())).unwrap();
+        compact.dictionary(&dict).unwrap();
+        compact.frozen_with(&frozen, Compression::VarintDelta).unwrap();
+        let bytes = compact.finish().unwrap().into_inner();
+        assert!(bytes.len() < raw_bytes.len(), "{} !< {}", bytes.len(), raw_bytes.len());
+        let mut r = Reader::new(Cursor::new(&bytes)).unwrap();
+        assert!(r.has_frozen());
+        assert_eq!(r.frozen_section_extent(), None, "FRZC has no mappable extent");
+        assert_eq!(r.frozen().unwrap(), frozen);
+    }
+
+    #[test]
+    fn compressed_payload_byte_flips_are_rejected() {
+        let (_, store) = sample_dict_and_store();
+        let mut w = Writer::new(Cursor::new(Vec::new())).unwrap();
+        w.frozen_with(&store.freeze(), Compression::VarintDelta).unwrap();
+        let bytes = w.finish().unwrap().into_inner();
+        // The FRZC section is the only one: payload starts 20 bytes past
+        // the section start (12-byte header + n_triples + payload_len +
+        // checksum). Flip every payload byte in turn.
+        let payload_start = 12 + 20;
+        let table_pos =
+            u64::from_le_bytes(bytes[bytes.len() - 16..bytes.len() - 8].try_into().unwrap())
+                as usize;
+        for i in payload_start..table_pos {
+            let mut copy = bytes.clone();
+            copy[i] ^= 0x20;
+            let got = Reader::new(Cursor::new(&copy)).and_then(|mut r| r.frozen());
+            assert!(
+                matches!(got, Err(Error::Corrupt(_))),
+                "flipped payload byte {i} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn v1_writer_emits_legacy_layout_and_refuses_compression() {
+        let (dict, store) = sample_dict_and_store();
+        let frozen = store.freeze();
+        let mut w = Writer::with_version(Cursor::new(Vec::new()), 1).unwrap();
+        assert_eq!(w.version(), 1);
+        w.dictionary(&dict).unwrap();
+        w.triples(frozen.len() as u64, frozen.iter_matching(IdPattern::ALL)).unwrap();
+        assert!(matches!(
+            w.frozen_with(&frozen, Compression::VarintDelta),
+            Err(Error::Corrupt(why)) if why.contains("version 2")
+        ));
+        w.frozen(&frozen).unwrap();
+        let bytes = w.finish().unwrap().into_inner();
+        assert_eq!(&bytes[8..12], &1u32.to_le_bytes());
+        let mut r = Reader::new(Cursor::new(&bytes)).unwrap();
+        assert_eq!(r.version(), 1);
+        assert_eq!(r.frozen().unwrap(), frozen);
+        assert!(matches!(Writer::with_version(Cursor::new(Vec::new()), 3), Err(Error::Version(3))));
+        assert!(matches!(Writer::with_version(Cursor::new(Vec::new()), 0), Err(Error::Version(0))));
+    }
+
+    #[test]
+    fn v2_frozen_section_is_four_byte_aligned() {
+        let bytes = snapshot_bytes(true);
+        let mut r = Reader::new(Cursor::new(&bytes)).unwrap();
+        assert_eq!(r.version(), VERSION);
+        let (off, _) = r.frozen_section_extent().expect("raw FROZ section present");
+        assert_eq!(off % 4, 0, "v2 FROZ section must start 4-byte aligned");
+        assert_eq!(r.frozen().unwrap(), sample_dict_and_store().1.freeze());
     }
 
     #[test]

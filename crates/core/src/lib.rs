@@ -51,6 +51,7 @@
 //! | [`graph`] | [`Dataset`]: any store + dictionary, string-level API |
 //! | [`pattern`] | [`IdPattern`]: the eight access shapes |
 //! | [`traits`] | [`TripleStore`]: the interface shared with the baselines |
+//! | [`compress`] | varint-delta codec for sorted id runs (compressed snapshots) |
 //! | [`hexsnap`] | the `hexsnap` binary on-disk snapshot format |
 //! | [`overlay`] | [`OverlayHexastore`]: mutable delta + tombstones on a frozen base |
 //! | [`wal`] | append-only write-ahead log behind [`LiveGraphStore`] |
@@ -62,6 +63,7 @@
 pub mod advisor;
 pub mod arena;
 pub mod bulk;
+pub mod compress;
 pub mod frozen;
 pub mod graph;
 pub mod hexsnap;

@@ -25,7 +25,12 @@ use hex_dict::Id;
 /// the paper's largest experiment is 61M triples, far below the 2^32
 /// entries a span can address, and halving the table width is the point
 /// of the columnar layout.
+///
+/// `repr(C)` pins the layout to `{ off: u32, len: u32 }` — the exact
+/// byte pairs the `hexsnap` disk format stores, which lets the
+/// `hex-disk` crate reinterpret a mapped span table in place.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+#[repr(C)]
 pub struct Span {
     /// First index of the window.
     pub off: u32,

@@ -8,8 +8,13 @@ use std::fmt;
 /// far fewer distinct terms, and index memory is itself an experiment
 /// (Figure 15), so halving key width vs `u64` matters. Ids are allocated
 /// contiguously from 0, so they double as indices into side tables.
+///
+/// `repr(transparent)` guarantees an `Id` is layout-identical to its
+/// `u32`, so a column of little-endian `u32`s on disk (the `hexsnap`
+/// format) can be reinterpreted as `&[Id]` by the mmap-backed reader.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[repr(transparent)]
 pub struct Id(pub u32);
 
 impl Id {

@@ -1,0 +1,207 @@
+//! Mmap-backed cold-open for `hexsnap` slab snapshots.
+//!
+//! [`hexastore::hexsnap::load_frozen`] reads an entire snapshot into
+//! memory before the first query can run; for datasets at or beyond RAM
+//! that eager read *is* the cold-start cost. This crate opens the same
+//! file by memory-mapping it and reinterpreting the uncompressed `FROZ`
+//! slab columns in place: open time becomes O(section headers), and the
+//! operating system pages in exactly the columns queries touch.
+//!
+//! The entry points are [`open`] (dictionary + store) and
+//! [`open_dataset`] (a ready-to-query [`hexastore::Dataset`]). The
+//! returned [`MmapFrozenHexastore`] implements
+//! [`hexastore::TripleStore`], so planning, parallel execution, and
+//! snapshot serving work over it exactly as over the in-memory frozen
+//! store.
+//!
+//! Only uncompressed version-2 snapshots are mappable: compressed
+//! (`FRZC`) sections and unaligned version-1 files must go through the
+//! decoding [`hexastore::hexsnap::load_frozen`] path, and [`open`] says
+//! so in its error rather than silently falling back.
+//!
+//! ```no_run
+//! use hexastore::hexsnap::save_frozen;
+//! use hexastore::{GraphStore, IdPattern, TripleStore};
+//! use rdf_model::{Term, Triple};
+//!
+//! let mut g = GraphStore::new();
+//! g.insert(&Triple::new(Term::iri("e:s"), Term::iri("e:p"), Term::iri("e:o")));
+//! let frozen = g.store().freeze();
+//! save_frozen("snapshot.hexsnap", g.dict(), &frozen)?;
+//!
+//! // Elsewhere, later: open without reading the slabs.
+//! let ds = hex_disk::open_dataset("snapshot.hexsnap")?;
+//! assert_eq!(ds.store().count_matching(IdPattern::new(None, None, None)), 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(missing_docs)]
+#![deny(warnings)]
+
+// The column views reinterpret little-endian file bytes as host-order
+// `u32`s; on a big-endian target every id would be byte-swapped.
+#[cfg(target_endian = "big")]
+compile_error!(
+    "hex-disk reinterprets little-endian snapshot columns and requires a little-endian target"
+);
+
+mod mmap;
+mod store;
+
+pub use mmap::Mmap;
+pub use store::MmapFrozenHexastore;
+
+use hex_dict::Dictionary;
+use hexastore::hexsnap;
+use hexastore::Dataset;
+use std::fs::File;
+use std::io::BufReader;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Errors from opening a snapshot as a mapping.
+#[derive(Debug)]
+pub enum Error {
+    /// The snapshot container or dictionary failed to parse.
+    Snapshot(hexsnap::Error),
+    /// The file parsed but cannot be memory-mapped (compressed slabs,
+    /// an unaligned v1 layout, or no slab section at all). The message
+    /// names the remedy.
+    Unmappable(String),
+    /// The mapped slab section's interior is structurally invalid.
+    Corrupt(String),
+    /// The underlying file could not be opened or mapped.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Snapshot(e) => write!(f, "snapshot error: {e}"),
+            Error::Unmappable(m) => write!(f, "snapshot cannot be mapped: {m}"),
+            Error::Corrupt(m) => write!(f, "mapped slab section is corrupt: {m}"),
+            Error::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Snapshot(e) => Some(e),
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<hexsnap::Error> for Error {
+    fn from(e: hexsnap::Error) -> Self {
+        Error::Snapshot(e)
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Opens a `hexsnap` file as a dictionary plus an mmap-backed frozen
+/// store, without reading the slab columns.
+///
+/// The dictionary section is still decoded eagerly (terms need owned
+/// strings); only the `FROZ` slab section stays on disk behind the
+/// mapping. Fails with [`Error::Unmappable`] for snapshots whose slabs
+/// were saved compressed, for pre-v2 files whose slab section is not
+/// 4-byte aligned, and for snapshots carrying no frozen section —
+/// re-save those with [`hexastore::hexsnap::save_frozen`] under the
+/// current format version.
+///
+/// ```no_run
+/// let (dict, store) = hex_disk::open("snapshot.hexsnap")?;
+/// let ds = hexastore::Dataset::from_parts(dict, store);
+/// # Ok::<(), hex_disk::Error>(())
+/// ```
+pub fn open(path: impl AsRef<Path>) -> Result<(Dictionary, MmapFrozenHexastore)> {
+    let file = File::open(path)?;
+    let mut reader = hexsnap::Reader::new(BufReader::new(&file))?;
+    let dict = reader.dictionary()?;
+    let store = store_from(&file, reader)?;
+    Ok((dict, store))
+}
+
+/// Opens only the slab section of a `hexsnap` file as an mmap-backed
+/// store, skipping the dictionary entirely.
+///
+/// The dictionary decode is the one eager, size-proportional cost
+/// [`open`] still pays; callers that already hold the dictionary (a
+/// serving tier re-opening generations of the same dataset, or a
+/// measurement isolating the slab path) can skip it. Same mapping
+/// requirements as [`open`].
+///
+/// ```no_run
+/// let store = hex_disk::open_store("snapshot.hexsnap")?;
+/// # Ok::<(), hex_disk::Error>(())
+/// ```
+pub fn open_store(path: impl AsRef<Path>) -> Result<MmapFrozenHexastore> {
+    let file = File::open(path)?;
+    let reader = hexsnap::Reader::new(BufReader::new(&file))?;
+    store_from(&file, reader)
+}
+
+/// The shared tail of [`open`]/[`open_store`]: locate the `FROZ`
+/// extent, check mappability, map, and parse the column descriptors.
+fn store_from(
+    file: &File,
+    reader: hexsnap::Reader<BufReader<&File>>,
+) -> Result<MmapFrozenHexastore> {
+    let (off, len) = match reader.frozen_section_extent() {
+        Some(extent) => extent,
+        None if reader.has_frozen() => {
+            return Err(Error::Unmappable(
+                "the slab section is compressed; re-save with Compression::None \
+                 or open via hexsnap::load_frozen"
+                    .to_string(),
+            ));
+        }
+        None => {
+            return Err(Error::Unmappable(
+                "the snapshot has no frozen slab section; save one with hexsnap::save_frozen"
+                    .to_string(),
+            ));
+        }
+    };
+    if off % 4 != 0 {
+        return Err(Error::Unmappable(format!(
+            "the slab section starts at unaligned offset {off} (a version-{} file); \
+             re-save under format version {} to align it",
+            reader.version(),
+            hexsnap::VERSION,
+        )));
+    }
+    drop(reader);
+    let map = Mmap::map(file)?;
+    let sec_off = usize::try_from(off).map_err(|_| {
+        Error::Unmappable("slab section offset exceeds the address space".to_string())
+    })?;
+    let sec_len = usize::try_from(len).map_err(|_| {
+        Error::Unmappable("slab section length exceeds the address space".to_string())
+    })?;
+    let (n, arenas, orderings) =
+        store::parse_frozen_section(&map, sec_off, sec_len).map_err(Error::Corrupt)?;
+    Ok(MmapFrozenHexastore::new(Arc::new(map), n, arenas, orderings))
+}
+
+/// Opens a `hexsnap` file directly as a queryable
+/// [`Dataset<MmapFrozenHexastore>`](hexastore::Dataset).
+///
+/// Convenience over [`open`] + [`Dataset::from_parts`]; see [`open`]
+/// for the mapping requirements and failure modes.
+pub fn open_dataset(path: impl AsRef<Path>) -> Result<Dataset<MmapFrozenHexastore>> {
+    let (dict, store) = open(path)?;
+    Ok(Dataset::from_parts(dict, store))
+}

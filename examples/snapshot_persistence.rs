@@ -7,7 +7,13 @@
 //!    sections open straight into a query-ready `FrozenGraphStore`
 //!    (`FrozenGraphStore::load`), no index rebuild and no id-level code.
 //!
+//! With the `disk` feature the demo adds the format-v2 extras: saving
+//! the slabs varint-delta compressed (`Compression::VarintDelta`) and
+//! opening an uncompressed snapshot through the `hex-disk` mmap path,
+//! where the slab columns stay on disk and page faults do the reading.
+//!
 //! Run with: `cargo run --features serde --example snapshot_persistence`
+//! (or `--features serde,disk` for the compressed + mmap paths).
 
 use hexastore::snapshot::Snapshot;
 use hexastore::{FrozenGraphStore, GraphStore};
@@ -70,4 +76,47 @@ fn main() {
         Term::iri("http://ex/ID2"),
     )));
     println!("thawed store accepts updates again ({} triples)", thawed.len());
+
+    // --- Path 3 (feature "disk"): compressed save + mmap cold open. ---
+    #[cfg(feature = "disk")]
+    demo_disk(&g, &pat, &before);
+    #[cfg(not(feature = "disk"))]
+    println!("(re-run with --features serde,disk for the compressed + mmap demos)");
+}
+
+/// Format-v2 extras: a varint-delta compressed snapshot (smaller file,
+/// decoding open) and the `hex-disk` mmap open of an uncompressed one
+/// (near-instant open, columns paged in on demand).
+#[cfg(feature = "disk")]
+fn demo_disk(g: &GraphStore, pat: &TriplePattern, before: &[rdf_model::Triple]) {
+    use hexastore::hexsnap::{self, Compression};
+
+    let dir = std::env::temp_dir();
+    let plain_path = dir.join("hexastore_snapshot_demo_plain.hexsnap");
+    let comp_path = dir.join("hexastore_snapshot_demo_compressed.hexsnap");
+    let frozen = g.store().freeze();
+    hexsnap::save_frozen(&plain_path, g.dict(), &frozen).expect("write uncompressed snapshot");
+    hexsnap::save_frozen_with(&comp_path, g.dict(), &frozen, Compression::VarintDelta)
+        .expect("write compressed snapshot");
+    let plain_bytes = std::fs::metadata(&plain_path).expect("stat").len();
+    let comp_bytes = std::fs::metadata(&comp_path).expect("stat").len();
+    println!("compressed snapshot: {comp_bytes} bytes vs {plain_bytes} uncompressed");
+
+    // Compressed files open through the same loader — decode + validate.
+    let (_, decoded) = hexsnap::load_frozen(&comp_path).expect("decode compressed snapshot");
+    assert_eq!(hexastore::TripleStore::len(&decoded), g.len());
+
+    // Uncompressed files can skip the read entirely: map, don't load.
+    let ds = hex_disk::open_dataset(&plain_path).expect("mmap open");
+    let mapped = ds.matching(pat);
+    assert_eq!(mapped, before, "mapped store answers identically");
+    println!(
+        "mmap open: {} triples served from {} mapped bytes, heap ~{} bytes",
+        hexastore::TripleStore::len(ds.store()),
+        ds.store().mapped_bytes(),
+        hexastore::TripleStore::heap_bytes(ds.store()),
+    );
+
+    std::fs::remove_file(&plain_path).ok();
+    std::fs::remove_file(&comp_path).ok();
 }
