@@ -15,11 +15,11 @@
 //! artifact; see `.github/workflows/ci.yml`.
 
 use hex_bench::{
-    ask_early_exit, ask_to_csv, cli, cold_open_figure, cold_open_to_csv, live_write_figure,
-    live_write_to_csv, load_figure, load_to_csv, memory_figure, memory_to_csv, path_report,
-    plans_figure, plans_to_csv, qps_figure, qps_to_csv, run_figure, snapshot_figure,
-    snapshot_to_csv, space_report, AskRow, ColdOpenRow, Figure, LiveWriteRow, LoadRow, PlanRow,
-    QpsRow, SnapshotRow, FIGURES,
+    ask_early_exit, ask_to_csv, cli, cold_open_figure, cold_open_to_csv, dict_figure, dict_to_csv,
+    live_write_figure, live_write_to_csv, load_figure, load_to_csv, memory_figure, memory_to_csv,
+    path_report, plans_figure, plans_to_csv, qps_figure, qps_to_csv, run_figure, snapshot_figure,
+    snapshot_to_csv, space_report, AskRow, ColdOpenRow, DictRow, Figure, LiveWriteRow, LoadRow,
+    PlanRow, QpsRow, SnapshotRow, FIGURES,
 };
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -132,7 +132,7 @@ fn main() {
             "space" => write_file(&args.out, "space.csv", &space_report(args.triples)),
             "path" => write_file(&args.out, "path.csv", &path_report(args.triples)),
             // measured separately below
-            "load" | "snapshot" | "plans" | "live_write" | "qps" | "cold_open" => {}
+            "load" | "snapshot" | "plans" | "live_write" | "qps" | "cold_open" | "dict" => {}
             timing => {
                 let fig = run_figure(timing, args.triples, args.points, args.reps);
                 write_file(&args.out, &format!("figure_{timing}.csv"), &fig.to_csv());
@@ -175,6 +175,15 @@ fn main() {
         cold.identical,
         "mmap-backed store answered a paper query differently from the eager store"
     );
+
+    // Dictionary at the same large scale: the acceptance signal for the
+    // arena interning + sharded encode (serial vs 1/2/4-worker encode,
+    // arena vs legacy heap, eager vs mapped DICT open). The figure
+    // asserts internally that the arena heap is strictly smaller and
+    // the mapped open keeps the arena shared.
+    let dict: DictRow = dict_figure(args.load_triples, args.reps);
+    write_file(&args.out, "dict.csv", &dict_to_csv(&dict));
+    assert!(dict.identical, "sharded dictionary encode produced ids differing from serial");
 
     // Concurrent serving at figure scale: the acceptance signal for the
     // snapshot-handoff read path (N client threads over published
@@ -296,6 +305,34 @@ fn main() {
     let _ = writeln!(json, "    \"queries\": {},", cold.queries);
     let _ = writeln!(json, "    \"identical\": {}", cold.identical);
     let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"dict\": {{");
+    let _ = writeln!(json, "    \"dataset\": \"lubm\",");
+    let _ = writeln!(json, "    \"triples\": {},", dict.triples);
+    let _ = writeln!(json, "    \"terms\": {},", dict.terms);
+    let _ =
+        writeln!(json, "    \"encode_serial_seconds\": {},", num(dict.encode_serial.as_secs_f64()));
+    for (threads, t) in &dict.encode_parallel {
+        let _ =
+            writeln!(json, "    \"encode_parallel_{threads}_seconds\": {},", num(t.as_secs_f64()));
+    }
+    let _ = writeln!(json, "    \"speedup_4\": {},", num(dict.speedup_at(4).unwrap_or(f64::NAN)));
+    let _ = writeln!(
+        json,
+        "    \"serial_triples_per_second\": {},",
+        num(dict.serial_mtriples_per_sec() * 1e6)
+    );
+    let _ = writeln!(json, "    \"arena_heap_bytes\": {},", dict.arena_heap_bytes);
+    let _ = writeln!(json, "    \"legacy_heap_bytes\": {},", dict.legacy_heap_bytes);
+    let _ = writeln!(json, "    \"heap_ratio\": {},", num(dict.heap_ratio()));
+    let _ = writeln!(
+        json,
+        "    \"eager_dict_open_seconds\": {},",
+        num(dict.eager_dict_open.as_secs_f64())
+    );
+    let _ = writeln!(json, "    \"mapped_open_seconds\": {},", num(dict.mapped_open.as_secs_f64()));
+    let _ = writeln!(json, "    \"open_speedup\": {},", num(dict.open_speedup()));
+    let _ = writeln!(json, "    \"identical\": {}", dict.identical);
+    let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"qps\": {{");
     let _ = writeln!(json, "    \"dataset\": \"barton+lubm\",");
     let _ = writeln!(json, "    \"triples\": {},", qps.triples);
@@ -404,6 +441,26 @@ fn main() {
         snap.binary_open.as_secs_f64(),
         snap.json_restore.as_secs_f64(),
         snap.open_speedup()
+    );
+    println!(
+        "dict {} triples ({} terms): serial encode {:.3}s, sharded(4) {:.3}s ({:.2}x); heap \
+         arena {} B vs legacy {} B ({:.2}x); DICT open eager {:.4}s vs mapped {:.6}s ({:.0}x), \
+         ids identical: {}",
+        dict.triples,
+        dict.terms,
+        dict.encode_serial.as_secs_f64(),
+        dict.encode_parallel
+            .iter()
+            .find(|(n, _)| *n == 4)
+            .map_or(f64::NAN, |(_, t)| t.as_secs_f64()),
+        dict.speedup_at(4).unwrap_or(f64::NAN),
+        dict.arena_heap_bytes,
+        dict.legacy_heap_bytes,
+        dict.heap_ratio(),
+        dict.eager_dict_open.as_secs_f64(),
+        dict.mapped_open.as_secs_f64(),
+        dict.open_speedup(),
+        dict.identical
     );
     println!(
         "cold open {} triples: compressed {} B vs plain {} B ({:.2}x); slab open eager {:.3}s, \

@@ -19,7 +19,7 @@
 //! review.
 
 use hex_bench::cli;
-use hex_bench::history::{append_run, trajectory_csv};
+use hex_bench::history::{append_run, trajectory_csv, trajectory_markdown, trajectory_svg};
 use std::path::PathBuf;
 
 struct Args {
@@ -73,5 +73,18 @@ fn main() {
     std::fs::write(&csv_path, &csv)
         .unwrap_or_else(|e| panic!("cannot write {}: {e}", csv_path.display()));
     eprintln!("# wrote {}", csv_path.display());
+    // The human-facing renderings, committed alongside the CSV: a
+    // markdown table for review diffs and an SVG trend chart.
+    for (name, render) in [
+        ("trajectory.md", trajectory_markdown as fn(&std::path::Path) -> std::io::Result<String>),
+        ("trajectory.svg", trajectory_svg),
+    ] {
+        let text = render(&args.history)
+            .unwrap_or_else(|e| panic!("cannot render {}: {e}", args.history.display()));
+        let path = args.history.join(name);
+        std::fs::write(&path, &text)
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        eprintln!("# wrote {}", path.display());
+    }
     print!("{csv}");
 }

@@ -61,7 +61,14 @@ fn key_pos(t: &IdTriple) -> (Id, Id, Id) {
 /// ([`Config::threads`] = 0) configuration: thread spawn overhead would
 /// dominate. An explicit thread count is always honored, so tests can
 /// drive the parallel path on tiny batches.
-const AUTO_SERIAL_BELOW: usize = 8 * 1024;
+///
+/// Tuned from the `dict` benchmark figure at 200k LUBM triples: the
+/// arena dictionary encodes ~436 ns/triple serially and the sharded
+/// path adds a ~24 ns/triple coordination tax plus roughly a
+/// millisecond of spawn-and-merge cost, putting the 4-thread
+/// break-even near 3.3k triples. 4 Ki leaves margin over that while
+/// letting medium batches parallelize.
+const AUTO_SERIAL_BELOW: usize = 4 * 1024;
 
 /// Tuning knobs for [`build_with`].
 ///

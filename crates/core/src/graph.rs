@@ -292,11 +292,20 @@ impl<S: MutableStore> Dataset<S> {
     /// Loads an N-Triples document, returning how many *new* triples were
     /// added (duplicates in the document are deduplicated, as in the
     /// paper's data cleaning).
+    ///
+    /// Encoding — the measured bottleneck of bulk load — runs through the
+    /// dictionary's sharded parallel encoder, sized by the same policy as
+    /// [`crate::bulk::Config`]: serial for small documents, one shard per
+    /// available core for large ones. The resulting ids are identical to
+    /// a serial first-seen encode either way.
     pub fn load_ntriples(&mut self, doc: &str) -> Result<usize, NtParseError> {
         let triples = rdf_model::parse_document(doc)?;
+        let threads = crate::bulk::Config::default().effective_threads(triples.len());
+        let encoded = self.dict.encode_triples_parallel(&triples, threads);
         let mut added = 0;
-        for t in &triples {
-            if self.insert(t) {
+        for enc in encoded {
+            self.version += 1;
+            if self.store.insert(enc) {
                 added += 1;
             }
         }

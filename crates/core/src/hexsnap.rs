@@ -78,7 +78,6 @@ use crate::pattern::IdPattern;
 use crate::slab::{FlatArena, FlatVecMap, Span};
 use crate::traits::TripleStore;
 use hex_dict::{Dictionary, Id, IdTriple};
-use rdf_model::Term;
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::Path;
@@ -290,60 +289,28 @@ impl<W: Write + Seek> Writer<W> {
 
     /// Writes the `DICT` section: terms as one contiguous UTF-8 arena
     /// plus offsets, in id order.
+    ///
+    /// The dictionary's in-memory layout *is* the section layout (kind
+    /// column, cumulative piece offsets, arena), so this copies three
+    /// buffers straight to the sink — no per-term classification and no
+    /// `&str` piece table.
     pub fn dictionary(&mut self, dict: &Dictionary) -> Result<()> {
         let start = self.begin_section()?;
-        let terms = dict.terms();
-        let n = u32::try_from(terms.len())
+        let kinds = dict.term_kinds();
+        let n = u32::try_from(kinds.len())
             .map_err(|_| Error::Corrupt("dictionary exceeds 2^32 terms".into()))?;
         w_u32(&mut self.w, n)?;
-        // Kind column.
-        let mut kinds = Vec::with_capacity(terms.len());
-        for term in terms {
-            kinds.push(match term {
-                Term::Iri(_) => 0u8,
-                Term::Blank(_) => 1,
-                Term::Literal(l) if l.language().is_some() => 3,
-                Term::Literal(l) if l.datatype() != rdf_model::XSD_STRING => 4,
-                Term::Literal(_) => 2,
-            });
-        }
-        self.w.write_all(&kinds)?;
-        // String pieces: primary string per term, plus tag/datatype for
-        // kinds 3 and 4. One pass computes offsets, a second writes bytes.
-        let mut pieces: Vec<&str> = Vec::with_capacity(terms.len());
-        for term in terms {
-            match term {
-                Term::Iri(iri) => pieces.push(iri.as_str()),
-                Term::Blank(b) => pieces.push(b.as_str()),
-                Term::Literal(l) => {
-                    pieces.push(l.lexical());
-                    if let Some(tag) = l.language() {
-                        pieces.push(tag);
-                    } else if l.datatype() != rdf_model::XSD_STRING {
-                        pieces.push(l.datatype());
-                    }
-                }
-            }
-        }
+        self.w.write_all(kinds)?;
+        let ends = dict.piece_ends();
         w_u32(
             &mut self.w,
-            u32::try_from(pieces.len())
+            u32::try_from(ends.len())
                 .map_err(|_| Error::Corrupt("dictionary exceeds 2^32 string pieces".into()))?,
         )?;
-        let mut end_off = 0u64;
-        let mut ends = Vec::with_capacity(pieces.len());
-        for piece in &pieces {
-            end_off += piece.len() as u64;
-            ends.push(
-                u32::try_from(end_off)
-                    .map_err(|_| Error::Corrupt("dictionary string arena exceeds 4 GiB".into()))?,
-            );
-        }
-        w_u32_run(&mut self.w, ends.into_iter())?;
-        w_u64(&mut self.w, end_off)?;
-        for piece in &pieces {
-            self.w.write_all(piece.as_bytes())?;
-        }
+        w_u32_run(&mut self.w, ends.iter().copied())?;
+        let arena = dict.arena_bytes();
+        w_u64(&mut self.w, arena.len() as u64)?;
+        self.w.write_all(arena)?;
         self.end_section(TAG_DICT, start)
     }
 
@@ -549,6 +516,13 @@ impl<R: Read + Seek> Reader<R> {
         self.sections.iter().find(|(t, _, _)| *t == TAG_FROZ).map(|&(_, off, len)| (off, len))
     }
 
+    /// Byte extent `(offset, length)` of the `DICT` section, if the file
+    /// carries one — the region `hex-disk` parses in place so the string
+    /// arena can stay memory-mapped instead of being copied to the heap.
+    pub fn dict_section_extent(&self) -> Option<(u64, u64)> {
+        self.sections.iter().find(|(t, _, _)| *t == TAG_DICT).map(|&(_, off, len)| (off, len))
+    }
+
     /// Positions the reader at a section's start, returning `(end, len)`.
     fn seek_section(&mut self, tag: [u8; 4]) -> Result<(u64, u64)> {
         let &(_, off, len) = self
@@ -613,52 +587,14 @@ impl<R: Read + Seek> Reader<R> {
         let mut bytes = vec![0u8; n_bytes];
         self.r.read_exact(&mut bytes)?;
         self.check_section_end(section_end)?;
-        let arena = match std::str::from_utf8(&bytes) {
-            Ok(s) => s,
-            Err(_) => return corrupt("dictionary string arena is not UTF-8"),
-        };
-        fn next_piece<'a>(
-            arena: &'a str,
-            ends: &[u32],
-            idx: &mut usize,
-            start: &mut usize,
-        ) -> Result<&'a str> {
-            let end = ends[*idx] as usize;
-            // `get` also rejects offsets that split a UTF-8 sequence.
-            let Some(s) = arena.get(*start..end) else {
-                return corrupt("piece offset splits a UTF-8 sequence");
-            };
-            *start = end;
-            *idx += 1;
-            Ok(s)
-        }
-        let (mut idx, mut start) = (0usize, 0usize);
-        let mut piece = || next_piece(arena, &ends, &mut idx, &mut start);
-        let mut terms = Vec::with_capacity(n);
-        for &kind in &kinds {
-            let term = match kind {
-                0 => Term::iri(piece()?),
-                1 => Term::blank(piece()?),
-                2 => Term::literal(piece()?),
-                3 => {
-                    let lex = piece()?;
-                    Term::lang_literal(lex, piece()?)
-                }
-                4 => {
-                    let lex = piece()?;
-                    Term::typed_literal(lex, piece()?)
-                }
-                other => return corrupt(format!("unknown term kind {other}")),
-            };
-            terms.push(term);
-        }
-        // Distinctness is a dictionary invariant; corruption inside the
-        // string arena can merge two terms, which must be rejected (not
-        // silently mapped to the later id).
-        match Dictionary::try_from_id_ordered_terms(terms) {
-            Some(dict) => Ok(dict),
-            None => corrupt("duplicate term in dictionary section"),
-        }
+        // The section layout is the dictionary's in-memory layout, so
+        // the three buffers are adopted as-is: the constructor validates
+        // the offset table (UTF-8, char boundaries, kind bytes,
+        // distinctness) and builds the reverse index in one hash pass —
+        // no `Term` is ever constructed. Distinctness matters because
+        // corruption inside the string arena can merge two terms, which
+        // must be rejected (not silently mapped to the later id).
+        Dictionary::try_from_arena(kinds, ends, bytes).map_err(|e| Error::Corrupt(e.to_string()))
     }
 
     /// Streams the `TRPL` section chunk by chunk — the restore path feeds
@@ -1131,6 +1067,7 @@ pub fn newest_generation(dir: impl AsRef<Path>) -> Result<Option<(u64, std::path
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rdf_model::Term;
     use std::io::Cursor;
 
     fn sample_dict_and_store() -> (Dictionary, crate::store::Hexastore) {
@@ -1176,8 +1113,8 @@ mod tests {
         let dict2 = r.dictionary().unwrap();
         assert_eq!(dict2.len(), dict.len());
         for (id, term) in dict.iter() {
-            assert_eq!(dict2.decode(id), Some(term), "term {id:?}");
-            assert_eq!(dict2.id_of(term), Some(id));
+            assert_eq!(dict2.decode(id).as_ref(), Some(&term), "term {id:?}");
+            assert_eq!(dict2.id_of(&term), Some(id));
         }
         let triples = r.triples().unwrap();
         assert_eq!(triples, store.matching(IdPattern::ALL));

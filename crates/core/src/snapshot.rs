@@ -28,7 +28,7 @@ pub struct Snapshot {
 impl Snapshot {
     /// Captures a snapshot of a graph store.
     pub fn capture(graph: &GraphStore) -> Self {
-        let terms: Vec<Term> = graph.dict().iter().map(|(_, t)| t.clone()).collect();
+        let terms: Vec<Term> = graph.dict().terms();
         let triples = graph.store().matching(IdPattern::ALL);
         Snapshot { terms, triples }
     }
@@ -116,7 +116,7 @@ mod tests {
         assert_eq!(a, b);
         // Ids survive: the moved dictionary answers the same lookups.
         for (id, term) in g.dict().iter() {
-            assert_eq!(by_move.dict().id_of(term), Some(id));
+            assert_eq!(by_move.dict().id_of(&term), Some(id));
         }
     }
 

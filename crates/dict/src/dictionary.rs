@@ -1,8 +1,354 @@
-//! The bidirectional term ⇄ id mapping table.
+//! The bidirectional term ⇄ id mapping table, backed by a string arena.
+//!
+//! Terms are interned into one contiguous UTF-8 arena per dictionary;
+//! each term is a `(kind, offset, length)` view over that arena rather
+//! than an owned `Term`. The in-memory buffers mirror the hexsnap `DICT`
+//! section byte-for-byte (kind column, cumulative piece offsets, arena),
+//! so saving is a straight copy of three buffers and loading is an
+//! offset-table validation plus one hash pass — no per-term `Term`
+//! construction and no per-term allocation.
 
 use crate::id::{Id, IdTriple};
 use rdf_model::{Term, Triple};
-use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Term kind bytes, exactly as the hexsnap `DICT` section stores them.
+pub(crate) const KIND_IRI: u8 = 0;
+pub(crate) const KIND_BLANK: u8 = 1;
+pub(crate) const KIND_LITERAL: u8 = 2;
+pub(crate) const KIND_LANG: u8 = 3;
+pub(crate) const KIND_TYPED: u8 = 4;
+
+/// Number of string pieces a term of `kind` stores in the arena: one for
+/// IRIs, blanks and plain literals; lexical form plus tag/datatype for
+/// language-tagged and typed literals.
+pub(crate) fn pieces_of(kind: u8) -> usize {
+    if kind >= KIND_LANG {
+        2
+    } else {
+        1
+    }
+}
+
+/// Read-only byte storage an arena dictionary can borrow instead of own —
+/// in practice a memory-mapped snapshot held open by `hex-disk`, so the
+/// string arena stays on disk and pages in on demand.
+pub type SharedBytes = Arc<dyn AsRef<[u8]> + Send + Sync>;
+
+/// The arena's backing bytes: owned by this dictionary, or a window into
+/// shared (typically memory-mapped) storage.
+#[derive(Clone)]
+pub(crate) enum Arena {
+    Owned(Vec<u8>),
+    Shared { bytes: SharedBytes, range: Range<usize> },
+}
+
+impl Default for Arena {
+    fn default() -> Self {
+        Arena::Owned(Vec::new())
+    }
+}
+
+impl Arena {
+    /// The arena bytes. A shared provider whose bytes shrank after
+    /// construction degrades to an empty slice — lookups then miss and
+    /// decodes return `None`, but nothing panics.
+    pub(crate) fn bytes(&self) -> &[u8] {
+        match self {
+            Arena::Owned(v) => v,
+            Arena::Shared { bytes, range } => (**bytes).as_ref().get(range.clone()).unwrap_or(&[]),
+        }
+    }
+
+    /// Converts to owned storage (copying shared bytes once) so the
+    /// arena can grow.
+    fn make_owned(&mut self) -> &mut Vec<u8> {
+        if let Arena::Shared { .. } = self {
+            *self = Arena::Owned(self.bytes().to_vec());
+        }
+        match self {
+            Arena::Owned(v) => v,
+            Arena::Shared { .. } => unreachable!("just converted to owned"),
+        }
+    }
+}
+
+/// An empty open-addressing slot.
+pub(crate) const EMPTY_SLOT: u32 = u32::MAX;
+
+/// Open-addressing hash table from term bytes to term ids.
+///
+/// Slots hold term ids; keys live in the arena, so the table itself is
+/// one flat `u32` array — no per-entry allocation, and lookups compare
+/// borrowed bytes directly. Capacity is a power of two; load factor is
+/// kept below 7/8.
+#[derive(Clone, Default)]
+pub(crate) struct TermIndex {
+    pub(crate) slots: Vec<u32>,
+}
+
+/// Slot count (a power of two) comfortably holding `n` entries.
+pub(crate) fn slots_for(n: usize) -> usize {
+    (n + n / 4 + 8).next_power_of_two()
+}
+
+impl TermIndex {
+    pub(crate) fn with_capacity(n: usize) -> Self {
+        TermIndex { slots: vec![EMPTY_SLOT; slots_for(n)] }
+    }
+
+    /// Probes for a term with the given hash: `Ok(id)` when `eq` accepts
+    /// an occupied slot, `Err(slot)` with the insertion position when the
+    /// probe chain ends at an empty slot. The table must be non-empty.
+    pub(crate) fn probe(&self, hash: u64, mut eq: impl FnMut(u32) -> bool) -> Result<u32, usize> {
+        debug_assert!(self.slots.len().is_power_of_two());
+        let mask = self.slots.len() - 1;
+        let mut i = (hash as usize) & mask;
+        loop {
+            match self.slots[i] {
+                EMPTY_SLOT => return Err(i),
+                id if eq(id) => return Ok(id),
+                _ => i = (i + 1) & mask,
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Hashing: an FxHash-style multiply-rotate over the term's kind byte and
+// piece bytes. Collisions are resolved by byte comparison, so the hash
+// only affects probe-chain length, never ids.
+// ---------------------------------------------------------------------
+
+const HASH_SEED: u64 = 0x517c_c1b7_2722_0a95;
+
+#[inline]
+fn mix(h: u64, v: u64) -> u64 {
+    (h.rotate_left(5) ^ v).wrapping_mul(HASH_SEED)
+}
+
+#[inline]
+fn hash_piece(mut h: u64, bytes: &[u8]) -> u64 {
+    let mut chunks = bytes.chunks_exact(8);
+    for c in chunks.by_ref() {
+        h = mix(h, u64::from_le_bytes(c.try_into().expect("chunk of 8")));
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut buf = [0u8; 8];
+        buf[..rem.len()].copy_from_slice(rem);
+        h = mix(h, u64::from_le_bytes(buf));
+    }
+    mix(h, bytes.len() as u64)
+}
+
+/// Hashes a term's `(kind, pieces)` decomposition.
+pub(crate) fn hash_parts(kind: u8, a: &[u8], b: Option<&[u8]>) -> u64 {
+    let mut h = mix(HASH_SEED, u64::from(kind));
+    h = hash_piece(h, a);
+    if let Some(b) = b {
+        h = hash_piece(h, b);
+    }
+    h
+}
+
+/// Decomposes a term into its `DICT`-section kind byte and string
+/// pieces. The inverse of [`Inner::materialize`]; no allocation.
+pub(crate) fn parts(term: &Term) -> (u8, &str, Option<&str>) {
+    match term {
+        Term::Iri(iri) => (KIND_IRI, iri.as_str(), None),
+        Term::Blank(b) => (KIND_BLANK, b.as_str(), None),
+        Term::Literal(l) => match l.language() {
+            Some(tag) => (KIND_LANG, l.lexical(), Some(tag)),
+            None if l.datatype() != rdf_model::XSD_STRING => {
+                (KIND_TYPED, l.lexical(), Some(l.datatype()))
+            }
+            None => (KIND_LITERAL, l.lexical(), None),
+        },
+    }
+}
+
+// ---------------------------------------------------------------------
+// The shared interior. `Dictionary` wraps it in an `Arc` so clones are
+// O(1) and copy-on-write: freezing or publishing a dataset shares the
+// table, and only a later mutation of a shared clone re-owns it.
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Default)]
+pub(crate) struct Inner {
+    /// One kind byte per term (`Id(i)` ↦ `kinds[i]`).
+    pub(crate) kinds: Vec<u8>,
+    /// Piece index of each term's first piece.
+    pub(crate) first_piece: Vec<u32>,
+    /// Cumulative end offsets of the string pieces in the arena.
+    pub(crate) ends: Vec<u32>,
+    /// The contiguous UTF-8 string arena all pieces point into.
+    pub(crate) arena: Arena,
+    /// Byte-keyed reverse index: term bytes → id.
+    pub(crate) index: TermIndex,
+}
+
+impl Inner {
+    /// Byte bounds of piece `p` in the arena.
+    #[inline]
+    fn piece_bounds(&self, p: usize) -> (usize, usize) {
+        let start = if p == 0 { 0 } else { self.ends[p - 1] as usize };
+        (start, self.ends[p] as usize)
+    }
+
+    /// Byte slices of term `i`'s pieces. Clamped: shared bytes that
+    /// mutated or shrank after validation yield empty slices, never a
+    /// panic.
+    pub(crate) fn term_bytes(&self, i: usize) -> (&[u8], Option<&[u8]>) {
+        let bytes = self.arena.bytes();
+        let p = self.first_piece[i] as usize;
+        let (a0, a1) = self.piece_bounds(p);
+        let a = bytes.get(a0..a1).unwrap_or(&[]);
+        let b = if pieces_of(self.kinds[i]) == 2 {
+            let (b0, b1) = self.piece_bounds(p + 1);
+            Some(bytes.get(b0..b1).unwrap_or(&[]))
+        } else {
+            None
+        };
+        (a, b)
+    }
+
+    /// Whether term `id` equals the `(kind, pieces)` decomposition.
+    #[inline]
+    pub(crate) fn term_matches(&self, id: u32, kind: u8, a: &[u8], b: Option<&[u8]>) -> bool {
+        let i = id as usize;
+        if self.kinds[i] != kind {
+            return false;
+        }
+        let (ca, cb) = self.term_bytes(i);
+        ca == a && cb == b
+    }
+
+    fn hash_of(&self, id: u32) -> u64 {
+        let (a, b) = self.term_bytes(id as usize);
+        hash_parts(self.kinds[id as usize], a, b)
+    }
+
+    /// Looks up a term by its decomposition without mutating anything.
+    pub(crate) fn lookup(&self, hash: u64, kind: u8, a: &[u8], b: Option<&[u8]>) -> Option<u32> {
+        if self.index.slots.is_empty() {
+            return None;
+        }
+        self.index.probe(hash, |id| self.term_matches(id, kind, a, b)).ok()
+    }
+
+    /// Rebuilds the index when one more entry would push the load factor
+    /// past 7/8. Hashes are recomputed from the arena — the table stores
+    /// only ids, so growth costs no extra memory per entry.
+    fn maybe_grow(&mut self, extra: usize) {
+        let n = self.kinds.len() + extra;
+        if !self.index.slots.is_empty() && self.index.slots.len() * 7 >= n * 8 {
+            return;
+        }
+        let mut slots = vec![EMPTY_SLOT; slots_for(n)];
+        let mask = slots.len() - 1;
+        for id in 0..self.kinds.len() as u32 {
+            let mut i = (self.hash_of(id) as usize) & mask;
+            while slots[i] != EMPTY_SLOT {
+                i = (i + 1) & mask;
+            }
+            slots[i] = id;
+        }
+        self.index.slots = slots;
+    }
+
+    /// Appends a term known to be absent, returning its new id.
+    pub(crate) fn push_term(&mut self, kind: u8, a: &[u8], b: Option<&[u8]>, hash: u64) -> Id {
+        let id =
+            u32::try_from(self.kinds.len()).expect("dictionary overflow: more than 2^32 terms");
+        self.maybe_grow(1);
+        let piece0 =
+            u32::try_from(self.ends.len()).expect("dictionary overflow: more than 2^32 pieces");
+        let arena = self.arena.make_owned();
+        arena.extend_from_slice(a);
+        self.ends.push(u32::try_from(arena.len()).expect("dictionary string arena exceeds 4 GiB"));
+        if let Some(b) = b {
+            arena.extend_from_slice(b);
+            self.ends
+                .push(u32::try_from(arena.len()).expect("dictionary string arena exceeds 4 GiB"));
+        }
+        self.kinds.push(kind);
+        self.first_piece.push(piece0);
+        let slot = self.index.probe(hash, |_| false).expect_err("pushed term must be absent");
+        self.index.slots[slot] = id;
+        Id(id)
+    }
+
+    /// Materializes term `i` as an owned [`Term`]. Returns `None` (never
+    /// panics) if shared arena bytes have become undecodable since
+    /// validation.
+    fn materialize(&self, i: usize) -> Option<Term> {
+        let kind = *self.kinds.get(i)?;
+        let (a, b) = self.term_bytes(i);
+        let a = std::str::from_utf8(a).ok()?;
+        Some(match kind {
+            KIND_IRI => Term::iri(a),
+            KIND_BLANK => Term::blank(a),
+            KIND_LITERAL => Term::literal(a),
+            KIND_LANG => Term::lang_literal(a, std::str::from_utf8(b?).ok()?),
+            KIND_TYPED => Term::typed_literal(a, std::str::from_utf8(b?).ok()?),
+            _ => return None,
+        })
+    }
+}
+
+/// Why an arena image was rejected by [`Dictionary::try_from_arena`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArenaError {
+    /// A kind byte outside `0..=4`.
+    UnknownKind(u8),
+    /// The kind column requires a different piece count than given.
+    PieceCount {
+        /// Number of piece offsets supplied.
+        declared: usize,
+        /// Number the kind column requires.
+        required: usize,
+    },
+    /// Piece offsets decrease, or fail to cover the arena exactly.
+    OffsetsNotMonotone,
+    /// The arena is not valid UTF-8.
+    NotUtf8,
+    /// A piece offset splits a multi-byte UTF-8 sequence.
+    SplitsChar,
+    /// Two ids decode to the same term.
+    Duplicate,
+    /// A typed literal carries the implicit `xsd:string` datatype, which
+    /// canonically encodes as a plain literal (kind 2).
+    NonCanonicalTyped,
+    /// The shared byte range lies outside the provider's bytes.
+    OutOfBounds,
+}
+
+impl std::fmt::Display for ArenaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArenaError::UnknownKind(k) => write!(f, "unknown term kind {k}"),
+            ArenaError::PieceCount { declared, required } => {
+                write!(f, "dictionary declares {declared} string pieces, kinds require {required}")
+            }
+            ArenaError::OffsetsNotMonotone => {
+                write!(f, "dictionary piece offsets are not a monotone cover of the arena")
+            }
+            ArenaError::NotUtf8 => write!(f, "dictionary string arena is not UTF-8"),
+            ArenaError::SplitsChar => write!(f, "piece offset splits a UTF-8 sequence"),
+            ArenaError::Duplicate => write!(f, "duplicate term in dictionary section"),
+            ArenaError::NonCanonicalTyped => {
+                write!(f, "typed literal carries the implicit xsd:string datatype")
+            }
+            ArenaError::OutOfBounds => {
+                write!(f, "arena range lies outside the shared byte provider")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArenaError {}
 
 /// Dictionary encoding of RDF terms.
 ///
@@ -10,10 +356,17 @@ use std::collections::HashMap;
 /// order starting from 0) and back. All stores in the workspace share one
 /// dictionary per dataset, exactly as the paper's single "mapping table"
 /// (§4.1) serves all six indices.
+///
+/// Terms are interned into one contiguous UTF-8 arena; encoding a term
+/// that is already present allocates nothing (the lookup hashes and
+/// compares borrowed bytes). The in-memory layout mirrors the hexsnap
+/// `DICT` section, so snapshot save/load move whole buffers instead of
+/// constructing terms. Cloning is O(1): the interior is shared
+/// copy-on-write, and only the first mutation of a shared clone re-owns
+/// it.
 #[derive(Default, Clone)]
 pub struct Dictionary {
-    terms: Vec<Term>,
-    ids: HashMap<Term, Id>,
+    pub(crate) inner: Arc<Inner>,
 }
 
 impl Dictionary {
@@ -24,40 +377,49 @@ impl Dictionary {
 
     /// Creates an empty dictionary with capacity for `n` distinct terms.
     pub fn with_capacity(n: usize) -> Self {
-        Dictionary { terms: Vec::with_capacity(n), ids: HashMap::with_capacity(n) }
+        Dictionary {
+            inner: Arc::new(Inner {
+                kinds: Vec::with_capacity(n),
+                first_piece: Vec::with_capacity(n),
+                ends: Vec::with_capacity(n + n / 8),
+                arena: Arena::Owned(Vec::new()),
+                index: TermIndex::with_capacity(n),
+            }),
+        }
     }
 
     /// Number of distinct terms interned.
     pub fn len(&self) -> usize {
-        self.terms.len()
+        self.inner.kinds.len()
     }
 
     /// True if no terms have been interned.
     pub fn is_empty(&self) -> bool {
-        self.terms.is_empty()
+        self.inner.kinds.is_empty()
     }
 
     /// Interns a term, returning its id. Idempotent: the same term always
-    /// yields the same id.
+    /// yields the same id. The hit path allocates nothing.
     pub fn encode(&mut self, term: &Term) -> Id {
-        if let Some(&id) = self.ids.get(term) {
-            return id;
+        let (kind, a, b) = parts(term);
+        let (a, b) = (a.as_bytes(), b.map(str::as_bytes));
+        let hash = hash_parts(kind, a, b);
+        if let Some(id) = self.inner.lookup(hash, kind, a, b) {
+            return Id(id);
         }
-        let id =
-            Id(u32::try_from(self.terms.len()).expect("dictionary overflow: more than 2^32 terms"));
-        self.terms.push(term.clone());
-        self.ids.insert(term.clone(), id);
-        id
+        Arc::make_mut(&mut self.inner).push_term(kind, a, b, hash)
     }
 
     /// Looks up the id of a term without interning it.
     pub fn id_of(&self, term: &Term) -> Option<Id> {
-        self.ids.get(term).copied()
+        let (kind, a, b) = parts(term);
+        let (a, b) = (a.as_bytes(), b.map(str::as_bytes));
+        self.inner.lookup(hash_parts(kind, a, b), kind, a, b).map(Id)
     }
 
-    /// Decodes an id back to its term.
-    pub fn decode(&self, id: Id) -> Option<&Term> {
-        self.terms.get(id.index())
+    /// Decodes an id back to its term, materializing it from the arena.
+    pub fn decode(&self, id: Id) -> Option<Term> {
+        self.inner.materialize(id.index())
     }
 
     /// Encodes a triple, interning all three terms.
@@ -81,29 +443,136 @@ impl Dictionary {
 
     /// Decodes an encoded triple back to terms.
     pub fn decode_triple(&self, t: IdTriple) -> Option<Triple> {
-        Some(Triple::new(
-            self.decode(t.s)?.clone(),
-            self.decode(t.p)?.clone(),
-            self.decode(t.o)?.clone(),
-        ))
+        Some(Triple::new(self.decode(t.s)?, self.decode(t.p)?, self.decode(t.o)?))
     }
 
-    /// Iterates `(id, term)` pairs in id order.
-    pub fn iter(&self) -> impl Iterator<Item = (Id, &Term)> {
-        self.terms.iter().enumerate().map(|(i, t)| (Id(i as u32), t))
+    /// Iterates `(id, term)` pairs in id order, materializing each term
+    /// from the arena.
+    pub fn iter(&self) -> impl Iterator<Item = (Id, Term)> + '_ {
+        (0..self.len() as u32).filter_map(move |i| Some((Id(i), self.decode(Id(i))?)))
     }
 
-    /// The interned terms in id order: `terms()[i]` is the term of
-    /// `Id(i)`. Snapshot writers serialize this column directly instead
-    /// of cloning per-term values.
-    pub fn terms(&self) -> &[Term] {
-        &self.terms
+    /// The interned terms in id order, materialized: `terms()[i]` is the
+    /// term of `Id(i)`.
+    pub fn terms(&self) -> Vec<Term> {
+        self.iter().map(|(_, t)| t).collect()
+    }
+
+    /// The per-term kind column, exactly as the hexsnap `DICT` section
+    /// stores it: 0 IRI, 1 blank, 2 plain literal, 3 language-tagged
+    /// literal, 4 typed literal. Kinds 3–4 own two consecutive string
+    /// pieces (lexical form, then tag/datatype); the rest own one.
+    pub fn term_kinds(&self) -> &[u8] {
+        &self.inner.kinds
+    }
+
+    /// Cumulative end offsets of the string pieces in the arena, in the
+    /// `DICT` section's order.
+    pub fn piece_ends(&self) -> &[u32] {
+        &self.inner.ends
+    }
+
+    /// The contiguous UTF-8 string arena all pieces point into.
+    pub fn arena_bytes(&self) -> &[u8] {
+        self.inner.arena.bytes()
+    }
+
+    /// True when the arena is a window into shared (typically
+    /// memory-mapped) storage rather than owned heap bytes.
+    pub fn arena_is_shared(&self) -> bool {
+        matches!(self.inner.arena, Arena::Shared { .. })
+    }
+
+    /// Rebuilds a dictionary from the three `DICT`-section buffers — the
+    /// snapshot fast path. Validates the offset table (kinds, piece
+    /// counts, monotone cover, UTF-8, char boundaries, distinctness) and
+    /// builds the reverse index in one hash pass; no `Term` is
+    /// constructed.
+    pub fn try_from_arena(
+        kinds: Vec<u8>,
+        ends: Vec<u32>,
+        arena: Vec<u8>,
+    ) -> Result<Self, ArenaError> {
+        Self::build_from_arena(kinds, ends, Arena::Owned(arena))
+    }
+
+    /// Like [`Dictionary::try_from_arena`], but the arena stays a window
+    /// of `offset..offset + len` into shared storage (an open memory
+    /// map), so the string bytes are never copied onto the heap.
+    ///
+    /// Validation happens against the bytes as they are now; the
+    /// provider is trusted not to mutate them afterwards. If it does
+    /// anyway, lookups may miss and decodes may return `None`, but
+    /// nothing panics.
+    pub fn try_from_shared_arena(
+        kinds: Vec<u8>,
+        ends: Vec<u32>,
+        bytes: SharedBytes,
+        offset: usize,
+        len: usize,
+    ) -> Result<Self, ArenaError> {
+        let total = (*bytes).as_ref().len();
+        if offset.checked_add(len).is_none_or(|end| end > total) {
+            return Err(ArenaError::OutOfBounds);
+        }
+        Self::build_from_arena(kinds, ends, Arena::Shared { bytes, range: offset..offset + len })
+    }
+
+    fn build_from_arena(kinds: Vec<u8>, ends: Vec<u32>, arena: Arena) -> Result<Self, ArenaError> {
+        let mut required = 0usize;
+        for &k in &kinds {
+            if k > KIND_TYPED {
+                return Err(ArenaError::UnknownKind(k));
+            }
+            required += pieces_of(k);
+        }
+        if required != ends.len() {
+            return Err(ArenaError::PieceCount { declared: ends.len(), required });
+        }
+        let n_bytes = arena.bytes().len();
+        let mut prev = 0u32;
+        for &e in &ends {
+            if e < prev {
+                return Err(ArenaError::OffsetsNotMonotone);
+            }
+            prev = e;
+        }
+        if prev as usize != n_bytes {
+            return Err(ArenaError::OffsetsNotMonotone);
+        }
+        let text = std::str::from_utf8(arena.bytes()).map_err(|_| ArenaError::NotUtf8)?;
+        if ends.iter().any(|&e| !text.is_char_boundary(e as usize)) {
+            return Err(ArenaError::SplitsChar);
+        }
+        let mut first_piece = Vec::with_capacity(kinds.len());
+        let mut p = 0u32;
+        for &k in &kinds {
+            first_piece.push(p);
+            p += pieces_of(k) as u32;
+        }
+        let mut inner = Inner { kinds, first_piece, ends, arena, index: TermIndex::default() };
+        // The single hash pass: build the reverse index over borrowed
+        // bytes. Distinctness falls out of the build — a probe that finds
+        // an equal term is a corrupt image, not a second id.
+        let mut index = TermIndex::with_capacity(inner.kinds.len());
+        for id in 0..inner.kinds.len() as u32 {
+            let i = id as usize;
+            let kind = inner.kinds[i];
+            let (a, b) = inner.term_bytes(i);
+            if kind == KIND_TYPED && b == Some(rdf_model::XSD_STRING.as_bytes()) {
+                return Err(ArenaError::NonCanonicalTyped);
+            }
+            match index.probe(hash_parts(kind, a, b), |c| inner.term_matches(c, kind, a, b)) {
+                Ok(_) => return Err(ArenaError::Duplicate),
+                Err(slot) => index.slots[slot] = id,
+            }
+        }
+        inner.index = index;
+        Ok(Dictionary { inner: Arc::new(inner) })
     }
 
     /// Rebuilds a dictionary from terms already in id order (index `i`
-    /// becomes `Id(i)`) — the snapshot-restore constructor. The reverse
-    /// map is built in one pre-sized pass; term payloads are `Arc`-shared
-    /// with the input, not re-copied.
+    /// becomes `Id(i)`) — the snapshot-restore constructor.
     ///
     /// # Panics
     ///
@@ -115,43 +584,45 @@ impl Dictionary {
 
     /// Like [`Self::from_id_ordered_terms`], but returns `None` when the
     /// input contains duplicate terms instead of panicking — snapshot
-    /// readers turn that into a corruption error. Distinctness falls out
-    /// of the reverse-map build itself, so validation costs no extra
-    /// hashing pass.
+    /// readers turn that into a corruption error.
     pub fn try_from_id_ordered_terms(terms: Vec<Term>) -> Option<Self> {
-        let mut ids = HashMap::with_capacity(terms.len());
+        let mut d = Dictionary::with_capacity(terms.len());
         for (i, term) in terms.iter().enumerate() {
-            let id = Id(u32::try_from(i).expect("dictionary overflow: more than 2^32 terms"));
-            if ids.insert(term.clone(), id).is_some() {
+            if d.encode(term).index() != i {
                 return None;
             }
         }
-        Some(Dictionary { terms, ids })
+        Some(d)
     }
 
-    /// Approximate heap footprint of the dictionary in bytes: the id-to-term
-    /// vector, the hash table, and each term's string payload (counted once —
-    /// the two directions share `Arc<str>` buffers).
+    /// Exact heap footprint of the dictionary in bytes: the kind column,
+    /// the two offset tables, the reverse index's slot array, and the
+    /// string arena — each a single flat buffer, counted at capacity.
+    /// String bytes appear exactly once (the reverse index stores only
+    /// ids, keyed by the same arena bytes); a shared (mapped) arena
+    /// contributes nothing, since its bytes are file-backed rather than
+    /// heap-allocated.
     pub fn heap_bytes(&self) -> usize {
-        let strings: usize = self
-            .terms
-            .iter()
-            .map(|t| match t {
-                Term::Iri(i) => i.as_str().len(),
-                Term::Blank(b) => b.as_str().len(),
-                Term::Literal(l) => l.lexical().len() + l.language().map_or(0, str::len),
-            })
-            .sum();
-        let vec = self.terms.capacity() * std::mem::size_of::<Term>();
-        // HashMap stores (Term, Id) entries plus ~1/8 control byte overhead.
-        let map = self.ids.capacity() * (std::mem::size_of::<(Term, Id)>() + 1);
-        strings + vec + map
+        let inner = &*self.inner;
+        let arena = match &inner.arena {
+            Arena::Owned(v) => v.capacity(),
+            Arena::Shared { .. } => 0,
+        };
+        std::mem::size_of::<Inner>()
+            + inner.kinds.capacity()
+            + inner.first_piece.capacity() * 4
+            + inner.ends.capacity() * 4
+            + inner.index.slots.capacity() * 4
+            + arena
     }
 }
 
 impl std::fmt::Debug for Dictionary {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Dictionary").field("terms", &self.terms.len()).finish()
+        f.debug_struct("Dictionary")
+            .field("terms", &self.len())
+            .field("arena_bytes", &self.arena_bytes().len())
+            .finish()
     }
 }
 
@@ -179,11 +650,16 @@ mod tests {
     #[test]
     fn decode_inverts_encode() {
         let mut d = Dictionary::new();
-        let terms =
-            [iri("a"), Term::literal("lit"), Term::blank("b0"), Term::lang_literal("x", "en")];
+        let terms = [
+            iri("a"),
+            Term::literal("lit"),
+            Term::blank("b0"),
+            Term::lang_literal("x", "en"),
+            Term::typed_literal("42", "http://www.w3.org/2001/XMLSchema#integer"),
+        ];
         let ids: Vec<Id> = terms.iter().map(|t| d.encode(t)).collect();
         for (id, term) in ids.iter().zip(&terms) {
-            assert_eq!(d.decode(*id), Some(term));
+            assert_eq!(d.decode(*id).as_ref(), Some(term));
         }
     }
 
@@ -197,6 +673,18 @@ mod tests {
         assert_ne!(plain, lang);
         assert_ne!(plain, iri);
         assert_ne!(lang, iri);
+    }
+
+    #[test]
+    fn adjacent_pieces_do_not_alias() {
+        // "ab" + lang "c" must differ from "a" + lang "bc" even though the
+        // two lay out the same arena bytes.
+        let mut d = Dictionary::new();
+        let x = d.encode(&Term::lang_literal("ab", "c"));
+        let y = d.encode(&Term::lang_literal("a", "bc"));
+        assert_ne!(x, y);
+        assert_eq!(d.decode(x), Some(Term::lang_literal("ab", "c")));
+        assert_eq!(d.decode(y), Some(Term::lang_literal("a", "bc")));
     }
 
     #[test]
@@ -251,11 +739,11 @@ mod tests {
         for t in &terms {
             d.encode(t);
         }
-        let rebuilt = Dictionary::from_id_ordered_terms(d.terms().to_vec());
+        let rebuilt = Dictionary::from_id_ordered_terms(d.terms());
         assert_eq!(rebuilt.len(), d.len());
         for (id, term) in d.iter() {
-            assert_eq!(rebuilt.decode(id), Some(term));
-            assert_eq!(rebuilt.id_of(term), Some(id));
+            assert_eq!(rebuilt.decode(id), Some(term.clone()));
+            assert_eq!(rebuilt.id_of(&term), Some(id));
         }
         // Duplicate input is rejected by the fallible constructor.
         assert!(Dictionary::try_from_id_ordered_terms(vec![iri("a"), iri("a")]).is_none());
@@ -279,5 +767,149 @@ mod tests {
         let t1 = d.encode_triple(&Triple::new(iri("ID3"), iri("advisor"), iri("ID2")));
         let t2 = d.encode_triple(&Triple::new(iri("ID2"), iri("worksFor"), Term::literal("MIT")));
         assert_eq!(t1.o, t2.s);
+    }
+
+    #[test]
+    fn arena_buffers_roundtrip_through_try_from_arena() {
+        let mut d = Dictionary::new();
+        let terms = [
+            iri("a"),
+            Term::literal("plain"),
+            Term::blank("b0"),
+            Term::lang_literal("héllo", "fr"),
+            Term::typed_literal("7", "http://www.w3.org/2001/XMLSchema#int"),
+        ];
+        for t in &terms {
+            d.encode(t);
+        }
+        let rebuilt = Dictionary::try_from_arena(
+            d.term_kinds().to_vec(),
+            d.piece_ends().to_vec(),
+            d.arena_bytes().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt.len(), d.len());
+        for (id, term) in d.iter() {
+            assert_eq!(rebuilt.decode(id), Some(term.clone()));
+            assert_eq!(rebuilt.id_of(&term), Some(id));
+        }
+        assert_eq!(rebuilt.arena_bytes(), d.arena_bytes());
+    }
+
+    #[test]
+    fn try_from_arena_rejects_corrupt_images() {
+        let mut d = Dictionary::new();
+        d.encode(&iri("a"));
+        d.encode(&Term::lang_literal("x", "en"));
+        let (kinds, ends, arena) =
+            (d.term_kinds().to_vec(), d.piece_ends().to_vec(), d.arena_bytes().to_vec());
+
+        // Baseline sanity.
+        assert!(Dictionary::try_from_arena(kinds.clone(), ends.clone(), arena.clone()).is_ok());
+        // Unknown kind byte.
+        let mut bad = kinds.clone();
+        bad[0] = 9;
+        assert_eq!(
+            Dictionary::try_from_arena(bad, ends.clone(), arena.clone()).unwrap_err(),
+            ArenaError::UnknownKind(9)
+        );
+        // Piece count mismatch.
+        assert!(matches!(
+            Dictionary::try_from_arena(kinds.clone(), ends[..1].to_vec(), arena.clone()),
+            Err(ArenaError::PieceCount { .. })
+        ));
+        // Non-monotone offsets.
+        let mut bad = ends.clone();
+        bad.swap(0, 1);
+        assert!(matches!(
+            Dictionary::try_from_arena(kinds.clone(), bad, arena.clone()),
+            Err(ArenaError::OffsetsNotMonotone) | Err(ArenaError::Duplicate)
+        ));
+        // Offsets not covering the arena.
+        let mut bad = ends.clone();
+        *bad.last_mut().unwrap() -= 1;
+        assert_eq!(
+            Dictionary::try_from_arena(kinds.clone(), bad, arena.clone()).unwrap_err(),
+            ArenaError::OffsetsNotMonotone
+        );
+        // Invalid UTF-8.
+        let mut bad = arena.clone();
+        bad[0] = 0xFF;
+        assert_eq!(
+            Dictionary::try_from_arena(kinds.clone(), ends.clone(), bad).unwrap_err(),
+            ArenaError::NotUtf8
+        );
+        // Duplicate terms.
+        let mut d2 = Dictionary::new();
+        d2.encode(&iri("a"));
+        let (k2, e2, a2) =
+            (d2.term_kinds().to_vec(), d2.piece_ends().to_vec(), d2.arena_bytes().to_vec());
+        let kinds_dup = [k2.clone(), k2].concat();
+        let ends_dup = vec![e2[0], e2[0] * 2];
+        let arena_dup = [a2.clone(), a2].concat();
+        assert_eq!(
+            Dictionary::try_from_arena(kinds_dup, ends_dup, arena_dup).unwrap_err(),
+            ArenaError::Duplicate
+        );
+        // Typed literal smuggling xsd:string.
+        let mut d3 = Dictionary::new();
+        d3.encode(&Term::typed_literal("v", "http://www.w3.org/2001/XMLSchema#int"));
+        let lex_end = d3.piece_ends()[0];
+        let arena3 =
+            [&d3.arena_bytes()[..lex_end as usize], rdf_model::XSD_STRING.as_bytes()].concat();
+        let ends3 = vec![lex_end, arena3.len() as u32];
+        assert_eq!(
+            Dictionary::try_from_arena(d3.term_kinds().to_vec(), ends3, arena3).unwrap_err(),
+            ArenaError::NonCanonicalTyped
+        );
+    }
+
+    #[test]
+    fn shared_arena_reads_without_copying_and_copies_on_write() {
+        let mut d = Dictionary::new();
+        d.encode(&iri("a"));
+        d.encode(&Term::lang_literal("x", "en"));
+        let provider: SharedBytes = Arc::new(d.arena_bytes().to_vec());
+        let len = d.arena_bytes().len();
+        let mut shared = Dictionary::try_from_shared_arena(
+            d.term_kinds().to_vec(),
+            d.piece_ends().to_vec(),
+            provider.clone(),
+            0,
+            len,
+        )
+        .unwrap();
+        assert!(shared.arena_is_shared());
+        assert_eq!(shared.decode(Id(0)), Some(iri("a")));
+        assert_eq!(shared.id_of(&Term::lang_literal("x", "en")), Some(Id(1)));
+        // A mapped arena's bytes are not heap bytes.
+        assert!(shared.heap_bytes() < d.heap_bytes());
+        // Interning a new term converts to owned storage, preserving ids.
+        let new = shared.encode(&iri("new"));
+        assert_eq!(new, Id(2));
+        assert!(!shared.arena_is_shared());
+        assert_eq!(shared.decode(Id(0)), Some(iri("a")));
+        // Out-of-range windows are rejected.
+        assert_eq!(
+            Dictionary::try_from_shared_arena(vec![], vec![], provider, len, 1).unwrap_err(),
+            ArenaError::OutOfBounds
+        );
+    }
+
+    #[test]
+    fn clone_is_shared_until_written() {
+        let mut d = Dictionary::new();
+        d.encode(&iri("a"));
+        let snapshot = d.clone();
+        assert!(Arc::ptr_eq(&d.inner, &snapshot.inner));
+        // Hit-path encodes on a shared clone stay shared.
+        d.encode(&iri("a"));
+        assert!(Arc::ptr_eq(&d.inner, &snapshot.inner));
+        // A miss re-owns the interior; the snapshot is unaffected.
+        d.encode(&iri("b"));
+        assert!(!Arc::ptr_eq(&d.inner, &snapshot.inner));
+        assert_eq!(snapshot.len(), 1);
+        assert_eq!(d.len(), 2);
+        assert_eq!(snapshot.id_of(&iri("a")), Some(Id(0)));
     }
 }

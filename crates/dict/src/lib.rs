@@ -32,6 +32,7 @@
 
 mod dictionary;
 mod id;
+mod shard;
 
-pub use dictionary::Dictionary;
+pub use dictionary::{ArenaError, Dictionary, SharedBytes};
 pub use id::{Id, IdTriple};

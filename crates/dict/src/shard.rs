@@ -1,0 +1,339 @@
+//! Sharded parallel batch encode with deterministic, serial-identical ids.
+//!
+//! The dictionary is hash-partitioned by term bytes: every distinct term
+//! belongs to exactly one shard, so shard workers can intern their terms
+//! with no locks and no cross-thread coordination. Determinism comes from
+//! a remap pass: workers hand out *shard-local* ids and record the global
+//! position of each new term's first occurrence; afterwards the new terms
+//! are ordered by that first occurrence and assigned final ids in that
+//! order — exactly the ids a serial first-seen [`Dictionary::encode`]
+//! loop hands out, independent of thread count and scheduling.
+
+use crate::dictionary::{
+    hash_parts, parts, pieces_of, slots_for, Dictionary, TermIndex, EMPTY_SLOT,
+};
+use crate::id::{Id, IdTriple};
+use rdf_model::{Term, Triple};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+/// Upper bound on encode shards; more buys nothing below ~10^8 terms.
+const MAX_ENCODE_SHARDS: usize = 16;
+
+/// High bit tagging a shard-local id in the occurrence resolution array
+/// (untagged values are final global ids). Limits parallel encode to
+/// dictionaries under 2^31 terms; larger batches fall back to serial.
+const LOCAL_TAG: u32 = 1 << 31;
+
+/// Terms a shard worker interned: the same columnar layout as the main
+/// dictionary, plus the bookkeeping the remap pass needs.
+#[derive(Default)]
+struct ShardNew {
+    kinds: Vec<u8>,
+    first_piece: Vec<u32>,
+    ends: Vec<u32>,
+    arena: Vec<u8>,
+    /// Hash of each local term (so neither growth nor the final merge
+    /// rehashes anything).
+    hashes: Vec<u64>,
+    /// Global occurrence index of each local term's first sighting,
+    /// strictly increasing by construction.
+    first_pos: Vec<u32>,
+}
+
+impl ShardNew {
+    fn term_bytes(&self, lid: u32) -> (&[u8], Option<&[u8]>) {
+        let i = lid as usize;
+        let p = self.first_piece[i] as usize;
+        let start = if p == 0 { 0 } else { self.ends[p - 1] as usize };
+        let a = &self.arena[start..self.ends[p] as usize];
+        let b = if pieces_of(self.kinds[i]) == 2 {
+            Some(&self.arena[self.ends[p] as usize..self.ends[p + 1] as usize])
+        } else {
+            None
+        };
+        (a, b)
+    }
+
+    fn matches(&self, lid: u32, kind: u8, a: &[u8], b: Option<&[u8]>) -> bool {
+        if self.kinds[lid as usize] != kind {
+            return false;
+        }
+        let (ca, cb) = self.term_bytes(lid);
+        ca == a && cb == b
+    }
+
+    fn push(&mut self, kind: u8, a: &[u8], b: Option<&[u8]>, hash: u64, pos: u32) -> u32 {
+        let lid = self.kinds.len() as u32;
+        self.first_piece.push(self.ends.len() as u32);
+        self.arena.extend_from_slice(a);
+        self.ends.push(self.arena.len() as u32);
+        if let Some(b) = b {
+            self.arena.extend_from_slice(b);
+            self.ends.push(self.arena.len() as u32);
+        }
+        self.kinds.push(kind);
+        self.hashes.push(hash);
+        self.first_pos.push(pos);
+        lid
+    }
+}
+
+/// The term at occurrence index `i` (occurrences enumerate every triple's
+/// subject, predicate, object in document order).
+#[inline]
+fn occ_term(triples: &[Triple], i: usize) -> &Term {
+    let t = &triples[i / 3];
+    match i % 3 {
+        0 => &t.subject,
+        1 => &t.predicate,
+        _ => &t.object,
+    }
+}
+
+impl Dictionary {
+    /// Encodes a batch of triples across `threads` hash-partitioned
+    /// shards, returning exactly what a serial
+    /// [`Dictionary::encode_triple`] loop over the same slice would:
+    /// identical ids (new terms numbered in global first-seen order) and
+    /// an identical arena afterwards, independent of thread scheduling.
+    ///
+    /// `threads <= 1`, tiny batches, and dictionaries at the 2^31-term
+    /// id ceiling take the serial path; the result is the same either
+    /// way.
+    pub fn encode_triples_parallel(&mut self, triples: &[Triple], threads: usize) -> Vec<IdTriple> {
+        let shards = threads.clamp(1, MAX_ENCODE_SHARDS);
+        if shards <= 1
+            || triples.len() < 2
+            || self.len() as u64 + 3 * triples.len() as u64 >= u64::from(LOCAL_TAG)
+        {
+            return triples.iter().map(|t| self.encode_triple(t)).collect();
+        }
+        let m = triples.len() * 3;
+        let chunk_triples = triples.len().div_ceil(shards);
+
+        // Phase 1: hash every occurrence once, in parallel over contiguous
+        // input chunks. The same hash drives shard routing, the base-index
+        // probe, and the shard-local table.
+        let mut hashes = vec![0u64; m];
+        let mut shard_of = vec![0u8; m];
+        std::thread::scope(|s| {
+            let mut rest_h = hashes.as_mut_slice();
+            let mut rest_s = shard_of.as_mut_slice();
+            for chunk in triples.chunks(chunk_triples) {
+                let (h, tail_h) = rest_h.split_at_mut(chunk.len() * 3);
+                let (sh, tail_s) = rest_s.split_at_mut(chunk.len() * 3);
+                (rest_h, rest_s) = (tail_h, tail_s);
+                s.spawn(move || {
+                    for (j, t) in chunk.iter().enumerate() {
+                        for (c, term) in
+                            [&t.subject, &t.predicate, &t.object].into_iter().enumerate()
+                        {
+                            let (kind, a, b) = parts(term);
+                            let hv = hash_parts(kind, a.as_bytes(), b.map(str::as_bytes));
+                            h[j * 3 + c] = hv;
+                            // Route on high bits; the probe uses low bits.
+                            sh[j * 3 + c] = (((hv >> 32) as usize) % shards) as u8;
+                        }
+                    }
+                });
+            }
+        });
+
+        // Phase 2: one worker per shard walks all occurrences, handling
+        // only the terms its shard owns. Hits on the (read-only) base
+        // dictionary resolve to final ids immediately; new terms get
+        // shard-local ids in first-touch order. Each occurrence slot is
+        // written by exactly the one worker owning its term.
+        let out: Vec<AtomicU32> = std::iter::repeat_with(|| AtomicU32::new(0)).take(m).collect();
+        let base = &*self.inner;
+        let news: Vec<ShardNew> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..shards)
+                .map(|w| {
+                    let (hashes, shard_of, out) = (&hashes, &shard_of, &out);
+                    s.spawn(move || {
+                        let mut new = ShardNew::default();
+                        let mut table = TermIndex::with_capacity(0);
+                        for i in 0..m {
+                            if shard_of[i] as usize != w {
+                                continue;
+                            }
+                            let (kind, a, b) = parts(occ_term(triples, i));
+                            let (a, b) = (a.as_bytes(), b.map(str::as_bytes));
+                            let h = hashes[i];
+                            if let Some(gid) = base.lookup(h, kind, a, b) {
+                                out[i].store(gid, Ordering::Relaxed);
+                                continue;
+                            }
+                            let lid = match table.probe(h, |lid| new.matches(lid, kind, a, b)) {
+                                Ok(lid) => lid,
+                                Err(slot) => {
+                                    let lid = new.push(kind, a, b, h, i as u32);
+                                    table.slots[slot] = lid;
+                                    grow_local(&mut table, &new.hashes);
+                                    lid
+                                }
+                            };
+                            out[i].store(LOCAL_TAG | lid, Ordering::Relaxed);
+                        }
+                        new
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("encode shard worker panicked")).collect()
+        });
+
+        // Phase 3 (serial, proportional to *new* terms only): order the
+        // new terms by first occurrence — the serial first-seen order —
+        // and append them to the dictionary in that order, building the
+        // shard-local → global remap tables.
+        let mut order: Vec<(u32, u32, u32)> = Vec::new();
+        for (w, sn) in news.iter().enumerate() {
+            order.extend(
+                sn.first_pos.iter().enumerate().map(|(lid, &fp)| (fp, w as u32, lid as u32)),
+            );
+        }
+        order.sort_unstable();
+        let mut remap: Vec<Vec<u32>> =
+            news.iter().map(|sn| vec![0u32; sn.first_pos.len()]).collect();
+        let inner = Arc::make_mut(&mut self.inner);
+        for &(_, w, lid) in &order {
+            let sn = &news[w as usize];
+            let (a, b) = sn.term_bytes(lid);
+            let gid = inner.push_term(sn.kinds[lid as usize], a, b, sn.hashes[lid as usize]);
+            remap[w as usize][lid as usize] = gid.0;
+        }
+
+        // Phase 4: resolve occurrences to final ids, in parallel over the
+        // same contiguous chunks as phase 1.
+        let mut result = vec![IdTriple::from((0, 0, 0)); triples.len()];
+        std::thread::scope(|s| {
+            let (remap, shard_of, out) = (&remap, &shard_of, &out);
+            let mut rest = result.as_mut_slice();
+            let mut offset = 0usize;
+            while !rest.is_empty() {
+                let take = chunk_triples.min(rest.len());
+                let (cur, tail) = rest.split_at_mut(take);
+                rest = tail;
+                let start = offset;
+                offset += take;
+                s.spawn(move || {
+                    let resolve = |i: usize| -> Id {
+                        let v = out[i].load(Ordering::Relaxed);
+                        if v & LOCAL_TAG != 0 {
+                            Id(remap[shard_of[i] as usize][(v & !LOCAL_TAG) as usize])
+                        } else {
+                            Id(v)
+                        }
+                    };
+                    for (j, slot) in cur.iter_mut().enumerate() {
+                        let base = (start + j) * 3;
+                        *slot = IdTriple {
+                            s: resolve(base),
+                            p: resolve(base + 1),
+                            o: resolve(base + 2),
+                        };
+                    }
+                });
+            }
+        });
+        result
+    }
+}
+
+/// Doubles a shard-local table when one more entry would cross the 7/8
+/// load factor, reinserting from the stored hashes.
+fn grow_local(table: &mut TermIndex, hashes: &[u64]) {
+    if table.slots.len() * 7 >= (hashes.len() + 1) * 8 {
+        return;
+    }
+    let mut slots = vec![EMPTY_SLOT; slots_for(hashes.len() + 1)];
+    let mask = slots.len() - 1;
+    for (lid, &h) in hashes.iter().enumerate() {
+        let mut i = (h as usize) & mask;
+        while slots[i] != EMPTY_SLOT {
+            i = (i + 1) & mask;
+        }
+        slots[i] = lid as u32;
+    }
+    table.slots = slots;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iri(s: impl std::fmt::Display) -> Term {
+        Term::iri(format!("http://x/{s}"))
+    }
+
+    /// A mixed-kind batch with heavy duplication across and within
+    /// triples.
+    fn batch(n: usize) -> Vec<Triple> {
+        (0..n)
+            .map(|i| {
+                let s = iri(format!("s{}", i % 23));
+                let p = iri(format!("p{}", i % 5));
+                let o = match i % 4 {
+                    0 => iri(format!("o{}", i % 17)),
+                    1 => Term::literal(format!("v{}", i % 13)),
+                    2 => Term::lang_literal(format!("v{}", i % 13), "en"),
+                    _ => Term::typed_literal(
+                        format!("{}", i % 7),
+                        "http://www.w3.org/2001/XMLSchema#integer",
+                    ),
+                };
+                Triple::new(s, p, o)
+            })
+            .collect()
+    }
+
+    fn assert_identical(serial: &Dictionary, par: &Dictionary) {
+        assert_eq!(serial.len(), par.len());
+        assert_eq!(serial.term_kinds(), par.term_kinds());
+        assert_eq!(serial.piece_ends(), par.piece_ends());
+        assert_eq!(serial.arena_bytes(), par.arena_bytes());
+    }
+
+    #[test]
+    fn parallel_encode_matches_serial_for_all_thread_counts() {
+        let triples = batch(500);
+        let mut serial = Dictionary::new();
+        let serial_ids: Vec<IdTriple> = triples.iter().map(|t| serial.encode_triple(t)).collect();
+        for threads in 1..=8 {
+            let mut par = Dictionary::new();
+            let par_ids = par.encode_triples_parallel(&triples, threads);
+            assert_eq!(par_ids, serial_ids, "ids diverge at {threads} threads");
+            assert_identical(&serial, &par);
+        }
+    }
+
+    #[test]
+    fn parallel_encode_respects_preexisting_terms() {
+        let triples = batch(300);
+        let mut seed = Dictionary::new();
+        // Pre-intern an overlapping but differently-ordered term set.
+        for t in triples.iter().rev().take(40) {
+            seed.encode(&t.object);
+            seed.encode(&t.subject);
+        }
+        let mut serial = seed.clone();
+        let serial_ids: Vec<IdTriple> = triples.iter().map(|t| serial.encode_triple(t)).collect();
+        for threads in [2, 3, 8] {
+            let mut par = seed.clone();
+            let par_ids = par.encode_triples_parallel(&triples, threads);
+            assert_eq!(par_ids, serial_ids, "ids diverge at {threads} threads");
+            assert_identical(&serial, &par);
+        }
+    }
+
+    #[test]
+    fn parallel_encode_of_empty_and_tiny_batches() {
+        let mut d = Dictionary::new();
+        assert!(d.encode_triples_parallel(&[], 4).is_empty());
+        let one = batch(1);
+        let ids = d.encode_triples_parallel(&one, 4);
+        assert_eq!(ids.len(), 1);
+        assert_eq!(d.triple_ids(&one[0]), Some(ids[0]));
+    }
+}

@@ -1,0 +1,178 @@
+//! Oracle tests for the sharded parallel encoder and the arena
+//! constructors.
+//!
+//! The contract under test is byte-identity: for any triple batch and
+//! any worker count, `encode_triples_parallel` must leave the
+//! dictionary in *exactly* the state a serial first-seen
+//! `encode_triple` loop produces — same ids, same id order, same kind
+//! column, same offset table, same arena bytes. Not "equivalent up to
+//! renumbering": identical, so snapshots and plans built either way are
+//! interchangeable.
+//!
+//! The corruption half drives the arena constructor with every
+//! single-byte offset-table flip and every arena truncation, asserting
+//! rejection or a well-formed dictionary — never a panic.
+
+use hex_dict::{Dictionary, Id};
+use proptest::prelude::*;
+use rdf_model::{Term, Triple};
+
+/// Terms across all five kinds, with repeats likely (small id spaces)
+/// and multi-byte UTF-8 in literal content.
+fn term_strategy() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        (0u32..40).prop_map(|i| Term::iri(format!("http://example.org/node/{i}"))),
+        (0u32..20).prop_map(|i| Term::blank(format!("b{i}"))),
+        (0u32..30).prop_map(|i| Term::literal(format!("plain value {i} é∀"))),
+        ((0u32..15), prop_oneof![Just("en"), Just("fr"), Just("de-CH")])
+            .prop_map(|(i, tag)| Term::lang_literal(format!("étiquette {i}"), tag)),
+        (0u32..15).prop_map(|i| Term::typed_literal(
+            format!("{i}"),
+            "http://www.w3.org/2001/XMLSchema#integer"
+        )),
+        // The canonicalized case: typed xsd:string must intern as plain.
+        (0u32..10).prop_map(|i| Term::typed_literal(
+            format!("s{i}"),
+            "http://www.w3.org/2001/XMLSchema#string"
+        )),
+    ]
+}
+
+fn triple_strategy() -> impl Strategy<Value = Vec<Triple>> {
+    proptest::collection::vec(
+        (term_strategy(), term_strategy(), term_strategy())
+            .prop_map(|(s, p, o)| Triple::new(s, p, o)),
+        0..120,
+    )
+}
+
+fn assert_dictionaries_byte_identical(serial: &Dictionary, parallel: &Dictionary, ctx: &str) {
+    assert_eq!(parallel.len(), serial.len(), "{ctx}: term count");
+    assert_eq!(parallel.term_kinds(), serial.term_kinds(), "{ctx}: kind column");
+    assert_eq!(parallel.piece_ends(), serial.piece_ends(), "{ctx}: offset table");
+    assert_eq!(parallel.arena_bytes(), serial.arena_bytes(), "{ctx}: arena bytes");
+    assert_eq!(parallel.terms(), serial.terms(), "{ctx}: id-ordered terms");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// For every worker count 1–8, the parallel encoder's ids and final
+    /// dictionary are byte-identical to the serial first-seen loop.
+    #[test]
+    fn sharded_encode_is_byte_identical_to_serial(triples in triple_strategy()) {
+        let mut serial = Dictionary::new();
+        let want: Vec<_> = triples.iter().map(|t| serial.encode_triple(t)).collect();
+        for threads in 1..=8usize {
+            let mut dict = Dictionary::new();
+            let got = dict.encode_triples_parallel(&triples, threads);
+            prop_assert_eq!(&got, &want, "ids differ at {} threads", threads);
+            assert_dictionaries_byte_identical(&serial, &dict, &format!("{threads} threads"));
+        }
+    }
+
+    /// Same identity when the dictionary already holds terms: base ids
+    /// are reused, new terms extend in serial first-seen order.
+    #[test]
+    fn sharded_encode_is_byte_identical_over_a_seeded_base(
+        seed in proptest::collection::vec(term_strategy(), 0..40),
+        triples in triple_strategy(),
+    ) {
+        let mut serial = Dictionary::new();
+        for t in &seed {
+            serial.encode(t);
+        }
+        let base = serial.clone();
+        let want: Vec<_> = triples.iter().map(|t| serial.encode_triple(t)).collect();
+        for threads in [2usize, 3, 5, 8] {
+            let mut dict = base.clone();
+            let got = dict.encode_triples_parallel(&triples, threads);
+            prop_assert_eq!(&got, &want, "ids differ at {} threads", threads);
+            assert_dictionaries_byte_identical(&serial, &dict, &format!("{threads} threads"));
+        }
+    }
+
+    /// Flipping any single byte of the offset table either yields a
+    /// rejection or a dictionary whose every decode stays well-formed —
+    /// never a panic, never an id resolving outside the arena.
+    #[test]
+    fn offset_table_byte_flips_never_panic(
+        terms in proptest::collection::vec(term_strategy(), 1..30),
+        flip_byte in 0usize..4096,
+        mask in 1u8..=255,
+    ) {
+        let mut d = Dictionary::new();
+        for t in &terms {
+            d.encode(t);
+        }
+        let kinds = d.term_kinds().to_vec();
+        let mut end_bytes: Vec<u8> =
+            d.piece_ends().iter().flat_map(|e| e.to_le_bytes()).collect();
+        let at = flip_byte % end_bytes.len();
+        end_bytes[at] ^= mask;
+        let ends: Vec<u32> = end_bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        if let Ok(rebuilt) = Dictionary::try_from_arena(kinds, ends, d.arena_bytes().to_vec()) {
+            for id in 0..rebuilt.len() as u32 {
+                let term = rebuilt.decode(Id(id));
+                prop_assert!(term.is_some(), "id {} lost by an accepted table", id);
+            }
+        }
+    }
+
+    /// Truncating the arena at every cut point either rejects or yields
+    /// a dictionary that still decodes without panicking.
+    #[test]
+    fn arena_truncation_at_every_cut_never_panics(
+        terms in proptest::collection::vec(term_strategy(), 1..20),
+    ) {
+        let mut d = Dictionary::new();
+        for t in &terms {
+            d.encode(t);
+        }
+        let arena = d.arena_bytes().to_vec();
+        for cut in 0..arena.len() {
+            let result = Dictionary::try_from_arena(
+                d.term_kinds().to_vec(),
+                d.piece_ends().to_vec(),
+                arena[..cut].to_vec(),
+            );
+            // A truncated arena can no longer be covered by the offset
+            // table, so the monotone-cover check must reject it.
+            prop_assert!(result.is_err(), "cut at {} accepted", cut);
+        }
+    }
+}
+
+/// A deterministic pass at a size big enough to exercise index growth,
+/// multi-chunk hashing, and every shard: 4096 triples over ~1200
+/// distinct terms.
+#[test]
+fn sharded_encode_matches_serial_at_index_growth_scale() {
+    let triples: Vec<Triple> = (0..4096)
+        .map(|i| {
+            Triple::new(
+                Term::iri(format!("http://example.org/subject/{}", i % 700)),
+                Term::iri(format!("http://example.org/predicate/{}", i % 29)),
+                match i % 3 {
+                    0 => Term::literal(format!("object value {}", i % 500)),
+                    1 => Term::lang_literal(format!("valeur {}", i % 200), "fr"),
+                    _ => Term::typed_literal(
+                        format!("{}", i % 300),
+                        "http://www.w3.org/2001/XMLSchema#integer",
+                    ),
+                },
+            )
+        })
+        .collect();
+    let mut serial = Dictionary::new();
+    let want: Vec<_> = triples.iter().map(|t| serial.encode_triple(t)).collect();
+    for threads in [2usize, 4, 8] {
+        let mut dict = Dictionary::new();
+        let got = dict.encode_triples_parallel(&triples, threads);
+        assert_eq!(got, want, "{threads} threads");
+        assert_dictionaries_byte_identical(&serial, &dict, &format!("{threads} threads"));
+    }
+}

@@ -111,15 +111,19 @@ impl From<std::io::Error> for Error {
 pub type Result<T> = std::result::Result<T, Error>;
 
 /// Opens a `hexsnap` file as a dictionary plus an mmap-backed frozen
-/// store, without reading the slab columns.
+/// store, without reading the slab columns or copying the term strings.
 ///
-/// The dictionary section is still decoded eagerly (terms need owned
-/// strings); only the `FROZ` slab section stays on disk behind the
-/// mapping. Fails with [`Error::Unmappable`] for snapshots whose slabs
-/// were saved compressed, for pre-v2 files whose slab section is not
-/// 4-byte aligned, and for snapshots carrying no frozen section —
-/// re-save those with [`hexastore::hexsnap::save_frozen`] under the
-/// current format version.
+/// The `DICT` section is parsed in place: the kind column and the piece
+/// offset table are copied (both small, a few bytes per term), but the
+/// string arena — the bulk of the section — stays behind the mapping as
+/// a [`hex_dict::SharedBytes`] window, shared with the slab columns in
+/// one `mmap` of the whole file. Open-time work on the arena is one
+/// validating hash pass (UTF-8 + index build), no per-term allocation.
+/// Fails with [`Error::Unmappable`] for snapshots whose slabs were
+/// saved compressed, for pre-v2 files whose slab section is not 4-byte
+/// aligned, and for snapshots carrying no frozen section — re-save
+/// those with [`hexastore::hexsnap::save_frozen`] under the current
+/// format version.
 ///
 /// ```no_run
 /// let (dict, store) = hex_disk::open("snapshot.hexsnap")?;
@@ -128,20 +132,23 @@ pub type Result<T> = std::result::Result<T, Error>;
 /// ```
 pub fn open(path: impl AsRef<Path>) -> Result<(Dictionary, MmapFrozenHexastore)> {
     let file = File::open(path)?;
-    let mut reader = hexsnap::Reader::new(BufReader::new(&file))?;
-    let dict = reader.dictionary()?;
-    let store = store_from(&file, reader)?;
+    let reader = hexsnap::Reader::new(BufReader::new(&file))?;
+    let froz = frozen_extent(&reader)?;
+    let dict_extent = reader.dict_section_extent();
+    drop(reader);
+    let map = Arc::new(Mmap::map(&file)?);
+    let dict = dict_from(&map, dict_extent)?;
+    let store = store_from(&map, froz)?;
     Ok((dict, store))
 }
 
 /// Opens only the slab section of a `hexsnap` file as an mmap-backed
 /// store, skipping the dictionary entirely.
 ///
-/// The dictionary decode is the one eager, size-proportional cost
-/// [`open`] still pays; callers that already hold the dictionary (a
-/// serving tier re-opening generations of the same dataset, or a
-/// measurement isolating the slab path) can skip it. Same mapping
-/// requirements as [`open`].
+/// Skips even the dictionary's open-time hash pass; callers that
+/// already hold the dictionary (a serving tier re-opening generations
+/// of the same dataset, or a measurement isolating the slab path) can
+/// use it directly. Same mapping requirements as [`open`].
 ///
 /// ```no_run
 /// let store = hex_disk::open_store("snapshot.hexsnap")?;
@@ -150,15 +157,15 @@ pub fn open(path: impl AsRef<Path>) -> Result<(Dictionary, MmapFrozenHexastore)>
 pub fn open_store(path: impl AsRef<Path>) -> Result<MmapFrozenHexastore> {
     let file = File::open(path)?;
     let reader = hexsnap::Reader::new(BufReader::new(&file))?;
-    store_from(&file, reader)
+    let froz = frozen_extent(&reader)?;
+    drop(reader);
+    let map = Arc::new(Mmap::map(&file)?);
+    store_from(&map, froz)
 }
 
-/// The shared tail of [`open`]/[`open_store`]: locate the `FROZ`
-/// extent, check mappability, map, and parse the column descriptors.
-fn store_from(
-    file: &File,
-    reader: hexsnap::Reader<BufReader<&File>>,
-) -> Result<MmapFrozenHexastore> {
+/// Locates the raw `FROZ` extent and checks mappability, naming the
+/// remedy when there is none.
+fn frozen_extent(reader: &hexsnap::Reader<BufReader<&File>>) -> Result<(u64, u64)> {
     let (off, len) = match reader.frozen_section_extent() {
         Some(extent) => extent,
         None if reader.has_frozen() => {
@@ -183,8 +190,11 @@ fn store_from(
             hexsnap::VERSION,
         )));
     }
-    drop(reader);
-    let map = Mmap::map(file)?;
+    Ok((off, len))
+}
+
+/// Parses the slab column descriptors out of an established mapping.
+fn store_from(map: &Arc<Mmap>, (off, len): (u64, u64)) -> Result<MmapFrozenHexastore> {
     let sec_off = usize::try_from(off).map_err(|_| {
         Error::Unmappable("slab section offset exceeds the address space".to_string())
     })?;
@@ -192,8 +202,87 @@ fn store_from(
         Error::Unmappable("slab section length exceeds the address space".to_string())
     })?;
     let (n, arenas, orderings) =
-        store::parse_frozen_section(&map, sec_off, sec_len).map_err(Error::Corrupt)?;
-    Ok(MmapFrozenHexastore::new(Arc::new(map), n, arenas, orderings))
+        store::parse_frozen_section(map, sec_off, sec_len).map_err(Error::Corrupt)?;
+    Ok(MmapFrozenHexastore::new(Arc::clone(map), n, arenas, orderings))
+}
+
+/// Parses the `DICT` section out of the mapping, keeping the string
+/// arena mapped.
+///
+/// Mirrors `hexsnap::Reader::dictionary` check for check — same
+/// allocation bounds, same rejection messages — but hands the arena
+/// extent to [`Dictionary::try_from_shared_arena`] instead of copying
+/// the bytes. The constructor validates the offset table against the
+/// mapped bytes (kind bytes, UTF-8, char boundaries, distinctness); a
+/// file mutated after that is the provider's breach of trust and
+/// degrades to missed lookups and `None` decodes, never a panic.
+fn dict_from(map: &Arc<Mmap>, extent: Option<(u64, u64)>) -> Result<Dictionary> {
+    fn corrupt<T>(msg: impl Into<String>) -> Result<T> {
+        Err(Error::Snapshot(hexsnap::Error::Corrupt(msg.into())))
+    }
+    let Some((off, len)) = extent else {
+        return corrupt("missing DICT section");
+    };
+    let sec_off = usize::try_from(off).map_err(|_| {
+        Error::Unmappable("dictionary section offset exceeds the address space".to_string())
+    })?;
+    let sec_len = usize::try_from(len).map_err(|_| {
+        Error::Unmappable("dictionary section length exceeds the address space".to_string())
+    })?;
+    // The reader validated the section table against the file length,
+    // but re-check before slicing: a short mapping must be a rejection.
+    let Some(sec) = sec_off.checked_add(sec_len).and_then(|end| map.bytes().get(sec_off..end))
+    else {
+        return corrupt("dictionary section extent exceeds the file");
+    };
+    struct Cur<'a> {
+        sec: &'a [u8],
+        pos: usize,
+    }
+    impl<'a> Cur<'a> {
+        fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+            match self.pos.checked_add(n).and_then(|end| self.sec.get(self.pos..end)) {
+                Some(bytes) => {
+                    self.pos += n;
+                    Ok(bytes)
+                }
+                None => corrupt("dictionary section contents overrun the declared extent"),
+            }
+        }
+        fn u32(&mut self) -> Result<usize> {
+            Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes taken")) as usize)
+        }
+    }
+    let mut cur = Cur { sec, pos: 0 };
+    let n = cur.u32()?;
+    // Every declared count must fit in the section: this bounds
+    // allocations before they happen, so a flipped count byte cannot
+    // balloon memory.
+    if n > sec_len {
+        return corrupt("dictionary term count exceeds section size");
+    }
+    let kinds = cur.take(n)?.to_vec();
+    let n_pieces = cur.u32()?;
+    if n_pieces.checked_mul(4).is_none_or(|bytes| bytes > sec_len) {
+        return corrupt("dictionary piece count exceeds section size");
+    }
+    let ends: Vec<u32> = cur
+        .take(n_pieces * 4)?
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+        .collect();
+    let n_bytes_u64 = u64::from_le_bytes(cur.take(8)?.try_into().expect("8 bytes taken"));
+    let Ok(n_bytes) = usize::try_from(n_bytes_u64) else {
+        return corrupt("dictionary arena size exceeds section size");
+    };
+    if n_bytes > sec_len {
+        return corrupt("dictionary arena size exceeds section size");
+    }
+    let arena_off = sec_off + cur.pos;
+    cur.take(n_bytes)?;
+    let bytes: hex_dict::SharedBytes = Arc::clone(map) as hex_dict::SharedBytes;
+    Dictionary::try_from_shared_arena(kinds, ends, bytes, arena_off, n_bytes)
+        .map_err(|e| Error::Snapshot(hexsnap::Error::Corrupt(e.to_string())))
 }
 
 /// Opens a `hexsnap` file directly as a queryable

@@ -146,6 +146,14 @@ impl std::ops::Deref for Mmap {
     }
 }
 
+// Lets an `Arc<Mmap>` serve as a `hex_dict::SharedBytes` provider, so
+// the dictionary's string arena can borrow the mapping directly.
+impl AsRef<[u8]> for Mmap {
+    fn as_ref(&self) -> &[u8] {
+        self.bytes()
+    }
+}
+
 #[cfg(all(unix, target_pointer_width = "64"))]
 impl Drop for Mmap {
     fn drop(&mut self) {

@@ -174,6 +174,73 @@ fn unaligned_v1_files_are_refused_when_misaligned() {
 }
 
 #[test]
+fn open_keeps_the_dictionary_arena_mapped() {
+    let g = graph_from(&[(0, 0, 0), (1, 1, 2), (2, 0, 5), (3, 2, 7)]);
+    let path = temp_path("mapped-dict");
+    hexsnap::save_frozen(&path, g.dict(), &g.store().freeze()).unwrap();
+
+    let (mut dict, mapped) = hex_disk::open(&path).unwrap();
+    assert!(dict.arena_is_shared(), "string arena must stay behind the mapping");
+    assert_eq!(dict.len(), g.dict().len());
+    // Ids, decodes, and reverse lookups all resolve against mapped bytes.
+    for (id, term) in g.dict().iter() {
+        assert_eq!(dict.decode(id).as_ref(), Some(&term));
+        assert_eq!(dict.id_of(&term), Some(id));
+    }
+    for tr in mapped.matching(IdPattern::ALL) {
+        assert!(dict.decode(tr.s).is_some());
+    }
+    // Interning a new term copies the arena out of the map exactly once,
+    // preserving every existing id.
+    let next = dict.encode(&Term::iri("http://x/brand-new"));
+    assert_eq!(next.index(), g.dict().len());
+    assert!(!dict.arena_is_shared());
+    for (id, term) in g.dict().iter() {
+        assert_eq!(dict.id_of(&term), Some(id));
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn corrupt_bytes_anywhere_never_panic_the_opener() {
+    let g = graph_from(&[(0, 0, 0), (1, 1, 2), (2, 0, 5)]);
+    let path = temp_path("flip");
+    hexsnap::save_frozen(&path, g.dict(), &g.store().freeze()).unwrap();
+    let pristine = std::fs::read(&path).unwrap();
+
+    // Flip every byte of the file in turn — header, DICT (counts, kinds,
+    // offset table, string arena), TRPL, FROZ, trailer. The opener must
+    // reject or answer, never panic; when it opens, the dictionary must
+    // still behave (decode may miss, must not crash).
+    for i in 0..pristine.len() {
+        let mut bytes = pristine.clone();
+        bytes[i] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        if let Ok((dict, mapped)) = hex_disk::open(&path) {
+            for id in 0..dict.len() as u32 {
+                let _ = dict.decode(hex_dict::Id(id));
+            }
+            let _ = mapped.count_matching(IdPattern::ALL);
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn truncation_at_every_cut_never_panics_the_opener() {
+    let g = graph_from(&[(0, 0, 0), (1, 1, 2)]);
+    let path = temp_path("trunc");
+    hexsnap::save_frozen(&path, g.dict(), &g.store().freeze()).unwrap();
+    let pristine = std::fs::read(&path).unwrap();
+
+    for cut in 0..pristine.len() {
+        std::fs::write(&path, &pristine[..cut]).unwrap();
+        assert!(hex_disk::open(&path).is_err(), "cut at {cut} must be rejected");
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn empty_graph_maps_and_answers_empty() {
     let g = GraphStore::new();
     let path = temp_path("empty");
