@@ -16,10 +16,10 @@
 
 use hex_bench::{
     ask_early_exit, ask_to_csv, cli, cold_open_figure, cold_open_to_csv, dict_figure, dict_to_csv,
-    live_write_figure, live_write_to_csv, load_figure, load_to_csv, memory_figure, memory_to_csv,
-    path_report, plans_figure, plans_to_csv, qps_figure, qps_to_csv, run_figure, snapshot_figure,
-    snapshot_to_csv, space_report, AskRow, ColdOpenRow, DictRow, Figure, LiveWriteRow, LoadRow,
-    PlanRow, QpsRow, SnapshotRow, FIGURES,
+    joins_figure, joins_to_csv, live_write_figure, live_write_to_csv, load_figure, load_to_csv,
+    memory_figure, memory_to_csv, path_report, plans_figure, plans_to_csv, qps_figure, qps_to_csv,
+    run_figure, snapshot_figure, snapshot_to_csv, space_report, AskRow, ColdOpenRow, DictRow,
+    Figure, JoinsRow, LiveWriteRow, LoadRow, PlanRow, QpsRow, SnapshotRow, FIGURES,
 };
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -132,7 +132,8 @@ fn main() {
             "space" => write_file(&args.out, "space.csv", &space_report(args.triples)),
             "path" => write_file(&args.out, "path.csv", &path_report(args.triples)),
             // measured separately below
-            "load" | "snapshot" | "plans" | "live_write" | "qps" | "cold_open" | "dict" => {}
+            "load" | "snapshot" | "plans" | "live_write" | "qps" | "cold_open" | "dict"
+            | "joins" => {}
             timing => {
                 let fig = run_figure(timing, args.triples, args.points, args.reps);
                 write_file(&args.out, &format!("figure_{timing}.csv"), &fig.to_csv());
@@ -184,6 +185,23 @@ fn main() {
     let dict: DictRow = dict_figure(args.load_triples, args.reps);
     write_file(&args.out, "dict.csv", &dict_to_csv(&dict));
     assert!(dict.identical, "sharded dictionary encode produced ids differing from serial");
+
+    // Merge-join execution at figure scale and at the larger load scale:
+    // the acceptance signal for the planner's merge-intersection path
+    // (galloping sorted-list intersection vs forced nested probes on the
+    // star and chain shapes, parallel composition, and twelve-query
+    // identity). The large-scale star speedup is the CI-gated number.
+    let joins_small: JoinsRow = joins_figure(args.triples, args.reps);
+    let joins: JoinsRow = joins_figure(args.load_triples, args.reps);
+    write_file(&args.out, "joins.csv", &joins_to_csv(&[joins_small.clone(), joins.clone()]));
+    assert!(
+        joins_small.merge_used && joins.merge_used,
+        "planner did not pick merge-intersection for the star/chain join queries"
+    );
+    assert!(
+        joins_small.identical && joins.identical,
+        "merge-join execution answered a query differently from the nested walk"
+    );
 
     // Concurrent serving at figure scale: the acceptance signal for the
     // snapshot-handoff read path (N client threads over published
@@ -333,6 +351,32 @@ fn main() {
     let _ = writeln!(json, "    \"open_speedup\": {},", num(dict.open_speedup()));
     let _ = writeln!(json, "    \"identical\": {}", dict.identical);
     let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"joins\": {{");
+    let _ = writeln!(json, "    \"dataset\": \"synthetic star+chain (+barton+lubm identity)\",");
+    let _ = writeln!(json, "    \"triples\": {},", joins.triples);
+    let _ = writeln!(json, "    \"star_rows\": {},", joins.star_rows);
+    let _ =
+        writeln!(json, "    \"star_nested_seconds\": {},", num(joins.star_nested.as_secs_f64()));
+    let _ = writeln!(json, "    \"star_merge_seconds\": {},", num(joins.star_merge.as_secs_f64()));
+    let _ = writeln!(
+        json,
+        "    \"star_parallel4_seconds\": {},",
+        num(joins.star_parallel4.as_secs_f64())
+    );
+    let _ = writeln!(json, "    \"star_speedup\": {},", num(joins.star_speedup()));
+    let _ = writeln!(json, "    \"chain_rows\": {},", joins.chain_rows);
+    let _ =
+        writeln!(json, "    \"chain_nested_seconds\": {},", num(joins.chain_nested.as_secs_f64()));
+    let _ =
+        writeln!(json, "    \"chain_merge_seconds\": {},", num(joins.chain_merge.as_secs_f64()));
+    let _ = writeln!(json, "    \"chain_speedup\": {},", num(joins.chain_speedup()));
+    let _ = writeln!(json, "    \"small_triples\": {},", joins_small.triples);
+    let _ = writeln!(json, "    \"small_star_speedup\": {},", num(joins_small.star_speedup()));
+    let _ = writeln!(json, "    \"small_chain_speedup\": {},", num(joins_small.chain_speedup()));
+    let _ = writeln!(json, "    \"merge_used\": {},", joins.merge_used && joins_small.merge_used);
+    let _ = writeln!(json, "    \"paper_queries\": {},", joins.paper_queries);
+    let _ = writeln!(json, "    \"identical\": {}", joins.identical && joins_small.identical);
+    let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"qps\": {{");
     let _ = writeln!(json, "    \"dataset\": \"barton+lubm\",");
     let _ = writeln!(json, "    \"triples\": {},", qps.triples);
@@ -461,6 +505,23 @@ fn main() {
         dict.mapped_open.as_secs_f64(),
         dict.open_speedup(),
         dict.identical
+    );
+    println!(
+        "merge joins {} triples: star nested {:.3e}s vs merge {:.3e}s ({:.2}x, parallel(4) \
+         {:.3e}s); chain nested {:.3e}s vs merge {:.3e}s ({:.2}x); small scale {:.2}x / {:.2}x; \
+         {} paper queries identical: {}",
+        joins.triples,
+        joins.star_nested.as_secs_f64(),
+        joins.star_merge.as_secs_f64(),
+        joins.star_speedup(),
+        joins.star_parallel4.as_secs_f64(),
+        joins.chain_nested.as_secs_f64(),
+        joins.chain_merge.as_secs_f64(),
+        joins.chain_speedup(),
+        joins_small.star_speedup(),
+        joins_small.chain_speedup(),
+        joins.paper_queries,
+        joins.identical && joins_small.identical
     );
     println!(
         "cold open {} triples: compressed {} B vs plain {} B ({:.2}x); slab open eager {:.3}s, \

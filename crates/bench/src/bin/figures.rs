@@ -1,7 +1,7 @@
 //! Regenerates the paper's figures as CSV tables on stdout.
 //!
 //! ```text
-//! figures [--figure <3..15|space|path|load|snapshot|plans|live_write|qps|cold_open|dict|all>]
+//! figures [--figure <3..15|space|path|load|snapshot|plans|live_write|qps|cold_open|dict|joins|all>]
 //!         [--triples N] [--points K] [--reps R] [--threads T]
 //! ```
 //!
@@ -18,9 +18,9 @@
 //! permits.
 
 use hex_bench::{
-    cli, cold_open_figure, cold_open_to_csv, dict_figure, dict_to_csv, live_write_figure,
-    live_write_to_csv, load_figure, load_to_csv, memory_figure, memory_to_csv, path_report,
-    plans_figure, plans_to_csv, qps_figure, qps_to_csv, run_figure, snapshot_figure,
+    cli, cold_open_figure, cold_open_to_csv, dict_figure, dict_to_csv, joins_figure, joins_to_csv,
+    live_write_figure, live_write_to_csv, load_figure, load_to_csv, memory_figure, memory_to_csv,
+    path_report, plans_figure, plans_to_csv, qps_figure, qps_to_csv, run_figure, snapshot_figure,
     snapshot_to_csv, space_report, FIGURES,
 };
 
@@ -115,6 +115,10 @@ fn emit(figure: &str, triples: usize, points: usize, reps: usize, threads: usize
         }
         "dict" => {
             print!("{}", dict_to_csv(&dict_figure(triples, reps)));
+            println!();
+        }
+        "joins" => {
+            print!("{}", joins_to_csv(&[joins_figure(triples, reps)]));
             println!();
         }
         timing => {

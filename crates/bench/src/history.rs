@@ -17,7 +17,7 @@ use std::path::{Path, PathBuf};
 /// The headline metrics a trajectory row carries, as (column, JSON
 /// path) pairs into `BENCH_ci.json`. Entries predating a metric render
 /// as empty cells, so the schema can grow without rewriting history.
-pub const TRAJECTORY_COLUMNS: [(&str, &[&str]); 12] = [
+pub const TRAJECTORY_COLUMNS: [(&str, &[&str]); 14] = [
     ("figures_triples", &["figures_triples"]),
     ("load_speedup", &["load", "speedup"]),
     ("load_parallel_triples_per_second", &["load", "parallel_triples_per_second"]),
@@ -30,6 +30,8 @@ pub const TRAJECTORY_COLUMNS: [(&str, &[&str]); 12] = [
     ("dict_encode_speedup_4", &["dict", "speedup_4"]),
     ("dict_heap_ratio", &["dict", "heap_ratio"]),
     ("dict_mapped_open_seconds", &["dict", "mapped_open_seconds"]),
+    ("joins_star_speedup", &["joins", "star_speedup"]),
+    ("joins_chain_speedup", &["joins", "chain_speedup"]),
 ];
 
 /// Walks a `.`-free key path through nested JSON objects.

@@ -163,7 +163,7 @@ impl Figure {
 }
 
 /// Which figures exist and what they measure.
-pub const FIGURES: [(&str, &str); 22] = [
+pub const FIGURES: [(&str, &str); 23] = [
     ("3", "Barton Query 1"),
     ("4", "Barton Query 2 (full + 28-property)"),
     ("5", "Barton Query 3 (full + 28-property)"),
@@ -186,6 +186,10 @@ pub const FIGURES: [(&str, &str); 22] = [
     ("qps", "Concurrent serving: client threads over published snapshots vs one client (qps)"),
     ("cold_open", "Cold open: hex-disk mmap vs eager slab read vs compressed decode"),
     ("dict", "Dictionary at scale: serial vs sharded encode, arena vs legacy heap, mapped DICT"),
+    (
+        "joins",
+        "Merge joins: sorted-list intersection vs nested probes (star/chain + paper queries)",
+    ),
 ];
 
 type BartonQueryFns = Vec<(&'static str, Box<dyn Fn(&Suite, &BartonIds)>)>;
@@ -1849,6 +1853,268 @@ pub fn plans_to_csv(rows: &[PlanRow]) -> String {
     out
 }
 
+/// One merge-join measurement: the planner's merge-intersection
+/// execution against the same plan with merge joins forced off (nested
+/// probes), on two synthetic join shapes — a three-way star on a shared
+/// subject and a hub → members chain — plus a TSV-identity sweep over
+/// the twelve paper queries (default vs forced-nested vs
+/// [`hex_query::Plan::run_parallel`] at 2 and 4 threads).
+#[derive(Clone, Debug)]
+pub struct JoinsRow {
+    /// Synthetic dataset size in triples (star + chain components).
+    pub triples: usize,
+    /// Solution rows of the star query.
+    pub star_rows: usize,
+    /// Star query with merge joins disabled: nested probes re-check
+    /// every candidate of the first list against the other two.
+    pub star_nested: Duration,
+    /// Star query through the default plan: one galloping intersection
+    /// of the three sorted terminal lists seeds the tail walk.
+    pub star_merge: Duration,
+    /// Star query through `run_parallel(4)`: the merged candidate
+    /// vector sharded across four workers.
+    pub star_parallel4: Duration,
+    /// Solution rows of the chain query.
+    pub chain_rows: usize,
+    /// Chain query with merge joins disabled.
+    pub chain_nested: Duration,
+    /// Chain query through the default plan: subjects-of(mark) ∩
+    /// objects-of(hub, link), one intersection across two roles.
+    pub chain_merge: Duration,
+    /// True when both default plans compiled a merge-intersect group
+    /// (their `explain()` tags a step `join=merge`).
+    pub merge_used: bool,
+    /// Paper queries swept for identity (twelve when both vocabularies
+    /// resolve at this scale).
+    pub paper_queries: usize,
+    /// True when the star, the chain and every paper query answered
+    /// byte-identically (TSV rendering included) through the default
+    /// plan, the forced-nested plan, and `run_parallel` at 2 and 4
+    /// threads.
+    pub identical: bool,
+}
+
+impl JoinsRow {
+    /// Nested-probe time over merge-intersection time on the star
+    /// query (>1: merge wins).
+    pub fn star_speedup(&self) -> f64 {
+        self.star_nested.as_secs_f64() / self.star_merge.as_secs_f64().max(f64::MIN_POSITIVE)
+    }
+
+    /// Nested-probe time over merge-intersection time on the chain
+    /// query (>1: merge wins).
+    pub fn chain_speedup(&self) -> f64 {
+        self.chain_nested.as_secs_f64() / self.chain_merge.as_secs_f64().max(f64::MIN_POSITIVE)
+    }
+}
+
+/// The star half of the joins query pair: four single-variable
+/// patterns on a shared subject (selectivities 1/2, 1/3, 1/5 and 1)
+/// feeding a two-variable tail, so the measurement covers both the
+/// intersection and the seeded downstream walk.
+pub const JOINS_STAR_QUERY: &str = "SELECT ?s ?v WHERE { \
+     ?s <http://joins/even> <http://joins/Yes> . \
+     ?s <http://joins/third> <http://joins/Yes> . \
+     ?s <http://joins/fifth> <http://joins/Yes> . \
+     ?s <http://joins/type> <http://joins/Node> . \
+     ?s <http://joins/val> ?v . }";
+
+/// The chain half: the shared variable sits in the *object* role of one
+/// pattern and the *subject* role of the other, so the intersection
+/// crosses index roles (objects-of(hub, link) ∩ subjects-of(mark, M)).
+pub const JOINS_CHAIN_QUERY: &str = "SELECT ?x WHERE { \
+     <http://joins/hub> <http://joins/link> ?x . \
+     ?x <http://joins/mark> <http://joins/M> . }";
+
+/// Builds the synthetic star + chain dataset of roughly `n_triples`
+/// statements the joins figure queries: half the budget goes to star
+/// subjects (~91/30 triples each), half to chain members (~3/2 each).
+fn joins_dataset(n_triples: usize) -> Vec<Triple> {
+    use rdf_model::Term;
+    let iri = |s: String| Term::iri(s);
+    let star_subjects = (n_triples / 2) * 30 / 91;
+    let chain_members = (n_triples - n_triples / 2) * 2 / 3;
+    let mut data = Vec::new();
+    for s in 0..star_subjects {
+        let subj = iri(format!("http://joins/s{s}"));
+        data.push(Triple::new(
+            subj.clone(),
+            iri("http://joins/type".into()),
+            iri("http://joins/Node".into()),
+        ));
+        if s % 2 == 0 {
+            data.push(Triple::new(
+                subj.clone(),
+                iri("http://joins/even".into()),
+                iri("http://joins/Yes".into()),
+            ));
+        }
+        if s % 3 == 0 {
+            data.push(Triple::new(
+                subj.clone(),
+                iri("http://joins/third".into()),
+                iri("http://joins/Yes".into()),
+            ));
+        }
+        if s % 5 == 0 {
+            data.push(Triple::new(
+                subj.clone(),
+                iri("http://joins/fifth".into()),
+                iri("http://joins/Yes".into()),
+            ));
+        }
+        data.push(Triple::new(
+            subj,
+            iri("http://joins/val".into()),
+            iri(format!("http://joins/v{}", s % 16)),
+        ));
+    }
+    for m in 0..chain_members {
+        let member = iri(format!("http://joins/x{m}"));
+        data.push(Triple::new(
+            iri("http://joins/hub".into()),
+            iri("http://joins/link".into()),
+            member.clone(),
+        ));
+        if m % 2 == 0 {
+            data.push(Triple::new(
+                member,
+                iri("http://joins/mark".into()),
+                iri("http://joins/M".into()),
+            ));
+        }
+    }
+    data
+}
+
+/// Measures the joins figure at `scale` triples: the star and chain
+/// queries through the default (merge-intersect) plan, the same plan
+/// with [`hex_query::Plan::force_nested_joins`], and `run_parallel(4)`
+/// over the frozen store, verifying along the way that every execution
+/// strategy answers byte-identically — on the two synthetic queries and
+/// on the twelve paper queries over barton + lubm datasets at the same
+/// scale.
+pub fn joins_figure(scale: usize, reps: usize) -> JoinsRow {
+    use hex_bench_queries::{barton_queries, lubm_queries, PaperQuery};
+    use hex_query::DatasetQuery;
+
+    let data = joins_dataset(scale);
+    let mut dict = hex_dict::Dictionary::new();
+    let ids: Vec<hex_dict::IdTriple> = data.iter().map(|t| dict.encode_triple(t)).collect();
+    let frozen = hexastore::bulk::build_frozen(ids);
+    let triples = frozen.len();
+    let ds = hexastore::Dataset::from_parts(dict, frozen);
+
+    // Most of these plans run in microseconds at figure scale; as in the
+    // planner ablation, take the median over at least three windows.
+    let reps = reps.max(3);
+    let mut merge_used = true;
+    let mut identical = true;
+    let mut measure = |text: &str| {
+        let plan = ds.prepare(text).expect("joins query compiles");
+        let mut nested = ds.prepare(text).expect("joins query compiles");
+        nested.force_nested_joins();
+        merge_used &= plan.explain().contains("join=merge");
+        let want = plan.run();
+        identical &= want.to_tsv() == nested.run().to_tsv();
+        for threads in [2usize, 4] {
+            identical &= plan.run_parallel(ds.store(), threads) == want;
+        }
+        (
+            want.rows.len(),
+            time_query(reps, || nested.solutions().count()),
+            time_query(reps, || plan.solutions().count()),
+            time_query(reps, || plan.run_parallel(ds.store(), 4).rows.len()),
+        )
+    };
+    let (star_rows, star_nested, star_merge, star_parallel4) = measure(JOINS_STAR_QUERY);
+    let (chain_rows, chain_nested, chain_merge, _) = measure(JOINS_CHAIN_QUERY);
+
+    // Identity sweep over the twelve paper queries: correctness evidence
+    // that the merge path is a pure execution swap on real query shapes,
+    // not just on the synthetic pair above.
+    let mut paper_queries = 0usize;
+    for (dataset, queries) in [
+        ("barton", barton_queries as fn(&hex_dict::Dictionary) -> Option<Vec<PaperQuery>>),
+        ("lubm", lubm_queries),
+    ] {
+        let paper_data = match dataset {
+            "barton" => barton_dataset(scale),
+            _ => lubm_dataset(scale),
+        };
+        let mut dict = hex_dict::Dictionary::new();
+        let ids: Vec<hex_dict::IdTriple> =
+            paper_data.iter().map(|t| dict.encode_triple(t)).collect();
+        let frozen = hexastore::bulk::build_frozen(ids);
+        let Some(queries) = queries(&dict) else {
+            // A missing vocabulary would silently shrink the identity
+            // evidence to fewer than twelve queries, so say so loudly.
+            eprintln!(
+                "# WARNING: {dataset} dataset at {scale} triples does not bind all paper-query \
+                 constants; its queries are MISSING from the joins identity sweep"
+            );
+            continue;
+        };
+        let pds = hexastore::Dataset::from_parts(dict, frozen);
+        for query in queries {
+            let plan = pds.prepare(&query.text).expect("paper query compiles");
+            let mut nested = pds.prepare(&query.text).expect("paper query compiles");
+            nested.force_nested_joins();
+            let want = plan.run();
+            identical &= want.to_tsv() == nested.run().to_tsv();
+            for threads in [2usize, 4] {
+                identical &= plan.run_parallel(pds.store(), threads) == want;
+            }
+            paper_queries += 1;
+        }
+    }
+
+    JoinsRow {
+        triples,
+        star_rows,
+        star_nested,
+        star_merge,
+        star_parallel4,
+        chain_rows,
+        chain_nested,
+        chain_merge,
+        merge_used,
+        paper_queries,
+        identical,
+    }
+}
+
+/// Renders joins measurements as CSV, one row per scale.
+pub fn joins_to_csv(rows: &[JoinsRow]) -> String {
+    let mut out = String::from(
+        "# Figure joins — merge-intersection vs forced nested probes on the star and chain \
+         joins, plus twelve-paper-query identity (default vs nested vs parallel)\n",
+    );
+    out.push_str(
+        "triples,star_rows,star_nested_s,star_merge_s,star_parallel4_s,star_speedup,chain_rows,\
+         chain_nested_s,chain_merge_s,chain_speedup,merge_used,paper_queries,identical\n",
+    );
+    for row in rows {
+        out.push_str(&format!(
+            "{},{},{:.6},{:.6},{:.6},{:.3},{},{:.6},{:.6},{:.3},{},{},{}\n",
+            row.triples,
+            row.star_rows,
+            row.star_nested.as_secs_f64(),
+            row.star_merge.as_secs_f64(),
+            row.star_parallel4.as_secs_f64(),
+            row.star_speedup(),
+            row.chain_rows,
+            row.chain_nested.as_secs_f64(),
+            row.chain_merge.as_secs_f64(),
+            row.chain_speedup(),
+            row.merge_used,
+            row.paper_queries,
+            row.identical,
+        ));
+    }
+    out
+}
+
 /// The §4.1 space-bound experiment: blowup of Hexastore key entries vs a
 /// triples table, on both datasets plus the adversarial all-distinct case.
 pub fn space_report(scale: usize) -> String {
@@ -2059,6 +2325,22 @@ mod tests {
             "stats must improve LQ4's order (got {:.2}x)",
             lq4.stats_speedup()
         );
+    }
+
+    #[test]
+    fn joins_figure_uses_merge_and_answers_identically() {
+        let row = joins_figure(8_000, 1);
+        assert!(row.triples > 6_000, "dataset builder fell far short: {}", row.triples);
+        assert!(row.merge_used, "both synthetic queries must compile a merge group");
+        assert!(row.identical, "merge/nested/parallel executions must agree byte-for-byte");
+        assert_eq!(row.paper_queries, 12, "seven Barton + five LUBM queries");
+        // Star subjects divisible by 30 survive; the chain keeps every
+        // even member: both intersections must actually select rows.
+        assert!(row.star_rows > 0 && row.chain_rows > 0);
+        assert!(row.star_merge > Duration::ZERO && row.chain_merge > Duration::ZERO);
+        let csv = joins_to_csv(&[row.clone(), row]);
+        assert!(csv.contains("star_nested_s,star_merge_s,star_parallel4_s,star_speedup"));
+        assert_eq!(csv.lines().count(), 2 + 2, "comment + header + two scale rows");
     }
 
     #[test]

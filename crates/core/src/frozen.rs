@@ -29,7 +29,7 @@ use crate::pattern::{IdPattern, Shape};
 use crate::slab::{FlatArena, FlatVecMap, Span};
 use crate::sorted;
 use crate::store::{Hexastore, SpaceStats, TwoLevel};
-use crate::traits::{TripleIter, TripleStore};
+use crate::traits::{SortedListAccess, TripleIter, TripleStore};
 use crate::vecmap::VecMap;
 use hex_dict::{Id, IdTriple};
 use std::sync::Arc;
@@ -739,6 +739,21 @@ impl TripleStore for FrozenHexastore {
         self.orderings().iter().map(|ix| ix.heap_bytes()).sum::<usize>()
             + self.arenas().iter().map(|a| a.heap_bytes()).sum::<usize>()
     }
+
+    fn sorted_lists(&self) -> Option<&dyn SortedListAccess> {
+        Some(self)
+    }
+}
+
+impl SortedListAccess for FrozenHexastore {
+    fn sorted_list(&self, pat: IdPattern) -> Option<&[Id]> {
+        match pat.shape() {
+            Shape::Sp => Some(self.objects_for(pat.s.unwrap(), pat.p.unwrap())),
+            Shape::So => Some(self.properties_for(pat.s.unwrap(), pat.o.unwrap())),
+            Shape::Po => Some(self.subjects_for(pat.p.unwrap(), pat.o.unwrap())),
+            _ => None,
+        }
+    }
 }
 
 /// The frozen form of a [`PartialHexastore`]: only the kept orderings,
@@ -930,6 +945,27 @@ impl TripleStore for FrozenPartialHexastore {
 
     fn heap_bytes(&self) -> usize {
         self.orderings.iter().map(|(_, ix, arena)| ix.heap_bytes() + arena.heap_bytes()).sum()
+    }
+
+    fn sorted_lists(&self) -> Option<&dyn SortedListAccess> {
+        Some(self)
+    }
+}
+
+impl SortedListAccess for FrozenPartialHexastore {
+    fn sorted_list(&self, pat: IdPattern) -> Option<&[Id]> {
+        let shape = pat.shape();
+        if !matches!(shape, Shape::Sp | Shape::So | Shape::Po) {
+            return None;
+        }
+        // Any kept serving ordering works: a two-bound probe's terminal
+        // list holds the unbound position's values, sorted, whichever of
+        // the shape's serving orderings materialized it.
+        let (kind, ix, arena) = self.server_for(shape)?;
+        let probe =
+            IdTriple::new(pat.s.unwrap_or(Id(0)), pat.p.unwrap_or(Id(0)), pat.o.unwrap_or(Id(0)));
+        let (k1, k2, _) = project(*kind, probe);
+        Some(ix.list_idx(k1, k2).map_or(&[][..], |l| arena.get(l)))
     }
 }
 

@@ -94,7 +94,7 @@ pub use pattern::{IdPattern, Shape};
 pub use slab::{FlatArena, FlatVecMap, Span};
 pub use stats::{DatasetStats, StatsSource};
 pub use store::{Hexastore, SpaceStats};
-pub use traits::{extend_store, MutableStore, TripleIter, TripleStore};
+pub use traits::{extend_store, MutableStore, SortedListAccess, TripleIter, TripleStore};
 pub use vecmap::VecMap;
 pub use wal::{Wal, WalOp};
 

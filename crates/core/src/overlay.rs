@@ -246,6 +246,15 @@ impl TripleStore for OverlayHexastore {
     fn heap_bytes(&self) -> usize {
         self.base.heap_bytes() + self.delta.heap_bytes() + self.tombstones.heap_bytes()
     }
+
+    /// Deliberately `None` (restating the trait default): a logical
+    /// terminal list here is `(base \ tombstones) ∪ delta`, which has no
+    /// contiguous representation to borrow. Queries keep the merged
+    /// cursor path; merge-join plans detect the missing capability and
+    /// fall back to nested probes.
+    fn sorted_lists(&self) -> Option<&dyn crate::traits::SortedListAccess> {
+        None
+    }
 }
 
 impl MutableStore for OverlayHexastore {}

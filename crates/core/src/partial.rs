@@ -436,6 +436,27 @@ impl TripleStore for PartialHexastore {
     fn heap_bytes(&self) -> usize {
         self.indices.iter().map(|(_, ix)| ix.heap_bytes()).sum()
     }
+
+    fn sorted_lists(&self) -> Option<&dyn crate::traits::SortedListAccess> {
+        Some(self)
+    }
+}
+
+impl crate::traits::SortedListAccess for PartialHexastore {
+    fn sorted_list(&self, pat: IdPattern) -> Option<&[Id]> {
+        let shape = pat.shape();
+        if !matches!(shape, Shape::Sp | Shape::So | Shape::Po) {
+            return None;
+        }
+        // Any kept serving ordering works: a two-bound probe's terminal
+        // list holds the unbound position's values, sorted, whichever of
+        // the shape's serving orderings materialized it.
+        let (kind, ix) = self.server_for(shape)?;
+        let probe =
+            IdTriple::new(pat.s.unwrap_or(Id(0)), pat.p.unwrap_or(Id(0)), pat.o.unwrap_or(Id(0)));
+        let (k1, k2, _) = project(kind, probe);
+        Some(ix.items(k1, k2))
+    }
 }
 
 #[cfg(test)]

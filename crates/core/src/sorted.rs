@@ -45,27 +45,74 @@ pub fn remove<T: Ord>(xs: &mut Vec<T>, x: &T) -> bool {
     }
 }
 
-/// Linear-time merge-join (set intersection) of two sorted sets.
+/// When the larger list is at least this many times the smaller, the
+/// per-element galloping search (O(small · log(large/small))) beats the
+/// linear merge (O(small + large)). Below it the merge's sequential scan
+/// wins on branch predictability.
+const GALLOP_RATIO: usize = 8;
+
+/// Index of the first element of `xs[from..]` that is `>= target`, found by
+/// exponential (galloping) search: probe at offsets 1, 2, 4, … from `from`,
+/// then binary-search the bracketed run. O(log d) where d is the distance
+/// advanced, so a sequence of searches with increasing targets costs
+/// O(k · log(n/k)) total instead of O(k · log n).
+#[inline]
+fn gallop<T: Ord>(xs: &[T], from: usize, target: &T) -> usize {
+    let mut lo = from;
+    let mut probe = from;
+    let mut step = 1usize;
+    while probe < xs.len() && xs[probe] < *target {
+        lo = probe + 1;
+        probe += step;
+        step <<= 1;
+    }
+    let hi = probe.min(xs.len());
+    lo + xs[lo..hi].partition_point(|x| x < target)
+}
+
+/// Merge-join (set intersection) of two sorted sets.
 ///
 /// This is the paper's first-step pairwise join: e.g. intersecting the
-/// subject lists of two (property, object) pairs.
+/// subject lists of two (property, object) pairs. Comparable sizes take
+/// the linear merge the paper describes; heavily asymmetric sizes gallop
+/// through the larger list, costing O(small · log(large/small)).
 pub fn intersect<T: Ord + Copy>(a: &[T], b: &[T]) -> Vec<T> {
-    // Galloping would help for very skewed sizes; the linear merge is what
-    // the paper describes and is optimal for comparable sizes.
     let mut out = Vec::with_capacity(a.len().min(b.len()));
+    intersect_into(a, b, &mut out);
+    out
+}
+
+/// [`intersect`] writing into a caller-provided buffer (cleared first), so
+/// repeated intersections can reuse one allocation.
+pub fn intersect_into<T: Ord + Copy>(a: &[T], b: &[T], out: &mut Vec<T>) {
+    out.clear();
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if small.len().saturating_mul(GALLOP_RATIO) < large.len() {
+        let mut j = 0;
+        for x in small {
+            j = gallop(large, j, x);
+            if j >= large.len() {
+                break;
+            }
+            if large[j] == *x {
+                out.push(*x);
+                j += 1;
+            }
+        }
+        return;
+    }
     let (mut i, mut j) = (0, 0);
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
+    while i < small.len() && j < large.len() {
+        match small[i].cmp(&large[j]) {
             std::cmp::Ordering::Less => i += 1,
             std::cmp::Ordering::Greater => j += 1,
             std::cmp::Ordering::Equal => {
-                out.push(a[i]);
+                out.push(small[i]);
                 i += 1;
                 j += 1;
             }
         }
     }
-    out
 }
 
 /// Linear-time set union of two sorted sets.
@@ -94,13 +141,19 @@ pub fn union<T: Ord + Copy>(a: &[T], b: &[T]) -> Vec<T> {
     out
 }
 
-/// Linear-time set difference `a \ b` of two sorted sets.
+/// Set difference `a \ b` of two sorted sets. Linear for comparable
+/// sizes; gallops through `b` when it dwarfs `a`.
 pub fn difference<T: Ord + Copy>(a: &[T], b: &[T]) -> Vec<T> {
     let mut out = Vec::with_capacity(a.len());
+    let gallop_b = a.len().saturating_mul(GALLOP_RATIO) < b.len();
     let mut j = 0;
     for &x in a {
-        while j < b.len() && b[j] < x {
-            j += 1;
+        if gallop_b {
+            j = gallop(b, j, &x);
+        } else {
+            while j < b.len() && b[j] < x {
+                j += 1;
+            }
         }
         if j >= b.len() || b[j] != x {
             out.push(x);
@@ -136,18 +189,23 @@ pub fn union_many<T: Ord + Copy>(mut lists: Vec<&[T]>) -> Vec<T> {
     owned.pop().unwrap_or_default()
 }
 
-/// Intersection of many sorted sets, smallest-first for early exit.
+/// Intersection of many sorted sets, smallest-first for early exit. The
+/// accumulator never grows, so each later pair is maximally asymmetric and
+/// the galloping path in [`intersect_into`] kicks in; two buffers are
+/// ping-ponged across the whole reduction instead of allocating per pair.
 pub fn intersect_many<T: Ord + Copy>(mut lists: Vec<&[T]>) -> Vec<T> {
     if lists.is_empty() {
         return Vec::new();
     }
     lists.sort_by_key(|l| l.len());
     let mut acc = lists[0].to_vec();
+    let mut buf = Vec::with_capacity(acc.len());
     for l in &lists[1..] {
         if acc.is_empty() {
             break;
         }
-        acc = intersect(&acc, l);
+        intersect_into(&acc, l, &mut buf);
+        std::mem::swap(&mut acc, &mut buf);
     }
     acc
 }
@@ -242,5 +300,112 @@ mod tests {
         let mut v = vec![5u32, 1, 5, 2, 2];
         sort_dedup(&mut v);
         assert_eq!(v, vec![1, 2, 5]);
+    }
+
+    #[test]
+    fn gallop_finds_lower_bound() {
+        let xs = [10u32, 20, 30, 40, 50];
+        assert_eq!(gallop(&xs, 0, &5), 0);
+        assert_eq!(gallop(&xs, 0, &10), 0);
+        assert_eq!(gallop(&xs, 0, &25), 2);
+        assert_eq!(gallop(&xs, 2, &30), 2);
+        assert_eq!(gallop(&xs, 0, &50), 4);
+        assert_eq!(gallop(&xs, 0, &51), 5);
+        assert_eq!(gallop(&xs, 5, &1), 5);
+        assert_eq!(gallop::<u32>(&[], 0, &1), 0);
+    }
+
+    #[test]
+    fn one_element_against_100k() {
+        // The 1-vs-100 000 extreme the galloping path exists for.
+        let large: Vec<u32> = (0..100_000).map(|i| i * 2).collect();
+        assert_eq!(intersect(&[131_071u32], &large), Vec::<u32>::new());
+        assert_eq!(intersect(&[131_072u32], &large), vec![131_072]);
+        assert_eq!(intersect(&large, &[0u32]), vec![0]);
+        assert_eq!(difference(&[7u32], &large), vec![7]);
+        assert_eq!(difference(&[8u32], &large), Vec::<u32>::new());
+    }
+
+    /// Reference implementations via naive set logic.
+    fn naive_intersect(a: &[u32], b: &[u32]) -> Vec<u32> {
+        a.iter().filter(|x| b.contains(x)).copied().collect()
+    }
+
+    fn naive_difference(a: &[u32], b: &[u32]) -> Vec<u32> {
+        a.iter().filter(|x| !b.contains(x)).copied().collect()
+    }
+
+    mod asymmetric_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// A small sorted set and a large one (up to 100k elements,
+        /// generated as a strided range so cases stay fast) whose size
+        /// ratio drives the galloping branch.
+        fn skewed_pair() -> impl Strategy<Value = (Vec<u32>, Vec<u32>)> {
+            let small = proptest::collection::btree_set(0u32..400_000, 0..12)
+                .prop_map(|s| s.into_iter().collect::<Vec<u32>>());
+            let large = (1u32..8, 1usize..100_001).prop_map(|(stride, len)| {
+                (0..len as u32).map(|i| i * stride).collect::<Vec<u32>>()
+            });
+            (small, large)
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            #[test]
+            fn galloping_intersect_matches_naive(pair in skewed_pair()) {
+                let (small, large) = pair;
+                prop_assert_eq!(intersect(&small, &large), naive_intersect(&small, &large));
+                prop_assert_eq!(intersect(&large, &small), naive_intersect(&small, &large));
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            #[test]
+            fn galloping_difference_matches_naive(pair in skewed_pair()) {
+                let (small, large) = pair;
+                prop_assert_eq!(difference(&small, &large), naive_difference(&small, &large));
+                let flipped = difference(&large, &small);
+                prop_assert_eq!(flipped.len(), large.len() - naive_intersect(&small, &large).len());
+                prop_assert!(is_sorted_set(&flipped));
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            #[test]
+            fn intersect_many_reuses_buffers_correctly(
+                pair in skewed_pair(),
+                mid in proptest::collection::btree_set(0u32..400_000, 0..64),
+            ) {
+                let (small, large) = pair;
+                let mid: Vec<u32> = mid.into_iter().collect();
+                let expected = naive_intersect(&naive_intersect(&small, &mid), &large);
+                prop_assert_eq!(
+                    intersect_many(vec![&large[..], &small[..], &mid[..]]),
+                    expected
+                );
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            #[test]
+            fn comparable_sizes_agree_with_naive(
+                a in proptest::collection::btree_set(0u32..64, 0..24),
+                b in proptest::collection::btree_set(0u32..64, 0..24),
+            ) {
+                let a: Vec<u32> = a.into_iter().collect();
+                let b: Vec<u32> = b.into_iter().collect();
+                prop_assert_eq!(intersect(&a, &b), naive_intersect(&a, &b));
+                prop_assert_eq!(difference(&a, &b), naive_difference(&a, &b));
+            }
+        }
     }
 }

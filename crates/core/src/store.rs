@@ -10,7 +10,7 @@
 use crate::arena::{ListArena, ListId};
 use crate::pattern::{IdPattern, Shape};
 use crate::sorted;
-use crate::traits::TripleStore;
+use crate::traits::{SortedListAccess, TripleStore};
 use crate::vecmap::VecMap;
 use hex_dict::{Id, IdTriple};
 
@@ -558,6 +558,21 @@ impl TripleStore for Hexastore {
             .map(|ix| Self::index_heap_bytes(ix))
             .sum::<usize>();
         indices + self.o_lists.heap_bytes() + self.p_lists.heap_bytes() + self.s_lists.heap_bytes()
+    }
+
+    fn sorted_lists(&self) -> Option<&dyn SortedListAccess> {
+        Some(self)
+    }
+}
+
+impl SortedListAccess for Hexastore {
+    fn sorted_list(&self, pat: IdPattern) -> Option<&[Id]> {
+        match pat.shape() {
+            Shape::Sp => Some(self.objects_for(pat.s.unwrap(), pat.p.unwrap())),
+            Shape::So => Some(self.properties_for(pat.s.unwrap(), pat.o.unwrap())),
+            Shape::Po => Some(self.subjects_for(pat.p.unwrap(), pat.o.unwrap())),
+            _ => None,
+        }
     }
 }
 

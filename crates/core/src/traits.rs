@@ -7,7 +7,7 @@
 
 use crate::advisor::IndexSet;
 use crate::pattern::IdPattern;
-use hex_dict::IdTriple;
+use hex_dict::{Id, IdTriple};
 
 /// A lazy cursor over the triples matching a pattern.
 ///
@@ -113,6 +113,38 @@ pub trait TripleStore {
     /// Approximate heap usage in bytes (deep, excluding the dictionary,
     /// which all stores share). Powers the Figure 15 reproduction.
     fn heap_bytes(&self) -> usize;
+
+    /// Zero-copy sorted-list capability, if this store has one.
+    ///
+    /// The default `None` keeps every store on the cursor path; hexastore
+    /// variants whose terminal lists live contiguously in memory override
+    /// it with `Some(self)` so merge joins can intersect those lists
+    /// directly. Layered stores ([`crate::OverlayHexastore`]) deliberately
+    /// stay on the default: their logical lists are merges of base and
+    /// delta and cannot be borrowed as single slices.
+    fn sorted_lists(&self) -> Option<&dyn SortedListAccess> {
+        None
+    }
+}
+
+/// Zero-copy access to the sorted terminal lists behind two-bound access
+/// shapes — the raw material of the paper's first-step merge joins.
+///
+/// Contract: for a pattern with exactly two constant positions,
+/// [`SortedListAccess::sorted_list`] returns the values of the third
+/// (unbound) position as a strictly increasing `&[Id]` slice — i.e. the
+/// same values, in the same order, that [`TripleStore::iter_matching`]
+/// yields for that pattern (each matching triple varies only in the
+/// unbound position, and every serving index lists bound positions first,
+/// so its terminal list *is* that cursor projection). `None` means the
+/// store cannot serve this particular shape zero-copy (e.g. a partial
+/// hexastore that dropped every serving index), and the caller must fall
+/// back to the cursor. Patterns with fewer than two constants are always
+/// `None`: their matches span multiple terminal lists.
+pub trait SortedListAccess {
+    /// The sorted unbound-position values for a two-constant pattern, or
+    /// `None` if this shape is not servable zero-copy.
+    fn sorted_list(&self, pat: IdPattern) -> Option<&[Id]>;
 }
 
 /// Marker for stores whose [`TripleStore::insert`]/[`TripleStore::remove`]
@@ -208,5 +240,7 @@ mod tests {
         assert_eq!(first, Some(IdTriple::from((1, 2, 3))));
         // The default claims the full sextuple set (uniform-access store).
         assert_eq!(s.capabilities(), IndexSet::all());
+        // …but makes no zero-copy sorted-list claim.
+        assert!(s.sorted_lists().is_none());
     }
 }

@@ -4,7 +4,7 @@
 use crate::mmap::Mmap;
 use hex_dict::{Id, IdTriple};
 use hexastore::pattern::{IdPattern, Shape};
-use hexastore::traits::{TripleIter, TripleStore};
+use hexastore::traits::{SortedListAccess, TripleIter, TripleStore};
 use hexastore::{IndexSet, Span, StatsSource};
 use std::sync::Arc;
 
@@ -575,6 +575,21 @@ impl TripleStore for MmapFrozenHexastore {
     /// [`MmapFrozenHexastore::mapped_bytes`] for the file-backed size.
     fn heap_bytes(&self) -> usize {
         std::mem::size_of::<Self>()
+    }
+
+    fn sorted_lists(&self) -> Option<&dyn SortedListAccess> {
+        Some(self)
+    }
+}
+
+impl SortedListAccess for MmapFrozenHexastore {
+    fn sorted_list(&self, pat: IdPattern) -> Option<&[Id]> {
+        match pat.shape() {
+            Shape::Sp => Some(self.objects_for(pat.s.unwrap(), pat.p.unwrap())),
+            Shape::So => Some(self.properties_for(pat.s.unwrap(), pat.o.unwrap())),
+            Shape::Po => Some(self.subjects_for(pat.p.unwrap(), pat.o.unwrap())),
+            _ => None,
+        }
     }
 }
 

@@ -96,6 +96,56 @@ proptest! {
 }
 
 #[test]
+fn mmap_store_serves_sorted_lists_and_merge_plans() {
+    // Star data: evens carry p1→r4, multiples of 3 carry p2→r8, all fan
+    // out via p3. Saved, reopened via mmap, and queried both ways.
+    let mut picks = Vec::new();
+    for s in 0..30u32 {
+        if s % 2 == 0 {
+            picks.push((s, 1, 4));
+        }
+        if s % 3 == 0 {
+            picks.push((s, 2, 8));
+        }
+        picks.push((s, 3, 12 + s % 4));
+    }
+    let g = graph_from(&picks);
+    let oracle = g.store().freeze();
+    let path = temp_path("merge");
+    hexsnap::save_frozen(&path, g.dict(), &oracle).unwrap();
+    let (dict, mapped) = hex_disk::open(&path).unwrap();
+
+    // Zero-copy capability: terminal lists come back as the oracle's.
+    let sla = mapped.sorted_lists().expect("mmap store serves sorted lists");
+    let oracle_sla = oracle.sorted_lists().unwrap();
+    for pat in all_patterns(&oracle) {
+        assert_eq!(sla.sorted_list(pat), oracle_sla.sorted_list(pat), "{pat:?}");
+        if let Some(list) = sla.sorted_list(pat) {
+            assert!(list.windows(2).all(|w| w[0] < w[1]), "strictly ascending {pat:?}");
+        }
+    }
+
+    // A star query compiles a merge group against the mapped store and
+    // answers byte-identically to the forced-nested walk and to the
+    // parallel execution.
+    let query = "SELECT ?s ?x WHERE { \
+        ?s <http://x/p1> <http://x/r4> . \
+        ?s <http://x/p2> <http://x/r8> . \
+        ?s <http://x/p3> ?x . }";
+    let plan = hex_query::prepare_on(&mapped, &dict, query).unwrap();
+    assert!(plan.explain().contains("join=merge"), "{}", plan.explain());
+    let mut nested = hex_query::prepare_on(&mapped, &dict, query).unwrap();
+    nested.force_nested_joins();
+    let reference = plan.run();
+    assert_eq!(reference.len(), 5, "multiples of 6 in 0..30");
+    assert_eq!(reference, nested.run());
+    for threads in [2, 4] {
+        assert_eq!(plan.run_parallel(&mapped, threads), reference);
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn open_dataset_runs_queries_through_the_planner() {
     let g = graph_from(&[(0, 0, 0), (0, 1, 2), (3, 1, 2), (4, 2, 7), (4, 2, 1), (4, 2, 3)]);
     let oracle = g.store().freeze();

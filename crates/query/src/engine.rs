@@ -492,9 +492,13 @@ impl<'a> Plan<'a> {
             };
             let refined =
                 if self.stats_mode { format!(" cost={:.2}", step.cost) } else { String::new() };
+            let join = match step.join {
+                exec::JoinStep::MergeIntersect => "merge",
+                exec::JoinStep::NestedProbe => "nested",
+            };
             let _ = writeln!(
                 out,
-                "  step {}: ({}, {}, {}) shape={} est={}{refined} via {}",
+                "  step {}: ({}, {}, {}) shape={} est={}{refined} via {} join={join}",
                 i + 1,
                 self.render_term(pat.s),
                 self.render_term(pat.p),
@@ -516,7 +520,34 @@ impl<'a> Plan<'a> {
                 );
             }
         }
+        let _ = writeln!(out, "  parallel: {}", self.parallel_note(bgp));
         out
+    }
+
+    /// One line describing what [`Plan::run_parallel`] would do with this
+    /// plan — so silent serial fallbacks are visible in `explain()` and
+    /// bench output instead of masquerading as a parallel run.
+    fn parallel_note(&self, bgp: &Bgp) -> String {
+        if bgp.patterns.is_empty() {
+            return "serial (empty BGP: one constant row)".to_string();
+        }
+        if self.query.ask {
+            return "serial (ASK short-circuits at the first row)".to_string();
+        }
+        if let Some((group, _)) = exec::merge_group(bgp, &self.steps) {
+            return format!("shards the merged candidate list of the {group}-pattern join group");
+        }
+        let first = &self.steps[0];
+        if first.estimate <= 1 {
+            return format!("serial (step 1 matches {}: nothing to shard)", first.estimate);
+        }
+        if first.index.is_none() {
+            return format!(
+                "shards step 1's {} candidates via scan (no serving index: shard starts walk, not seek)",
+                first.estimate
+            );
+        }
+        format!("shards step 1's {} candidates", first.estimate)
     }
 
     /// The join order as pattern indices (execution order).
@@ -536,14 +567,25 @@ impl<'a> Plan<'a> {
     }
 
     /// LIMIT pushdown: when every cursor row becomes exactly one emitted
-    /// solution — non-DISTINCT, filter-free, no projected slot that could
-    /// come back unbound — the join walk itself can stop after
-    /// `offset + limit` rows, so deeper levels never expand past the
-    /// downstream demand. Returns that cap, or `None` when the demand
-    /// cannot be pushed safely.
+    /// solution — filter-free, no projected slot that could come back
+    /// unbound — the join walk itself can stop after `offset + limit`
+    /// rows, so deeper levels never expand past the downstream demand.
+    /// Returns that cap, or `None` when the demand cannot be pushed
+    /// safely.
+    ///
+    /// DISTINCT no longer blanket-disables the pushdown: walk rows are
+    /// pairwise distinct as *full* bindings (the row determines each
+    /// pattern's matching triple), so when the projection keeps every
+    /// pattern-bound variable it is injective on walk rows, the seen-set
+    /// never filters, and the demand still counts emitted solutions
+    /// exactly. A projection that *drops* bound variables can duplicate,
+    /// so there the walk stays demand-free and is bounded by
+    /// [`Solutions`]' laziness instead (O(k·dup) triples for LIMIT k
+    /// with duplication factor dup — see the engine tests); the parallel
+    /// executor additionally caps each shard with its own seen-set.
     pub(crate) fn pushdown_demand(&self) -> Option<usize> {
         let bgp = self.query.bgp.as_ref()?;
-        if self.query.ask || self.query.distinct {
+        if self.query.ask {
             return None;
         }
         if !self.step_filters.iter().all(Vec::is_empty) {
@@ -560,6 +602,30 @@ impl<'a> Plan<'a> {
         if !projection_total {
             return None;
         }
+        if self.query.distinct {
+            let all_bound_projected = pattern_bound
+                .iter()
+                .enumerate()
+                .filter(|(_, &b)| b)
+                .all(|(i, _)| self.query.slots.iter().any(|v| v.index() == i));
+            if !all_bound_projected {
+                return None;
+            }
+        }
+        self.query.limit.map(|limit| self.query.offset.saturating_add(limit))
+    }
+
+    /// The per-shard row cap of parallel DISTINCT+LIMIT execution: any
+    /// globally emitted row must be among the first `offset + limit`
+    /// distinct projected rows *of its own shard* (rows preceding it in
+    /// its shard also precede it globally and hold pairwise-distinct
+    /// projected values), so each worker may stop once its local seen-set
+    /// reaches this size. `None` when the query is not DISTINCT+LIMIT or
+    /// a filter/projection subtlety makes the bound unsound to apply.
+    pub(crate) fn distinct_shard_cap(&self) -> Option<usize> {
+        if !self.query.distinct || self.query.ask {
+            return None;
+        }
         self.query.limit.map(|limit| self.query.offset.saturating_add(limit))
     }
 
@@ -568,19 +634,53 @@ impl<'a> Plan<'a> {
     /// underlying join walk as soon as enough rows have been emitted.
     pub fn solutions(&self) -> Solutions<'_> {
         let rows: Option<RowIter<'_>> = match (&self.query.bgp, self.empty_reason) {
-            (Some(bgp), None) => {
-                let mut cursor = exec::BgpCursor::new(self.store, bgp, &self.order());
+            (Some(bgp), None) => Some(self.row_source(bgp)),
+            _ => None,
+        };
+        self.solutions_over(rows)
+    }
+
+    /// The binding-row source behind [`Plan::solutions`]: a
+    /// [`exec::MergeCursor`] when the planner compiled a leading merge
+    /// group and the store serves its sorted lists zero-copy, else the
+    /// nested [`exec::BgpCursor`]. The runtime capability re-check keeps
+    /// a cached merge plan correct when rebound to a store without
+    /// [`hexastore::SortedListAccess`] (it silently takes the nested
+    /// walk, which is byte-identical).
+    fn row_source<'s>(&'s self, bgp: &'s Bgp) -> RowIter<'s> {
+        let order = self.order();
+        if let Some((group, var)) = exec::merge_group(bgp, &self.steps) {
+            if let Some(candidates) = exec::merge_candidates(self.store, bgp, &order, group) {
+                let mut cursor =
+                    exec::MergeCursor::new(self.store, bgp, &order, group, var, candidates);
                 for (depth, filters) in self.step_filters.iter().enumerate() {
                     for &f in filters {
                         cursor.add_check(depth, Box::new(move |row| f.accepts(row)));
                     }
                 }
                 cursor.set_demand(self.pushdown_demand());
-                Some(Box::new(cursor))
+                return Box::new(cursor);
             }
-            _ => None,
-        };
-        self.solutions_over(rows)
+        }
+        let mut cursor = exec::BgpCursor::new(self.store, bgp, &order);
+        for (depth, filters) in self.step_filters.iter().enumerate() {
+            for &f in filters {
+                cursor.add_check(depth, Box::new(move |row| f.accepts(row)));
+            }
+        }
+        cursor.set_demand(self.pushdown_demand());
+        Box::new(cursor)
+    }
+
+    /// Downgrades every step to [`exec::JoinStep::NestedProbe`], forcing
+    /// the pure nested walk. This is the oracle side of the merge-join
+    /// byte-identity tests and the baseline of the `joins` bench figure:
+    /// the same plan (same steps, same order) executed with per-candidate
+    /// probes instead of one sorted-list intersection.
+    pub fn force_nested_joins(&mut self) {
+        for s in &mut self.steps {
+            s.join = exec::JoinStep::NestedProbe;
+        }
     }
 
     /// Builds the solution-modifier pipeline (ASK / projection / DISTINCT
@@ -1469,5 +1569,116 @@ mod tests {
         let rows: Vec<Vec<Term>> = plan.solutions().collect();
         assert_eq!(rows, vec![Vec::<Term>::new()]);
         assert!(plan.explain().starts_with("query: ASK\n"));
+        assert!(plan.explain().contains("parallel: serial (ASK"), "{}", plan.explain());
+    }
+
+    /// Twelve students typed Student, the even ones in dept CS, everyone
+    /// with an advisor — a star join over `?s`.
+    fn star_graph() -> GraphStore {
+        let mut g = GraphStore::new();
+        for i in 0..12 {
+            let s = iri(&format!("S{i}"));
+            g.insert(&Triple::new(s.clone(), iri("type"), iri("Student")));
+            if i % 2 == 0 {
+                g.insert(&Triple::new(s.clone(), iri("dept"), iri("CS")));
+            }
+            g.insert(&Triple::new(s, iri("advisor"), iri(&format!("P{}", i % 3))));
+        }
+        g
+    }
+
+    const STAR_QUERY: &str = r#"SELECT ?s ?a WHERE {
+        ?s <http://x/type> <http://x/Student> .
+        ?s <http://x/dept> <http://x/CS> .
+        ?s <http://x/advisor> ?a .
+    }"#;
+
+    #[test]
+    fn explain_tags_join_choice_and_parallel_strategy() {
+        let g = star_graph();
+        let plan = prepare_on(g.store(), g.dict(), STAR_QUERY).unwrap();
+        let text = plan.explain();
+        assert_eq!(text.matches("join=merge").count(), 2, "{text}");
+        assert_eq!(text.matches("join=nested").count(), 1, "{text}");
+        assert!(text.contains("parallel: shards the merged candidate list"), "{text}");
+        // A plan without a merge group names the sharded candidate count.
+        let nested =
+            prepare_on(g.store(), g.dict(), r#"SELECT ?a WHERE { ?s <http://x/advisor> ?a . }"#)
+                .unwrap();
+        let text = nested.explain();
+        assert!(text.contains("join=nested"), "{text}");
+        assert!(!text.contains("join=merge"), "{text}");
+        assert!(text.contains("parallel: shards step 1's 12 candidates"), "{text}");
+    }
+
+    #[test]
+    fn forcing_nested_joins_is_byte_identical() {
+        let g = star_graph();
+        let merged = prepare_on(g.store(), g.dict(), STAR_QUERY).unwrap();
+        let mut nested = prepare_on(g.store(), g.dict(), STAR_QUERY).unwrap();
+        nested.force_nested_joins();
+        assert!(!nested.explain().contains("join=merge"), "{}", nested.explain());
+        let a = merged.run();
+        let b = nested.run();
+        assert_eq!(a, b, "same rows in the same order");
+        assert_eq!(a.len(), 6);
+    }
+
+    #[test]
+    fn merge_plans_compose_with_modifiers_and_filters() {
+        let g = star_graph();
+        let cases = [
+            r#"SELECT ?s ?a WHERE {
+                ?s <http://x/type> <http://x/Student> .
+                ?s <http://x/dept> <http://x/CS> .
+                ?s <http://x/advisor> ?a .
+            } OFFSET 1 LIMIT 3"#,
+            r#"SELECT DISTINCT ?a WHERE {
+                ?s <http://x/type> <http://x/Student> .
+                ?s <http://x/dept> <http://x/CS> .
+                ?s <http://x/advisor> ?a .
+            }"#,
+            r#"SELECT ?s WHERE {
+                ?s <http://x/type> <http://x/Student> .
+                ?s <http://x/dept> <http://x/CS> .
+                FILTER(?s != <http://x/S0>)
+            }"#,
+        ];
+        for text in cases {
+            let merged = prepare_on(g.store(), g.dict(), text).unwrap();
+            let mut nested = prepare_on(g.store(), g.dict(), text).unwrap();
+            nested.force_nested_joins();
+            assert_eq!(merged.run(), nested.run(), "{text}");
+        }
+    }
+
+    #[test]
+    fn rebinding_a_merge_plan_to_an_overlay_falls_back_at_runtime() {
+        // Prepare against the frozen base (merge group compiles), then
+        // run the same compiled query against an overlay holding one
+        // extra CS student: the overlay serves no sorted lists, so the
+        // runtime check must take the nested walk — and see the delta.
+        let g = star_graph();
+        let frozen = g.freeze();
+        let plan = frozen.prepare(STAR_QUERY).unwrap();
+        assert!(plan.explain().contains("join=merge"));
+        let base = plan.run();
+        assert_eq!(base.len(), 6);
+
+        let mut overlay = hexastore::OverlayHexastore::new(g.store().clone().freeze());
+        let mut dict = g.dict().clone();
+        let s = dict.encode(&iri("S13"));
+        let ty = dict.encode(&iri("type"));
+        let student = dict.encode(&iri("Student"));
+        let dept = dict.encode(&iri("dept"));
+        let cs = dict.encode(&iri("CS"));
+        let adv = dict.encode(&iri("advisor"));
+        let p = dict.encode(&iri("P0"));
+        for (pp, oo) in [(ty, student), (dept, cs), (adv, p)] {
+            overlay.insert(hex_dict::IdTriple::new(s, pp, oo));
+        }
+        let rebound = prepare_on(&overlay, &dict, STAR_QUERY).unwrap();
+        assert!(!rebound.explain().contains("join=merge"), "{}", rebound.explain());
+        assert_eq!(rebound.run().len(), base.len() + 1);
     }
 }

@@ -26,6 +26,21 @@ use std::cmp::Ordering;
 /// A set of binding rows; `None` marks an unbound slot.
 pub type Rows = Vec<Vec<Option<Id>>>;
 
+/// The join algorithm a plan step executes with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JoinStep {
+    /// Index-nested: probe the store once per partial binding row — the
+    /// default, and the only algorithm for steps that bind more than one
+    /// position or run against a store without zero-copy sorted lists.
+    NestedProbe,
+    /// Member of a leading merge group: the step's pattern has exactly
+    /// one variable (shared by the whole group) and two constants, and
+    /// its sorted candidate list is intersected once with the other
+    /// members' lists ([`MergeCursor`]) instead of being re-probed per
+    /// candidate.
+    MergeIntersect,
+}
+
 /// One step of a compiled BGP plan: which pattern runs at this depth and
 /// the cost annotations that ordered it.
 #[derive(Clone, Copy, Debug)]
@@ -46,6 +61,8 @@ pub struct PlanStep {
     /// store's [`TripleStore::capabilities`] contain one; `None` means the
     /// store must fall back to a filtered scan for this step.
     pub index: Option<IndexKind>,
+    /// The join algorithm chosen for this step (see [`JoinStep`]).
+    pub join: JoinStep,
 }
 
 impl PlanStep {
@@ -159,9 +176,126 @@ pub fn plan_steps_with(
             bound[v.index()] = true;
         }
         let index = advisor::serving_indices(shape).iter().find(|&k| caps.contains(k));
-        steps.push(PlanStep { pattern: pi, shape, estimate: estimates[pi], cost, index });
+        steps.push(PlanStep {
+            pattern: pi,
+            shape,
+            estimate: estimates[pi],
+            cost,
+            index,
+            join: JoinStep::NestedProbe,
+        });
     }
+    annotate_merge_joins(store, bgp, &mut steps);
     steps
+}
+
+/// Smallest candidate-list size worth intersecting: below it the group's
+/// per-candidate nested probes are already O(1)-ish and the historical
+/// plan shape is kept. Once the first list clears this bar the merge
+/// always wins — each intersection step is a couple of slice comparisons
+/// (galloping past skew) against a boxed cursor allocation plus two
+/// binary searches per nested probe — so the choice degenerates to this
+/// threshold precisely *because* the planner knows every group list's
+/// exact length: the per-pattern estimates are `count_matching` probes,
+/// which for two-constant patterns return the terminal-list length
+/// itself (the same quantity `DatasetStats::property_shapes` would
+/// approximate from per-property distincts).
+const MERGE_MIN_CANDIDATES: usize = 2;
+
+/// If the pattern has exactly one variable position, returns it.
+fn lone_var(pat: &Pattern) -> Option<crate::algebra::VarId> {
+    let mut var = None;
+    for term in [pat.s, pat.p, pat.o] {
+        if let PatternTerm::Var(v) = term {
+            if var.replace(v).is_some() {
+                return None;
+            }
+        }
+    }
+    var
+}
+
+/// Upgrades a group of single-variable, two-constant steps sharing one
+/// variable to a merge-intersection join ([`JoinStep::MergeIntersect`])
+/// when the store serves their sorted terminal lists zero-copy.
+///
+/// The group must contain the first step (whose cursor enumerates the
+/// shared variable ascending); later members are regrouped directly
+/// behind it, keeping their relative order. The regroup is row-sequence
+/// preserving: after the first step binds the variable, every other
+/// group member is a pure existence check — it binds nothing new — so
+/// moving it earlier prunes sooner without reordering or changing the
+/// produced rows. Byte-identity of merge vs nested execution of the
+/// *same* steps then follows from the cursor-order invariant: the first
+/// step's cursor yields the shared variable strictly ascending (each
+/// matching triple differs only in the unbound position, and the serving
+/// index lists bound positions first), which is exactly the order of the
+/// intersected sorted lists.
+fn annotate_merge_joins(store: &dyn TripleStore, bgp: &Bgp, steps: &mut Vec<PlanStep>) {
+    let Some(sla) = store.sorted_lists() else { return };
+    if steps.len() < 2 {
+        return;
+    }
+    let empty = bgp.empty_row();
+    let qualifies = |pi: usize| -> Option<crate::algebra::VarId> {
+        let pat = &bgp.patterns[pi];
+        let v = lone_var(pat)?;
+        sla.sorted_list(pat.access(&empty))?;
+        Some(v)
+    };
+    let Some(v) = qualifies(steps[0].pattern) else { return };
+    let in_group: Vec<bool> = steps.iter().map(|s| qualifies(s.pattern) == Some(v)).collect();
+    let k = in_group.iter().filter(|&&b| b).count();
+    if k < 2 {
+        return;
+    }
+    let est_min =
+        steps.iter().zip(&in_group).filter(|(_, &g)| g).map(|(s, _)| s.estimate).min().unwrap_or(0);
+    if est_min < MERGE_MIN_CANDIDATES {
+        return;
+    }
+    let mut grouped: Vec<PlanStep> = Vec::with_capacity(steps.len());
+    for (s, &g) in steps.iter().zip(&in_group) {
+        if g {
+            let mut s = *s;
+            s.join = JoinStep::MergeIntersect;
+            grouped.push(s);
+        }
+    }
+    for (s, &g) in steps.iter().zip(&in_group) {
+        if !g {
+            grouped.push(*s);
+        }
+    }
+    *steps = grouped;
+}
+
+/// The length and shared variable of the leading merge group of `steps`,
+/// if the planner compiled one (see `annotate_merge_joins`).
+pub fn merge_group(bgp: &Bgp, steps: &[PlanStep]) -> Option<(usize, crate::algebra::VarId)> {
+    let k = steps.iter().take_while(|s| s.join == JoinStep::MergeIntersect).count();
+    if k < 2 {
+        return None;
+    }
+    lone_var(&bgp.patterns[steps[0].pattern]).map(|v| (k, v))
+}
+
+/// The intersected candidate list of a leading merge group: the values
+/// of the shared variable satisfying all `group` first patterns of
+/// `order`, ascending. `None` when the store cannot serve every group
+/// pattern's sorted list zero-copy — the runtime fallback that keeps a
+/// cached merge plan correct against a store without the capability.
+pub fn merge_candidates(
+    store: &dyn TripleStore,
+    bgp: &Bgp,
+    order: &[usize],
+    group: usize,
+) -> Option<Vec<Id>> {
+    let sla = store.sorted_lists()?;
+    let empty = bgp.empty_row();
+    let lists: Option<Vec<&[Id]>> =
+        order[..group].iter().map(|&i| sla.sorted_list(bgp.patterns[i].access(&empty))).collect();
+    Some(hexastore::sorted::intersect_many(lists?))
 }
 
 /// Chooses the evaluation order: the pattern indices of [`plan_steps`].
@@ -319,6 +453,145 @@ impl Iterator for BgpCursor<'_> {
             }
         }
         None
+    }
+}
+
+/// A lazy BGP evaluator whose leading merge group is executed as one
+/// sorted-list intersection: the already-intersected `candidates` are the
+/// values of the group's shared variable satisfying all group patterns,
+/// ascending, and each seeds the unchanged nested walk over the remaining
+/// (tail) patterns. Produces exactly the row sequence of a [`BgpCursor`]
+/// over the same plan order: the nested first step enumerates the shared
+/// variable ascending (cursor-order invariant) and the other group
+/// members are existence checks, so their conjunction *is* the sorted
+/// intersection.
+pub struct MergeCursor<'a> {
+    store: &'a dyn TripleStore,
+    /// Patterns after the merge group, in execution order.
+    tail: Vec<Pattern>,
+    /// Per-depth row predicates over the *full* plan order: depths below
+    /// `group` are applied to each seeded candidate row, the rest at
+    /// their tail level.
+    checks: Vec<Vec<RowCheck<'a>>>,
+    group: usize,
+    var: crate::algebra::VarId,
+    /// The all-unbound row candidates are seeded into.
+    template: Vec<Option<Id>>,
+    candidates: Vec<Id>,
+    pos: usize,
+    stack: Vec<Level<'a>>,
+    demand: Option<usize>,
+    produced: usize,
+}
+
+impl<'a> MergeCursor<'a> {
+    /// Creates a cursor evaluating `bgp`'s patterns in `order`, with the
+    /// first `group` steps replaced by the pre-intersected `candidates`
+    /// of variable `var` (see [`merge_candidates`]).
+    pub fn new(
+        store: &'a dyn TripleStore,
+        bgp: &Bgp,
+        order: &[usize],
+        group: usize,
+        var: crate::algebra::VarId,
+        candidates: Vec<Id>,
+    ) -> Self {
+        assert_eq!(order.len(), bgp.patterns.len(), "order must cover every pattern");
+        assert!((1..=order.len()).contains(&group), "merge group must be a non-empty prefix");
+        let tail: Vec<Pattern> = order[group..].iter().map(|&i| bgp.patterns[i]).collect();
+        let checks = (0..order.len()).map(|_| Vec::new()).collect();
+        MergeCursor {
+            store,
+            tail,
+            checks,
+            group,
+            var,
+            template: bgp.empty_row(),
+            candidates,
+            pos: 0,
+            stack: Vec::new(),
+            demand: None,
+            produced: 0,
+        }
+    }
+
+    /// Attaches a predicate to the step at `depth` (0-based over the full
+    /// plan order, exactly as [`BgpCursor::add_check`] counts depths).
+    pub fn add_check(&mut self, depth: usize, check: RowCheck<'a>) {
+        self.checks[depth].push(check);
+    }
+
+    /// Pushes a LIMIT into the walk; same contract as
+    /// [`BgpCursor::set_demand`].
+    pub fn set_demand(&mut self, demand: Option<usize>) {
+        self.demand = demand;
+    }
+}
+
+impl Iterator for MergeCursor<'_> {
+    type Item = Vec<Option<Id>>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.demand.is_some_and(|d| self.produced >= d) {
+            // Demand met: abandon the walk eagerly (free the iterators).
+            self.stack.clear();
+            self.pos = self.candidates.len();
+            return None;
+        }
+        loop {
+            // Resume the in-flight tail walk — the same depth-first loop
+            // as BgpCursor, with check depths offset past the group.
+            while let Some(depth) = self.stack.len().checked_sub(1) {
+                let level = self.stack.last_mut().expect("stack is non-empty");
+                let Some(t) = level.iter.next() else {
+                    self.stack.pop();
+                    continue;
+                };
+                let Some(extended) = extend_row(&level.row, &self.tail[depth], t) else {
+                    continue;
+                };
+                if !self.checks[self.group + depth].iter().all(|check| check(&extended)) {
+                    continue;
+                }
+                match self.tail.get(depth + 1) {
+                    None => {
+                        self.produced += 1;
+                        return Some(extended);
+                    }
+                    Some(next_pat) => {
+                        let iter = self.store.iter_matching(next_pat.access(&extended));
+                        self.stack.push(Level { iter, row: extended });
+                    }
+                }
+            }
+            // Seed the next candidate. Checks attached to group depths
+            // can only read the shared variable (nothing else is bound
+            // that early), so applying them all to the seeded row prunes
+            // exactly as the nested walk would.
+            loop {
+                if self.pos >= self.candidates.len() {
+                    return None;
+                }
+                let c = self.candidates[self.pos];
+                self.pos += 1;
+                let mut row = self.template.clone();
+                row[self.var.index()] = Some(c);
+                if !self.checks[..self.group].iter().flatten().all(|check| check(&row)) {
+                    continue;
+                }
+                match self.tail.first() {
+                    None => {
+                        self.produced += 1;
+                        return Some(row);
+                    }
+                    Some(first) => {
+                        let iter = self.store.iter_matching(first.access(&row));
+                        self.stack.push(Level { iter, row });
+                        break;
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -724,5 +997,203 @@ mod tests {
         // Only students advised by 1 survive: 3 and 4, joined to MIT.
         let got = distinct(project(&rows, &[VarId(0)]));
         assert_eq!(got, vec![vec![Id(3)], vec![Id(4)]]);
+    }
+
+    /// Star data for merge-join tests: evens carry (s,201,8), multiples
+    /// of 3 carry (s,202,9), everyone fans out via (s,300,1000+s%4).
+    fn merge_star() -> Hexastore {
+        let mut triples = Vec::new();
+        for s in 0..60u32 {
+            if s % 2 == 0 {
+                triples.push(t(s, 201, 8));
+            }
+            if s % 3 == 0 {
+                triples.push(t(s, 202, 9));
+            }
+            triples.push(t(s, 300, 1000 + s % 4));
+        }
+        Hexastore::from_triples(triples)
+    }
+
+    /// `?x <201> 8 . ?x <202> 9 . ?x <300> ?y` — two mergeable patterns
+    /// sharing `?x`, plus a tail pattern binding `?y`.
+    fn merge_star_bgp() -> Bgp {
+        Bgp::new(vec![
+            Pattern::new(v(0), c(201), c(8)),
+            Pattern::new(v(0), c(202), c(9)),
+            Pattern::new(v(0), c(300), v(1)),
+        ])
+    }
+
+    #[test]
+    fn planner_compiles_a_leading_merge_group() {
+        let store = merge_star();
+        let bgp = merge_star_bgp();
+        let steps = plan_steps(&store, &bgp);
+        assert_eq!(steps[0].join, JoinStep::MergeIntersect, "{steps:?}");
+        assert_eq!(steps[1].join, JoinStep::MergeIntersect, "{steps:?}");
+        assert_eq!(steps[2].join, JoinStep::NestedProbe, "{steps:?}");
+        // Most selective group member first (202: 20 < 201: 30), tail last.
+        assert_eq!(steps[0].pattern, 1);
+        assert_eq!(steps[1].pattern, 0);
+        assert_eq!(steps[2].pattern, 2);
+        assert_eq!(merge_group(&bgp, &steps), Some((2, VarId(0))));
+    }
+
+    #[test]
+    fn merge_group_regroups_interleaved_members_behind_the_first() {
+        // A non-mergeable pattern whose estimate (25) falls between the
+        // group members' (20 and 30): the greedy order interleaves it;
+        // annotation pulls the group members together at the front.
+        let mut store = merge_star();
+        for i in 0..25u32 {
+            store.insert(t(5000 + i, 400, 7000 + i));
+        }
+        let bgp = Bgp::new(vec![
+            Pattern::new(v(0), c(201), c(8)),
+            Pattern::new(v(2), c(400), v(1)),
+            Pattern::new(v(0), c(202), c(9)),
+        ]);
+        let steps = plan_steps(&store, &bgp);
+        let (group, var) = merge_group(&bgp, &steps).unwrap_or_else(|| panic!("{steps:?}"));
+        assert_eq!((group, var), (2, VarId(0)));
+        assert_eq!(steps[0].pattern, 2, "most selective group member first");
+        assert_eq!(steps[1].pattern, 0, "second member regrouped behind it");
+        assert_eq!(steps[2].pattern, 1, "interloper pushed past the group");
+        assert_eq!(steps[2].join, JoinStep::NestedProbe);
+    }
+
+    #[test]
+    fn merge_candidates_are_the_ascending_intersection() {
+        let store = merge_star();
+        let bgp = merge_star_bgp();
+        let steps = plan_steps(&store, &bgp);
+        let order: Vec<usize> = steps.iter().map(|s| s.pattern).collect();
+        let cands = merge_candidates(&store, &bgp, &order, 2).unwrap();
+        let expected: Vec<Id> = (0..60).filter(|s| s % 6 == 0).map(Id).collect();
+        assert_eq!(cands, expected);
+    }
+
+    #[test]
+    fn merge_cursor_is_byte_identical_to_the_nested_walk() {
+        let store = merge_star();
+        let bgp = merge_star_bgp();
+        let steps = plan_steps(&store, &bgp);
+        let order: Vec<usize> = steps.iter().map(|s| s.pattern).collect();
+        let (group, var) = merge_group(&bgp, &steps).unwrap();
+        let cands = merge_candidates(&store, &bgp, &order, group).unwrap();
+        let merged: Rows = MergeCursor::new(&store, &bgp, &order, group, var, cands).collect();
+        let nested: Rows = BgpCursor::new(&store, &bgp, &order).collect();
+        assert_eq!(merged, nested, "row-for-row, order included");
+        assert_eq!(merged.len(), 10);
+    }
+
+    #[test]
+    fn merge_cursor_with_all_patterns_in_the_group() {
+        let store = merge_star();
+        let bgp =
+            Bgp::new(vec![Pattern::new(v(0), c(201), c(8)), Pattern::new(v(0), c(202), c(9))]);
+        let steps = plan_steps(&store, &bgp);
+        let order: Vec<usize> = steps.iter().map(|s| s.pattern).collect();
+        let (group, var) = merge_group(&bgp, &steps).unwrap();
+        assert_eq!(group, 2, "no tail");
+        let cands = merge_candidates(&store, &bgp, &order, group).unwrap();
+        let merged: Rows = MergeCursor::new(&store, &bgp, &order, group, var, cands).collect();
+        let nested: Rows = BgpCursor::new(&store, &bgp, &order).collect();
+        assert_eq!(merged, nested);
+    }
+
+    #[test]
+    fn merge_cursor_honors_checks_at_group_and_tail_depths() {
+        let store = merge_star();
+        let bgp = merge_star_bgp();
+        let steps = plan_steps(&store, &bgp);
+        let order: Vec<usize> = steps.iter().map(|s| s.pattern).collect();
+        let (group, var) = merge_group(&bgp, &steps).unwrap();
+        let cands = merge_candidates(&store, &bgp, &order, group).unwrap();
+        let build = |with_checks: bool| -> (Rows, Rows) {
+            let mut mc = MergeCursor::new(&store, &bgp, &order, group, var, cands.clone());
+            let mut bc = BgpCursor::new(&store, &bgp, &order);
+            if with_checks {
+                // Group-depth check reads only the shared variable; the
+                // tail-depth check reads the tail binding.
+                mc.add_check(0, Box::new(|row| row[0] != Some(Id(0))));
+                bc.add_check(0, Box::new(|row| row[0] != Some(Id(0))));
+                mc.add_check(2, Box::new(|row| row[1] == Some(Id(1000))));
+                bc.add_check(2, Box::new(|row| row[1] == Some(Id(1000))));
+            }
+            (mc.collect(), bc.collect())
+        };
+        let (merged, nested) = build(true);
+        assert_eq!(merged, nested);
+        let (unchecked, _) = build(false);
+        assert!(merged.len() < unchecked.len(), "checks pruned something");
+    }
+
+    #[test]
+    fn merge_cursor_demand_stops_the_walk() {
+        let store = merge_star();
+        let yielded = Cell::new(0);
+        let counting = Counting { inner: &store, yielded: &yielded };
+        let bgp = merge_star_bgp();
+        // Plan against the raw store (the wrapper has no sorted lists);
+        // execute the merge cursor against the wrapper for tail counting.
+        let steps = plan_steps(&store, &bgp);
+        let order: Vec<usize> = steps.iter().map(|s| s.pattern).collect();
+        let (group, var) = merge_group(&bgp, &steps).unwrap();
+        let cands = merge_candidates(&store, &bgp, &order, group).unwrap();
+        let mut cursor = MergeCursor::new(&counting, &bgp, &order, group, var, cands);
+        cursor.set_demand(Some(3));
+        let rows: Rows = cursor.collect();
+        assert_eq!(rows.len(), 3);
+        assert!(
+            yielded.get() <= 4,
+            "demand 3 visited {} tail triples; must be O(demand)",
+            yielded.get()
+        );
+    }
+
+    #[test]
+    fn no_merge_group_without_sorted_list_capability() {
+        // The counting wrapper keeps the default `sorted_lists() == None`:
+        // planning through it must stay fully nested.
+        let store = merge_star();
+        let yielded = Cell::new(0);
+        let counting = Counting { inner: &store, yielded: &yielded };
+        let bgp = merge_star_bgp();
+        let steps = plan_steps(&counting, &bgp);
+        assert!(steps.iter().all(|s| s.join == JoinStep::NestedProbe), "{steps:?}");
+        assert_eq!(merge_group(&bgp, &steps), None);
+        // And the runtime fallback: a merge-annotated plan's candidates
+        // cannot be served by this store.
+        let merge_steps = plan_steps(&store, &bgp);
+        let order: Vec<usize> = merge_steps.iter().map(|s| s.pattern).collect();
+        assert_eq!(merge_candidates(&counting, &bgp, &order, 2), None);
+    }
+
+    #[test]
+    fn tiny_groups_stay_nested() {
+        // est_min below MERGE_MIN_CANDIDATES: one subject carries both
+        // marks, so the most selective list has a single entry and the
+        // nested probe is kept.
+        let store = Hexastore::from_triples([t(5, 201, 8), t(5, 202, 9), t(6, 201, 8)]);
+        let bgp =
+            Bgp::new(vec![Pattern::new(v(0), c(201), c(8)), Pattern::new(v(0), c(202), c(9))]);
+        let steps = plan_steps(&store, &bgp);
+        assert!(steps.iter().all(|s| s.join == JoinStep::NestedProbe), "{steps:?}");
+    }
+
+    #[test]
+    fn repeated_variable_patterns_never_merge() {
+        // (?x, 201, ?x) has two variable *positions*: not a terminal
+        // list over one variable, so it must not join a merge group.
+        let store = Hexastore::from_triples([t(8, 201, 8), t(9, 201, 9), t(8, 202, 9)]);
+        let bgp =
+            Bgp::new(vec![Pattern::new(v(0), c(201), v(0)), Pattern::new(v(0), c(202), c(9))]);
+        let steps = plan_steps(&store, &bgp);
+        assert_eq!(merge_group(&bgp, &steps), None);
+        // Still correct: self-loop 8 advised... joined with (8,202,9).
+        let rows = execute_bgp(&store, &bgp);
+        assert_eq!(distinct(project(&rows, &[VarId(0)])), vec![vec![Id(8)]]);
     }
 }

@@ -73,8 +73,8 @@ pub use engine::{
     FilterSide, Plan, PlanCache, QueryError, ResultSet, Solutions,
 };
 pub use exec::{
-    execute_bgp, execute_bgp_with_order, plan_order, plan_steps, plan_steps_with, BgpCursor,
-    PlanStep, RowCheck,
+    execute_bgp, execute_bgp_with_order, merge_candidates, merge_group, plan_order, plan_steps,
+    plan_steps_with, BgpCursor, JoinStep, MergeCursor, PlanStep, RowCheck,
 };
 pub use parser::{parse_query, FilterExpr, FilterOp, FilterOperand, ParseError, ParsedQuery};
 pub use path::{

@@ -20,15 +20,58 @@
 //! sits at position `≥ j` of the concatenation, so each shard can stop at
 //! the global `offset + limit` demand independently.
 //!
+//! Merge-group plans (see [`crate::exec::MergeCursor`]) shard the same
+//! way one level up: the group's sorted lists are intersected once on
+//! the calling thread and the *candidate vector* is split into
+//! contiguous slices, one [`crate::exec::MergeCursor`] per worker.
+//! DISTINCT+LIMIT queries additionally cap each shard at `offset +
+//! limit` locally-distinct projected rows (`Plan::distinct_shard_cap`):
+//! any global winner is among the first that many distinct rows of its
+//! own shard, so the cap never drops one.
+//!
 //! Entry point: [`Plan::run_parallel`]. It needs the store by concrete
 //! `&S where S: TripleStore + Sync` reference — the plan's own `&dyn
 //! TripleStore` borrow carries no `Sync` bound, so it cannot cross the
 //! worker-thread boundary.
 
+use crate::algebra::VarId;
 use crate::engine::{Plan, ResultSet};
-use crate::exec::BgpCursor;
+use crate::exec::{merge_candidates, merge_group, BgpCursor, MergeCursor};
 use hex_dict::Id;
 use hexastore::TripleStore;
+use std::collections::HashSet;
+
+/// Drains one shard's cursor into its row vector. With `cap` set
+/// (parallel DISTINCT+LIMIT — see `Plan::distinct_shard_cap` for the
+/// soundness argument) the worker keeps a local seen-set of projected
+/// rows and stops once it holds `cap` entries; rows whose projection is
+/// undefined or locally duplicated are dropped, since the downstream
+/// modifier pipeline would drop them anyway (a within-shard duplicate is
+/// preceded globally by its first occurrence in the same shard).
+fn collect_shard(
+    cursor: impl Iterator<Item = Vec<Option<Id>>>,
+    slots: &[VarId],
+    cap: Option<usize>,
+) -> Vec<Vec<Option<Id>>> {
+    let Some(cap) = cap else { return cursor.collect() };
+    if cap == 0 {
+        return Vec::new();
+    }
+    let mut seen: HashSet<Vec<Id>> = HashSet::new();
+    let mut out = Vec::new();
+    for row in cursor {
+        let Some(ids) = slots.iter().map(|v| row[v.index()]).collect::<Option<Vec<Id>>>() else {
+            continue;
+        };
+        if seen.insert(ids) {
+            out.push(row);
+            if seen.len() >= cap {
+                break;
+            }
+        }
+    }
+    out
+}
 
 impl Plan<'_> {
     /// Runs the plan to completion with the first step's candidate range
@@ -73,13 +116,55 @@ impl Plan<'_> {
             return self.run();
         }
         let order = self.order();
+        let demand = self.pushdown_demand();
+        let shard_cap = self.distinct_shard_cap();
+        let step_filters = self.step_filters();
+        let slots = &query.slots[..];
+
+        // Merge-group plans: intersect the group's sorted lists once on
+        // this thread, then shard the *merged candidate vector* — each
+        // worker seeds its contiguous slice of survivors into the tail
+        // walk. Concatenating shard outputs in slice order reproduces the
+        // serial MergeCursor sequence exactly, so the byte-identity
+        // argument is the same as for first-step range sharding.
+        let merge = merge_group(bgp, self.steps())
+            .and_then(|(g, var)| Some((g, var, merge_candidates(store, bgp, &order, g)?)));
+        if let Some((group, var, candidates)) = merge {
+            let n = candidates.len();
+            let workers = threads.min(n);
+            if workers <= 1 {
+                return self.run();
+            }
+            let (order, candidates) = (&order, &candidates);
+            let shards: Vec<Vec<Vec<Option<Id>>>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        let (from, to) = (w * n / workers, (w + 1) * n / workers);
+                        scope.spawn(move || {
+                            let slice = candidates[from..to].to_vec();
+                            let mut cursor = MergeCursor::new(store, bgp, order, group, var, slice);
+                            for (depth, filters) in step_filters.iter().enumerate() {
+                                for &f in filters {
+                                    cursor.add_check(depth, Box::new(move |row| f.accepts(row)));
+                                }
+                            }
+                            cursor.set_demand(demand);
+                            collect_shard(cursor, slots, shard_cap)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("query worker panicked")).collect()
+            });
+            let merged = shards.into_iter().flatten();
+            let rows = self.solutions_over(Some(Box::new(merged))).collect();
+            return ResultSet { vars: query.vars.clone(), rows };
+        }
+
         let n = store.count_matching(bgp.patterns[order[0]].access(&bgp.empty_row()));
         let workers = threads.min(n);
         if workers <= 1 {
             return self.run();
         }
-        let demand = self.pushdown_demand();
-        let step_filters = self.step_filters();
         let order = &order;
         let shards: Vec<Vec<Vec<Option<Id>>>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
@@ -94,7 +179,7 @@ impl Plan<'_> {
                             }
                         }
                         cursor.set_demand(demand);
-                        cursor.collect()
+                        collect_shard(cursor, slots, shard_cap)
                     })
                 })
                 .collect();

@@ -396,6 +396,259 @@ fn limit_pushdown_visits_o_k_triples_across_join_levels() {
     );
 }
 
+/// A lone-variable, two-constant pattern over shared `?v0` — the shape
+/// merge groups are made of.
+fn arb_lone_var_pattern() -> impl Strategy<Value = Pattern> {
+    (0u32..4, 0u32..MAX_ID, 0usize..3).prop_map(|(p, o, pos)| match pos {
+        0 => Pattern::new(
+            PatternTerm::Var(VarId(0)),
+            PatternTerm::Const(Id(p)),
+            PatternTerm::Const(Id(o)),
+        ),
+        1 => Pattern::new(
+            PatternTerm::Const(Id(o)),
+            PatternTerm::Var(VarId(0)),
+            PatternTerm::Const(Id(p)),
+        ),
+        _ => Pattern::new(
+            PatternTerm::Const(Id(o)),
+            PatternTerm::Const(Id(p)),
+            PatternTerm::Var(VarId(0)),
+        ),
+    })
+}
+
+/// 2–3 mergeable patterns plus (sometimes) an open tail pattern: biased
+/// so the planner actually compiles merge groups often, unlike the
+/// uniform [`arb_bgp`] space where two-constant pairs are rare.
+fn arb_star_bgp() -> impl Strategy<Value = Bgp> {
+    (
+        proptest::collection::vec(arb_lone_var_pattern(), 2..4),
+        proptest::option::of((arb_pattern_term(3), arb_pattern_term(3), arb_pattern_term(3))),
+    )
+        .prop_map(|(mut pats, tail)| {
+            if let Some((s, p, o)) = tail {
+                pats.push(Pattern::new(s, p, o));
+            }
+            Bgp::new(pats)
+        })
+}
+
+/// The solutions as an ordered sequence (no sort/dedup): the probe for
+/// byte-identity rather than set-equality.
+fn solution_sequence(
+    store: &dyn TripleStore,
+    dict: &Dictionary,
+    q: &CompiledQuery,
+) -> Vec<Vec<Term>> {
+    Plan::from_compiled(q.clone(), dict, store).solutions().collect()
+}
+
+fn forced_nested_sequence(
+    store: &dyn TripleStore,
+    dict: &Dictionary,
+    q: &CompiledQuery,
+) -> Vec<Vec<Term>> {
+    let mut plan = Plan::from_compiled(q.clone(), dict, store);
+    plan.force_nested_joins();
+    plan.solutions().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Merge-join execution must be *byte-identical* (row order included)
+    /// to the forced-nested walk of the same plan, on every store flavor
+    /// — and, where the store is Sync, to the parallel execution too.
+    #[test]
+    fn merge_execution_is_byte_identical_to_forced_nested(
+        triples in proptest::collection::vec(arb_triple(), 0..14),
+        bgp in arb_star_bgp(),
+        subset_bits in 1u8..64,
+    ) {
+        let dict = dict_for(MAX_ID);
+        let hexa = Hexastore::from_triples(triples.iter().copied());
+        let (q, slots) = select_all(&bgp);
+        let all = hexa.matching(IdPattern::ALL);
+        let expected = expected_solutions(&all, &bgp, &slots);
+
+        let partial =
+            PartialHexastore::from_triples(subset_from_bits(subset_bits), triples.iter().copied());
+        let frozen = FrozenHexastore::from_triples(triples.iter().copied());
+        let frozen_partial = partial.freeze();
+        let split = triples.len() / 2;
+        let mut overlay = OverlayHexastore::new(bulk::build_frozen(triples[..split].to_vec()));
+        for &t in &triples[split..] {
+            overlay.insert(t);
+        }
+        for store in [
+            &hexa as &dyn TripleStore,
+            &partial,
+            &frozen,
+            &frozen_partial,
+            &overlay,
+        ] {
+            let merged = solution_sequence(store, &dict, &q);
+            let nested = forced_nested_sequence(store, &dict, &q);
+            prop_assert_eq!(&merged, &nested, "store {}", store.name());
+            // Against the ground truth as well, as sets.
+            let mut sorted = merged;
+            sorted.sort();
+            sorted.dedup();
+            prop_assert_eq!(&sorted, &expected, "store {}", store.name());
+        }
+        // Parallel execution concatenates to the same byte sequence.
+        let plan = Plan::from_compiled(q.clone(), &dict, &frozen);
+        let reference = plan.run();
+        for threads in [2, 4] {
+            prop_assert_eq!(plan.run_parallel(&frozen, threads), reference.clone());
+        }
+    }
+}
+
+/// 10k triples in `dup`-sized runs: subject `i` relates (p=0) to group
+/// `i / dup`, so the first-step cursor yields each distinct group value
+/// exactly `dup` times consecutively.
+fn grouped_store_and_dict(dup: u32) -> (Hexastore, Dictionary) {
+    let mut dict = Dictionary::new();
+    dict.encode(&term_for(0));
+    let mut triples = Vec::new();
+    for i in 0..10_000u32 {
+        let s = dict.encode(&Term::iri(format!("http://t/subject/{i}")));
+        let g = dict.encode(&Term::iri(format!("http://t/group/{}", i / dup)));
+        triples.push(IdTriple::new(s, Id(0), g));
+    }
+    (Hexastore::from_triples(triples), dict)
+}
+
+#[test]
+fn distinct_with_total_projection_pushes_the_demand() {
+    // DISTINCT over a projection keeping every pattern-bound variable:
+    // full-walk rows are already pairwise distinct, dedup is a no-op, so
+    // the demand (offset + limit) may be pushed into the walk — LIMIT 7
+    // visits O(7) of the 10k triples.
+    let (store, dict) = grouped_store_and_dict(5);
+    let yielded = Cell::new(0);
+    let counting = Counting { inner: &store, yielded: &yielded };
+    let plan = hex_query::prepare_on(
+        &counting,
+        &dict,
+        &format!("SELECT DISTINCT ?x ?g WHERE {{ ?x {} ?g . }} LIMIT 7", term_for(0)),
+    )
+    .unwrap();
+    let rows: Vec<Vec<Term>> = plan.solutions().collect();
+    assert_eq!(rows.len(), 7);
+    assert!(
+        yielded.get() <= 8,
+        "DISTINCT with total projection LIMIT 7 visited {} triples; demand must push",
+        yielded.get()
+    );
+}
+
+#[test]
+fn distinct_with_lossy_projection_visits_o_k_dup_triples() {
+    // Projecting only ?g drops ?x, so rows duplicate (factor dup=5) and
+    // the demand must NOT push (it would stop before k *distinct* rows).
+    // Laziness still bounds the walk: LIMIT k pulls until the seen-set
+    // holds k entries — k·dup triples, not 10k.
+    let (store, dict) = grouped_store_and_dict(5);
+    let yielded = Cell::new(0);
+    let counting = Counting { inner: &store, yielded: &yielded };
+    let plan = hex_query::prepare_on(
+        &counting,
+        &dict,
+        &format!("SELECT DISTINCT ?g WHERE {{ ?x {} ?g . }} LIMIT 4", term_for(0)),
+    )
+    .unwrap();
+    let rows: Vec<Vec<Term>> = plan.solutions().collect();
+    assert_eq!(rows.len(), 4, "four distinct groups");
+    assert!(
+        yielded.get() <= 4 * 5 + 1,
+        "DISTINCT ?g LIMIT 4 over dup=5 visited {} triples; must be O(k·dup)",
+        yielded.get()
+    );
+}
+
+/// A `Sync` counting wrapper for the parallel executor: workers on other
+/// threads bump an atomic instead of a `Cell`. Forwards
+/// `iter_matching_range` natively so shard starts are seeks, not counted
+/// skip-walks.
+struct AtomicCounting<'a> {
+    inner: &'a Hexastore,
+    yielded: &'a std::sync::atomic::AtomicUsize,
+}
+
+impl TripleStore for AtomicCounting<'_> {
+    fn name(&self) -> &'static str {
+        "AtomicCounting"
+    }
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+    fn insert(&mut self, _: IdTriple) -> bool {
+        unimplemented!("read-only wrapper")
+    }
+    fn remove(&mut self, _: IdTriple) -> bool {
+        unimplemented!("read-only wrapper")
+    }
+    fn contains(&self, t: IdTriple) -> bool {
+        self.inner.contains(t)
+    }
+    fn for_each_matching(&self, pat: IdPattern, f: &mut dyn FnMut(IdTriple)) {
+        self.inner.for_each_matching(pat, &mut |t| {
+            self.yielded.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            f(t);
+        });
+    }
+    fn iter_matching(&self, pat: IdPattern) -> hexastore::TripleIter<'_> {
+        Box::new(self.inner.iter_matching(pat).inspect(|_| {
+            self.yielded.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }))
+    }
+    fn iter_matching_range(
+        &self,
+        pat: IdPattern,
+        start: usize,
+        end: usize,
+    ) -> hexastore::TripleIter<'_> {
+        Box::new(self.inner.iter_matching_range(pat, start, end).inspect(|_| {
+            self.yielded.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }))
+    }
+    fn count_matching(&self, pat: IdPattern) -> usize {
+        self.inner.count_matching(pat)
+    }
+    fn capabilities(&self) -> IndexSet {
+        self.inner.capabilities()
+    }
+    fn heap_bytes(&self) -> usize {
+        self.inner.heap_bytes()
+    }
+}
+
+#[test]
+fn parallel_distinct_limit_caps_each_shard() {
+    // Four workers over 10k triples, DISTINCT ?g LIMIT 4 with dup=5:
+    // every worker stops after 4 locally-distinct groups (≈ 20-25
+    // triples each, shard-boundary partial runs included) instead of
+    // draining its 2500-triple shard.
+    let (store, dict) = grouped_store_and_dict(5);
+    let yielded = std::sync::atomic::AtomicUsize::new(0);
+    let counting = AtomicCounting { inner: &store, yielded: &yielded };
+    let query = format!("SELECT DISTINCT ?g WHERE {{ ?x {} ?g . }} LIMIT 4", term_for(0));
+    let plan = hex_query::prepare_on(&counting, &dict, &query).unwrap();
+    let reference = plan.run();
+    assert_eq!(reference.len(), 4);
+    yielded.store(0, std::sync::atomic::Ordering::Relaxed);
+    let got = plan.run_parallel(&counting, 4);
+    assert_eq!(got, reference, "parallel DISTINCT+LIMIT must stay byte-identical");
+    let visited = yielded.load(std::sync::atomic::Ordering::Relaxed);
+    assert!(
+        visited <= 4 * (4 * 5 + 5) + 4,
+        "4 capped workers visited {visited} triples; must be O(threads·k·dup)"
+    );
+}
+
 #[test]
 fn materializing_shim_still_agrees_with_streaming() {
     // The retained execute* shims and the Plan surface answer identically.
